@@ -1,0 +1,153 @@
+"""Minimal, dependency-free PEP 517 build backend for offline installs.
+
+The reproduction environment has no network access and no ``wheel`` package,
+so the standard setuptools editable-install path (which builds a wheel via
+``bdist_wheel``) cannot run.  This backend implements just enough of PEP 517
+/ PEP 660 with the standard library: it assembles the wheel archive (a zip
+file with the package tree or, for editable installs, a ``.pth`` pointing at
+``src/``) and the dist-info metadata by hand.
+
+It is intentionally specific to this project layout (a single package under
+``src/``) and is not a general-purpose build tool.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+_NAME = "repro"
+_VERSION = "0.1.0"
+_TAG = "py3-none-any"
+_SUMMARY = ("Reproduction of VARADE: a Variational-based AutoRegressive model "
+            "for Anomaly Detection on the Edge (DAC 2024)")
+_ROOT = os.path.abspath(os.path.dirname(__file__))
+
+
+# --------------------------------------------------------------------------- #
+# PEP 517 hooks
+# --------------------------------------------------------------------------- #
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    return _write_dist_info(metadata_directory)
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    return _write_dist_info(metadata_directory)
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    wheel_name = f"{_NAME}-{_VERSION}-{_TAG}.whl"
+    wheel_path = os.path.join(wheel_directory, wheel_name)
+    records = []
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as archive:
+        package_root = os.path.join(_ROOT, "src", _NAME)
+        for directory, _, filenames in os.walk(package_root):
+            for filename in sorted(filenames):
+                if filename.endswith(".pyc"):
+                    continue
+                full_path = os.path.join(directory, filename)
+                relative = os.path.relpath(full_path, os.path.join(_ROOT, "src"))
+                arcname = relative.replace(os.sep, "/")
+                with open(full_path, "rb") as handle:
+                    data = handle.read()
+                archive.writestr(arcname, data)
+                records.append(_record_entry(arcname, data))
+        _add_dist_info(archive, records)
+    return wheel_name
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    wheel_name = f"{_NAME}-{_VERSION}-{_TAG}.whl"
+    wheel_path = os.path.join(wheel_directory, wheel_name)
+    records = []
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as archive:
+        pth_name = f"__editable__.{_NAME}-{_VERSION}.pth"
+        pth_content = (os.path.join(_ROOT, "src") + "\n").encode()
+        archive.writestr(pth_name, pth_content)
+        records.append(_record_entry(pth_name, pth_content))
+        _add_dist_info(archive, records)
+    return wheel_name
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    import tarfile
+
+    sdist_name = f"{_NAME}-{_VERSION}.tar.gz"
+    sdist_path = os.path.join(sdist_directory, sdist_name)
+    base = f"{_NAME}-{_VERSION}"
+    with tarfile.open(sdist_path, "w:gz") as archive:
+        for entry in ("pyproject.toml", "README.md", "_repro_build.py", "src"):
+            full_path = os.path.join(_ROOT, entry)
+            if os.path.exists(full_path):
+                archive.add(full_path, arcname=f"{base}/{entry}")
+    return sdist_name
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _metadata_text() -> str:
+    return (
+        "Metadata-Version: 2.1\n"
+        f"Name: {_NAME}\n"
+        f"Version: {_VERSION}\n"
+        f"Summary: {_SUMMARY}\n"
+        "Requires-Python: >=3.10\n"
+        "Requires-Dist: numpy>=1.24\n"
+        "Requires-Dist: scipy>=1.10\n"
+    )
+
+
+def _wheel_text() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        "Generator: repro-build 0.1\n"
+        "Root-Is-Purelib: true\n"
+        f"Tag: {_TAG}\n"
+    )
+
+
+def _record_entry(arcname: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=").decode()
+    return f"{arcname},sha256={digest},{len(data)}"
+
+
+def _dist_info_name() -> str:
+    return f"{_NAME}-{_VERSION}.dist-info"
+
+
+def _add_dist_info(archive: zipfile.ZipFile, records: list[str]) -> None:
+    dist_info = _dist_info_name()
+    metadata = _metadata_text().encode()
+    wheel_meta = _wheel_text().encode()
+    archive.writestr(f"{dist_info}/METADATA", metadata)
+    records.append(_record_entry(f"{dist_info}/METADATA", metadata))
+    archive.writestr(f"{dist_info}/WHEEL", wheel_meta)
+    records.append(_record_entry(f"{dist_info}/WHEEL", wheel_meta))
+    records.append(f"{dist_info}/RECORD,,")
+    archive.writestr(f"{dist_info}/RECORD", "\n".join(records) + "\n")
+
+
+def _write_dist_info(metadata_directory: str) -> str:
+    dist_info = _dist_info_name()
+    target = os.path.join(metadata_directory, dist_info)
+    os.makedirs(target, exist_ok=True)
+    with open(os.path.join(target, "METADATA"), "w", encoding="utf-8") as handle:
+        handle.write(_metadata_text())
+    with open(os.path.join(target, "WHEEL"), "w", encoding="utf-8") as handle:
+        handle.write(_wheel_text())
+    return dist_info

@@ -1,0 +1,30 @@
+"""Ablation A1 -- variational head vs deterministic forecasting score.
+
+The paper's central design argument (Section 3.1): a compact deterministic
+forecaster does not produce usable anomaly scores, which is what motivates
+the probabilistic head whose variance becomes the score.  This benchmark
+trains the same backbone once and compares the two scoring rules.
+"""
+
+from repro.eval import run_variational_ablation
+
+
+def test_ablation_variational_vs_deterministic(benchmark, benchmark_dataset):
+    def run():
+        return run_variational_ablation(
+            benchmark_dataset, window=32, feature_maps=16, epochs=12,
+            max_windows=800, seed=0,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Ablation A1 -- scoring rule (same trained backbone)")
+    for result in results:
+        print(f"  {result.label:<38} AUC-ROC = {result.auc_roc:.3f} "
+              f"({result.parameters:,} parameters, {result.train_time_s:.1f} s train)")
+
+    by_label = {r.label: r.auc_roc for r in results}
+    variational = next(v for k, v in by_label.items() if "variational" in k)
+    deterministic = next(v for k, v in by_label.items() if "deterministic" in k)
+    assert 0.0 <= variational <= 1.0 and 0.0 <= deterministic <= 1.0

@@ -1,0 +1,42 @@
+"""Ablation A2 -- context window / depth coupling and KL weight sweep.
+
+The number of convolutional layers is tied to the window (N = log2 T - 1)
+and the KL weight calibrates the variance head; this benchmark sweeps both
+and reports AUC-ROC and model size for each configuration.
+"""
+
+from repro.eval import run_kl_weight_sweep, run_window_sweep
+
+
+def test_ablation_window_sweep(benchmark, benchmark_dataset):
+    def run():
+        return run_window_sweep(benchmark_dataset, windows=(16, 32, 64), feature_maps=16,
+                                epochs=10, max_windows=600, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Ablation A2a -- context window (and network depth)")
+    for result in results:
+        print(f"  {result.label:<28} AUC-ROC = {result.auc_roc:.3f} "
+              f"({result.parameters:,} parameters)")
+    assert len(results) == 3
+    # Deeper/wider windows mean more parameters.
+    params = [r.parameters for r in results]
+    assert params == sorted(params)
+
+
+def test_ablation_kl_weight_sweep(benchmark, benchmark_dataset):
+    def run():
+        return run_kl_weight_sweep(benchmark_dataset, kl_weights=(0.0, 0.1, 1.0), window=32,
+                                   feature_maps=16, epochs=10, max_windows=600, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Ablation A2b -- KL weight (lambda in Eq. 7)")
+    for result in results:
+        print(f"  {result.label:<28} AUC-ROC = {result.auc_roc:.3f}")
+    assert len(results) == 3
+    for result in results:
+        assert 0.0 <= result.auc_roc <= 1.0

@@ -1,0 +1,50 @@
+"""Experiment E2 -- paper Figure 1: the VARADE architecture.
+
+Regenerates the architecture description at the paper's full scale
+(T = 512, feature maps 128 -> 1024): the per-layer table with the
+time-dimension halving, parameter and FLOP counts, and the memory-traffic
+figures the paper's inference-speed argument is based on.  The benchmark
+times a full-scale forward pass on the host CPU.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import VaradeConfig
+from repro.core.varade import VaradeNetwork
+
+
+def test_fig1_architecture_summary(benchmark):
+    config = VaradeConfig.paper(n_channels=86)
+    network = VaradeNetwork(config, rng=np.random.default_rng(0))
+
+    def profile():
+        return nn.profile_model(network, (config.n_channels, config.window))
+
+    profile = benchmark(profile)
+
+    print()
+    print("Figure 1 -- VARADE architecture (paper scale, T=512, 86 channels)")
+    for line in network.layer_summary():
+        print("  " + line)
+    print(f"  layers: {config.n_layers}, feature maps: {config.feature_map_schedule()}")
+    print(f"  parameters: {profile.total_parameters:,}")
+    print(f"  MFLOPs per inference: {profile.total_flops / 1e6:.1f}")
+    print(f"  parameter bytes: {profile.parameter_bytes / 1e6:.1f} MB, "
+          f"activation bytes: {profile.total_activation_bytes / 1e6:.3f} MB")
+
+    assert config.n_layers == 8
+    assert config.feature_map_schedule()[-1] == 1024
+    # Stride-2 convolutions keep activations tiny relative to the weights --
+    # the memory-bandwidth argument of Section 3.1.
+    assert profile.total_activation_bytes < 0.1 * profile.parameter_bytes
+
+
+def test_fig1_forward_pass_paper_scale(benchmark):
+    config = VaradeConfig.paper(n_channels=86)
+    network = VaradeNetwork(config, rng=np.random.default_rng(0))
+    window = np.random.default_rng(1).normal(size=(1, config.window, config.n_channels))
+
+    mean, log_var = benchmark(network.predict_distribution, window)
+    assert mean.shape == (1, 86)
+    assert log_var.shape == (1, 86)

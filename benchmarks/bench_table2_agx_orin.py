@@ -1,0 +1,41 @@
+"""Experiment E4 -- paper Table 2, Jetson AGX Orin rows.
+
+Same protocol as the Xavier NX benchmark on the Orin device model; the paper
+observes that every detector roughly doubles its inference frequency while
+the ranking stays the same.
+"""
+
+from repro.eval import PAPER_TABLE2, format_comparison, format_table2
+
+DEVICE = "Jetson AGX Orin"
+
+
+def test_table2_jetson_agx_orin(benchmark, experiment_result):
+    result = experiment_result
+
+    def build_rows():
+        return result.table2_rows(DEVICE)
+
+    rows = benchmark(build_rows)
+
+    print()
+    print(format_table2(rows, title=f"Table 2 (reproduced) -- {DEVICE}"))
+    print()
+    measured_hz = {e.name: e.edge[DEVICE].inference_frequency_hz for e in result.evaluations}
+    paper = PAPER_TABLE2[DEVICE]
+    print(format_comparison(measured_hz, {k: v["inference_hz"] for k, v in paper.items()},
+                            "Hz", title=f"paper vs reproduction -- inference frequency ({DEVICE})"))
+
+    hz = {row["model"]: row["inference_hz"] for row in rows if row["model"] != "Idle"}
+    assert max(hz, key=hz.get) == "GBRF"
+    assert sorted(hz, key=hz.get, reverse=True)[1] == "VARADE"
+
+    # Orin speeds everything up relative to the Xavier NX (paper: roughly 2x).
+    xavier_hz = {e.name: e.edge["Jetson Xavier NX"].inference_frequency_hz
+                 for e in result.evaluations}
+    for name, orin_value in hz.items():
+        assert orin_value > xavier_hz[name], name
+
+    # kNN is the power-hungriest CPU-bound detector on the Orin in the paper.
+    power = {row["model"]: row["power_w"] for row in rows if row["model"] != "Idle"}
+    assert power["kNN"] == max(power.values())

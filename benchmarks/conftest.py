@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's tables and figures.  Training all six
+detectors takes a couple of minutes in pure numpy, so the full experiment is
+run once per session and shared by every table/figure benchmark.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the recording
+  durations, letting a longer run get closer to the paper's statistics.
+"""
+
+import os
+
+import pytest
+
+from repro.data import DatasetConfig, build_benchmark_dataset
+from repro.eval import ExperimentConfig, run_full_experiment
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture(scope="session")
+def benchmark_dataset():
+    scale = _scale()
+    config = DatasetConfig(
+        train_duration_s=90.0 * scale,
+        test_duration_s=60.0 * scale,
+        n_collisions=max(int(20 * scale), 5),
+        sample_rate=50.0,
+        num_actions=30,
+        seed=0,
+    )
+    return build_benchmark_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def experiment_result(benchmark_dataset):
+    """The full Table-2 / Figure-3 experiment, shared across benchmarks."""
+    config = ExperimentConfig(
+        window=32,
+        neural_epochs=4,
+        max_train_windows=600,
+        varade_feature_maps=16,
+        sensor_rate_hz=200.0,
+        seed=0,
+    )
+    return run_full_experiment(config, dataset=benchmark_dataset)

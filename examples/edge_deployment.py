@@ -1,0 +1,56 @@
+"""Edge deployment study: estimate Table-2 style metrics on both Jetson boards.
+
+Takes the paper-scale configuration of every detector (T = 512 window,
+128-1024 feature maps, 5x256 LSTM, 6 ResNet blocks, 30 boosted trees, kNN
+over the full training set, 100 isolation trees), derives their
+per-inference cost profiles, and runs them through the analytical edge
+device models to produce the deployment metrics of Table 2, plus a
+jetson-stats style monitoring trace for VARADE.
+
+Run with:  python examples/edge_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edge import BoardMonitor, EdgeEstimator, JETSON_AGX_ORIN, JETSON_XAVIER_NX
+from repro.eval import paper_scale_costs
+from repro.eval.reporting import PAPER_TABLE2, format_table2
+
+
+def main() -> None:
+    costs = paper_scale_costs(n_channels=86)
+
+    for device in (JETSON_XAVIER_NX, JETSON_AGX_ORIN):
+        estimator = EdgeEstimator(device)
+        print(device.describe())
+        rows = [{
+            "board": device.name, "model": "Idle",
+            "cpu_percent": device.idle_cpu_percent, "gpu_percent": device.idle_gpu_percent,
+            "ram_mb": device.idle_ram_mb, "gpu_ram_mb": device.idle_gpu_ram_mb,
+            "power_w": device.idle_power_w, "auc_roc": None, "inference_hz": None,
+        }]
+        for name, cost in costs.items():
+            metrics = estimator.estimate(cost, name, max_rate_hz=200.0)
+            row = metrics.as_row()
+            row["auc_roc"] = PAPER_TABLE2[device.name][name]["auc_roc"]
+            rows.append(row)
+        print(format_table2(rows))
+        print()
+
+    # Monitor the board (jetson-stats substitute) while VARADE streams.
+    xavier = EdgeEstimator(JETSON_XAVIER_NX)
+    operating_point = xavier.estimate(costs["VARADE"], "VARADE", max_rate_hz=200.0)
+    monitor = BoardMonitor(JETSON_XAVIER_NX, poll_rate_hz=1.0, rng=np.random.default_rng(0))
+    idle = monitor.observe_idle(duration_s=360.0).mean()
+    run = monitor.observe_run(operating_point, duration_s=120.0).mean()
+    print("VARADE on the Xavier NX -- monitored means (idle -> running):")
+    for key in ("power_w", "cpu_percent", "gpu_percent", "ram_mb", "gpu_ram_mb"):
+        print(f"  {key:<12} {idle[key]:10.2f} -> {run[key]:10.2f}")
+    print(f"  estimated inference frequency: {operating_point.inference_frequency_hz:.1f} Hz "
+          f"(paper: {PAPER_TABLE2['Jetson Xavier NX']['VARADE']['inference_hz']:.1f} Hz)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: train VARADE on the simulated robot cell and detect collisions.
+
+Generates a short normal recording and a collision experiment, trains the
+VARADE detector on the normal data, scores the collision stream and reports
+AUC-ROC plus a calibrated alarm threshold.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ThresholdCalibrator, TrainingConfig, VaradeConfig, VaradeDetector
+from repro.data import DatasetConfig, build_benchmark_dataset
+from repro.eval import roc_auc_score
+
+
+def main() -> None:
+    # 1. Build the benchmark dataset: a normal (training) recording and a
+    #    collision experiment, both normalised to [-1, 1] per channel.
+    dataset = build_benchmark_dataset(DatasetConfig(
+        train_duration_s=60.0,
+        test_duration_s=45.0,
+        n_collisions=12,
+        sample_rate=50.0,
+        seed=0,
+    ))
+    print(f"dataset: {dataset.summary()}")
+
+    # 2. Configure VARADE.  The paper's full configuration is
+    #    VaradeConfig.paper(); here we use a CPU-friendly scaled version.
+    config = VaradeConfig(
+        n_channels=dataset.n_channels,
+        window=32,
+        base_feature_maps=16,
+        kl_weight=0.1,
+    )
+    training = TrainingConfig(
+        learning_rate=3e-3,
+        epochs=16,
+        mean_warmup_epochs=4,
+        variance_finetune_epochs=12,
+        max_train_windows=1200,
+        seed=0,
+    )
+    detector = VaradeDetector(config, training)
+    print(f"VARADE: {config.n_layers} conv layers, "
+          f"{detector.network.num_parameters():,} parameters")
+
+    # 3. Train on normal data only (no anomaly labels are ever used).
+    detector.fit(dataset.train)
+    print(f"trained in {detector.history.wall_time_s:.1f} s, "
+          f"final loss {detector.history.final_loss:.3f}")
+
+    # 4. Score the collision experiment: the predicted variance is the score.
+    result = detector.score_stream(dataset.test)
+    scores, labels = result.aligned(dataset.test_labels)
+    auc = roc_auc_score(scores, labels)
+    print(f"AUC-ROC on the collision experiment: {auc:.3f}")
+
+    # 5. Calibrate an operating threshold on normal scores and count alarms.
+    normal_scores = detector.score_stream(dataset.train).valid_scores()
+    threshold = ThresholdCalibrator(method="quantile", quantile=0.995).calibrate(normal_scores)
+    alarms = threshold.classify(scores)
+    detected_events = int(np.sum(alarms[labels == 1]))
+    false_alarms = int(np.sum(alarms[labels == 0]))
+    print(f"threshold={threshold.threshold:.4f}: "
+          f"{detected_events} anomalous samples flagged, {false_alarms} false alarms "
+          f"over {int((labels == 0).sum())} normal samples")
+
+
+if __name__ == "__main__":
+    main()

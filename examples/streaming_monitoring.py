@@ -1,0 +1,72 @@
+"""Real-time streaming monitoring of the robot cell.
+
+Mimics the paper's deployment loop ("continuously reads data from the
+sensors, prepares the data, and calls the inference function"): a VARADE
+detector trained on normal operation watches a replayed collision
+experiment sample by sample, raises alarms against a calibrated threshold,
+and reports per-event detection latency -- the quantity that matters for
+the paper's stated goal of reacting to hazardous situations in real time.
+
+Run with:  python examples/streaming_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ThresholdCalibrator, TrainingConfig, VaradeConfig, VaradeDetector
+from repro.data import DatasetConfig, StreamReader, build_benchmark_dataset
+from repro.edge import StreamingRuntime
+
+
+def main() -> None:
+    dataset = build_benchmark_dataset(DatasetConfig(
+        train_duration_s=75.0,
+        test_duration_s=50.0,
+        n_collisions=10,
+        sample_rate=50.0,
+        seed=3,
+    ))
+    print(f"dataset: {dataset.summary()}")
+
+    config = VaradeConfig(n_channels=dataset.n_channels, window=32, base_feature_maps=16)
+    training = TrainingConfig(epochs=14, mean_warmup_epochs=4, variance_finetune_epochs=12,
+                              learning_rate=3e-3, max_train_windows=1000, seed=0)
+    detector = VaradeDetector(config, training).fit(dataset.train)
+
+    normal_scores = detector.score_stream(dataset.train).valid_scores()
+    threshold = ThresholdCalibrator(method="quantile", quantile=0.997).calibrate(normal_scores)
+    print(f"calibrated alarm threshold: {threshold.threshold:.4f} "
+          f"({threshold.method}, {threshold.parameter})")
+
+    reader = StreamReader(dataset.test, labels=dataset.test_labels,
+                          sample_rate=dataset.config.sample_rate)
+    runtime = StreamingRuntime(detector, threshold=threshold)
+    result = runtime.run(reader)
+
+    print(f"streamed {reader.n_samples} samples, scored {result.samples_scored}, "
+          f"host inference rate {result.host_inference_hz:.1f} Hz "
+          f"(mean latency {result.mean_latency_s * 1e3:.2f} ms)")
+
+    # Per-event detection latency: time from collision onset to first alarm.
+    sample_period = 1.0 / dataset.config.sample_rate
+    detected, missed = 0, 0
+    latencies = []
+    for event in dataset.test_recording.events:
+        window = slice(event.start_index, event.end_index + int(0.5 / sample_period))
+        alarm_indices = np.nonzero(result.alarms[window])[0]
+        if alarm_indices.size:
+            detected += 1
+            latencies.append(alarm_indices[0] * sample_period)
+        else:
+            missed += 1
+    false_alarms = int(result.alarms[(dataset.test_labels == 0)].sum())
+    print(f"collisions detected: {detected}/{detected + missed}, "
+          f"false alarm samples: {false_alarms}")
+    if latencies:
+        print(f"median detection latency: {np.median(latencies) * 1e3:.0f} ms "
+              f"(max {np.max(latencies) * 1e3:.0f} ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of VARADE (Mascolini et al., DAC 2024).
+
+``repro`` packages everything the paper's study needs, implemented from
+scratch on top of numpy:
+
+* :mod:`repro.core` -- the VARADE detector (variational autoregressive
+  forecaster whose predicted variance is the anomaly score);
+* :mod:`repro.baselines` -- AR-LSTM, GBRF, convolutional auto-encoder, kNN
+  and Isolation Forest;
+* :mod:`repro.nn`, :mod:`repro.trees`, :mod:`repro.neighbors` -- the learning
+  substrates (autograd NN framework, CART/boosting/isolation forest, kNN);
+* :mod:`repro.robot` -- the simulated KUKA robot cell (kinematics, actions,
+  IMU and power-meter models, collision injection);
+* :mod:`repro.data` -- schema, normalisation, windowing, train/test builders;
+* :mod:`repro.edge` -- Jetson device models, metric estimation, streaming
+  runtime;
+* :mod:`repro.eval` -- AUC-ROC and friends, the Table-2 / Figure-3 experiment
+  harness, ablations and reporting.
+"""
+
+from . import baselines, core, data, edge, eval, neighbors, nn, robot, trees
+from .core import TrainingConfig, VaradeConfig, VaradeDetector
+from .data import DatasetConfig, build_benchmark_dataset
+from .eval import ExperimentConfig, run_full_experiment
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "data",
+    "edge",
+    "eval",
+    "neighbors",
+    "nn",
+    "robot",
+    "trees",
+    "TrainingConfig",
+    "VaradeConfig",
+    "VaradeDetector",
+    "DatasetConfig",
+    "build_benchmark_dataset",
+    "ExperimentConfig",
+    "run_full_experiment",
+    "__version__",
+]

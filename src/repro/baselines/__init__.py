@@ -1,0 +1,26 @@
+"""Baseline anomaly detectors benchmarked against VARADE in the paper:
+AR-LSTM, GBRF, convolutional auto-encoder, kNN and Isolation Forest.
+"""
+
+from .ar_lstm import ARLSTMConfig, ARLSTMDetector
+from .autoencoder import AutoencoderConfig, AutoencoderDetector
+from .gbrf import GBRFConfig, GBRFDetector
+from .isolation_forest import IsolationForestConfig, IsolationForestDetector
+from .knn import KNNConfig, KNNDetector
+from .registry import DETECTOR_NAMES, DetectorRegistry, DetectorSpec
+
+__all__ = [
+    "ARLSTMConfig",
+    "ARLSTMDetector",
+    "AutoencoderConfig",
+    "AutoencoderDetector",
+    "GBRFConfig",
+    "GBRFDetector",
+    "IsolationForestConfig",
+    "IsolationForestDetector",
+    "KNNConfig",
+    "KNNDetector",
+    "DETECTOR_NAMES",
+    "DetectorRegistry",
+    "DetectorSpec",
+]

@@ -1,0 +1,23 @@
+"""VARADE: the paper's primary contribution.
+
+A light variational autoregressive forecaster whose predicted variance is the
+anomaly score, plus the shared anomaly-detector API, training configuration
+and threshold calibration utilities.
+"""
+
+from .calibration import CalibratedThreshold, ThresholdCalibrator
+from .config import TrainingConfig, VaradeConfig
+from .detector import AnomalyDetector, InferenceCost, ScoreResult, VaradeDetector
+from .varade import VaradeNetwork
+
+__all__ = [
+    "CalibratedThreshold",
+    "ThresholdCalibrator",
+    "TrainingConfig",
+    "VaradeConfig",
+    "AnomalyDetector",
+    "InferenceCost",
+    "ScoreResult",
+    "VaradeDetector",
+    "VaradeNetwork",
+]

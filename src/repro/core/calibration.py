@@ -1,0 +1,63 @@
+"""Anomaly-score threshold calibration.
+
+AUC-ROC (the paper's accuracy metric) is threshold-free, but deploying a
+detector in the manufacturing control loop -- the paper's stated future work
+-- requires an operating threshold.  This module selects thresholds from the
+score distribution on normal (training) data, either by quantile (matching
+the Isolation Forest contamination convention) or by a robust
+median-absolute-deviation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+__all__ = ["ThresholdCalibrator", "CalibratedThreshold"]
+
+
+@dataclass(frozen=True)
+class CalibratedThreshold:
+    """A calibrated decision threshold plus how it was obtained."""
+
+    threshold: float
+    method: str
+    parameter: float
+
+    def classify(self, scores: np.ndarray) -> np.ndarray:
+        """Return 1 where the score exceeds the threshold, else 0."""
+        return (np.asarray(scores) > self.threshold).astype(np.int64)
+
+
+class ThresholdCalibrator:
+    """Choose a decision threshold from scores measured on normal data."""
+
+    def __init__(self, method: Literal["quantile", "mad"] = "quantile",
+                 quantile: float = 0.99, mad_factor: float = 6.0) -> None:
+        if method not in ("quantile", "mad"):
+            raise ValueError("method must be 'quantile' or 'mad'")
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if mad_factor <= 0:
+            raise ValueError("mad_factor must be positive")
+        self.method = method
+        self.quantile = quantile
+        self.mad_factor = mad_factor
+
+    def calibrate(self, normal_scores: np.ndarray) -> CalibratedThreshold:
+        """Compute the threshold from anomaly scores of normal data."""
+        scores = np.asarray(normal_scores, dtype=np.float64)
+        scores = scores[np.isfinite(scores)]
+        if scores.size == 0:
+            raise ValueError("no finite scores to calibrate on")
+        if self.method == "quantile":
+            threshold = float(np.quantile(scores, self.quantile))
+            parameter = self.quantile
+        else:
+            median = float(np.median(scores))
+            mad = float(np.median(np.abs(scores - median)))
+            threshold = median + self.mad_factor * max(mad, 1e-12)
+            parameter = self.mad_factor
+        return CalibratedThreshold(threshold=threshold, method=self.method, parameter=parameter)

@@ -1,0 +1,308 @@
+"""Common anomaly-detector API and the VARADE detector.
+
+Every detector in the study (VARADE and the five baselines) implements the
+same contract so the evaluation harness and the edge runtime can treat them
+uniformly:
+
+* :meth:`AnomalyDetector.fit` trains on a normalised, anomaly-free stream;
+* :meth:`AnomalyDetector.score_stream` scores a whole test stream and returns
+  per-sample anomaly scores aligned with the stream indices;
+* :meth:`AnomalyDetector.score_window` scores a single rolling context window
+  (the streaming path used by the edge runtime);
+* :meth:`AnomalyDetector.inference_cost` reports the per-inference compute and
+  memory-traffic profile consumed by the edge device model.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.windowing import WindowDataset
+from .config import TrainingConfig, VaradeConfig
+from .varade import VaradeNetwork
+
+__all__ = ["InferenceCost", "ScoreResult", "AnomalyDetector", "VaradeDetector"]
+
+
+@dataclass(frozen=True)
+class InferenceCost:
+    """Per-inference cost profile used by the edge device model.
+
+    ``flops`` counts multiply-accumulate-style floating point operations for a
+    single inference (one new sample scored), ``parameter_bytes`` the model
+    state that must be read, ``activation_bytes`` the intermediate values
+    written, ``gpu_fraction`` the share of the work that benefits from the GPU
+    (0 = pure CPU algorithm), ``parallel_efficiency`` how well the algorithm
+    saturates wide SIMD/CUDA execution (matrix products parallelise well;
+    sequential tree or time-step traversals do not), ``per_call_overhead_s``
+    fixed per-inference work outside the kernels (pre/post-processing), and
+    ``n_kernel_launches`` the number of separate framework operations
+    dispatched per inference -- on edge devices running small models, the
+    per-launch overhead usually dominates the raw arithmetic.
+    """
+
+    flops: float
+    parameter_bytes: float
+    activation_bytes: float
+    gpu_fraction: float = 1.0
+    parallel_efficiency: float = 1.0
+    per_call_overhead_s: float = 0.0
+    n_kernel_launches: float = 1.0
+    #: bytes of weights actually read per inference; defaults to
+    #: ``parameter_bytes`` but is larger for models (LSTMs) that re-read their
+    #: weights at every time step.
+    weight_traffic_bytes: Optional[float] = None
+
+    @property
+    def memory_traffic_bytes(self) -> float:
+        weights = self.parameter_bytes if self.weight_traffic_bytes is None \
+            else self.weight_traffic_bytes
+        return weights + self.activation_bytes
+
+
+@dataclass
+class ScoreResult:
+    """Anomaly scores aligned with the samples of a test stream."""
+
+    scores: np.ndarray       # (n_samples,) np.nan where no score is available
+    valid_mask: np.ndarray   # (n_samples,) bool
+    window: int              # context length consumed before the first score
+
+    def valid_scores(self) -> np.ndarray:
+        return self.scores[self.valid_mask]
+
+    def aligned(self, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (scores, labels) restricted to the scored samples."""
+        labels = np.asarray(labels)
+        if labels.shape[0] != self.scores.shape[0]:
+            raise ValueError("labels length must match the scored stream length")
+        return self.scores[self.valid_mask], labels[self.valid_mask]
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trace recorded during :meth:`AnomalyDetector.fit`."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.epoch_losses[-1] if self.epoch_losses else None
+
+
+class AnomalyDetector(abc.ABC):
+    """Abstract base class shared by VARADE and every baseline."""
+
+    #: human-readable name used in tables and figures
+    name: str = "detector"
+
+    #: how scores are aligned with the stream.  Forecasting-error detectors
+    #: (AR-LSTM, GBRF) score the *next* observation against their prediction,
+    #: so a sample's score uses the window that precedes it.  Detectors that
+    #: score the state of the window itself (VARADE's uncertainty, the AE's
+    #: reconstruction error) assign the score to the *last* sample of the
+    #: window, so an anomalous sample influences its own score.
+    scores_current_sample: bool = False
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self.history = TrainingHistory()
+        self._fitted = False
+
+    # -- training ------------------------------------------------------- #
+    @abc.abstractmethod
+    def fit(self, train_data: np.ndarray) -> "AnomalyDetector":
+        """Train on a normalised, anomaly-free stream of shape (T, channels)."""
+
+    # -- scoring -------------------------------------------------------- #
+    @abc.abstractmethod
+    def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
+        """Score one step: ``window`` is (window, channels), ``target`` (channels,)."""
+
+    def score_stream(self, test_data: np.ndarray, batch_size: int = 256) -> ScoreResult:
+        """Score every sample of a stream that has at least ``window`` history.
+
+        The default implementation loops over :meth:`score_window`; detectors
+        with efficient batched inference override :meth:`_score_batch`.
+        """
+        test_data = np.asarray(test_data, dtype=np.float64)
+        self._check_fitted()
+        n_samples = test_data.shape[0]
+        scores = np.full(n_samples, np.nan)
+        valid = np.zeros(n_samples, dtype=bool)
+        if n_samples <= self.window:
+            return ScoreResult(scores=scores, valid_mask=valid, window=self.window)
+
+        if self.scores_current_sample:
+            from ..data.windowing import sliding_windows
+
+            contexts = sliding_windows(test_data, self.window, stride=1)
+            target_indices = np.arange(self.window - 1, n_samples)
+            dataset = WindowDataset(contexts=contexts,
+                                    targets=test_data[target_indices],
+                                    target_indices=target_indices)
+        else:
+            dataset = WindowDataset.from_stream(test_data, self.window, horizon=1, stride=1)
+        batch_scores = self._score_batch(dataset, batch_size=batch_size)
+        scores[dataset.target_indices] = batch_scores
+        valid[dataset.target_indices] = True
+        return ScoreResult(scores=scores, valid_mask=valid, window=self.window)
+
+    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
+        """Default batched scoring built on :meth:`score_window`."""
+        output = np.empty(len(dataset))
+        for index in range(len(dataset)):
+            output[index] = self.score_window(dataset.contexts[index], dataset.targets[index])
+        return output
+
+    # -- cost ----------------------------------------------------------- #
+    @abc.abstractmethod
+    def inference_cost(self) -> InferenceCost:
+        """Per-inference compute/memory profile for the edge device model."""
+
+    # -- helpers -------------------------------------------------------- #
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: score called before fit()")
+
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+
+class VaradeDetector(AnomalyDetector):
+    """VARADE: variational autoregressive anomaly detection (the paper's method).
+
+    The detector trains the :class:`VaradeNetwork` on normal data with the
+    negative-ELBO objective (Gaussian NLL + weighted KL) and, at inference,
+    uses the predicted variance -- the model's own uncertainty -- as the
+    anomaly score.  The mean prediction is discarded at inference time, as in
+    the paper.
+    """
+
+    name = "VARADE"
+    scores_current_sample = True
+
+    def __init__(self, config: VaradeConfig,
+                 training: Optional[TrainingConfig] = None) -> None:
+        super().__init__(window=config.window)
+        self.config = config
+        self.training = training if training is not None else TrainingConfig()
+        self._rng = np.random.default_rng(self.training.seed)
+        self.network = VaradeNetwork(config, rng=self._rng)
+        self.optimizer: Optional[nn.Adam] = None
+
+    # -- training ------------------------------------------------------- #
+    def fit(self, train_data: np.ndarray) -> "VaradeDetector":
+        train_data = np.asarray(train_data, dtype=np.float64)
+        if train_data.ndim != 2 or train_data.shape[1] != self.config.n_channels:
+            raise ValueError(
+                f"expected training data of shape (T, {self.config.n_channels})"
+            )
+        start = time.perf_counter()
+        dataset = WindowDataset.from_stream(
+            train_data, self.config.window, horizon=1, stride=self.training.window_stride
+        ).subsample(self.training.max_train_windows, rng=self._rng)
+
+        self.optimizer = nn.Adam(self.network.parameters(), lr=self.training.learning_rate)
+        self.network.train()
+        for epoch in range(self.training.epochs):
+            warmup = epoch < self.training.mean_warmup_epochs
+            epoch_losses: List[float] = []
+            for contexts, targets in dataset.batches(self.training.batch_size,
+                                                     shuffle=True, rng=self._rng):
+                inputs = nn.Tensor(np.transpose(contexts, (0, 2, 1)))
+                target_tensor = nn.Tensor(targets)
+                mean, log_var = self.network(inputs)
+                if warmup:
+                    # Fit the mean first; the variance head keeps its neutral
+                    # initialisation until the forecasts are sensible.
+                    loss = nn.mse_loss(mean, target_tensor)
+                else:
+                    loss = nn.elbo_loss(target_tensor, mean, log_var,
+                                        kl_weight=self.config.kl_weight)
+                self.optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(self.network.parameters(), self.training.gradient_clip)
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+            self.history.epoch_losses.append(float(np.mean(epoch_losses)))
+
+        # Variance calibration: with the forecaster frozen, fit the
+        # log-variance head alone under the full ELBO so the predicted
+        # variance tracks the context-dependent uncertainty (the anomaly
+        # score the paper relies on).
+        if self.training.variance_finetune_epochs > 0:
+            head = self.network.head_log_var
+            var_optimizer = nn.Adam([head.weight, head.bias],
+                                    lr=self.training.variance_finetune_lr)
+            for _ in range(self.training.variance_finetune_epochs):
+                epoch_losses = []
+                for contexts, targets in dataset.batches(self.training.batch_size,
+                                                         shuffle=True, rng=self._rng):
+                    inputs = nn.Tensor(np.transpose(contexts, (0, 2, 1)))
+                    target_tensor = nn.Tensor(targets)
+                    mean, log_var = self.network(inputs)
+                    loss = nn.elbo_loss(target_tensor, mean.detach(), log_var,
+                                        kl_weight=self.config.kl_weight)
+                    var_optimizer.zero_grad()
+                    loss.backward()
+                    var_optimizer.step()
+                    epoch_losses.append(loss.item())
+                self.history.epoch_losses.append(float(np.mean(epoch_losses)))
+
+        self.network.eval()
+        self.history.wall_time_s = time.perf_counter() - start
+        self._mark_fitted()
+        return self
+
+    # -- scoring -------------------------------------------------------- #
+    def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
+        """Anomaly score of one step: the mean predicted variance.
+
+        The ``target`` argument is part of the common detector API but is not
+        used: VARADE scores from its own uncertainty, before the next sample
+        is even observed.
+        """
+        self._check_fitted()
+        _, log_var = self.network.predict_distribution(window[None, ...])
+        return float(np.exp(log_var).mean())
+
+    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
+        output = np.empty(len(dataset))
+        for start in range(0, len(dataset), batch_size):
+            stop = min(start + batch_size, len(dataset))
+            _, log_var = self.network.predict_distribution(dataset.contexts[start:stop])
+            output[start:stop] = np.exp(log_var).mean(axis=1)
+        return output
+
+    def forecast(self, window: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (mean, variance) of the next-sample distribution for one window."""
+        self._check_fitted()
+        mean, log_var = self.network.predict_distribution(window[None, ...])
+        return mean[0], np.exp(log_var)[0]
+
+    # -- cost ----------------------------------------------------------- #
+    def inference_cost(self) -> InferenceCost:
+        profile = nn.profile_model(
+            self.network, (self.config.n_channels, self.config.window)
+        )
+        # One convolution + one activation per layer, plus the two linear heads
+        # and the flatten/clip bookkeeping.
+        launches = 2.0 * self.config.n_layers + 4.0
+        return InferenceCost(
+            flops=float(profile.total_flops),
+            parameter_bytes=float(profile.parameter_bytes),
+            activation_bytes=float(profile.total_activation_bytes),
+            gpu_fraction=0.95,
+            parallel_efficiency=0.85,
+            n_kernel_launches=launches,
+        )

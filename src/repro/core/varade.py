@@ -1,0 +1,138 @@
+"""The VARADE network (paper Figure 1).
+
+The model is a causal stack of 1-D convolutions over the context window: the
+current and past samples ``t_0, t_-1, ..., t_-T`` enter as a
+``(batch, channels, window)`` tensor; every convolution has kernel size 2 and
+stride 2 so the time dimension halves at each layer, while the number of
+feature maps doubles every two layers.  After ``log2(T)`` layers the time
+dimension is 1; a final linear projection produces the mean and
+log-variance of the Gaussian distribution over the next sample ``t_1``.
+
+The predicted variance is the anomaly score: the KL regulariser pushes the
+model to report high variance whenever it is uncertain, which is exactly
+what happens during an anomaly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .. import nn
+from .config import VaradeConfig
+
+__all__ = ["VaradeNetwork"]
+
+
+class VaradeNetwork(nn.Module):
+    """Variational autoregressive convolutional forecaster."""
+
+    def __init__(self, config: VaradeConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.config = config
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        feature_maps = config.feature_map_schedule()
+        layers: List[nn.Module] = []
+        in_channels = config.n_channels
+        for out_channels in feature_maps:
+            layers.append(nn.Conv1d(in_channels, out_channels, kernel_size=2, stride=2, rng=rng))
+            layers.append(nn.ReLU())
+            in_channels = out_channels
+        self.backbone = nn.Sequential(*layers)
+        self.final_feature_maps = in_channels
+        self.final_time_steps = config.head_time_steps
+        # After the backbone two time steps remain; the flattened feature
+        # vector is projected to (mean, log_var) for every channel.
+        head_inputs = in_channels * self.final_time_steps
+        self.head_mean = nn.Linear(head_inputs, config.n_channels, rng=rng)
+        self.head_log_var = nn.Linear(head_inputs, config.n_channels, rng=rng)
+        # Neutral initialisation of the variance head: zero weights and a
+        # moderately confident bias.  The NLL objective initially pushes every
+        # log-variance down along whatever feature direction the random
+        # initial weights happen to point at, which (before convergence)
+        # inverts the uncertainty/context relationship the detector relies on;
+        # starting from a context-independent variance removes that transient
+        # so the positive relationship emerges from the data itself.
+        self.head_log_var.weight.data = np.zeros_like(self.head_log_var.weight.data)
+        self.head_log_var.bias.data = np.full_like(
+            self.head_log_var.bias.data, config.initial_log_var
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+    def forward(self, window: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
+        """Predict the distribution of the next sample.
+
+        ``window`` has shape ``(batch, channels, window)``; the result is the
+        pair ``(mean, log_var)`` each of shape ``(batch, channels)``.
+        """
+        if window.ndim != 3:
+            raise ValueError("expected input of shape (batch, channels, window)")
+        if window.shape[1] != self.config.n_channels:
+            raise ValueError(
+                f"expected {self.config.n_channels} channels, got {window.shape[1]}"
+            )
+        if window.shape[2] != self.config.window:
+            raise ValueError(
+                f"expected a window of {self.config.window} samples, got {window.shape[2]}"
+            )
+        features = self.backbone(window)
+        flat = features.reshape(
+            features.shape[0], self.final_feature_maps * self.final_time_steps
+        )
+        mean = self.head_mean(flat)
+        if self.config.predict_delta:
+            # Predict the increment over the most recent observation.
+            mean = mean + window[:, :, -1]
+        log_var = self.head_log_var(flat)
+        # Keep the log-variance in a numerically safe range.
+        log_var = log_var.clip(-10.0, 10.0)
+        return mean, log_var
+
+    def predict_distribution(self, windows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Numpy-in / numpy-out inference without building the autograd graph.
+
+        ``windows`` has shape ``(batch, window, channels)`` (stream layout);
+        it is transposed internally to channels-first.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim == 2:
+            windows = windows[None, ...]
+        with nn.no_grad():
+            inputs = nn.Tensor(np.transpose(windows, (0, 2, 1)))
+            mean, log_var = self.forward(inputs)
+        return mean.numpy(), log_var.numpy()
+
+    # ------------------------------------------------------------------ #
+    # Profiling hook (used by repro.nn.utils.profile_model)
+    # ------------------------------------------------------------------ #
+    def profile_children(self, name, input_shape, layer_profiles, profile_layer) -> None:
+        """Expand the backbone and heads for FLOP / traffic accounting."""
+        shape = profile_layer(self.backbone, f"{name}.backbone", input_shape, layer_profiles)
+        flat_shape = (shape[0] * shape[1],)
+        profile_layer(self.head_mean, f"{name}.head_mean", flat_shape, layer_profiles)
+        profile_layer(self.head_log_var, f"{name}.head_log_var", flat_shape, layer_profiles)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def layer_summary(self) -> List[str]:
+        """Textual description of the conv stack (used by the Figure-1 bench)."""
+        lines = []
+        length = self.config.window
+        in_channels = self.config.n_channels
+        for index, out_channels in enumerate(self.config.feature_map_schedule()):
+            length = length // 2
+            lines.append(
+                f"conv{index + 1}: {in_channels:>4} -> {out_channels:>4} feature maps, "
+                f"time {length * 2:>4} -> {length:>4}"
+            )
+            in_channels = out_channels
+        lines.append(
+            f"head: linear {in_channels * self.final_time_steps} -> "
+            f"2 x {self.config.n_channels} (mean, log-variance)"
+        )
+        return lines

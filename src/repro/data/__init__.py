@@ -1,0 +1,27 @@
+"""Dataset layer: channel schema, normalisation, windowing, the benchmark
+train/test builder and streaming replay of recordings.
+"""
+
+from .dataset import BenchmarkDataset, DatasetConfig, build_benchmark_dataset
+from .normalization import MinMaxScaler, StandardScaler
+from .schema import ChannelGroup, ChannelSpec, StreamSchema, build_default_schema
+from .streaming import RollingWindow, StreamReader, StreamSample
+from .windowing import WindowDataset, forecast_pairs, sliding_windows
+
+__all__ = [
+    "BenchmarkDataset",
+    "DatasetConfig",
+    "build_benchmark_dataset",
+    "MinMaxScaler",
+    "StandardScaler",
+    "ChannelGroup",
+    "ChannelSpec",
+    "StreamSchema",
+    "build_default_schema",
+    "RollingWindow",
+    "StreamReader",
+    "StreamSample",
+    "WindowDataset",
+    "forecast_pairs",
+    "sliding_windows",
+]

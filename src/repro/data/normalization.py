@@ -1,0 +1,96 @@
+"""Feature normalisation.
+
+The paper normalises every channel to [-1, 1] using the minimum and maximum
+of each sensor's training data "ensuring that all the features have equal
+importance".  :class:`MinMaxScaler` implements exactly that; a standard-score
+scaler is provided for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+class MinMaxScaler:
+    """Scale each channel linearly so the training data spans [low, high]."""
+
+    def __init__(self, feature_range: tuple[float, float] = (-1.0, 1.0)) -> None:
+        low, high = feature_range
+        if high <= low:
+            raise ValueError("feature_range must satisfy high > low")
+        self.low = low
+        self.high = high
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        """Record per-channel minima and maxima of the training data."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a 2-D array (n_samples, n_channels)")
+        if data.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty array")
+        self.data_min_ = data.min(axis=0)
+        self.data_max_ = data.max(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Apply the fitted scaling; constant channels map to the range midpoint."""
+        if self.data_min_ is None:
+            raise RuntimeError("transform() called before fit()")
+        data = np.asarray(data, dtype=np.float64)
+        span = self.data_max_ - self.data_min_
+        safe_span = np.where(span > 0, span, 1.0)
+        unit = (data - self.data_min_) / safe_span
+        unit = np.where(span > 0, unit, 0.5)
+        return self.low + unit * (self.high - self.low)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units."""
+        if self.data_min_ is None:
+            raise RuntimeError("inverse_transform() called before fit()")
+        data = np.asarray(data, dtype=np.float64)
+        unit = (data - self.low) / (self.high - self.low)
+        span = self.data_max_ - self.data_min_
+        return self.data_min_ + unit * span
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling (ablation alternative to min-max)."""
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        self.eps = eps
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a 2-D array (n_samples, n_channels)")
+        if data.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty array")
+        self.mean_ = data.mean(axis=0)
+        self.std_ = data.std(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("transform() called before fit()")
+        data = np.asarray(data, dtype=np.float64)
+        return (data - self.mean_) / np.maximum(self.std_, self.eps)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("inverse_transform() called before fit()")
+        data = np.asarray(data, dtype=np.float64)
+        return data * np.maximum(self.std_, self.eps) + self.mean_

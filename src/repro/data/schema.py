@@ -1,0 +1,137 @@
+"""Channel schema of the robot data stream (paper Table 1).
+
+The stream has 86 channels: an action-ID channel, 77 joint channels
+(7 IMUs x 11 components) and 8 power channels.  This module describes each
+channel (name, unit, description, group) and renders the schema as the table
+the paper prints, which the Table-1 benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+__all__ = ["ChannelGroup", "ChannelSpec", "StreamSchema", "build_default_schema"]
+
+
+class ChannelGroup(str, Enum):
+    """Table-1 channel groups."""
+
+    ACTION = "action"
+    JOINT = "joint"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Description of one channel."""
+
+    name: str
+    unit: str
+    description: str
+    group: ChannelGroup
+    joint_index: int = -1  # only meaningful for joint channels
+
+
+_JOINT_COMPONENTS: Tuple[Tuple[str, str, str], ...] = (
+    ("AccX", "m/s^2", "X-axis acceleration"),
+    ("AccY", "m/s^2", "Y-axis acceleration"),
+    ("AccZ", "m/s^2", "Z-axis acceleration"),
+    ("GyroX", "deg/s", "X-axis angular velocity"),
+    ("GyroY", "deg/s", "Y-axis angular velocity"),
+    ("GyroZ", "deg/s", "Z-axis angular velocity"),
+    ("q1", "-", "Quaternion orient. comp. 1"),
+    ("q2", "-", "Quaternion orient. comp. 2"),
+    ("q3", "-", "Quaternion orient. comp. 3"),
+    ("q4", "-", "Quaternion orient. comp. 4"),
+    ("temp", "degC", "Temperature"),
+)
+
+_POWER_CHANNELS: Tuple[Tuple[str, str, str], ...] = (
+    ("current", "A", "Current"),
+    ("frequency", "Hz", "Frequency"),
+    ("phase_angle", "degree", "Phase angle"),
+    ("power", "W", "Power"),
+    ("power_factor", "-", "Power factor"),
+    ("reactive_power", "VAr", "Reactive power"),
+    ("voltage", "V", "Voltage"),
+    ("import_energy", "kWh", "Imported energy"),
+)
+
+
+class StreamSchema:
+    """Ordered collection of :class:`ChannelSpec` entries."""
+
+    def __init__(self, channels: List[ChannelSpec]) -> None:
+        if not channels:
+            raise ValueError("schema must contain at least one channel")
+        self.channels = list(channels)
+        self._index: Dict[str, int] = {spec.name: i for i, spec in enumerate(self.channels)}
+        if len(self._index) != len(self.channels):
+            raise ValueError("duplicate channel names in schema")
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __iter__(self):
+        return iter(self.channels)
+
+    def index_of(self, name: str) -> int:
+        """Column index of a channel name."""
+        if name not in self._index:
+            raise KeyError(f"unknown channel {name!r}")
+        return self._index[name]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.channels)
+
+    def group_indices(self, group: ChannelGroup) -> List[int]:
+        """Column indices of all channels in ``group``."""
+        return [i for i, spec in enumerate(self.channels) if spec.group == group]
+
+    def joint_indices(self, joint: int) -> List[int]:
+        """Column indices of the 11 channels of one joint's IMU."""
+        return [i for i, spec in enumerate(self.channels)
+                if spec.group == ChannelGroup.JOINT and spec.joint_index == joint]
+
+    def counts(self) -> Dict[str, int]:
+        """Channel counts per group (used by the Table-1 benchmark)."""
+        return {
+            "action": len(self.group_indices(ChannelGroup.ACTION)),
+            "joint": len(self.group_indices(ChannelGroup.JOINT)),
+            "power": len(self.group_indices(ChannelGroup.POWER)),
+            "total": len(self),
+        }
+
+    def as_table(self) -> List[str]:
+        """Render the schema as Table-1 style text rows."""
+        lines = [f"{'Channel name':<26}{'Unit':<10}Description"]
+        lines.append("-" * 70)
+        for spec in self.channels:
+            lines.append(f"{spec.name:<26}{spec.unit:<10}{spec.description}")
+        return lines
+
+
+def build_default_schema(n_joints: int = 7) -> StreamSchema:
+    """Build the 86-channel schema used by the simulator and the paper."""
+    if n_joints < 1:
+        raise ValueError("n_joints must be at least 1")
+    channels: List[ChannelSpec] = [
+        ChannelSpec(name="action_id", unit="-", description="Robot action ID",
+                    group=ChannelGroup.ACTION)
+    ]
+    for joint in range(n_joints):
+        for suffix, unit, description in _JOINT_COMPONENTS:
+            channels.append(ChannelSpec(
+                name=f"sensor_id_{joint}_{suffix}",
+                unit=unit,
+                description=description,
+                group=ChannelGroup.JOINT,
+                joint_index=joint,
+            ))
+    for name, unit, description in _POWER_CHANNELS:
+        channels.append(ChannelSpec(name=name, unit=unit, description=description,
+                                    group=ChannelGroup.POWER))
+    return StreamSchema(channels)

@@ -1,0 +1,116 @@
+"""Streaming access to a recording.
+
+On the edge device the paper's test script "continuously reads data from the
+sensors, prepares the data by applying a preprocessing function, and calls
+the inference function".  :class:`StreamReader` reproduces that access
+pattern: it replays a recording sample by sample and maintains the rolling
+context window a forecasting detector needs, so the same detector code runs
+both in batch evaluation and in the streaming runtime of :mod:`repro.edge`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["StreamReader", "RollingWindow", "StreamSample"]
+
+
+@dataclass(frozen=True)
+class StreamSample:
+    """One sample read from the stream."""
+
+    index: int
+    timestamp: float
+    values: np.ndarray  # (n_channels,)
+    label: int
+
+
+class RollingWindow:
+    """Fixed-length rolling context window over streamed samples."""
+
+    def __init__(self, window: int, n_channels: int) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if n_channels < 1:
+            raise ValueError("n_channels must be at least 1")
+        self.window = window
+        self.n_channels = n_channels
+        self._buffer: deque[np.ndarray] = deque(maxlen=window)
+
+    def push(self, sample: np.ndarray) -> None:
+        sample = np.asarray(sample, dtype=np.float64).ravel()
+        if sample.shape[0] != self.n_channels:
+            raise ValueError(f"expected {self.n_channels} channels, got {sample.shape[0]}")
+        self._buffer.append(sample)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._buffer) == self.window
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def as_array(self) -> np.ndarray:
+        """Materialise the window as a (window, n_channels) array (oldest first)."""
+        if not self.is_full:
+            raise RuntimeError("rolling window is not full yet")
+        return np.stack(list(self._buffer))
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class StreamReader:
+    """Replay a (normalised) recording as a sample stream."""
+
+    def __init__(self, data: np.ndarray, labels: Optional[np.ndarray] = None,
+                 sample_rate: float = 200.0) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a 2-D array (n_samples, n_channels)")
+        if sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        if labels is None:
+            labels = np.zeros(data.shape[0], dtype=np.int64)
+        labels = np.asarray(labels)
+        if labels.shape[0] != data.shape[0]:
+            raise ValueError("labels must have one entry per sample")
+        self.data = data
+        self.labels = labels
+        self.sample_rate = sample_rate
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.data.shape[1])
+
+    def __iter__(self) -> Iterator[StreamSample]:
+        for index in range(self.n_samples):
+            yield StreamSample(
+                index=index,
+                timestamp=index / self.sample_rate,
+                values=self.data[index],
+                label=int(self.labels[index]),
+            )
+
+    def windows(self, window: int, stride: int = 1
+                ) -> Iterator[Tuple[np.ndarray, StreamSample]]:
+        """Yield ``(context_window, next_sample)`` pairs in stream order.
+
+        The context window holds the ``window`` samples preceding the yielded
+        sample, which is what a one-step-ahead forecaster scores.
+        """
+        rolling = RollingWindow(window, self.n_channels)
+        emitted = 0
+        for sample in self:
+            if rolling.is_full and (sample.index - window) % stride == 0:
+                yield rolling.as_array(), sample
+                emitted += 1
+            rolling.push(sample.values)

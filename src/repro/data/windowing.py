@@ -1,0 +1,119 @@
+"""Sliding-window extraction for forecasting-style detectors.
+
+The autoregressive detectors (VARADE, AR-LSTM, GBRF) consume a context window
+of ``T`` past samples and predict the next sample; the reconstruction and
+outlier detectors consume either windows or single samples.  This module
+turns a ``(n_samples, n_channels)`` stream into the ``(window, target)``
+pairs those models train on, using stride tricks so no data is copied until
+the caller materialises a batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["WindowDataset", "sliding_windows", "forecast_pairs"]
+
+
+def sliding_windows(data: np.ndarray, window: int, stride: int = 1) -> np.ndarray:
+    """View of shape ``(n_windows, window, n_channels)`` over ``data``.
+
+    The result shares memory with ``data``; copy before mutating.
+    """
+    data = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+    if data.ndim != 2:
+        raise ValueError("data must be a 2-D array (n_samples, n_channels)")
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    if stride < 1:
+        raise ValueError("stride must be at least 1")
+    n_samples = data.shape[0]
+    if n_samples < window:
+        raise ValueError(f"stream of {n_samples} samples is shorter than window {window}")
+    n_windows = (n_samples - window) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(data, window, axis=0)
+    # sliding_window_view puts the window axis last: (n, channels, window)
+    windows = windows[::stride][:n_windows]
+    return np.transpose(windows, (0, 2, 1))
+
+
+def forecast_pairs(data: np.ndarray, window: int, horizon: int = 1,
+                   stride: int = 1) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Context/target pairs for one-step-ahead forecasting.
+
+    Returns ``(contexts, targets, target_indices)`` where ``contexts`` has
+    shape ``(n_pairs, window, n_channels)``, ``targets`` has shape
+    ``(n_pairs, n_channels)`` (the sample ``horizon`` steps after the window)
+    and ``target_indices`` gives the position of each target in the original
+    stream -- needed to align anomaly scores with ground-truth labels.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if horizon < 1:
+        raise ValueError("horizon must be at least 1")
+    if data.shape[0] < window + horizon:
+        raise ValueError("stream too short for the requested window and horizon")
+    usable = data.shape[0] - horizon
+    contexts = sliding_windows(data[:usable], window, stride=stride)
+    n_pairs = contexts.shape[0]
+    target_indices = np.arange(n_pairs) * stride + window + horizon - 1
+    targets = data[target_indices]
+    return contexts, targets, target_indices
+
+
+@dataclass
+class WindowDataset:
+    """Materialised forecasting dataset with deterministic shuffling and batching."""
+
+    contexts: np.ndarray        # (n_pairs, window, n_channels)
+    targets: np.ndarray         # (n_pairs, n_channels)
+    target_indices: np.ndarray  # (n_pairs,)
+
+    @classmethod
+    def from_stream(cls, data: np.ndarray, window: int, horizon: int = 1,
+                    stride: int = 1) -> "WindowDataset":
+        contexts, targets, indices = forecast_pairs(data, window, horizon=horizon,
+                                                    stride=stride)
+        return cls(contexts=contexts, targets=targets, target_indices=indices)
+
+    def __len__(self) -> int:
+        return int(self.contexts.shape[0])
+
+    @property
+    def window(self) -> int:
+        return int(self.contexts.shape[1])
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.contexts.shape[2])
+
+    def subsample(self, max_pairs: int, rng: Optional[np.random.Generator] = None
+                  ) -> "WindowDataset":
+        """Randomly keep at most ``max_pairs`` pairs (used by the slow tree/kNN models)."""
+        if max_pairs < 1:
+            raise ValueError("max_pairs must be at least 1")
+        if len(self) <= max_pairs:
+            return self
+        rng = rng if rng is not None else np.random.default_rng()
+        keep = np.sort(rng.choice(len(self), size=max_pairs, replace=False))
+        return WindowDataset(
+            contexts=self.contexts[keep],
+            targets=self.targets[keep],
+            target_indices=self.target_indices[keep],
+        )
+
+    def batches(self, batch_size: int, shuffle: bool = True,
+                rng: Optional[np.random.Generator] = None
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(context_batch, target_batch)`` pairs."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        order = np.arange(len(self))
+        if shuffle:
+            rng = rng if rng is not None else np.random.default_rng()
+            rng.shuffle(order)
+        for start in range(0, len(self), batch_size):
+            index = order[start:start + batch_size]
+            yield self.contexts[index], self.targets[index]

@@ -1,0 +1,23 @@
+"""Edge-platform substrate: Jetson device models, roofline-style metric
+estimation, a streaming inference runtime, and a jetson-stats style monitor.
+"""
+
+from .device import DEVICES, EdgeDeviceSpec, JETSON_AGX_ORIN, JETSON_XAVIER_NX, get_device
+from .estimator import EdgeEstimator, EdgeMetrics
+from .monitor import BoardMonitor, MetricSample, MonitoringSession
+from .runtime import StreamingResult, StreamingRuntime
+
+__all__ = [
+    "DEVICES",
+    "EdgeDeviceSpec",
+    "JETSON_AGX_ORIN",
+    "JETSON_XAVIER_NX",
+    "get_device",
+    "EdgeEstimator",
+    "EdgeMetrics",
+    "BoardMonitor",
+    "MetricSample",
+    "MonitoringSession",
+    "StreamingResult",
+    "StreamingRuntime",
+]

@@ -1,0 +1,187 @@
+"""Analytical estimation of edge-deployment metrics.
+
+Given a detector's per-inference cost profile (:class:`repro.core.InferenceCost`)
+and an :class:`repro.edge.device.EdgeDeviceSpec`, the estimator predicts the
+quantities the paper measures in Table 2: inference frequency, power
+consumption, CPU/GPU utilisation and RAM / GPU-RAM usage.
+
+The model is a roofline-style estimate: the time of one inference is the
+dispatch overhead plus the larger of the compute time (split between GPU and
+CPU according to the cost profile) and the memory-traffic time.  Utilisation
+is the duty cycle of each engine while streaming at the achieved rate, and
+power adds to the idle baseline an amount proportional to those duty cycles,
+with per-device incremental-power constants calibrated against the paper's
+idle rows.  Absolute numbers are therefore indicative; what the model is
+designed to preserve is the *relative* behaviour of the six detectors (who is
+fast, who is power-hungry, who is CPU-bound), which is what the paper's
+trade-off analysis relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.detector import InferenceCost
+from .device import EdgeDeviceSpec
+
+__all__ = ["EdgeMetrics", "EdgeEstimator"]
+
+# The dispatch-overhead constants in the device specs are expressed relative
+# to this reference value (the Xavier NX CPU dispatch overhead).
+_REFERENCE_CPU_DISPATCH_S = 0.004
+# Resident size of the inference runtime itself (interpreter + framework).
+_FRAMEWORK_RAM_MB = 220.0
+_GPU_RUNTIME_RAM_MB = 290.0
+
+
+@dataclass(frozen=True)
+class EdgeMetrics:
+    """Estimated deployment metrics of one detector on one device."""
+
+    device: str
+    detector: str
+    inference_frequency_hz: float
+    inference_latency_s: float
+    power_w: float
+    cpu_percent: float
+    gpu_percent: float
+    ram_mb: float
+    gpu_ram_mb: float
+
+    def as_row(self) -> dict:
+        """Dictionary with the Table-2 column names."""
+        return {
+            "board": self.device,
+            "model": self.detector,
+            "cpu_percent": self.cpu_percent,
+            "gpu_percent": self.gpu_percent,
+            "ram_mb": self.ram_mb,
+            "gpu_ram_mb": self.gpu_ram_mb,
+            "power_w": self.power_w,
+            "inference_hz": self.inference_frequency_hz,
+        }
+
+
+class EdgeEstimator:
+    """Estimate Table-2 style metrics for a cost profile on a device."""
+
+    def __init__(self, device: EdgeDeviceSpec) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+    def _timing_components(self, cost: InferenceCost) -> dict:
+        """Break the per-inference latency into its components (seconds)."""
+        device = self.device
+        gpu_flops = cost.flops * cost.gpu_fraction
+        cpu_flops = cost.flops * (1.0 - cost.gpu_fraction)
+
+        gpu_compute = 0.0
+        if gpu_flops > 0:
+            effective = device.gpu_gflops_effective * 1e9 * max(cost.parallel_efficiency, 1e-3)
+            gpu_compute = gpu_flops / effective
+
+        usable_cores = 1.0 + cost.parallel_efficiency * (device.cpu_cores - 1)
+        cpu_compute = 0.0
+        if cpu_flops > 0:
+            effective = device.cpu_gflops_per_core_effective * 1e9 * usable_cores
+            cpu_compute = cpu_flops / effective
+
+        memory_time = cost.memory_traffic_bytes / (device.memory_bandwidth_gbps * 1e9)
+
+        uses_gpu = cost.gpu_fraction > 0.5
+        overhead_scale = device.cpu_dispatch_overhead_s / _REFERENCE_CPU_DISPATCH_S
+        dispatch = device.gpu_dispatch_overhead_s if uses_gpu else device.cpu_dispatch_overhead_s
+        dispatch += cost.per_call_overhead_s * overhead_scale
+        launch_overhead = cost.n_kernel_launches * (
+            device.gpu_launch_overhead_s if uses_gpu else device.cpu_launch_overhead_s
+        )
+
+        latency = dispatch + launch_overhead + max(gpu_compute + cpu_compute, memory_time)
+        return {
+            "gpu_compute": gpu_compute,
+            "cpu_compute": cpu_compute,
+            "memory": memory_time,
+            "dispatch": dispatch,
+            "launch": launch_overhead,
+            "latency": latency,
+            "uses_gpu": uses_gpu,
+            "usable_cores": usable_cores,
+        }
+
+    def inference_latency(self, cost: InferenceCost) -> float:
+        """Seconds per inference (dispatch + launches + max(compute, memory))."""
+        return self._timing_components(cost)["latency"]
+
+    def inference_frequency(self, cost: InferenceCost) -> float:
+        """Sustained inferences per second when streaming continuously."""
+        return 1.0 / self.inference_latency(cost)
+
+    # ------------------------------------------------------------------ #
+    # Full metric set
+    # ------------------------------------------------------------------ #
+    def estimate(self, cost: InferenceCost, detector_name: str,
+                 max_rate_hz: Optional[float] = None) -> EdgeMetrics:
+        """Estimate the full Table-2 metric set.
+
+        ``max_rate_hz`` caps the streaming rate (e.g. the sensor rate); when
+        the detector is faster than the cap the engines idle in between
+        inferences, lowering duty cycles and power accordingly.
+        """
+        device = self.device
+        timing = self._timing_components(cost)
+        latency = timing["latency"]
+        achievable_hz = 1.0 / latency
+        streaming_hz = achievable_hz if max_rate_hz is None else min(achievable_hz, max_rate_hz)
+        uses_gpu = timing["uses_gpu"]
+
+        # Engine occupancy per call: the GPU is considered busy while its
+        # kernels are resident (launch overhead included -- tiny kernels keep
+        # the engine clocked up without doing much arithmetic), the CPU while
+        # it prepares data, dispatches work or runs CPU-side kernels.
+        gpu_busy_per_call = timing["gpu_compute"] + (timing["launch"] if uses_gpu else 0.0)
+        cpu_busy_per_call = timing["cpu_compute"] + timing["dispatch"] \
+            + (0.0 if uses_gpu else timing["launch"])
+
+        gpu_duty = min(gpu_busy_per_call * streaming_hz, 1.0)
+        cpu_duty = min(cpu_busy_per_call * streaming_hz, 1.0)
+        # Power follows the *arithmetic* duty cycles (idle-clocked kernels draw
+        # little) plus the DRAM traffic duty cycle.
+        gpu_power_duty = min(timing["gpu_compute"] * streaming_hz, 1.0)
+        cpu_power_duty = min((timing["cpu_compute"] + timing["dispatch"]) * streaming_hz, 1.0)
+        dram_duty = min(timing["memory"] * streaming_hz, 1.0)
+
+        core_share = timing["usable_cores"] / device.cpu_cores
+        cpu_percent = min(100.0, device.idle_cpu_percent
+                          + (100.0 - device.idle_cpu_percent) * cpu_duty * core_share)
+        gpu_percent = min(100.0, device.idle_gpu_percent
+                          + (100.0 - device.idle_gpu_percent) * gpu_duty) if uses_gpu \
+            else device.idle_gpu_percent
+
+        power = device.idle_power_w \
+            + device.gpu_active_power_w * gpu_power_duty \
+            + device.cpu_active_power_w * cpu_power_duty \
+            + device.dram_active_power_w * dram_duty
+
+        parameter_mb = cost.parameter_bytes / 1e6
+        activation_mb = cost.activation_bytes / 1e6
+        ram_mb = device.idle_ram_mb + _FRAMEWORK_RAM_MB + 2.0 * parameter_mb + activation_mb
+        if uses_gpu:
+            gpu_ram_mb = device.idle_gpu_ram_mb + _GPU_RUNTIME_RAM_MB \
+                + parameter_mb + 2.0 * activation_mb
+        else:
+            gpu_ram_mb = device.idle_gpu_ram_mb
+
+        return EdgeMetrics(
+            device=device.name,
+            detector=detector_name,
+            inference_frequency_hz=achievable_hz,
+            inference_latency_s=latency,
+            power_w=power,
+            cpu_percent=cpu_percent,
+            gpu_percent=gpu_percent,
+            ram_mb=min(ram_mb, device.total_ram_mb),
+            gpu_ram_mb=min(gpu_ram_mb, device.total_ram_mb),
+        )

@@ -1,0 +1,111 @@
+"""Board-metric monitoring (jetson-stats substitute).
+
+The paper samples board metrics with the jetson-stats library while each
+detector runs, then reports the mean over the run (and over a 6-minute idle
+window as the baseline).  :class:`BoardMonitor` reproduces that measurement
+chain on top of the analytical device model: given the estimated operating
+point of a detector it synthesises a time series of noisy metric samples (as
+a real monitor would observe) and reduces them to the same mean statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .device import EdgeDeviceSpec
+from .estimator import EdgeMetrics
+
+__all__ = ["MetricSample", "MonitoringSession", "BoardMonitor"]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One polled sample of board metrics."""
+
+    timestamp_s: float
+    power_w: float
+    cpu_percent: float
+    gpu_percent: float
+    ram_mb: float
+    gpu_ram_mb: float
+
+
+@dataclass
+class MonitoringSession:
+    """A sequence of polled samples plus their mean summary."""
+
+    device: str
+    detector: str
+    samples: List[MetricSample] = field(default_factory=list)
+
+    def mean(self) -> Dict[str, float]:
+        """Mean of every metric over the session (what Table 2 reports)."""
+        if not self.samples:
+            raise ValueError("monitoring session has no samples")
+        return {
+            "power_w": float(np.mean([s.power_w for s in self.samples])),
+            "cpu_percent": float(np.mean([s.cpu_percent for s in self.samples])),
+            "gpu_percent": float(np.mean([s.gpu_percent for s in self.samples])),
+            "ram_mb": float(np.mean([s.ram_mb for s in self.samples])),
+            "gpu_ram_mb": float(np.mean([s.gpu_ram_mb for s in self.samples])),
+        }
+
+
+class BoardMonitor:
+    """Synthesise jetson-stats style metric traces around an operating point."""
+
+    def __init__(self, device: EdgeDeviceSpec, poll_rate_hz: float = 1.0,
+                 relative_noise: float = 0.03,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if poll_rate_hz <= 0:
+            raise ValueError("poll_rate_hz must be positive")
+        if relative_noise < 0:
+            raise ValueError("relative_noise must be non-negative")
+        self.device = device
+        self.poll_rate_hz = poll_rate_hz
+        self.relative_noise = relative_noise
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def _noisy(self, value: float, lower: float = 0.0,
+               upper: Optional[float] = None) -> float:
+        noise = self._rng.normal(0.0, self.relative_noise * max(abs(value), 1e-9))
+        result = value + noise
+        if upper is not None:
+            result = min(result, upper)
+        return max(result, lower)
+
+    def observe_idle(self, duration_s: float = 360.0) -> MonitoringSession:
+        """Monitor the board in idle state (the paper's 6-minute baseline)."""
+        device = self.device
+        session = MonitoringSession(device=device.name, detector="Idle")
+        n_samples = max(int(duration_s * self.poll_rate_hz), 1)
+        for index in range(n_samples):
+            session.samples.append(MetricSample(
+                timestamp_s=index / self.poll_rate_hz,
+                power_w=self._noisy(device.idle_power_w),
+                cpu_percent=self._noisy(device.idle_cpu_percent, upper=100.0),
+                gpu_percent=self._noisy(device.idle_gpu_percent, upper=100.0),
+                ram_mb=self._noisy(device.idle_ram_mb, upper=device.total_ram_mb),
+                gpu_ram_mb=self._noisy(device.idle_gpu_ram_mb, upper=device.total_ram_mb),
+            ))
+        return session
+
+    def observe_run(self, operating_point: EdgeMetrics,
+                    duration_s: float = 60.0) -> MonitoringSession:
+        """Monitor the board while a detector streams at its operating point."""
+        device = self.device
+        session = MonitoringSession(device=device.name, detector=operating_point.detector)
+        n_samples = max(int(duration_s * self.poll_rate_hz), 1)
+        for index in range(n_samples):
+            session.samples.append(MetricSample(
+                timestamp_s=index / self.poll_rate_hz,
+                power_w=self._noisy(operating_point.power_w),
+                cpu_percent=self._noisy(operating_point.cpu_percent, upper=100.0),
+                gpu_percent=self._noisy(operating_point.gpu_percent, upper=100.0),
+                ram_mb=self._noisy(operating_point.ram_mb, upper=device.total_ram_mb),
+                gpu_ram_mb=self._noisy(operating_point.gpu_ram_mb, upper=device.total_ram_mb),
+            ))
+        return session

@@ -1,0 +1,61 @@
+"""Evaluation layer: metrics (AUC-ROC, PR, F1, point-adjust), the Table-2 /
+Figure-3 experiment harness, ablations and result formatting.
+"""
+
+from .ablation import (
+    AblationResult,
+    run_kl_weight_sweep,
+    run_variational_ablation,
+    run_window_sweep,
+)
+from .experiment import (
+    DetectorEvaluation,
+    ExperimentConfig,
+    ExperimentResult,
+    evaluate_detector,
+    paper_scale_costs,
+    run_full_experiment,
+)
+from .metrics import (
+    average_precision_score,
+    best_f1_score,
+    confusion_counts,
+    f1_score,
+    point_adjust,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+from .reporting import (
+    PAPER_AUC,
+    PAPER_TABLE2,
+    format_comparison,
+    format_figure3,
+    format_table2,
+)
+
+__all__ = [
+    "AblationResult",
+    "run_kl_weight_sweep",
+    "run_variational_ablation",
+    "run_window_sweep",
+    "DetectorEvaluation",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "evaluate_detector",
+    "paper_scale_costs",
+    "run_full_experiment",
+    "average_precision_score",
+    "best_f1_score",
+    "confusion_counts",
+    "f1_score",
+    "point_adjust",
+    "precision_recall_curve",
+    "roc_auc_score",
+    "roc_curve",
+    "PAPER_AUC",
+    "PAPER_TABLE2",
+    "format_comparison",
+    "format_figure3",
+    "format_table2",
+]

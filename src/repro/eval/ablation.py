@@ -1,0 +1,145 @@
+"""Ablation studies over VARADE's design choices.
+
+The paper motivates two central choices that these ablations quantify:
+
+* **Variational head vs deterministic forecasting.**  Section 3.1 reports
+  that a compact deterministic forecaster fails to deliver usable anomaly
+  scores, which is what motivated the probabilistic (variance-as-score)
+  formulation.  :func:`run_variational_ablation` trains the same backbone
+  with (a) the variational head scored by predicted variance and (b) a
+  deterministic L2 forecasting score, and compares AUC-ROC.
+
+* **Window size / depth coupling and the KL weight.**  The number of layers
+  is tied to the window (N = log2 T) and the KL term is what calibrates the
+  variance; :func:`run_window_sweep` and :func:`run_kl_weight_sweep` sweep
+  them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import TrainingConfig, VaradeConfig
+from ..core.detector import VaradeDetector
+from ..data.dataset import BenchmarkDataset
+from .metrics import roc_auc_score
+
+__all__ = [
+    "AblationResult",
+    "run_variational_ablation",
+    "run_kl_weight_sweep",
+    "run_window_sweep",
+]
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """One ablation configuration and its accuracy."""
+
+    label: str
+    auc_roc: float
+    parameters: int
+    train_time_s: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "configuration": self.label,
+            "auc_roc": self.auc_roc,
+            "parameters": self.parameters,
+            "train_time_s": self.train_time_s,
+        }
+
+
+def _training_config(epochs: int, max_windows: int, seed: int) -> TrainingConfig:
+    return TrainingConfig(learning_rate=1e-3, epochs=epochs, batch_size=32,
+                          max_train_windows=max_windows, seed=seed)
+
+
+def _evaluate(detector: VaradeDetector, dataset: BenchmarkDataset,
+              score_mode: str = "variance") -> float:
+    """AUC-ROC of a trained detector under the requested scoring rule."""
+    result = detector.score_stream(dataset.test)
+    if score_mode == "variance":
+        scores, labels = result.aligned(dataset.test_labels)
+        return float(roc_auc_score(scores, labels))
+    if score_mode != "l2":
+        raise ValueError("score_mode must be 'variance' or 'l2'")
+    # Deterministic forecasting score: euclidean norm of (mean - observed).
+    from ..data.windowing import WindowDataset
+
+    pairs = WindowDataset.from_stream(dataset.test, detector.config.window, horizon=1)
+    errors = np.empty(len(pairs))
+    for start in range(0, len(pairs), 256):
+        stop = min(start + 256, len(pairs))
+        mean, _ = detector.network.predict_distribution(pairs.contexts[start:stop])
+        errors[start:stop] = np.linalg.norm(mean - pairs.targets[start:stop], axis=1)
+    labels = dataset.test_labels[pairs.target_indices]
+    return float(roc_auc_score(errors, labels))
+
+
+def run_variational_ablation(dataset: BenchmarkDataset, window: int = 32,
+                             feature_maps: int = 16, epochs: int = 3,
+                             max_windows: int = 400, seed: int = 0
+                             ) -> List[AblationResult]:
+    """Variance-as-score vs deterministic L2 score on the same trained backbone."""
+    config = VaradeConfig(n_channels=dataset.n_channels, window=window,
+                          base_feature_maps=feature_maps, kl_weight=0.1)
+    detector = VaradeDetector(config, _training_config(epochs, max_windows, seed))
+    detector.fit(dataset.train)
+
+    results = [
+        AblationResult(
+            label="variational (variance score)",
+            auc_roc=_evaluate(detector, dataset, score_mode="variance"),
+            parameters=detector.network.num_parameters(),
+            train_time_s=detector.history.wall_time_s,
+        ),
+        AblationResult(
+            label="deterministic (L2 forecast error)",
+            auc_roc=_evaluate(detector, dataset, score_mode="l2"),
+            parameters=detector.network.num_parameters(),
+            train_time_s=detector.history.wall_time_s,
+        ),
+    ]
+    return results
+
+
+def run_kl_weight_sweep(dataset: BenchmarkDataset, kl_weights: Sequence[float] = (0.0, 0.01, 0.1, 1.0),
+                        window: int = 32, feature_maps: int = 16, epochs: int = 3,
+                        max_windows: int = 400, seed: int = 0) -> List[AblationResult]:
+    """Sweep the KL weight (lambda in Eq. 7)."""
+    results: List[AblationResult] = []
+    for kl_weight in kl_weights:
+        config = VaradeConfig(n_channels=dataset.n_channels, window=window,
+                              base_feature_maps=feature_maps, kl_weight=float(kl_weight))
+        detector = VaradeDetector(config, _training_config(epochs, max_windows, seed))
+        detector.fit(dataset.train)
+        results.append(AblationResult(
+            label=f"kl_weight={kl_weight}",
+            auc_roc=_evaluate(detector, dataset),
+            parameters=detector.network.num_parameters(),
+            train_time_s=detector.history.wall_time_s,
+        ))
+    return results
+
+
+def run_window_sweep(dataset: BenchmarkDataset, windows: Sequence[int] = (16, 32, 64),
+                     feature_maps: int = 16, epochs: int = 3,
+                     max_windows: int = 400, seed: int = 0) -> List[AblationResult]:
+    """Sweep the context window (and therefore the network depth, N = log2 T - 1)."""
+    results: List[AblationResult] = []
+    for window in windows:
+        config = VaradeConfig(n_channels=dataset.n_channels, window=int(window),
+                              base_feature_maps=feature_maps, kl_weight=0.1)
+        detector = VaradeDetector(config, _training_config(epochs, max_windows, seed))
+        detector.fit(dataset.train)
+        results.append(AblationResult(
+            label=f"window={window} ({config.n_layers} layers)",
+            auc_roc=_evaluate(detector, dataset),
+            parameters=detector.network.num_parameters(),
+            train_time_s=detector.history.wall_time_s,
+        ))
+    return results

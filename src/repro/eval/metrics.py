@@ -1,0 +1,178 @@
+"""Anomaly-detection evaluation metrics.
+
+The paper evaluates accuracy with AUC-ROC: each detector is interpreted as a
+binary classifier whose decision threshold is swept over the anomaly score,
+and the area under the resulting ROC curve summarises its ability to rank
+anomalous samples above normal ones.  Precision/recall/F1 utilities and the
+event-level "point-adjust" protocol common in MTSAD literature are included
+for completeness and for the extended analyses in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "roc_curve",
+    "roc_auc_score",
+    "precision_recall_curve",
+    "average_precision_score",
+    "f1_score",
+    "best_f1_score",
+    "point_adjust",
+    "confusion_counts",
+]
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel().astype(np.int64)
+    if scores.shape[0] != labels.shape[0]:
+        raise ValueError("scores and labels must have the same length")
+    if scores.shape[0] == 0:
+        raise ValueError("scores and labels are empty")
+    finite = np.isfinite(scores)
+    if not finite.all():
+        scores = scores[finite]
+        labels = labels[finite]
+        if scores.size == 0:
+            raise ValueError("all scores are non-finite")
+    if not np.isin(labels, (0, 1)).all():
+        raise ValueError("labels must be binary (0 or 1)")
+    return scores, labels
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (false_positive_rate, true_positive_rate, thresholds).
+
+    Thresholds are the distinct score values in decreasing order; a point is
+    predicted anomalous when its score is >= the threshold.
+    """
+    scores, labels = _validate(scores, labels)
+    n_positive = int(labels.sum())
+    n_negative = labels.shape[0] - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("ROC curve requires both positive and negative samples")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+
+    # Cumulative true/false positives at every position; collapse ties so a
+    # threshold between equal scores is not counted twice.
+    true_positives = np.cumsum(sorted_labels)
+    false_positives = np.cumsum(1 - sorted_labels)
+    distinct = np.where(np.diff(sorted_scores))[0]
+    threshold_index = np.concatenate([distinct, [sorted_labels.size - 1]])
+
+    tpr = true_positives[threshold_index] / n_positive
+    fpr = false_positives[threshold_index] / n_negative
+    thresholds = sorted_scores[threshold_index]
+
+    # Prepend the (0, 0) origin.
+    tpr = np.concatenate([[0.0], tpr])
+    fpr = np.concatenate([[0.0], fpr])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (threshold-free ranking quality in [0, 1])."""
+    fpr, tpr, _ = roc_curve(scores, labels)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def precision_recall_curve(scores: np.ndarray, labels: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (precision, recall, thresholds) for decreasing thresholds."""
+    scores, labels = _validate(scores, labels)
+    n_positive = int(labels.sum())
+    if n_positive == 0:
+        raise ValueError("precision/recall requires at least one positive sample")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    true_positives = np.cumsum(sorted_labels)
+    predicted_positives = np.arange(1, sorted_labels.size + 1)
+
+    distinct = np.where(np.diff(sorted_scores))[0]
+    threshold_index = np.concatenate([distinct, [sorted_labels.size - 1]])
+
+    precision = true_positives[threshold_index] / predicted_positives[threshold_index]
+    recall = true_positives[threshold_index] / n_positive
+    thresholds = sorted_scores[threshold_index]
+    return precision, recall, thresholds
+
+
+def average_precision_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-wise interpolation)."""
+    precision, recall, _ = precision_recall_curve(scores, labels)
+    recall = np.concatenate([[0.0], recall])
+    return float(np.sum((recall[1:] - recall[:-1]) * precision))
+
+
+def confusion_counts(predictions: np.ndarray, labels: np.ndarray
+                     ) -> Tuple[int, int, int, int]:
+    """Return (true_positives, false_positives, true_negatives, false_negatives)."""
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    tp = int(np.sum(predictions & labels))
+    fp = int(np.sum(predictions & ~labels))
+    tn = int(np.sum(~predictions & ~labels))
+    fn = int(np.sum(~predictions & labels))
+    return tp, fp, tn, fn
+
+
+def f1_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """F1 of binary predictions against binary labels."""
+    tp, fp, _, fn = confusion_counts(predictions, labels)
+    denominator = 2 * tp + fp + fn
+    return 2 * tp / denominator if denominator else 0.0
+
+
+def best_f1_score(scores: np.ndarray, labels: np.ndarray,
+                  n_thresholds: int = 200) -> Tuple[float, float]:
+    """Best F1 over a grid of thresholds; returns (best_f1, best_threshold)."""
+    scores, labels = _validate(scores, labels)
+    candidates = np.quantile(scores, np.linspace(0.0, 1.0, n_thresholds))
+    best = (0.0, float(candidates[0]))
+    for threshold in np.unique(candidates):
+        f1 = f1_score(scores > threshold, labels)
+        if f1 > best[0]:
+            best = (f1, float(threshold))
+    return best
+
+
+def point_adjust(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Point-adjust protocol: if any point of an anomalous event is detected,
+    the whole event counts as detected.
+
+    Returns the adjusted prediction array.  This is the standard (if lenient)
+    event-level evaluation used across the MTSAD literature; the paper's
+    AUC-ROC is point-wise, so point-adjust is only used in the extended
+    analyses.
+    """
+    predictions = np.asarray(predictions).astype(bool).copy()
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    n = labels.shape[0]
+    index = 0
+    while index < n:
+        if labels[index]:
+            end = index
+            while end < n and labels[end]:
+                end += 1
+            if predictions[index:end].any():
+                predictions[index:end] = True
+            index = end
+        else:
+            index += 1
+    return predictions.astype(np.int64)

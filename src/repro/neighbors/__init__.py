@@ -1,0 +1,5 @@
+"""Nearest-neighbour substrate used by the kNN anomaly-detection baseline."""
+
+from .knn import KNNAnomalyScorer
+
+__all__ = ["KNNAnomalyScorer"]

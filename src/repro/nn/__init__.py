@@ -1,0 +1,71 @@
+"""A small from-scratch neural-network framework (autograd, layers, optimisers).
+
+This package is the substrate that replaces TensorFlow in the VARADE
+reproduction: reverse-mode automatic differentiation on numpy arrays, the
+layers required by the paper's models (1-D convolutions, transposed
+convolutions, dense layers, LSTMs, residual blocks), optimisers and loss
+functions, plus model profiling utilities used by the edge cost model.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .module import Module, Parameter
+from .layers import (
+    Conv1d,
+    ConvTranspose1d,
+    Dropout,
+    Flatten,
+    GlobalAveragePool1d,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    ResidualBlock1d,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .recurrent import LSTM, LSTMCell
+from .optim import Adam, Optimizer, RMSprop, SGD, clip_grad_norm
+from .losses import elbo_loss, gaussian_nll, kl_standard_normal, mae_loss, mse_loss
+from .utils import LayerProfile, ModelProfile, count_parameters, profile_model
+from . import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv1d",
+    "ConvTranspose1d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Flatten",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "ResidualBlock1d",
+    "GlobalAveragePool1d",
+    "LSTM",
+    "LSTMCell",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "clip_grad_norm",
+    "mse_loss",
+    "mae_loss",
+    "gaussian_nll",
+    "kl_standard_normal",
+    "elbo_loss",
+    "LayerProfile",
+    "ModelProfile",
+    "profile_model",
+    "count_parameters",
+    "init",
+]

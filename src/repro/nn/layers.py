@@ -1,0 +1,278 @@
+"""Neural-network layers used by VARADE and the neural baselines.
+
+Layouts follow the channels-first convention: sequence inputs are
+``(batch, channels, length)`` and dense inputs are ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init as initializers
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "Conv1d",
+    "ConvTranspose1d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Flatten",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "ResidualBlock1d",
+    "GlobalAveragePool1d",
+]
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear requires positive in_features and out_features")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            initializers.glorot_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.bias = Parameter(initializers.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(batch, channels, length)`` inputs.
+
+    VARADE uses kernel size 2 with stride 2, which halves the time dimension at
+    every layer; this class supports arbitrary kernel/stride/padding so the
+    auto-encoder baseline can reuse it.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("Conv1d requires positive kernel_size and stride")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            initializers.he_uniform((out_channels, in_channels, kernel_size), rng), name="weight"
+        )
+        self.bias = Parameter(initializers.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.conv1d(self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_length(self, length: int) -> int:
+        """Length of the output sequence for an input of ``length`` samples."""
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Conv1d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride})")
+
+
+class ConvTranspose1d(Module):
+    """1-D transposed convolution (decoder side of the auto-encoder baseline)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("ConvTranspose1d requires positive kernel_size and stride")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            initializers.he_uniform((in_channels, out_channels, kernel_size), rng), name="weight"
+        )
+        self.bias = Parameter(initializers.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.conv_transpose1d(self.weight, self.bias, stride=self.stride,
+                                  padding=self.padding)
+
+    def output_length(self, length: int) -> int:
+        """Length of the output sequence for an input of ``length`` samples."""
+        return (length - 1) * self.stride - 2 * self.padding + self.kernel_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ConvTranspose1d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride})")
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky rectified linear activation."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    """Pass-through module (useful for optional blocks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    """Flatten everything except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.gain = Parameter(initializers.ones((normalized_shape,)), name="gain")
+        self.bias = Parameter(initializers.zeros((normalized_shape,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / (variance + self.eps).sqrt()
+        return normalised * self.gain + self.bias
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            self.register_module(f"layer{index}", module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.register_module(f"layer{len(self._layers)}", module)
+        self._layers.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class ResidualBlock1d(Module):
+    """Pre-activation residual block with two 1-D convolutions.
+
+    Used by the convolutional auto-encoder baseline, which the paper builds
+    from six ResNet blocks [He et al., 2016].  When the input and output
+    channel counts differ (or the block downsamples), a 1x1 convolution adapts
+    the skip connection.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        padding = kernel_size // 2
+        self.conv1 = Conv1d(in_channels, out_channels, kernel_size, stride=stride,
+                            padding=padding, rng=rng)
+        self.conv2 = Conv1d(out_channels, out_channels, kernel_size, stride=1,
+                            padding=padding, rng=rng)
+        self.activation = ReLU()
+        if in_channels != out_channels or stride != 1:
+            self.shortcut: Module = Conv1d(in_channels, out_channels, 1, stride=stride, rng=rng)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        residual = self.shortcut(x)
+        out = self.activation(self.conv1(x))
+        out = self.conv2(out)
+        return self.activation(out + residual)
+
+
+class GlobalAveragePool1d(Module):
+    """Average over the time dimension of a ``(batch, channels, length)`` input."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=-1)

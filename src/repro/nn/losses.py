@@ -1,0 +1,63 @@
+"""Loss functions shared by the neural detectors.
+
+Includes the Gaussian negative log-likelihood and KL divergence used by the
+VARADE variational objective (the exact expressions derived in Section 3.2 of
+the paper) as well as standard regression losses for the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tensor import Tensor
+
+__all__ = [
+    "mse_loss",
+    "mae_loss",
+    "gaussian_nll",
+    "kl_standard_normal",
+    "elbo_loss",
+]
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error, averaged over every element."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error, averaged over every element."""
+    return (prediction - target).abs().mean()
+
+
+def gaussian_nll(target: Tensor, mean: Tensor, log_var: Tensor) -> Tensor:
+    """Gaussian negative log-likelihood (paper Eq. 5, constants dropped).
+
+    ``NLL = 0.5 * (log(sigma^2) + (y - mu)^2 / sigma^2)`` averaged over every
+    predicted element.  The model outputs ``log_var = log(sigma^2)`` so the
+    variance is always positive.
+    """
+    inv_var = (-log_var).exp()
+    squared_error = (target - mean) * (target - mean)
+    per_element = 0.5 * (log_var + squared_error * inv_var)
+    return per_element.mean()
+
+
+def kl_standard_normal(mean: Tensor, log_var: Tensor) -> Tensor:
+    """KL divergence from N(mean, sigma^2) to the standard normal prior (Eq. 6).
+
+    ``D_KL = -0.5 * (1 + log(sigma^2) - mu^2 - sigma^2)`` averaged over every
+    predicted element.  This is the regulariser that pushes the predicted
+    distribution towards the prior when the model is uncertain, which is what
+    makes the predicted variance usable as an anomaly score.
+    """
+    variance = log_var.exp()
+    per_element = -0.5 * (1.0 + log_var - mean * mean - variance)
+    return per_element.mean()
+
+
+def elbo_loss(target: Tensor, mean: Tensor, log_var: Tensor,
+              kl_weight: float = 1.0) -> Tensor:
+    """Negative ELBO: reconstruction NLL plus weighted KL term (paper Eq. 7)."""
+    return gaussian_nll(target, mean, log_var) + kl_weight * kl_standard_normal(mean, log_var)

@@ -1,0 +1,126 @@
+"""Recurrent layers: LSTM cell and multi-layer LSTM.
+
+The AR-LSTM baseline in the paper uses five stacked LSTM layers with 256
+feature maps followed by two fully connected layers.  This module provides
+the recurrent machinery on top of the autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init as initializers
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell following the standard formulation.
+
+    Gates are computed jointly from the input and previous hidden state:
+
+    ``i, f, g, o = split(x W_ih^T + h W_hh^T + b)``
+
+    with sigmoid activations for the input/forget/output gates, ``tanh`` for
+    the candidate cell state, and a unit forget-gate bias to aid training on
+    long windows.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("LSTMCell requires positive input_size and hidden_size")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            initializers.glorot_uniform((4 * hidden_size, input_size), rng), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            initializers.orthogonal((4 * hidden_size, hidden_size), rng), name="weight_hh"
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        """Advance one time step.
+
+        ``x`` is ``(batch, input_size)``; ``state`` is ``(h, c)`` each of shape
+        ``(batch, hidden_size)``.  Returns the new ``(h, c)``.
+        """
+        h_prev, c_prev = state
+        gates = x.matmul(self.weight_ih.transpose()) + h_prev.matmul(self.weight_hh.transpose())
+        gates = gates + self.bias
+        hidden = self.hidden_size
+        i_gate = gates[:, 0 * hidden:1 * hidden].sigmoid()
+        f_gate = gates[:, 1 * hidden:2 * hidden].sigmoid()
+        g_gate = gates[:, 2 * hidden:3 * hidden].tanh()
+        o_gate = gates[:, 3 * hidden:4 * hidden].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        """Zero hidden and cell state for ``batch_size`` sequences."""
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """A stack of LSTM layers operating on ``(batch, length, features)`` input."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("LSTM requires at least one layer")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cell = LSTMCell(in_size, hidden_size, rng=rng)
+            self.register_module(f"cell{layer}", cell)
+            self.cells.append(cell)
+
+    def forward(self, x: Tensor,
+                states: Optional[List[Tuple[Tensor, Tensor]]] = None
+                ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Run the full sequence.
+
+        Returns ``(outputs, final_states)`` where ``outputs`` has shape
+        ``(batch, length, hidden_size)`` (the top layer's hidden states) and
+        ``final_states`` holds the last ``(h, c)`` pair per layer.
+        """
+        if x.ndim != 3:
+            raise ValueError("LSTM expects input of shape (batch, length, features)")
+        batch, length, _ = x.shape
+        if states is None:
+            states = [cell.initial_state(batch) for cell in self.cells]
+        elif len(states) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
+
+        outputs: List[Tensor] = []
+        current_states = list(states)
+        for step in range(length):
+            step_input = x[:, step, :]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(step_input, current_states[layer])
+                current_states[layer] = (h, c)
+                step_input = h
+            outputs.append(step_input)
+        stacked = Tensor.stack(outputs, axis=1)
+        return stacked, current_states
+
+    def last_hidden(self, x: Tensor) -> Tensor:
+        """Convenience helper: hidden state of the top layer at the final step."""
+        outputs, _ = self.forward(x)
+        return outputs[:, -1, :]

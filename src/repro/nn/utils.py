@@ -1,0 +1,203 @@
+"""Utilities for model analysis: parameter counting, FLOP estimation and
+activation-traffic accounting.
+
+These feed the edge-device cost model (:mod:`repro.edge`), which estimates
+inference frequency and power from the amount of arithmetic and memory
+traffic a model performs per inference -- the quantity the paper argues
+dominates CNN inference speed on edge hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .layers import (Conv1d, ConvTranspose1d, Dropout, Flatten,
+                     GlobalAveragePool1d, Identity, LayerNorm, LeakyReLU,
+                     Linear, ReLU, ResidualBlock1d, Sequential, Sigmoid, Tanh)
+from .module import Module
+from .recurrent import LSTM, LSTMCell
+
+__all__ = ["LayerProfile", "ModelProfile", "profile_model", "count_parameters"]
+
+_BYTES_PER_VALUE = 4  # float32 on the edge device
+
+
+@dataclass
+class LayerProfile:
+    """Per-layer cost summary."""
+
+    name: str
+    kind: str
+    output_shape: Tuple[int, ...]
+    parameters: int
+    flops: int
+    activation_bytes: int
+
+
+@dataclass
+class ModelProfile:
+    """Aggregate cost summary of one forward pass of a model."""
+
+    layers: List[LayerProfile] = field(default_factory=list)
+
+    @property
+    def total_parameters(self) -> int:
+        return sum(layer.parameters for layer in self.layers)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def total_activation_bytes(self) -> int:
+        return sum(layer.activation_bytes for layer in self.layers)
+
+    @property
+    def parameter_bytes(self) -> int:
+        return self.total_parameters * _BYTES_PER_VALUE
+
+    @property
+    def memory_traffic_bytes(self) -> int:
+        """Bytes moved per inference: weights read once plus activations written."""
+        return self.parameter_bytes + self.total_activation_bytes
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable layer table (used by the Figure-1 benchmark)."""
+        lines = [f"{'layer':<28}{'kind':<20}{'output':<20}{'params':>12}{'MFLOPs':>10}"]
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<28}{layer.kind:<20}{str(layer.output_shape):<20}"
+                f"{layer.parameters:>12,}{layer.flops / 1e6:>10.2f}"
+            )
+        lines.append(
+            f"{'TOTAL':<28}{'':<20}{'':<20}{self.total_parameters:>12,}"
+            f"{self.total_flops / 1e6:>10.2f}"
+        )
+        return lines
+
+
+def count_parameters(module: Module) -> int:
+    """Number of scalar trainable parameters in ``module``."""
+    return module.num_parameters()
+
+
+def _activation_bytes(shape: Tuple[int, ...]) -> int:
+    total = 1
+    for dim in shape:
+        total *= dim
+    return total * _BYTES_PER_VALUE
+
+
+def _profile_layer(module: Module, name: str, input_shape: Tuple[int, ...],
+                   profiles: List[LayerProfile]) -> Tuple[int, ...]:
+    """Append the profile of ``module`` and return its output shape.
+
+    ``input_shape`` excludes the batch dimension: ``(channels, length)`` for
+    sequence modules and ``(features,)`` for dense modules.
+    """
+    kind = type(module).__name__
+    params = sum(p.size for p in module._parameters.values() if p is not None)
+
+    if isinstance(module, Conv1d):
+        channels, length = input_shape
+        out_length = module.output_length(length)
+        out_shape = (module.out_channels, out_length)
+        flops = 2 * module.out_channels * module.in_channels * module.kernel_size * out_length
+        params = module.num_parameters()
+    elif isinstance(module, ConvTranspose1d):
+        channels, length = input_shape
+        out_length = module.output_length(length)
+        out_shape = (module.out_channels, out_length)
+        flops = 2 * module.out_channels * module.in_channels * module.kernel_size * length
+        params = module.num_parameters()
+    elif isinstance(module, Linear):
+        out_shape = input_shape[:-1] + (module.out_features,)
+        positions = 1
+        for dim in input_shape[:-1]:
+            positions *= dim
+        flops = 2 * module.in_features * module.out_features * positions
+        params = module.num_parameters()
+    elif isinstance(module, LSTM):
+        length, features = input_shape
+        hidden = module.hidden_size
+        per_step = 0
+        for cell in module.cells:
+            per_step += 2 * 4 * hidden * (cell.input_size + hidden)
+        flops = per_step * length
+        out_shape = (length, hidden)
+        params = module.num_parameters()
+    elif isinstance(module, LSTMCell):
+        hidden = module.hidden_size
+        flops = 2 * 4 * hidden * (module.input_size + hidden)
+        out_shape = (hidden,)
+        params = module.num_parameters()
+    elif isinstance(module, Flatten):
+        total = 1
+        for dim in input_shape:
+            total *= dim
+        out_shape = (total,)
+        flops = 0
+    elif isinstance(module, GlobalAveragePool1d):
+        channels, length = input_shape
+        out_shape = (channels,)
+        flops = channels * length
+    elif isinstance(module, (ReLU, LeakyReLU, Tanh, Sigmoid, Dropout, Identity)):
+        out_shape = input_shape
+        total = 1
+        for dim in input_shape:
+            total *= dim
+        flops = total
+    elif isinstance(module, LayerNorm):
+        out_shape = input_shape
+        total = 1
+        for dim in input_shape:
+            total *= dim
+        flops = 5 * total
+        params = module.num_parameters()
+    elif isinstance(module, ResidualBlock1d):
+        shape = input_shape
+        shape = _profile_layer(module.conv1, f"{name}.conv1", shape, profiles)
+        shape = _profile_layer(module.conv2, f"{name}.conv2", shape, profiles)
+        if not isinstance(module.shortcut, Identity):
+            _profile_layer(module.shortcut, f"{name}.shortcut", input_shape, profiles)
+        return shape
+    elif isinstance(module, Sequential):
+        shape = input_shape
+        for index, layer in enumerate(module):
+            shape = _profile_layer(layer, f"{name}.{index}", shape, profiles)
+        return shape
+    else:
+        # Fallback: assume shape-preserving with negligible compute.
+        out_shape = input_shape
+        flops = 0
+
+    profiles.append(LayerProfile(
+        name=name,
+        kind=kind,
+        output_shape=out_shape,
+        parameters=params,
+        flops=flops,
+        activation_bytes=_activation_bytes(out_shape),
+    ))
+    return out_shape
+
+
+def profile_model(module: Module, input_shape: Tuple[int, ...],
+                  name: Optional[str] = None) -> ModelProfile:
+    """Estimate per-layer parameters, FLOPs and activation traffic.
+
+    ``input_shape`` excludes the batch dimension (e.g. ``(channels, window)``
+    for VARADE).  Composite modules (Sequential, residual blocks) are expanded
+    recursively; unknown custom modules are profiled through their registered
+    children when they expose a ``profile_children`` hook, otherwise treated
+    as shape-preserving.
+    """
+    profile = ModelProfile()
+    root_name = name or type(module).__name__
+    hook = getattr(module, "profile_children", None)
+    if callable(hook):
+        hook(root_name, input_shape, profile.layers, _profile_layer)
+    else:
+        _profile_layer(module, root_name, input_shape, profile.layers)
+    return profile

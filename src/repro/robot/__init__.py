@@ -1,0 +1,72 @@
+"""Robot-cell simulation substrate.
+
+Replaces the paper's physical testbed (a KUKA LBR iiwa instrumented with
+seven IMUs and a single-phase energy meter) with a simulator that produces
+the same 86-channel multivariate stream: a 7-DOF kinematic model, a library
+of 30 pick-and-place actions with quintic joint trajectories, IMU and power
+meter sensor models, and a collision-anomaly injector.
+"""
+
+from .actions import ActionLibrary, DEFAULT_NUM_ACTIONS, RobotAction
+from .anomalies import CollisionConfig, CollisionEvent, CollisionInjector
+from .kalman import ConstantVelocityKalman, KalmanFilter1D, smooth_series
+from .kinematics import DHParameters, JOINT_LIMITS_RAD, KukaLBRIiwa
+from .plant import (
+    CHANNELS_PER_JOINT,
+    N_JOINTS,
+    N_POWER_CHANNELS,
+    N_TOTAL_CHANNELS,
+    RobotCellConfig,
+    RobotCellSimulator,
+    RobotRecording,
+)
+from .power import POWER_CHANNEL_NAMES, PowerMeterConfig, PowerMeterModel
+from .quaternion import (
+    axis_angle_to_quaternion,
+    euler_to_quaternion,
+    quaternion_conjugate,
+    quaternion_multiply,
+    quaternion_normalize,
+    quaternion_slerp,
+    quaternion_to_euler,
+)
+from .sensors import IMUConfig, IMUReading, IMUSensorModel
+from .trajectory import JointTrajectory, QuinticSegment, plan_waypoint_trajectory
+
+__all__ = [
+    "ActionLibrary",
+    "DEFAULT_NUM_ACTIONS",
+    "RobotAction",
+    "CollisionConfig",
+    "CollisionEvent",
+    "CollisionInjector",
+    "ConstantVelocityKalman",
+    "KalmanFilter1D",
+    "smooth_series",
+    "DHParameters",
+    "JOINT_LIMITS_RAD",
+    "KukaLBRIiwa",
+    "CHANNELS_PER_JOINT",
+    "N_JOINTS",
+    "N_POWER_CHANNELS",
+    "N_TOTAL_CHANNELS",
+    "RobotCellConfig",
+    "RobotCellSimulator",
+    "RobotRecording",
+    "POWER_CHANNEL_NAMES",
+    "PowerMeterConfig",
+    "PowerMeterModel",
+    "axis_angle_to_quaternion",
+    "euler_to_quaternion",
+    "quaternion_conjugate",
+    "quaternion_multiply",
+    "quaternion_normalize",
+    "quaternion_slerp",
+    "quaternion_to_euler",
+    "IMUConfig",
+    "IMUReading",
+    "IMUSensorModel",
+    "JointTrajectory",
+    "QuinticSegment",
+    "plan_waypoint_trajectory",
+]

@@ -1,0 +1,105 @@
+"""Linear Kalman filtering.
+
+The DFRobot SEN0386 IMUs used in the paper apply an on-board Kalman filter
+before streaming measurements at 200 Hz.  The sensor model reproduces this:
+raw simulated signals are corrupted with noise and then smoothed by a
+constant-velocity Kalman filter, so the detectors see data with the same
+noise character as the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KalmanFilter1D", "ConstantVelocityKalman", "smooth_series"]
+
+
+class KalmanFilter1D:
+    """Scalar Kalman filter with a random-walk state model."""
+
+    def __init__(self, process_variance: float = 1e-4, measurement_variance: float = 1e-2,
+                 initial_estimate: float = 0.0, initial_variance: float = 1.0) -> None:
+        if process_variance <= 0 or measurement_variance <= 0:
+            raise ValueError("variances must be positive")
+        self.process_variance = process_variance
+        self.measurement_variance = measurement_variance
+        self.estimate = initial_estimate
+        self.variance = initial_variance
+
+    def update(self, measurement: float) -> float:
+        """Incorporate one measurement and return the filtered estimate."""
+        # Predict
+        predicted_variance = self.variance + self.process_variance
+        # Update
+        gain = predicted_variance / (predicted_variance + self.measurement_variance)
+        self.estimate = self.estimate + gain * (measurement - self.estimate)
+        self.variance = (1.0 - gain) * predicted_variance
+        return self.estimate
+
+    def filter(self, measurements: np.ndarray) -> np.ndarray:
+        """Filter a whole series, returning the estimates."""
+        measurements = np.asarray(measurements, dtype=np.float64)
+        output = np.empty_like(measurements)
+        for index, value in enumerate(measurements):
+            output[index] = self.update(float(value))
+        return output
+
+
+class ConstantVelocityKalman:
+    """Kalman filter with a [position, velocity] state and position measurements.
+
+    This matches the dynamic model used by consumer IMU modules to fuse the
+    gyroscope and accelerometer into smooth orientation estimates.
+    """
+
+    def __init__(self, dt: float, process_noise: float = 1e-3,
+                 measurement_noise: float = 1e-2) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.dt = dt
+        self.transition = np.array([[1.0, dt], [0.0, 1.0]])
+        self.observation = np.array([[1.0, 0.0]])
+        q = process_noise
+        self.process_cov = q * np.array([[dt ** 4 / 4.0, dt ** 3 / 2.0],
+                                         [dt ** 3 / 2.0, dt ** 2]])
+        self.measurement_cov = np.array([[measurement_noise]])
+        self.state = np.zeros((2, 1))
+        self.covariance = np.eye(2)
+
+    def update(self, measurement: float) -> float:
+        """Advance one step with a scalar position measurement."""
+        # Predict
+        self.state = self.transition @ self.state
+        self.covariance = self.transition @ self.covariance @ self.transition.T + self.process_cov
+        # Update
+        innovation = measurement - float((self.observation @ self.state).item())
+        innovation_cov = self.observation @ self.covariance @ self.observation.T \
+            + self.measurement_cov
+        gain = self.covariance @ self.observation.T / innovation_cov
+        self.state = self.state + gain * innovation
+        self.covariance = (np.eye(2) - gain @ self.observation) @ self.covariance
+        return float(self.state[0, 0])
+
+    def filter(self, measurements: np.ndarray) -> np.ndarray:
+        """Filter a whole series of position measurements."""
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.size:
+            self.state[0, 0] = measurements[0]
+        output = np.empty_like(measurements)
+        for index, value in enumerate(measurements):
+            output[index] = self.update(float(value))
+        return output
+
+
+def smooth_series(values: np.ndarray, process_variance: float = 1e-4,
+                  measurement_variance: float = 1e-2) -> np.ndarray:
+    """Convenience wrapper: Kalman-smooth a 1-D series with a random-walk model."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("smooth_series expects a 1-D array")
+    kalman = KalmanFilter1D(process_variance=process_variance,
+                            measurement_variance=measurement_variance,
+                            initial_estimate=float(values[0]) if values.size else 0.0)
+    return kalman.filter(values)

@@ -1,0 +1,216 @@
+"""Full robot-cell data-stream assembly.
+
+Combines the action library, trajectory planner, IMU sensor models, power
+meter and collision injector into the 86-channel multivariate stream the
+paper records from its production cell:
+
+* 1 action-ID channel,
+* 7 joints x 11 IMU channels = 77 joint channels,
+* 8 power channels.
+
+Two recording modes mirror the paper's protocol: a *normal* recording that
+cycles through every action (used for training, 390 minutes in the paper)
+and a *collision* recording in which random collision anomalies are injected
+(used for testing, 82 minutes and 125 collisions in the paper).  Durations
+are parameters so the reproduction can run at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .actions import ActionLibrary, DEFAULT_NUM_ACTIONS
+from .anomalies import CollisionConfig, CollisionEvent, CollisionInjector
+from .power import PowerMeterConfig, PowerMeterModel
+from .sensors import IMUConfig, IMUSensorModel
+from .trajectory import JointTrajectory
+
+__all__ = ["RobotRecording", "RobotCellConfig", "RobotCellSimulator"]
+
+N_JOINTS = 7
+CHANNELS_PER_JOINT = 11
+N_POWER_CHANNELS = 8
+N_TOTAL_CHANNELS = 1 + N_JOINTS * CHANNELS_PER_JOINT + N_POWER_CHANNELS  # 86
+
+
+@dataclass
+class RobotRecording:
+    """A recorded multivariate stream with ground-truth anomaly labels."""
+
+    data: np.ndarray                 # (T, 86)
+    channel_names: Tuple[str, ...]
+    labels: np.ndarray               # (T,) 0 = normal, 1 = anomalous
+    sample_rate: float
+    events: Tuple[CollisionEvent, ...] = ()
+    action_sequence: Tuple[int, ...] = ()
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_samples / self.sample_rate
+
+    @property
+    def anomaly_fraction(self) -> float:
+        return float(self.labels.mean()) if self.labels.size else 0.0
+
+    def channel(self, name: str) -> np.ndarray:
+        """Return one channel by its Table-1 name."""
+        try:
+            index = self.channel_names.index(name)
+        except ValueError as error:
+            raise KeyError(f"unknown channel {name!r}") from error
+        return self.data[:, index]
+
+
+@dataclass(frozen=True)
+class RobotCellConfig:
+    """Configuration of the simulated production cell."""
+
+    sample_rate: float = 200.0
+    num_actions: int = DEFAULT_NUM_ACTIONS
+    action_seed: int = 7
+    imu: IMUConfig = field(default_factory=IMUConfig)
+    power: PowerMeterConfig = field(default_factory=PowerMeterConfig)
+    collisions: CollisionConfig = field(default_factory=CollisionConfig)
+
+
+class RobotCellSimulator:
+    """Simulate the instrumented KUKA cell end to end."""
+
+    def __init__(self, config: Optional[RobotCellConfig] = None,
+                 seed: int = 0) -> None:
+        self.config = config if config is not None else RobotCellConfig()
+        self._rng = np.random.default_rng(seed)
+        self.actions = ActionLibrary(
+            num_actions=self.config.num_actions, seed=self.config.action_seed
+        )
+        self._imu_model = IMUSensorModel(config=self.config.imu, rng=self._rng)
+        self._power_model = PowerMeterModel(config=self.config.power, rng=self._rng)
+        self._collision_injector = CollisionInjector(
+            config=self.config.collisions,
+            sample_rate=self.config.sample_rate,
+            rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Channel naming (Table 1)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def channel_names() -> Tuple[str, ...]:
+        """The 86 channel names in stream order, following Table 1."""
+        names: List[str] = ["action_id"]
+        per_joint = ("AccX", "AccY", "AccZ", "GyroX", "GyroY", "GyroZ",
+                     "q1", "q2", "q3", "q4", "temp")
+        for joint in range(N_JOINTS):
+            for suffix in per_joint:
+                names.append(f"sensor_id_{joint}_{suffix}")
+        names.extend(["current", "frequency", "phase_angle", "power",
+                      "power_factor", "reactive_power", "voltage", "import_energy"])
+        return tuple(names)
+
+    # ------------------------------------------------------------------ #
+    # Trajectory assembly
+    # ------------------------------------------------------------------ #
+    def _assemble_trajectory(self, duration_s: float,
+                             shuffle: bool) -> Tuple[JointTrajectory, np.ndarray, List[int]]:
+        """Concatenate action trajectories until ``duration_s`` is covered.
+
+        Returns the trajectory, a per-sample action-ID array, and the action
+        sequence played.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        sample_rate = self.config.sample_rate
+        schedule = self.actions.schedule(duration_s, rng=self._rng, shuffle=shuffle)
+
+        pieces_pos: List[np.ndarray] = []
+        pieces_vel: List[np.ndarray] = []
+        pieces_acc: List[np.ndarray] = []
+        action_ids: List[np.ndarray] = []
+        total_samples_target = int(duration_s * sample_rate)
+        total = 0
+        played: List[int] = []
+        for action_id in schedule:
+            trajectory = self.actions[action_id].plan(sample_rate)
+            pieces_pos.append(trajectory.positions)
+            pieces_vel.append(trajectory.velocities)
+            pieces_acc.append(trajectory.accelerations)
+            action_ids.append(np.full(trajectory.n_samples, action_id, dtype=np.float64))
+            played.append(action_id)
+            total += trajectory.n_samples
+            if total >= total_samples_target:
+                break
+
+        positions = np.concatenate(pieces_pos)[:total_samples_target]
+        velocities = np.concatenate(pieces_vel)[:total_samples_target]
+        accelerations = np.concatenate(pieces_acc)[:total_samples_target]
+        ids = np.concatenate(action_ids)[:total_samples_target]
+        times = np.arange(positions.shape[0]) / sample_rate
+        trajectory = JointTrajectory(times=times, positions=positions,
+                                     velocities=velocities, accelerations=accelerations)
+        return trajectory, ids, played
+
+    # ------------------------------------------------------------------ #
+    # Recording modes
+    # ------------------------------------------------------------------ #
+    def record_normal(self, duration_s: float, shuffle: bool = False) -> RobotRecording:
+        """Record normal (anomaly-free) operation for ``duration_s`` seconds."""
+        trajectory, action_ids, played = self._assemble_trajectory(duration_s, shuffle)
+        joint_channels = self._imu_model.measure_all(
+            trajectory.positions, trajectory.velocities, trajectory.accelerations
+        )
+        power_channels = self._power_model.measure(
+            trajectory.positions, trajectory.velocities, trajectory.accelerations
+        )
+        data = np.concatenate([action_ids[:, None], joint_channels, power_channels], axis=1)
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        return RobotRecording(
+            data=data,
+            channel_names=self.channel_names(),
+            labels=labels,
+            sample_rate=self.config.sample_rate,
+            events=(),
+            action_sequence=tuple(played),
+        )
+
+    def record_collision_experiment(self, duration_s: float,
+                                    n_collisions: Optional[int] = None,
+                                    shuffle: bool = True) -> RobotRecording:
+        """Record a collision experiment: normal operation plus injected collisions."""
+        trajectory, action_ids, played = self._assemble_trajectory(duration_s, shuffle)
+        n_samples = trajectory.positions.shape[0]
+        events = self._collision_injector.sample_events(
+            n_samples, n_joints=N_JOINTS, n_collisions=n_collisions
+        )
+
+        joint_channels = self._imu_model.measure_all(
+            trajectory.positions, trajectory.velocities, trajectory.accelerations
+        )
+        joint_channels = self._collision_injector.apply_to_joint_channels(
+            joint_channels, events, n_joints=N_JOINTS, channels_per_joint=CHANNELS_PER_JOINT
+        )
+        surge = self._collision_injector.power_surge(n_samples, events)
+        power_channels = self._power_model.measure(
+            trajectory.positions, trajectory.velocities, trajectory.accelerations,
+            extra_power=surge,
+        )
+        data = np.concatenate([action_ids[:, None], joint_channels, power_channels], axis=1)
+        labels = self._collision_injector.labels(n_samples, events)
+        return RobotRecording(
+            data=data,
+            channel_names=self.channel_names(),
+            labels=labels,
+            sample_rate=self.config.sample_rate,
+            events=tuple(events),
+            action_sequence=tuple(played),
+        )

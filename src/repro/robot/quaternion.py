@@ -1,0 +1,123 @@
+"""Quaternion utilities.
+
+The paper converts IMU orientation angles to quaternions (a 4-component
+representation standard in robotics) because wrap-around at +/-180 degrees
+confuses pattern-recognition models.  This module provides the conversions
+and algebra used by the IMU sensor model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "euler_to_quaternion",
+    "quaternion_to_euler",
+    "quaternion_multiply",
+    "quaternion_conjugate",
+    "quaternion_normalize",
+    "axis_angle_to_quaternion",
+    "quaternion_slerp",
+]
+
+
+def euler_to_quaternion(roll: np.ndarray, pitch: np.ndarray, yaw: np.ndarray) -> np.ndarray:
+    """Convert ZYX Euler angles (radians) to quaternions ``(w, x, y, z)``.
+
+    Inputs may be scalars or arrays of identical shape; the output stacks the
+    four components along the last axis.
+    """
+    roll = np.asarray(roll, dtype=np.float64)
+    pitch = np.asarray(pitch, dtype=np.float64)
+    yaw = np.asarray(yaw, dtype=np.float64)
+
+    half_roll, half_pitch, half_yaw = roll / 2.0, pitch / 2.0, yaw / 2.0
+    cr, sr = np.cos(half_roll), np.sin(half_roll)
+    cp, sp = np.cos(half_pitch), np.sin(half_pitch)
+    cy, sy = np.cos(half_yaw), np.sin(half_yaw)
+
+    w = cr * cp * cy + sr * sp * sy
+    x = sr * cp * cy - cr * sp * sy
+    y = cr * sp * cy + sr * cp * sy
+    z = cr * cp * sy - sr * sp * cy
+    return np.stack([w, x, y, z], axis=-1)
+
+
+def quaternion_to_euler(quaternion: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert quaternions ``(..., 4)`` back to ZYX Euler angles (radians)."""
+    quaternion = np.asarray(quaternion, dtype=np.float64)
+    w, x, y, z = (quaternion[..., 0], quaternion[..., 1],
+                  quaternion[..., 2], quaternion[..., 3])
+
+    sinr_cosp = 2.0 * (w * x + y * z)
+    cosr_cosp = 1.0 - 2.0 * (x * x + y * y)
+    roll = np.arctan2(sinr_cosp, cosr_cosp)
+
+    sinp = np.clip(2.0 * (w * y - z * x), -1.0, 1.0)
+    pitch = np.arcsin(sinp)
+
+    siny_cosp = 2.0 * (w * z + x * y)
+    cosy_cosp = 1.0 - 2.0 * (y * y + z * z)
+    yaw = np.arctan2(siny_cosp, cosy_cosp)
+    return roll, pitch, yaw
+
+
+def quaternion_multiply(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Hamilton product of two quaternion arrays ``(..., 4)``."""
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    w1, x1, y1, z1 = first[..., 0], first[..., 1], first[..., 2], first[..., 3]
+    w2, x2, y2, z2 = second[..., 0], second[..., 1], second[..., 2], second[..., 3]
+    return np.stack([
+        w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+        w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+        w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+        w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+    ], axis=-1)
+
+
+def quaternion_conjugate(quaternion: np.ndarray) -> np.ndarray:
+    """Conjugate (inverse for unit quaternions)."""
+    quaternion = np.asarray(quaternion, dtype=np.float64)
+    result = quaternion.copy()
+    result[..., 1:] = -result[..., 1:]
+    return result
+
+
+def quaternion_normalize(quaternion: np.ndarray) -> np.ndarray:
+    """Normalise to unit length (guards against zero norm)."""
+    quaternion = np.asarray(quaternion, dtype=np.float64)
+    norm = np.linalg.norm(quaternion, axis=-1, keepdims=True)
+    return quaternion / np.maximum(norm, 1e-12)
+
+
+def axis_angle_to_quaternion(axis: np.ndarray, angle: np.ndarray) -> np.ndarray:
+    """Quaternion for a rotation of ``angle`` radians about ``axis`` (3-vector)."""
+    axis = np.asarray(axis, dtype=np.float64)
+    angle = np.asarray(angle, dtype=np.float64)
+    axis = axis / np.maximum(np.linalg.norm(axis, axis=-1, keepdims=True), 1e-12)
+    half = angle / 2.0
+    sin_half = np.sin(half)
+    w = np.cos(half)
+    xyz = axis * sin_half[..., None]
+    return np.concatenate([w[..., None], xyz], axis=-1)
+
+
+def quaternion_slerp(start: np.ndarray, end: np.ndarray, fraction: float) -> np.ndarray:
+    """Spherical linear interpolation between two unit quaternions."""
+    start = quaternion_normalize(start)
+    end = quaternion_normalize(end)
+    dot = float(np.clip(np.sum(start * end, axis=-1), -1.0, 1.0))
+    if dot < 0.0:
+        end = -end
+        dot = -dot
+    if dot > 0.9995:
+        result = start + fraction * (end - start)
+        return quaternion_normalize(result)
+    theta = np.arccos(dot)
+    sin_theta = np.sin(theta)
+    weight_start = np.sin((1.0 - fraction) * theta) / sin_theta
+    weight_end = np.sin(fraction * theta) / sin_theta
+    return quaternion_normalize(weight_start * start + weight_end * end)

@@ -1,0 +1,131 @@
+"""Joint-space trajectory generation.
+
+Pick-and-place actions are expressed as sequences of joint-space waypoints;
+between waypoints the simulator interpolates with quintic polynomials
+(zero velocity and acceleration at both ends), which is the smooth motion
+profile industrial controllers generate.  Velocities and accelerations are
+obtained analytically, so the simulated IMU signals are consistent with the
+positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QuinticSegment", "JointTrajectory", "plan_waypoint_trajectory"]
+
+
+@dataclass(frozen=True)
+class QuinticSegment:
+    """A quintic polynomial segment between two joint configurations."""
+
+    start: np.ndarray       # (n_joints,)
+    end: np.ndarray         # (n_joints,)
+    duration: float         # seconds
+
+    def evaluate(self, t: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Position, velocity and acceleration at times ``t`` in [0, duration].
+
+        Returns arrays of shape ``(len(t), n_joints)``.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        tau = np.clip(t / self.duration, 0.0, 1.0)
+        # Quintic with zero boundary velocity/acceleration: s(tau)=10t^3-15t^4+6t^5
+        s = 10.0 * tau ** 3 - 15.0 * tau ** 4 + 6.0 * tau ** 5
+        s_dot = (30.0 * tau ** 2 - 60.0 * tau ** 3 + 30.0 * tau ** 4) / self.duration
+        s_ddot = (60.0 * tau - 180.0 * tau ** 2 + 120.0 * tau ** 3) / self.duration ** 2
+        delta = (self.end - self.start)[None, :]
+        position = self.start[None, :] + s[:, None] * delta
+        velocity = s_dot[:, None] * delta
+        acceleration = s_ddot[:, None] * delta
+        return position, velocity, acceleration
+
+
+@dataclass
+class JointTrajectory:
+    """A sampled joint trajectory with analytic derivatives."""
+
+    times: np.ndarray          # (T,)
+    positions: np.ndarray      # (T, n_joints) [rad]
+    velocities: np.ndarray     # (T, n_joints) [rad/s]
+    accelerations: np.ndarray  # (T, n_joints) [rad/s^2]
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0]) if self.times.size else 0.0
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def n_joints(self) -> int:
+        return int(self.positions.shape[1])
+
+    def concatenate(self, other: "JointTrajectory") -> "JointTrajectory":
+        """Append ``other`` after this trajectory, shifting its time axis."""
+        if self.positions.shape[1] != other.positions.shape[1]:
+            raise ValueError("joint counts differ")
+        offset = self.times[-1] + (self.times[1] - self.times[0]) if self.times.size > 1 else 0.0
+        return JointTrajectory(
+            times=np.concatenate([self.times, other.times + offset]),
+            positions=np.concatenate([self.positions, other.positions]),
+            velocities=np.concatenate([self.velocities, other.velocities]),
+            accelerations=np.concatenate([self.accelerations, other.accelerations]),
+        )
+
+
+def plan_waypoint_trajectory(waypoints: Sequence[np.ndarray],
+                             segment_durations: Sequence[float],
+                             sample_rate: float) -> JointTrajectory:
+    """Plan a trajectory through joint-space waypoints with quintic segments.
+
+    Parameters
+    ----------
+    waypoints:
+        Sequence of joint configurations, each of shape ``(n_joints,)``.
+    segment_durations:
+        Duration (seconds) of each of the ``len(waypoints) - 1`` segments.
+    sample_rate:
+        Output sampling rate in Hz (200 Hz for the paper's IMUs).
+    """
+    if len(waypoints) < 2:
+        raise ValueError("need at least two waypoints")
+    if len(segment_durations) != len(waypoints) - 1:
+        raise ValueError("need exactly one duration per segment")
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+
+    dt = 1.0 / sample_rate
+    pieces_pos: List[np.ndarray] = []
+    pieces_vel: List[np.ndarray] = []
+    pieces_acc: List[np.ndarray] = []
+    pieces_time: List[np.ndarray] = []
+    time_offset = 0.0
+
+    for index, duration in enumerate(segment_durations):
+        if duration <= 0:
+            raise ValueError("segment durations must be positive")
+        start = np.asarray(waypoints[index], dtype=np.float64)
+        end = np.asarray(waypoints[index + 1], dtype=np.float64)
+        if start.shape != end.shape:
+            raise ValueError("all waypoints must have the same shape")
+        segment = QuinticSegment(start=start, end=end, duration=float(duration))
+        n_steps = max(int(round(duration * sample_rate)), 1)
+        local_times = np.arange(n_steps) * dt
+        position, velocity, acceleration = segment.evaluate(local_times)
+        pieces_pos.append(position)
+        pieces_vel.append(velocity)
+        pieces_acc.append(acceleration)
+        pieces_time.append(local_times + time_offset)
+        time_offset += n_steps * dt
+
+    return JointTrajectory(
+        times=np.concatenate(pieces_time),
+        positions=np.concatenate(pieces_pos),
+        velocities=np.concatenate(pieces_vel),
+        accelerations=np.concatenate(pieces_acc),
+    )

@@ -1,0 +1,18 @@
+"""Tree-based learning substrates: CART regression trees, gradient boosting
+and the isolation forest, re-implemented from their reference papers to
+replace scikit-learn (which is unavailable in this environment).
+"""
+
+from .decision_tree import DecisionTreeRegressor, TreeNode
+from .gradient_boosting import GradientBoostingRegressor, MultiOutputGradientBoosting
+from .isolation_forest import IsolationForest, IsolationTreeNode, average_path_length
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "TreeNode",
+    "GradientBoostingRegressor",
+    "MultiOutputGradientBoosting",
+    "IsolationForest",
+    "IsolationTreeNode",
+    "average_path_length",
+]

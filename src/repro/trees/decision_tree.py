@@ -1,0 +1,215 @@
+"""CART regression trees.
+
+This is the base learner for the Gradient Boosted Regression Forest (GBRF)
+baseline.  Splits minimise the mean-squared-error criterion via recursive
+binary splitting, as specified in the paper's implementation details
+(Section 3.4), using an efficient sorted-prefix-sum split search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """A node of a regression tree.
+
+    Leaves have ``feature == -1`` and carry the mean target ``value``.
+    Internal nodes route samples with ``x[feature] <= threshold`` to the left
+    child and the rest to the right child.
+    """
+
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (leaf = 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def count_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.count_leaves() + self.right.count_leaves()
+
+
+class DecisionTreeRegressor:
+    """A regression tree grown with the MSE criterion.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or smaller
+        than ``min_samples_leaf``.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples in each child of a split.
+    max_features:
+        If given, the number of features examined (without replacement) at
+        every split -- used by the boosted forest for decorrelation.
+    """
+
+    def __init__(self, max_depth: Optional[int] = None, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_features: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if max_depth is not None and max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.root: Optional[TreeNode] = None
+        self.n_features_: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        """Grow the tree on ``features`` (n_samples, n_features) and ``targets``."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array (n_samples, n_features)")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have the same number of samples")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self.n_features_ = features.shape[1]
+        self.root = self._grow(features, targets, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> TreeNode:
+        node = TreeNode(value=float(targets.mean()))
+        n_samples = targets.shape[0]
+        if (self.max_depth is not None and depth >= self.max_depth) \
+                or n_samples < self.min_samples_split \
+                or np.allclose(targets, targets[0]):
+            return node
+
+        feature, threshold = self._best_split(features, targets)
+        if feature < 0:
+            return node
+
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self._rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(self, features: np.ndarray, targets: np.ndarray) -> tuple[int, float]:
+        """Return the (feature, threshold) minimising weighted child MSE.
+
+        Uses prefix sums over the sorted targets so each feature is scanned in
+        O(n log n).  Returns ``(-1, 0.0)`` when no valid split exists.
+        """
+        n_samples = targets.shape[0]
+        best_feature = -1
+        best_threshold = 0.0
+        total_sum = targets.sum()
+        total_sq = (targets ** 2).sum()
+        best_score = total_sq - total_sum ** 2 / n_samples  # parent SSE
+
+        min_leaf = self.min_samples_leaf
+        for feature in self._candidate_features(features.shape[1]):
+            order = np.argsort(features[:, feature], kind="stable")
+            sorted_values = features[order, feature]
+            sorted_targets = targets[order]
+            prefix_sum = np.cumsum(sorted_targets)
+            prefix_sq = np.cumsum(sorted_targets ** 2)
+
+            # Candidate split after position i (1-based count of left samples).
+            left_counts = np.arange(1, n_samples)
+            valid = (left_counts >= min_leaf) & (n_samples - left_counts >= min_leaf)
+            # A split between equal feature values is not realisable.
+            distinct = sorted_values[:-1] < sorted_values[1:]
+            valid &= distinct
+            if not valid.any():
+                continue
+
+            left_sum = prefix_sum[:-1]
+            left_sq = prefix_sq[:-1]
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            right_counts = n_samples - left_counts
+            sse = (left_sq - left_sum ** 2 / left_counts) \
+                + (right_sq - right_sum ** 2 / right_counts)
+            sse = np.where(valid, sse, np.inf)
+            best_index = int(np.argmin(sse))
+            if sse[best_index] < best_score - 1e-12:
+                best_score = float(sse[best_index])
+                best_feature = int(feature)
+                best_threshold = float(
+                    0.5 * (sorted_values[best_index] + sorted_values[best_index + 1])
+                )
+        return best_feature, best_threshold
+
+    # ------------------------------------------------------------------ #
+    # Prediction and introspection
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n_samples, n_features)."""
+        if self.root is None:
+            raise RuntimeError("predict() called before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {features.shape[1]}"
+            )
+        output = np.empty(features.shape[0])
+        for index, row in enumerate(features):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            output[index] = node.value
+        return output
+
+    @property
+    def depth(self) -> int:
+        if self.root is None:
+            raise RuntimeError("tree has not been fitted")
+        return self.root.depth()
+
+    @property
+    def n_leaves(self) -> int:
+        if self.root is None:
+            raise RuntimeError("tree has not been fitted")
+        return self.root.count_leaves()
+
+    def node_count(self) -> int:
+        """Total number of nodes (internal + leaves)."""
+        def count(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + count(node.left) + count(node.right)
+
+        if self.root is None:
+            raise RuntimeError("tree has not been fitted")
+        return count(self.root)

@@ -1,0 +1,163 @@
+"""Isolation Forest (Liu, Ting & Zhou, 2012).
+
+The paper uses an ensemble of 100 isolation trees and a contamination value
+of 0.1 (the recommended default) to turn anomaly scores into a decision
+threshold.  Scores follow the reference formulation: the average path length
+needed to isolate a point, normalised by the expected path length of an
+unsuccessful binary-search-tree lookup, mapped through ``2^(-E[h]/c(n))`` so
+larger values mean "more anomalous".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["IsolationForest", "IsolationTreeNode", "average_path_length"]
+
+
+def average_path_length(n_samples: int | np.ndarray) -> np.ndarray:
+    """Expected path length c(n) of an unsuccessful BST search over n points."""
+    n = np.asarray(n_samples, dtype=np.float64)
+    result = np.zeros_like(n)
+    mask_two = n == 2
+    mask_many = n > 2
+    euler_mascheroni = 0.5772156649
+    with np.errstate(divide="ignore", invalid="ignore"):
+        harmonic = np.log(n - 1) + euler_mascheroni
+        result = np.where(mask_many, 2.0 * harmonic - 2.0 * (n - 1) / n, result)
+    result = np.where(mask_two, 1.0, result)
+    return result
+
+
+@dataclass
+class IsolationTreeNode:
+    """A node of an isolation tree."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    size: int = 0
+    left: Optional["IsolationTreeNode"] = None
+    right: Optional["IsolationTreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class _IsolationTree:
+    """A single isolation tree grown on a subsample."""
+
+    def __init__(self, height_limit: int, rng: np.random.Generator) -> None:
+        self.height_limit = height_limit
+        self._rng = rng
+        self.root: Optional[IsolationTreeNode] = None
+
+    def fit(self, data: np.ndarray) -> "_IsolationTree":
+        self.root = self._grow(data, depth=0)
+        return self
+
+    def _grow(self, data: np.ndarray, depth: int) -> IsolationTreeNode:
+        n_samples = data.shape[0]
+        if depth >= self.height_limit or n_samples <= 1:
+            return IsolationTreeNode(size=n_samples)
+        # Choose a feature with non-zero spread; give up after a few attempts
+        # (the subsample may be constant in every dimension).
+        for _ in range(data.shape[1]):
+            feature = int(self._rng.integers(0, data.shape[1]))
+            low = data[:, feature].min()
+            high = data[:, feature].max()
+            if high > low:
+                break
+        else:
+            return IsolationTreeNode(size=n_samples)
+        if high <= low:
+            return IsolationTreeNode(size=n_samples)
+        threshold = float(self._rng.uniform(low, high))
+        mask = data[:, feature] < threshold
+        if not mask.any() or mask.all():
+            return IsolationTreeNode(size=n_samples)
+        node = IsolationTreeNode(feature=feature, threshold=threshold, size=n_samples)
+        node.left = self._grow(data[mask], depth + 1)
+        node.right = self._grow(data[~mask], depth + 1)
+        return node
+
+    def path_length(self, data: np.ndarray) -> np.ndarray:
+        """Path length h(x) for every row, including the c(size) leaf correction."""
+        lengths = np.empty(data.shape[0])
+        for index, row in enumerate(data):
+            node = self.root
+            depth = 0
+            while not node.is_leaf:
+                node = node.left if row[node.feature] < node.threshold else node.right
+                depth += 1
+            correction = float(average_path_length(node.size)) if node.size > 1 else 0.0
+            lengths[index] = depth + correction
+        return lengths
+
+
+class IsolationForest:
+    """Ensemble of isolation trees with the standard anomaly score."""
+
+    def __init__(self, n_estimators: int = 100, max_samples: int = 256,
+                 contamination: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        if max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
+        if not 0.0 < contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5)")
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.contamination = contamination
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.trees_: List[_IsolationTree] = []
+        self.threshold_: Optional[float] = None
+        self._sample_size: int = max_samples
+
+    def fit(self, data: np.ndarray) -> "IsolationForest":
+        """Fit the forest on (assumed mostly normal) data."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a 2-D array (n_samples, n_features)")
+        if data.shape[0] < 2:
+            raise ValueError("need at least two samples to fit an isolation forest")
+        n_samples = data.shape[0]
+        self._sample_size = min(self.max_samples, n_samples)
+        height_limit = int(np.ceil(np.log2(max(self._sample_size, 2))))
+
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            indices = self._rng.choice(n_samples, size=self._sample_size, replace=False)
+            tree = _IsolationTree(height_limit, self._rng)
+            tree.fit(data[indices])
+            self.trees_.append(tree)
+
+        # Contamination defines the score threshold used by predict().
+        train_scores = self.score_samples(data)
+        self.threshold_ = float(np.quantile(train_scores, 1.0 - self.contamination))
+        return self
+
+    def score_samples(self, data: np.ndarray) -> np.ndarray:
+        """Anomaly score in (0, 1); larger means more anomalous."""
+        if not self.trees_:
+            raise RuntimeError("score_samples() called before fit()")
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        path_lengths = np.zeros(data.shape[0])
+        for tree in self.trees_:
+            path_lengths += tree.path_length(data)
+        mean_path = path_lengths / len(self.trees_)
+        normaliser = float(average_path_length(self._sample_size))
+        return np.power(2.0, -mean_path / max(normaliser, 1e-12))
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Return +1 for normal points and -1 for anomalies (contamination threshold)."""
+        if self.threshold_ is None:
+            raise RuntimeError("predict() called before fit()")
+        scores = self.score_samples(data)
+        return np.where(scores > self.threshold_, -1, 1)

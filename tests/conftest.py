@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Everything here is intentionally tiny: the goal of the fixtures is to exercise
+the full code paths (simulation, training, scoring, evaluation) in seconds,
+not to reach the paper's accuracy numbers -- the benchmarks do that at a
+larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DatasetConfig, build_benchmark_dataset
+from repro.robot.plant import RobotCellConfig, RobotCellSimulator
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_stream():
+    """A small synthetic 6-channel stream with predictable structure."""
+    generator = np.random.default_rng(7)
+    t = np.arange(600) / 50.0
+    channels = [
+        np.sin(2 * np.pi * 0.5 * t),
+        np.cos(2 * np.pi * 0.8 * t),
+        0.5 * np.sin(2 * np.pi * 1.3 * t + 0.4),
+        np.linspace(-1, 1, t.size),
+        generator.normal(0.0, 0.05, t.size),
+        np.sin(2 * np.pi * 0.5 * t) * np.cos(2 * np.pi * 0.2 * t),
+    ]
+    return np.stack(channels, axis=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_simulator():
+    """A robot-cell simulator with few actions at a low sample rate."""
+    config = RobotCellConfig(sample_rate=20.0, num_actions=5)
+    return RobotCellSimulator(config=config, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_normal_recording(tiny_simulator):
+    return tiny_simulator.record_normal(duration_s=20.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_collision_recording(tiny_simulator):
+    return tiny_simulator.record_collision_experiment(duration_s=25.0, n_collisions=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small benchmark dataset (86 channels, a few hundred samples)."""
+    config = DatasetConfig(
+        train_duration_s=24.0,
+        test_duration_s=20.0,
+        n_collisions=4,
+        sample_rate=20.0,
+        num_actions=6,
+        seed=5,
+    )
+    return build_benchmark_dataset(config)

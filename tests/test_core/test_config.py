@@ -1,0 +1,66 @@
+"""Tests for the VARADE configuration objects."""
+
+import pytest
+
+from repro.core import TrainingConfig, VaradeConfig
+
+
+class TestVaradeConfig:
+    def test_paper_configuration_matches_section_3_1(self):
+        """T=512 gives 8 layers; feature maps double every 2 layers 128 -> 1024."""
+        config = VaradeConfig.paper()
+        assert config.window == 512
+        assert config.n_layers == 8
+        schedule = config.feature_map_schedule()
+        assert schedule[0] == 128
+        assert schedule[-1] == 1024
+        assert schedule == [128, 128, 256, 256, 512, 512, 1024, 1024]
+        assert config.head_time_steps == 2
+
+    def test_layer_count_tracks_window(self):
+        assert VaradeConfig(n_channels=4, window=16).n_layers == 3
+        assert VaradeConfig(n_channels=4, window=64).n_layers == 5
+
+    def test_feature_map_doubling_period(self):
+        config = VaradeConfig(n_channels=4, window=32, base_feature_maps=8,
+                              feature_map_doubling_period=1)
+        assert config.feature_map_schedule() == [8, 16, 32, 64]
+
+    def test_edge_scaled_constructor(self):
+        config = VaradeConfig.edge_scaled(n_channels=10, window=32, base_feature_maps=8)
+        assert config.n_channels == 10
+        assert config.window == 32
+
+    def test_window_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            VaradeConfig(n_channels=4, window=48)
+        with pytest.raises(ValueError):
+            VaradeConfig(n_channels=4, window=2)
+
+    def test_other_validation(self):
+        with pytest.raises(ValueError):
+            VaradeConfig(n_channels=0)
+        with pytest.raises(ValueError):
+            VaradeConfig(n_channels=4, base_feature_maps=0)
+        with pytest.raises(ValueError):
+            VaradeConfig(n_channels=4, kl_weight=-1.0)
+
+
+class TestTrainingConfig:
+    def test_paper_settings(self):
+        config = TrainingConfig.paper()
+        assert config.learning_rate == pytest.approx(1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(mean_warmup_epochs=-1)
+        with pytest.raises(ValueError):
+            TrainingConfig(window_stride=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(max_train_windows=0)

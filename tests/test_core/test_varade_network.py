@@ -1,0 +1,98 @@
+"""Tests for the VARADE network architecture."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import VaradeConfig
+from repro.core.varade import VaradeNetwork
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return VaradeConfig(n_channels=6, window=16, base_feature_maps=4)
+
+
+@pytest.fixture(scope="module")
+def network(small_config):
+    return VaradeNetwork(small_config, rng=np.random.default_rng(0))
+
+
+class TestArchitecture:
+    def test_output_shapes(self, network, small_config):
+        batch = nn.Tensor(np.random.default_rng(1).normal(size=(5, 6, 16)))
+        mean, log_var = network(batch)
+        assert mean.shape == (5, 6)
+        assert log_var.shape == (5, 6)
+
+    def test_backbone_halves_time_dimension_each_layer(self, network):
+        """Kernel-2 / stride-2 convolutions: 16 -> 8 -> 4 -> 2."""
+        x = nn.Tensor(np.zeros((1, 6, 16)))
+        lengths = []
+        for layer in network.backbone:
+            x = layer(x)
+            if isinstance(layer, nn.Conv1d):
+                lengths.append(x.shape[-1])
+        assert lengths == [8, 4, 2]
+
+    def test_feature_map_schedule_applied(self, network, small_config):
+        convs = [layer for layer in network.backbone if isinstance(layer, nn.Conv1d)]
+        assert [c.out_channels for c in convs] == small_config.feature_map_schedule()
+
+    def test_paper_scale_parameter_count_order_of_magnitude(self):
+        network = VaradeNetwork(VaradeConfig.paper(86), rng=np.random.default_rng(0))
+        params = network.num_parameters()
+        # 8 conv layers up to 1024 maps plus the two heads: a few million weights.
+        assert 3_000_000 < params < 10_000_000
+
+    def test_log_var_is_clipped(self, small_config):
+        network = VaradeNetwork(small_config, rng=np.random.default_rng(0))
+        huge = nn.Tensor(np.full((1, 6, 16), 1e6))
+        _, log_var = network(huge)
+        assert np.all(log_var.numpy() <= 10.0)
+        assert np.all(log_var.numpy() >= -10.0)
+
+    def test_variance_head_neutral_initialisation(self, small_config):
+        network = VaradeNetwork(small_config, rng=np.random.default_rng(0))
+        _, log_var = network(nn.Tensor(np.random.default_rng(2).normal(size=(3, 6, 16))))
+        np.testing.assert_allclose(log_var.numpy(), small_config.initial_log_var, atol=1e-9)
+
+    def test_delta_parameterisation(self):
+        config = VaradeConfig(n_channels=3, window=8, base_feature_maps=2, predict_delta=True)
+        network = VaradeNetwork(config, rng=np.random.default_rng(0))
+        # Zero out the head so the prediction reduces to the last sample.
+        network.head_mean.weight.data[:] = 0.0
+        network.head_mean.bias.data[:] = 0.0
+        window = np.random.default_rng(3).normal(size=(2, 3, 8))
+        mean, _ = network(nn.Tensor(window))
+        np.testing.assert_allclose(mean.numpy(), window[:, :, -1], atol=1e-9)
+
+    def test_input_validation(self, network):
+        with pytest.raises(ValueError):
+            network(nn.Tensor(np.zeros((1, 6))))
+        with pytest.raises(ValueError):
+            network(nn.Tensor(np.zeros((1, 5, 16))))
+        with pytest.raises(ValueError):
+            network(nn.Tensor(np.zeros((1, 6, 8))))
+
+
+class TestInference:
+    def test_predict_distribution_accepts_stream_layout(self, network):
+        windows = np.random.default_rng(4).normal(size=(7, 16, 6))
+        mean, log_var = network.predict_distribution(windows)
+        assert mean.shape == (7, 6)
+        assert log_var.shape == (7, 6)
+
+    def test_predict_distribution_single_window(self, network):
+        mean, log_var = network.predict_distribution(np.zeros((16, 6)))
+        assert mean.shape == (1, 6)
+
+    def test_layer_summary(self, network):
+        summary = network.layer_summary()
+        assert len(summary) == 3 + 1
+        assert "mean, log-variance" in summary[-1]
+
+    def test_profile_hook_counts_all_parameters(self, network, small_config):
+        profile = nn.profile_model(network, (small_config.n_channels, small_config.window))
+        assert profile.total_parameters == network.num_parameters()
+        assert profile.total_flops > 0

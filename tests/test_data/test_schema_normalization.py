@@ -1,0 +1,119 @@
+"""Tests for the channel schema and the normalisation layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ChannelGroup,
+    MinMaxScaler,
+    StandardScaler,
+    build_default_schema,
+)
+from repro.data.schema import ChannelSpec, StreamSchema
+
+
+class TestSchema:
+    def test_default_schema_has_86_channels(self):
+        schema = build_default_schema()
+        counts = schema.counts()
+        assert counts == {"action": 1, "joint": 77, "power": 8, "total": 86}
+
+    def test_channel_order_matches_table1(self):
+        schema = build_default_schema()
+        assert schema.names[0] == "action_id"
+        assert schema.names[1] == "sensor_id_0_AccX"
+        assert schema.names[11] == "sensor_id_0_temp"
+        assert schema.names[-8] == "current"
+        assert schema.names[-1] == "import_energy"
+
+    def test_index_of_and_group_indices(self):
+        schema = build_default_schema()
+        assert schema.index_of("sensor_id_3_GyroY") == 1 + 3 * 11 + 4
+        assert len(schema.group_indices(ChannelGroup.POWER)) == 8
+        assert len(schema.joint_indices(2)) == 11
+        with pytest.raises(KeyError):
+            schema.index_of("bogus")
+
+    def test_as_table_renders_every_channel(self):
+        schema = build_default_schema()
+        table = schema.as_table()
+        assert len(table) == 86 + 2  # header + separator
+        assert any("Quaternion" in line for line in table)
+
+    def test_custom_joint_count(self):
+        schema = build_default_schema(n_joints=2)
+        assert schema.counts()["joint"] == 22
+
+    def test_duplicate_names_rejected(self):
+        spec = ChannelSpec(name="x", unit="-", description="", group=ChannelGroup.ACTION)
+        with pytest.raises(ValueError):
+            StreamSchema([spec, spec])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSchema([])
+
+
+class TestMinMaxScaler:
+    def test_training_data_maps_to_range(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(100, 4))
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() == pytest.approx(-1.0)
+        assert scaled.max() == pytest.approx(1.0)
+        np.testing.assert_allclose(scaled.min(axis=0), -1.0)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0)
+
+    def test_inverse_transform_round_trip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(50, 3))
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data,
+                                   atol=1e-12)
+
+    def test_constant_channel_maps_to_midpoint(self):
+        data = np.hstack([np.ones((10, 1)), np.arange(10.0).reshape(-1, 1)])
+        scaled = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_test_data_can_exceed_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        assert scaler.transform(np.array([[2.0]]))[0, 0] > 1.0
+
+    def test_custom_range(self):
+        scaled = MinMaxScaler(feature_range=(0.0, 1.0)).fit_transform(
+            np.array([[0.0], [10.0]])
+        )
+        np.testing.assert_allclose(scaled.ravel(), [0.0, 1.0])
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, -1.0))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.zeros(5))
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.zeros((0, 3)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(3.0, 2.0, size=(500, 3))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(50, 2))
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data,
+                                   atol=1e-12)
+
+    def test_errors(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))

@@ -1,0 +1,161 @@
+"""Tests for windowing, the benchmark dataset builder and streaming replay."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetConfig,
+    RollingWindow,
+    StreamReader,
+    WindowDataset,
+    build_benchmark_dataset,
+    forecast_pairs,
+    sliding_windows,
+)
+
+
+class TestSlidingWindows:
+    def test_shapes_and_values(self):
+        data = np.arange(20.0).reshape(10, 2)
+        windows = sliding_windows(data, window=4)
+        assert windows.shape == (7, 4, 2)
+        np.testing.assert_allclose(windows[0], data[:4])
+        np.testing.assert_allclose(windows[-1], data[6:10])
+
+    def test_stride(self):
+        data = np.arange(30.0).reshape(15, 2)
+        windows = sliding_windows(data, window=4, stride=3)
+        assert windows.shape[0] == 4
+        np.testing.assert_allclose(windows[1], data[3:7])
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros(10), 2)
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((3, 2)), 5)
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((10, 2)), 0)
+
+
+class TestForecastPairs:
+    def test_target_alignment(self):
+        data = np.arange(10.0).reshape(-1, 1)
+        contexts, targets, indices = forecast_pairs(data, window=3, horizon=1)
+        # The first context is samples 0..2 and its target is sample 3.
+        np.testing.assert_allclose(contexts[0].ravel(), [0, 1, 2])
+        assert targets[0, 0] == 3.0
+        assert indices[0] == 3
+        assert indices[-1] == 9
+
+    def test_horizon(self):
+        data = np.arange(10.0).reshape(-1, 1)
+        _, targets, indices = forecast_pairs(data, window=3, horizon=2)
+        assert targets[0, 0] == 4.0
+        assert indices[0] == 4
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            forecast_pairs(np.zeros((4, 1)), window=4, horizon=1)
+
+
+class TestWindowDataset:
+    def test_from_stream(self):
+        data = np.random.default_rng(0).normal(size=(50, 3))
+        dataset = WindowDataset.from_stream(data, window=8)
+        assert len(dataset) == 42
+        assert dataset.window == 8
+        assert dataset.n_channels == 3
+
+    def test_subsample(self):
+        data = np.random.default_rng(1).normal(size=(100, 2))
+        dataset = WindowDataset.from_stream(data, window=4)
+        small = dataset.subsample(10, rng=np.random.default_rng(0))
+        assert len(small) == 10
+        # indices stay sorted so scores can still be aligned
+        assert np.all(np.diff(small.target_indices) > 0)
+
+    def test_subsample_noop_when_small(self):
+        data = np.random.default_rng(2).normal(size=(20, 2))
+        dataset = WindowDataset.from_stream(data, window=4)
+        assert dataset.subsample(1000) is dataset
+
+    def test_batches_cover_every_pair(self):
+        data = np.random.default_rng(3).normal(size=(40, 2))
+        dataset = WindowDataset.from_stream(data, window=4)
+        seen = 0
+        for contexts, targets in dataset.batches(8, shuffle=True, rng=np.random.default_rng(0)):
+            assert contexts.shape[0] == targets.shape[0]
+            seen += contexts.shape[0]
+        assert seen == len(dataset)
+
+    def test_invalid_batch_size(self):
+        dataset = WindowDataset.from_stream(np.zeros((10, 2)), window=3)
+        with pytest.raises(ValueError):
+            list(dataset.batches(0))
+
+
+class TestBenchmarkDataset:
+    def test_shapes_and_normalisation(self, tiny_dataset):
+        assert tiny_dataset.train.shape[1] == 86
+        assert tiny_dataset.test.shape[1] == 86
+        assert tiny_dataset.test_labels.shape[0] == tiny_dataset.test.shape[0]
+        assert tiny_dataset.train.min() >= -1.0 - 1e-9
+        assert tiny_dataset.train.max() <= 1.0 + 1e-9
+
+    def test_test_set_contains_anomalies(self, tiny_dataset):
+        assert tiny_dataset.test_labels.sum() > 0
+        assert 0.0 < tiny_dataset.anomaly_fraction < 0.6
+
+    def test_summary_mentions_sizes(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        assert "train=" in summary and "channels=86" in summary
+
+    def test_exclude_action_id(self):
+        config = DatasetConfig(train_duration_s=12.0, test_duration_s=10.0, n_collisions=2,
+                               sample_rate=20.0, num_actions=4, seed=2, exclude_action_id=True)
+        dataset = build_benchmark_dataset(config)
+        assert dataset.train.shape[1] == 85
+
+
+class TestStreaming:
+    def test_reader_iterates_samples(self, tiny_stream):
+        reader = StreamReader(tiny_stream, sample_rate=50.0)
+        samples = list(reader)
+        assert len(samples) == tiny_stream.shape[0]
+        assert samples[10].timestamp == pytest.approx(0.2)
+        np.testing.assert_allclose(samples[3].values, tiny_stream[3])
+
+    def test_windows_match_sliding_windows(self, tiny_stream):
+        reader = StreamReader(tiny_stream, sample_rate=50.0)
+        pairs = list(reader.windows(window=8))
+        contexts, targets, indices = forecast_pairs(tiny_stream, window=8)
+        assert len(pairs) == contexts.shape[0]
+        np.testing.assert_allclose(pairs[0][0], contexts[0])
+        assert pairs[0][1].index == indices[0]
+
+    def test_rolling_window(self):
+        window = RollingWindow(window=3, n_channels=2)
+        assert not window.is_full
+        for value in range(3):
+            window.push(np.array([value, value]))
+        assert window.is_full
+        np.testing.assert_allclose(window.as_array()[:, 0], [0, 1, 2])
+        window.push(np.array([3, 3]))
+        np.testing.assert_allclose(window.as_array()[:, 0], [1, 2, 3])
+        window.clear()
+        assert len(window) == 0
+
+    def test_rolling_window_errors(self):
+        window = RollingWindow(window=3, n_channels=2)
+        with pytest.raises(ValueError):
+            window.push(np.zeros(5))
+        with pytest.raises(RuntimeError):
+            window.as_array()
+
+    def test_reader_validation(self, tiny_stream):
+        with pytest.raises(ValueError):
+            StreamReader(tiny_stream, labels=np.zeros(3))
+        with pytest.raises(ValueError):
+            StreamReader(tiny_stream, sample_rate=0.0)
+        with pytest.raises(ValueError):
+            StreamReader(np.zeros(10))

@@ -1,0 +1,149 @@
+"""Tests for the edge device models and the metric estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import InferenceCost
+from repro.edge import (
+    DEVICES,
+    EdgeEstimator,
+    JETSON_AGX_ORIN,
+    JETSON_XAVIER_NX,
+    get_device,
+)
+from repro.eval import paper_scale_costs
+
+
+class TestDeviceSpecs:
+    def test_known_devices(self):
+        assert "Jetson Xavier NX" in DEVICES
+        assert "Jetson AGX Orin" in DEVICES
+
+    def test_get_device_by_substring(self):
+        assert get_device("xavier").name == "Jetson Xavier NX"
+        assert get_device("Jetson AGX Orin").name == "Jetson AGX Orin"
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("raspberry pi")
+
+    def test_orin_is_faster_than_xavier(self):
+        assert JETSON_AGX_ORIN.gpu_gflops_effective > JETSON_XAVIER_NX.gpu_gflops_effective
+        assert JETSON_AGX_ORIN.cpu_cores > JETSON_XAVIER_NX.cpu_cores
+        assert JETSON_AGX_ORIN.memory_bandwidth_gbps > JETSON_XAVIER_NX.memory_bandwidth_gbps
+
+    def test_idle_points_match_paper_table2(self):
+        assert JETSON_XAVIER_NX.idle_power_w == pytest.approx(5.851)
+        assert JETSON_AGX_ORIN.idle_power_w == pytest.approx(7.522)
+        assert JETSON_XAVIER_NX.idle_ram_mb == pytest.approx(5130.219)
+
+    def test_describe(self):
+        assert "cores" in JETSON_XAVIER_NX.describe()
+
+
+class TestEstimator:
+    def _cost(self, **overrides):
+        base = dict(flops=1e8, parameter_bytes=4e6, activation_bytes=1e6,
+                    gpu_fraction=0.9, parallel_efficiency=0.8, n_kernel_launches=10)
+        base.update(overrides)
+        return InferenceCost(**base)
+
+    def test_latency_positive_and_frequency_consistent(self):
+        estimator = EdgeEstimator(JETSON_XAVIER_NX)
+        cost = self._cost()
+        latency = estimator.inference_latency(cost)
+        assert latency > 0
+        assert estimator.inference_frequency(cost) == pytest.approx(1.0 / latency)
+
+    def test_more_flops_means_slower(self):
+        estimator = EdgeEstimator(JETSON_XAVIER_NX)
+        slow = estimator.inference_latency(self._cost(flops=1e11))
+        fast = estimator.inference_latency(self._cost(flops=1e7))
+        assert slow > fast
+
+    def test_orin_is_faster_for_the_same_model(self):
+        cost = self._cost()
+        xavier = EdgeEstimator(JETSON_XAVIER_NX).inference_latency(cost)
+        orin = EdgeEstimator(JETSON_AGX_ORIN).inference_latency(cost)
+        assert orin < xavier
+
+    def test_power_never_below_idle(self):
+        estimator = EdgeEstimator(JETSON_XAVIER_NX)
+        metrics = estimator.estimate(self._cost(), "model")
+        assert metrics.power_w >= JETSON_XAVIER_NX.idle_power_w
+
+    def test_cpu_only_model_keeps_gpu_idle(self):
+        estimator = EdgeEstimator(JETSON_AGX_ORIN)
+        metrics = estimator.estimate(self._cost(gpu_fraction=0.0), "cpu-model")
+        assert metrics.gpu_percent == JETSON_AGX_ORIN.idle_gpu_percent
+        assert metrics.gpu_ram_mb == pytest.approx(JETSON_AGX_ORIN.idle_gpu_ram_mb)
+
+    def test_gpu_model_allocates_gpu_ram(self):
+        estimator = EdgeEstimator(JETSON_XAVIER_NX)
+        metrics = estimator.estimate(self._cost(gpu_fraction=0.95), "gpu-model")
+        assert metrics.gpu_ram_mb > JETSON_XAVIER_NX.idle_gpu_ram_mb
+
+    def test_rate_cap_reduces_power(self):
+        estimator = EdgeEstimator(JETSON_XAVIER_NX)
+        heavy = self._cost(flops=5e9)
+        uncapped = estimator.estimate(heavy, "m")
+        capped = estimator.estimate(heavy, "m", max_rate_hz=1.0)
+        assert capped.power_w <= uncapped.power_w + 1e-9
+
+    def test_as_row_contains_table2_columns(self):
+        metrics = EdgeEstimator(JETSON_XAVIER_NX).estimate(self._cost(), "VARADE")
+        row = metrics.as_row()
+        for key in ("board", "model", "cpu_percent", "gpu_percent", "ram_mb",
+                    "gpu_ram_mb", "power_w", "inference_hz"):
+            assert key in row
+
+
+class TestPaperScaleTradeoff:
+    """The reproduced Table-2 *shape*: ranking of the paper-scale detectors."""
+
+    @pytest.fixture(scope="class")
+    def frequencies(self):
+        costs = paper_scale_costs()
+        result = {}
+        for device in (JETSON_XAVIER_NX, JETSON_AGX_ORIN):
+            estimator = EdgeEstimator(device)
+            result[device.name] = {
+                name: estimator.estimate(cost, name, max_rate_hz=200.0)
+                for name, cost in costs.items()
+            }
+        return result
+
+    def test_gbrf_is_fastest_on_both_boards(self, frequencies):
+        for device, metrics in frequencies.items():
+            fastest = max(metrics.values(), key=lambda m: m.inference_frequency_hz)
+            assert fastest.detector == "GBRF", device
+
+    def test_varade_is_second_fastest(self, frequencies):
+        for device, metrics in frequencies.items():
+            ranked = sorted(metrics.values(), key=lambda m: -m.inference_frequency_hz)
+            assert ranked[1].detector == "VARADE", device
+
+    def test_ae_and_knn_are_slowest_on_xavier(self, frequencies):
+        ranked = sorted(frequencies["Jetson Xavier NX"].values(),
+                        key=lambda m: m.inference_frequency_hz)
+        assert {ranked[0].detector, ranked[1].detector} == {"AE", "kNN"}
+
+    def test_ar_lstm_draws_most_power_on_xavier(self, frequencies):
+        metrics = frequencies["Jetson Xavier NX"]
+        assert max(metrics.values(), key=lambda m: m.power_w).detector == "AR-LSTM"
+
+    def test_knn_is_cpu_bound(self, frequencies):
+        for device, metrics in frequencies.items():
+            knn = metrics["kNN"]
+            others = [m.cpu_percent for name, m in metrics.items() if name != "kNN"]
+            assert knn.cpu_percent > np.median(others), device
+
+    def test_orin_roughly_doubles_every_frequency(self, frequencies):
+        for name in frequencies["Jetson Xavier NX"]:
+            xavier = frequencies["Jetson Xavier NX"][name].inference_frequency_hz
+            orin = frequencies["Jetson AGX Orin"][name].inference_frequency_hz
+            assert 1.2 < orin / xavier < 4.5, name
+
+    def test_varade_frequency_within_2x_of_paper(self, frequencies):
+        assert 7.0 < frequencies["Jetson Xavier NX"]["VARADE"].inference_frequency_hz < 30.0
+        assert 13.0 < frequencies["Jetson AGX Orin"]["VARADE"].inference_frequency_hz < 53.0

@@ -1,0 +1,96 @@
+"""Tests for the streaming runtime and the board monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdCalibrator, TrainingConfig, VaradeConfig, VaradeDetector
+from repro.core.detector import InferenceCost
+from repro.data import StreamReader
+from repro.edge import (
+    BoardMonitor,
+    EdgeEstimator,
+    JETSON_XAVIER_NX,
+    StreamingRuntime,
+)
+
+
+@pytest.fixture(scope="module")
+def detector_and_stream():
+    rng = np.random.default_rng(0)
+    t = np.arange(500) / 50.0
+    envelope = 0.03 + 0.2 * np.abs(np.sin(2 * np.pi * 0.1 * t))
+    data = np.stack([np.sin(2 * np.pi * 0.5 * t + c) + envelope * rng.normal(0, 1.0, t.size)
+                     for c in range(4)], axis=1)
+    labels = np.zeros(t.size, dtype=np.int64)
+    data[300:330] += rng.normal(0.0, 2.0, size=(30, 4))
+    labels[300:330] = 1
+    config = VaradeConfig(n_channels=4, window=16, base_feature_maps=4)
+    training = TrainingConfig(epochs=8, mean_warmup_epochs=3, learning_rate=3e-3,
+                              variance_finetune_epochs=12, max_train_windows=220)
+    detector = VaradeDetector(config, training).fit(data[:250])
+    return detector, data, labels
+
+
+class TestStreamingRuntime:
+    def test_streaming_scores_match_batch_scoring(self, detector_and_stream):
+        detector, data, labels = detector_and_stream
+        reader = StreamReader(data, labels=labels, sample_rate=50.0)
+        result = StreamingRuntime(detector).run(reader)
+        batch = detector.score_stream(data)
+        valid = np.isfinite(result.scores) & np.isfinite(batch.scores)
+        np.testing.assert_allclose(result.scores[valid], batch.scores[valid], rtol=1e-9)
+
+    def test_latencies_recorded(self, detector_and_stream):
+        detector, data, labels = detector_and_stream
+        reader = StreamReader(data[:100], sample_rate=50.0)
+        result = StreamingRuntime(detector).run(reader)
+        assert result.samples_scored == result.latencies_s.shape[0] > 0
+        assert result.mean_latency_s > 0
+        assert result.host_inference_hz > 0
+
+    def test_max_samples_limits_work(self, detector_and_stream):
+        detector, data, labels = detector_and_stream
+        reader = StreamReader(data, sample_rate=50.0)
+        result = StreamingRuntime(detector).run(reader, max_samples=20)
+        assert result.samples_scored == 20
+
+    def test_threshold_produces_alarms_during_anomaly(self, detector_and_stream):
+        detector, data, labels = detector_and_stream
+        normal_scores = detector.score_stream(data[:250]).valid_scores()
+        threshold = ThresholdCalibrator(quantile=0.95).calibrate(normal_scores)
+        reader = StreamReader(data, labels=labels, sample_rate=50.0)
+        result = StreamingRuntime(detector, threshold=threshold).run(reader)
+        anomalous = labels.astype(bool)
+        assert result.alarms[anomalous].mean() > result.alarms[~anomalous].mean()
+
+
+class TestBoardMonitor:
+    def test_idle_session_matches_spec(self):
+        monitor = BoardMonitor(JETSON_XAVIER_NX, poll_rate_hz=2.0, relative_noise=0.01,
+                               rng=np.random.default_rng(0))
+        session = monitor.observe_idle(duration_s=30.0)
+        summary = session.mean()
+        assert summary["power_w"] == pytest.approx(JETSON_XAVIER_NX.idle_power_w, rel=0.05)
+        assert summary["ram_mb"] == pytest.approx(JETSON_XAVIER_NX.idle_ram_mb, rel=0.05)
+
+    def test_run_session_tracks_operating_point(self):
+        cost = InferenceCost(flops=1e8, parameter_bytes=4e6, activation_bytes=1e6)
+        operating_point = EdgeEstimator(JETSON_XAVIER_NX).estimate(cost, "VARADE")
+        monitor = BoardMonitor(JETSON_XAVIER_NX, relative_noise=0.02,
+                               rng=np.random.default_rng(1))
+        session = monitor.observe_run(operating_point, duration_s=20.0)
+        assert session.detector == "VARADE"
+        assert session.mean()["power_w"] == pytest.approx(operating_point.power_w, rel=0.1)
+
+    def test_empty_session_mean_raises(self):
+        monitor = BoardMonitor(JETSON_XAVIER_NX)
+        session = monitor.observe_idle(duration_s=0.1)
+        assert session.samples  # at least one sample even for short windows
+        with pytest.raises(ValueError):
+            type(session)(device="x", detector="y").mean()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            BoardMonitor(JETSON_XAVIER_NX, poll_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            BoardMonitor(JETSON_XAVIER_NX, relative_noise=-1.0)

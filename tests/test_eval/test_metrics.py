@@ -1,0 +1,140 @@
+"""Tests for the evaluation metrics (ROC/AUC, PR, F1, point-adjust)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    average_precision_score,
+    best_f1_score,
+    confusion_counts,
+    f1_score,
+    point_adjust,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestROC:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc_score(scores, labels) == pytest.approx(1.0)
+
+    def test_perfectly_wrong(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc_score(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(5000)
+        labels = rng.integers(0, 2, 5000)
+        assert roc_auc_score(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_hand_computed_example(self):
+        # scores: 0.9(1) 0.8(0) 0.7(1) 0.3(0) -> AUC = 3/4
+        scores = np.array([0.9, 0.8, 0.7, 0.3])
+        labels = np.array([1, 0, 1, 0])
+        assert roc_auc_score(scores, labels) == pytest.approx(0.75)
+
+    def test_ties_handled(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0, 1, 0, 1])
+        assert roc_auc_score(scores, labels) == pytest.approx(0.5)
+
+    def test_curve_starts_at_origin_and_ends_at_one(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(100)
+        labels = rng.integers(0, 2, 100)
+        fpr, tpr, thresholds = roc_curve(scores, labels)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_auc_invariant_to_monotonic_transform(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(200)
+        labels = rng.integers(0, 2, 200)
+        original = roc_auc_score(scores, labels)
+        transformed = roc_auc_score(np.exp(5 * scores), labels)
+        assert original == pytest.approx(transformed)
+
+    def test_nan_scores_ignored(self):
+        scores = np.array([0.1, np.nan, 0.9, 0.8])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc_score(scores, labels) == pytest.approx(1.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0.1, 0.2]), np.array([1, 1]))  # single class
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0.1]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0.1, 0.2]), np.array([0, 2]))
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([]), np.array([]))
+
+
+class TestPrecisionRecall:
+    def test_perfect_detector_ap_is_one(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert average_precision_score(scores, labels) == pytest.approx(1.0)
+
+    def test_curve_values(self):
+        scores = np.array([0.9, 0.8, 0.7])
+        labels = np.array([1, 0, 1])
+        precision, recall, _ = precision_recall_curve(scores, labels)
+        np.testing.assert_allclose(precision, [1.0, 0.5, 2 / 3])
+        np.testing.assert_allclose(recall, [0.5, 0.5, 1.0])
+
+    def test_requires_positives(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([0.5, 0.6]), np.array([0, 0]))
+
+
+class TestF1AndConfusion:
+    def test_confusion_counts(self):
+        predictions = np.array([1, 1, 0, 0, 1])
+        labels = np.array([1, 0, 0, 1, 1])
+        tp, fp, tn, fn = confusion_counts(predictions, labels)
+        assert (tp, fp, tn, fn) == (2, 1, 1, 1)
+
+    def test_f1_hand_computed(self):
+        predictions = np.array([1, 1, 0, 0, 1])
+        labels = np.array([1, 0, 0, 1, 1])
+        assert f1_score(predictions, labels) == pytest.approx(2 * 2 / (2 * 2 + 1 + 1))
+
+    def test_f1_zero_when_nothing_predicted(self):
+        assert f1_score(np.zeros(4), np.array([1, 1, 0, 0])) == 0.0
+
+    def test_best_f1_reaches_one_for_separable_scores(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        best, threshold = best_f1_score(scores, labels)
+        assert best == pytest.approx(1.0)
+        assert 0.2 <= threshold < 0.9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.zeros(3), np.zeros(4))
+
+
+class TestPointAdjust:
+    def test_detected_event_fully_credited(self):
+        labels = np.array([0, 1, 1, 1, 0, 1, 1])
+        predictions = np.array([0, 0, 1, 0, 0, 0, 0])
+        adjusted = point_adjust(predictions, labels)
+        np.testing.assert_array_equal(adjusted, [0, 1, 1, 1, 0, 0, 0])
+
+    def test_missed_event_stays_missed(self):
+        labels = np.array([0, 1, 1, 0])
+        predictions = np.array([0, 0, 0, 0])
+        np.testing.assert_array_equal(point_adjust(predictions, labels), predictions)
+
+    def test_false_positives_preserved(self):
+        labels = np.array([0, 0, 0])
+        predictions = np.array([1, 0, 1])
+        np.testing.assert_array_equal(point_adjust(predictions, labels), predictions)

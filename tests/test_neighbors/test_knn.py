@@ -1,0 +1,75 @@
+"""Tests for the brute-force kNN anomaly scorer."""
+
+import numpy as np
+import pytest
+
+from repro.neighbors import KNNAnomalyScorer
+
+
+def brute_force_distances(queries, reference, k):
+    distances = np.sqrt(((queries[:, None, :] - reference[None, :, :]) ** 2).sum(axis=2))
+    return np.sort(distances, axis=1)[:, :k]
+
+
+class TestKNNAnomalyScorer:
+    def test_neighbor_distances_match_brute_force(self):
+        rng = np.random.default_rng(0)
+        reference = rng.normal(size=(50, 4))
+        queries = rng.normal(size=(7, 4))
+        scorer = KNNAnomalyScorer(n_neighbors=3).fit(reference)
+        np.testing.assert_allclose(scorer.kneighbors(queries),
+                                   brute_force_distances(queries, reference, 3), atol=1e-9)
+
+    def test_max_aggregation_is_kth_distance(self):
+        rng = np.random.default_rng(1)
+        reference = rng.normal(size=(40, 3))
+        queries = rng.normal(size=(5, 3))
+        scorer = KNNAnomalyScorer(n_neighbors=4, aggregation="max").fit(reference)
+        expected = brute_force_distances(queries, reference, 4)[:, -1]
+        np.testing.assert_allclose(scorer.score_samples(queries), expected, atol=1e-9)
+
+    def test_mean_aggregation(self):
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=(40, 3))
+        queries = rng.normal(size=(5, 3))
+        scorer = KNNAnomalyScorer(n_neighbors=4, aggregation="mean").fit(reference)
+        expected = brute_force_distances(queries, reference, 4).mean(axis=1)
+        np.testing.assert_allclose(scorer.score_samples(queries), expected, atol=1e-9)
+
+    def test_outlier_scores_higher(self):
+        rng = np.random.default_rng(3)
+        reference = rng.normal(size=(200, 2))
+        scorer = KNNAnomalyScorer(n_neighbors=5).fit(reference)
+        normal_score = scorer.score_samples(np.zeros((1, 2)))[0]
+        outlier_score = scorer.score_samples(np.array([[20.0, 20.0]]))[0]
+        assert outlier_score > 5 * normal_score
+
+    def test_training_point_has_zero_nearest_distance(self):
+        reference = np.arange(20.0).reshape(10, 2)
+        scorer = KNNAnomalyScorer(n_neighbors=2).fit(reference)
+        distances = scorer.kneighbors(reference[[3]])
+        assert distances[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_reference_subsampling(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(500, 3))
+        scorer = KNNAnomalyScorer(n_neighbors=3, max_reference_points=100, rng=rng).fit(data)
+        assert scorer.reference_.shape == (100, 3)
+
+    def test_single_query_vector(self):
+        scorer = KNNAnomalyScorer(n_neighbors=2).fit(np.random.default_rng(0).normal(size=(30, 4)))
+        assert scorer.score_samples(np.zeros(4)).shape == (1,)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            KNNAnomalyScorer(n_neighbors=0)
+        with pytest.raises(ValueError):
+            KNNAnomalyScorer(aggregation="median")
+        scorer = KNNAnomalyScorer(n_neighbors=5)
+        with pytest.raises(RuntimeError):
+            scorer.score_samples(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            scorer.fit(np.zeros((3, 2)))  # fewer points than neighbours
+        scorer.fit(np.random.default_rng(0).normal(size=(20, 2)))
+        with pytest.raises(ValueError):
+            scorer.score_samples(np.zeros((1, 5)))

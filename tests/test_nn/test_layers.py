@@ -1,0 +1,215 @@
+"""Tests for the neural-network layers and the Module system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(4, 7, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_matches_manual_computation(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(nn.Tensor(x)).numpy(), expected)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert layer.num_parameters() == 6
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_trainable_on_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(1, 5))
+        x = rng.normal(size=(200, 5))
+        y = x @ true_w.T
+        layer = nn.Linear(5, 1, rng=rng)
+        optimizer = nn.Adam(layer.parameters(), lr=0.05)
+        for _ in range(200):
+            loss = nn.mse_loss(layer(nn.Tensor(x)), nn.Tensor(y))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestConv1d:
+    def test_output_shape_and_length(self):
+        conv = nn.Conv1d(3, 8, kernel_size=2, stride=2, rng=np.random.default_rng(0))
+        out = conv(nn.Tensor(np.ones((2, 3, 16))))
+        assert out.shape == (2, 8, 8)
+        assert conv.output_length(16) == 8
+
+    def test_padding_preserves_length(self):
+        conv = nn.Conv1d(2, 4, kernel_size=3, stride=1, padding=1, rng=np.random.default_rng(0))
+        out = conv(nn.Tensor(np.ones((1, 2, 10))))
+        assert out.shape == (1, 4, 10)
+
+    def test_parameter_count(self):
+        conv = nn.Conv1d(3, 8, kernel_size=2, rng=np.random.default_rng(0))
+        assert conv.num_parameters() == 3 * 8 * 2 + 8
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            nn.Conv1d(3, 8, kernel_size=0)
+
+
+class TestConvTranspose1d:
+    def test_output_length(self):
+        deconv = nn.ConvTranspose1d(4, 2, kernel_size=4, stride=2, padding=1,
+                                    rng=np.random.default_rng(0))
+        out = deconv(nn.Tensor(np.ones((2, 4, 8))))
+        assert out.shape == (2, 2, 16)
+        assert deconv.output_length(8) == 16
+
+    def test_upsamples_then_downsamples_to_same_length(self):
+        rng = np.random.default_rng(0)
+        down = nn.Conv1d(2, 4, kernel_size=2, stride=2, rng=rng)
+        up = nn.ConvTranspose1d(4, 2, kernel_size=2, stride=2, rng=rng)
+        x = nn.Tensor(np.ones((1, 2, 12)))
+        assert up(down(x)).shape == x.shape
+
+
+class TestActivationsAndUtility:
+    def test_relu_clips_negative(self):
+        out = nn.ReLU()(nn.Tensor(np.array([-1.0, 0.5])))
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.5])
+
+    def test_leaky_relu(self):
+        out = nn.LeakyReLU(0.1)(nn.Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.numpy(), [-0.1, 2.0])
+
+    def test_tanh_sigmoid_ranges(self):
+        x = nn.Tensor(np.linspace(-5, 5, 11))
+        assert np.all(np.abs(nn.Tanh()(x).numpy()) <= 1.0)
+        sig = nn.Sigmoid()(x).numpy()
+        assert np.all((sig > 0) & (sig < 1))
+
+    def test_identity(self):
+        x = nn.Tensor(np.arange(4.0))
+        np.testing.assert_allclose(nn.Identity()(x).numpy(), x.numpy())
+
+    def test_flatten(self):
+        out = nn.Flatten()(nn.Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_global_average_pool(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        out = nn.GlobalAveragePool1d()(nn.Tensor(x))
+        np.testing.assert_allclose(out.numpy(), x.mean(axis=-1))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        dropout.eval()
+        x = nn.Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(dropout(x).numpy(), x.numpy())
+
+    def test_training_mode_zeroes_some_values(self):
+        dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = dropout(nn.Tensor(np.ones((20, 20)))).numpy()
+        assert (out == 0).any()
+        # Inverted dropout keeps the expectation roughly constant.
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self):
+        layer = nn.LayerNorm(8)
+        x = np.random.default_rng(0).normal(3.0, 5.0, size=(4, 8))
+        out = layer(nn.Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestSequentialAndResidual:
+    def test_sequential_runs_in_order(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        assert len(model) == 3
+        out = model(nn.Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_sequential_append_and_index(self):
+        model = nn.Sequential(nn.ReLU())
+        model.append(nn.Tanh())
+        assert isinstance(model[1], nn.Tanh)
+        assert len(list(iter(model))) == 2
+
+    def test_residual_block_shape_preserving(self):
+        block = nn.ResidualBlock1d(4, 4, kernel_size=3, rng=np.random.default_rng(0))
+        out = block(nn.Tensor(np.ones((2, 4, 16))))
+        assert out.shape == (2, 4, 16)
+
+    def test_residual_block_downsampling(self):
+        block = nn.ResidualBlock1d(4, 8, kernel_size=3, stride=2, rng=np.random.default_rng(0))
+        out = block(nn.Tensor(np.ones((2, 4, 16))))
+        assert out.shape == (2, 8, 8)
+
+
+class TestModuleSystem:
+    def test_parameters_discovered_recursively(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        assert len(model.parameters()) == 4
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+
+    def test_num_parameters(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        loss = layer(nn.Tensor(np.ones((2, 3)))).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_round_trip(self):
+        rng = np.random.default_rng(0)
+        source = nn.Linear(4, 2, rng=rng)
+        target = nn.Linear(4, 2, rng=np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(target.weight.data, source.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 4))})
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_parameter_repr_and_registration(self):
+        module = Module()
+        module.register_parameter("p", Parameter(np.zeros(3), name="p"))
+        assert len(module.parameters()) == 1

@@ -1,0 +1,90 @@
+"""Tests for the loss functions, including the VARADE variational objective."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestBasicLosses:
+    def test_mse_matches_numpy(self):
+        a = np.random.default_rng(0).normal(size=(4, 3))
+        b = np.random.default_rng(1).normal(size=(4, 3))
+        loss = nn.mse_loss(nn.Tensor(a), nn.Tensor(b))
+        assert loss.item() == pytest.approx(np.mean((a - b) ** 2))
+
+    def test_mae_matches_numpy(self):
+        a = np.random.default_rng(0).normal(size=(4, 3))
+        b = np.random.default_rng(1).normal(size=(4, 3))
+        loss = nn.mae_loss(nn.Tensor(a), nn.Tensor(b))
+        assert loss.item() == pytest.approx(np.mean(np.abs(a - b)))
+
+
+class TestGaussianNLL:
+    def test_matches_closed_form(self):
+        """NLL = 0.5 * (log sigma^2 + (y - mu)^2 / sigma^2), paper Eq. 5."""
+        y = np.array([[1.0, 2.0]])
+        mu = np.array([[0.5, 2.5]])
+        log_var = np.array([[0.0, np.log(4.0)]])
+        expected = 0.5 * (log_var + (y - mu) ** 2 / np.exp(log_var))
+        loss = nn.gaussian_nll(nn.Tensor(y), nn.Tensor(mu), nn.Tensor(log_var))
+        assert loss.item() == pytest.approx(expected.mean())
+
+    def test_perfect_prediction_reduces_to_log_term(self):
+        y = np.ones((3, 2))
+        log_var = np.full((3, 2), -1.0)
+        loss = nn.gaussian_nll(nn.Tensor(y), nn.Tensor(y), nn.Tensor(log_var))
+        assert loss.item() == pytest.approx(0.5 * -1.0)
+
+    def test_minimised_when_variance_matches_error(self):
+        """For a fixed error, the NLL is minimal at sigma^2 = error^2."""
+        y = np.zeros((1, 1))
+        mu = np.full((1, 1), 0.5)
+        error_sq = 0.25
+        candidates = np.linspace(np.log(error_sq) - 2, np.log(error_sq) + 2, 41)
+        values = [
+            nn.gaussian_nll(nn.Tensor(y), nn.Tensor(mu), nn.Tensor(np.full((1, 1), lv))).item()
+            for lv in candidates
+        ]
+        assert candidates[int(np.argmin(values))] == pytest.approx(np.log(error_sq), abs=0.1)
+
+
+class TestKLDivergence:
+    def test_zero_for_standard_normal(self):
+        mean = np.zeros((4, 3))
+        log_var = np.zeros((4, 3))
+        assert nn.kl_standard_normal(nn.Tensor(mean), nn.Tensor(log_var)).item() \
+            == pytest.approx(0.0)
+
+    def test_matches_closed_form(self):
+        """KL = -0.5 * (1 + log sigma^2 - mu^2 - sigma^2), paper Eq. 6."""
+        mean = np.array([[0.5, -1.0]])
+        log_var = np.array([[0.2, -0.3]])
+        expected = -0.5 * (1 + log_var - mean ** 2 - np.exp(log_var))
+        loss = nn.kl_standard_normal(nn.Tensor(mean), nn.Tensor(log_var))
+        assert loss.item() == pytest.approx(expected.mean())
+
+    def test_positive_away_from_prior(self):
+        mean = np.full((2, 2), 2.0)
+        log_var = np.full((2, 2), 1.5)
+        assert nn.kl_standard_normal(nn.Tensor(mean), nn.Tensor(log_var)).item() > 0
+
+
+class TestELBO:
+    def test_is_weighted_sum(self):
+        """Loss = L_recon + lambda * D_KL, paper Eq. 7."""
+        rng = np.random.default_rng(0)
+        y, mu, lv = (rng.normal(size=(3, 4)) for _ in range(3))
+        for weight in (0.0, 0.5, 2.0):
+            combined = nn.elbo_loss(nn.Tensor(y), nn.Tensor(mu), nn.Tensor(lv),
+                                    kl_weight=weight).item()
+            expected = nn.gaussian_nll(nn.Tensor(y), nn.Tensor(mu), nn.Tensor(lv)).item() \
+                + weight * nn.kl_standard_normal(nn.Tensor(mu), nn.Tensor(lv)).item()
+            assert combined == pytest.approx(expected)
+
+    def test_differentiable(self):
+        y = nn.Tensor(np.zeros((2, 2)))
+        mu = nn.Tensor(np.ones((2, 2)), requires_grad=True)
+        lv = nn.Tensor(np.zeros((2, 2)), requires_grad=True)
+        nn.elbo_loss(y, mu, lv, kl_weight=0.1).backward()
+        assert mu.grad is not None and lv.grad is not None

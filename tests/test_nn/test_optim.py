@@ -1,0 +1,92 @@
+"""Tests for the optimisers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def _quadratic_step(optimizer_factory, steps=150):
+    """Minimise ||x - target||^2 and return the final distance."""
+    target = np.array([1.0, -2.0, 3.0])
+    parameter = Parameter(np.zeros(3))
+    optimizer = optimizer_factory([parameter])
+    for _ in range(steps):
+        diff = parameter - nn.Tensor(target)
+        loss = (diff * diff).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float(np.abs(parameter.data - target).max())
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert _quadratic_step(lambda p: nn.SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert _quadratic_step(lambda p: nn.SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert _quadratic_step(lambda p: nn.Adam(p, lr=0.1), steps=300) < 1e-2
+
+    def test_rmsprop_converges(self):
+        assert _quadratic_step(lambda p: nn.RMSprop(p, lr=0.05), steps=300) < 1e-2
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([5.0]))
+        optimizer = nn.SGD([parameter], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            loss = (parameter * 0.0).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert abs(parameter.data[0]) < 0.1
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = nn.Adam([parameter], lr=0.1)
+        optimizer.step()  # no gradient accumulated: must not raise or move
+        np.testing.assert_allclose(parameter.data, 1.0)
+
+    def test_zero_grad_clears(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = nn.SGD([parameter], lr=0.1)
+        (parameter * 2).sum().backward()
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.ones(1))], lr=0.1, betas=(1.1, 0.9))
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self):
+        parameter = Parameter(np.ones(4))
+        parameter.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        parameter = Parameter(np.ones(4))
+        parameter.grad = np.full(4, 0.1)
+        nn.clip_grad_norm([parameter], max_norm=10.0)
+        np.testing.assert_allclose(parameter.grad, 0.1)
+
+    def test_clip_handles_missing_grads(self):
+        assert nn.clip_grad_norm([Parameter(np.ones(3))], max_norm=1.0) == 0.0

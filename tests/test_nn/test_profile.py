@@ -1,0 +1,55 @@
+"""Tests for model profiling (parameter / FLOP / activation accounting)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.utils import profile_model
+
+
+class TestProfileModel:
+    def test_linear_profile(self):
+        layer = nn.Linear(4, 8, rng=np.random.default_rng(0))
+        profile = profile_model(layer, (4,))
+        assert profile.total_parameters == layer.num_parameters()
+        assert profile.total_flops == 2 * 4 * 8
+        assert profile.layers[0].output_shape == (8,)
+
+    def test_conv_stack_profile_tracks_time_halving(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Conv1d(6, 8, kernel_size=2, stride=2, rng=rng),
+            nn.ReLU(),
+            nn.Conv1d(8, 16, kernel_size=2, stride=2, rng=rng),
+        )
+        profile = profile_model(model, (6, 16))
+        conv_layers = [l for l in profile.layers if l.kind == "Conv1d"]
+        assert conv_layers[0].output_shape == (8, 8)
+        assert conv_layers[1].output_shape == (16, 4)
+        assert profile.total_parameters == model.num_parameters()
+
+    def test_lstm_profile(self):
+        lstm = nn.LSTM(4, 8, num_layers=2, rng=np.random.default_rng(0))
+        profile = profile_model(lstm, (10, 4))
+        assert profile.total_parameters == lstm.num_parameters()
+        assert profile.total_flops > 0
+        assert profile.layers[0].output_shape == (10, 8)
+
+    def test_residual_block_profiles_children(self):
+        block = nn.ResidualBlock1d(4, 8, stride=2, rng=np.random.default_rng(0))
+        profile = profile_model(block, (4, 16))
+        assert profile.total_parameters == block.num_parameters()
+        assert len(profile.layers) >= 3  # conv1, conv2, shortcut
+
+    def test_memory_traffic_positive_and_consistent(self):
+        layer = nn.Linear(10, 10, rng=np.random.default_rng(0))
+        profile = profile_model(layer, (10,))
+        assert profile.parameter_bytes == profile.total_parameters * 4
+        assert profile.memory_traffic_bytes == profile.parameter_bytes \
+            + profile.total_activation_bytes
+
+    def test_summary_lines(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        lines = profile_model(layer, (4,)).summary_lines()
+        assert any("Linear" in line for line in lines)
+        assert "TOTAL" in lines[-1]

@@ -1,0 +1,84 @@
+"""Tests for the LSTM cell and stacked LSTM."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = nn.LSTMCell(4, 8, rng=np.random.default_rng(0))
+        h, c = cell.initial_state(3)
+        h2, c2 = cell(nn.Tensor(np.ones((3, 4))), (h, c))
+        assert h2.shape == (3, 8)
+        assert c2.shape == (3, 8)
+
+    def test_forget_gate_bias_is_one(self):
+        cell = nn.LSTMCell(4, 8, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(cell.bias.data[8:16], 1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.LSTMCell(0, 8)
+
+    def test_hidden_state_bounded_by_tanh(self):
+        cell = nn.LSTMCell(4, 8, rng=np.random.default_rng(0))
+        state = cell.initial_state(2)
+        x = nn.Tensor(np.full((2, 4), 100.0))
+        for _ in range(5):
+            state = cell(x, state)
+        assert np.all(np.abs(state[0].numpy()) <= 1.0)
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = nn.LSTM(5, 7, num_layers=2, rng=np.random.default_rng(0))
+        outputs, states = lstm(nn.Tensor(np.ones((3, 10, 5))))
+        assert outputs.shape == (3, 10, 7)
+        assert len(states) == 2
+        assert states[0][0].shape == (3, 7)
+
+    def test_last_hidden(self):
+        lstm = nn.LSTM(5, 7, num_layers=1, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 6, 5))
+        outputs, _ = lstm(nn.Tensor(x))
+        np.testing.assert_allclose(lstm.last_hidden(nn.Tensor(x)).numpy(),
+                                   outputs.numpy()[:, -1, :])
+
+    def test_rejects_wrong_rank(self):
+        lstm = nn.LSTM(5, 7, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            lstm(nn.Tensor(np.ones((3, 5))))
+
+    def test_rejects_wrong_state_count(self):
+        lstm = nn.LSTM(5, 7, num_layers=2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            lstm(nn.Tensor(np.ones((1, 4, 5))), states=[lstm.cells[0].initial_state(1)])
+
+    def test_gradients_flow_to_first_layer(self):
+        lstm = nn.LSTM(3, 4, num_layers=2, rng=np.random.default_rng(0))
+        outputs, _ = lstm(nn.Tensor(np.random.default_rng(1).normal(size=(2, 5, 3))))
+        outputs.sum().backward()
+        assert lstm.cells[0].weight_ih.grad is not None
+        assert np.abs(lstm.cells[0].weight_ih.grad).sum() > 0
+
+    def test_can_learn_to_remember_first_input(self):
+        """The LSTM should learn a task that requires memory over time."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 6, 1))
+        y = x[:, 0, :]  # remember the first element
+        lstm = nn.LSTM(1, 8, num_layers=1, rng=rng)
+        head = nn.Linear(8, 1, rng=rng)
+        params = lstm.parameters() + head.parameters()
+        optimizer = nn.Adam(params, lr=0.02)
+        first_loss = None
+        for step in range(150):
+            prediction = head(lstm.last_hidden(nn.Tensor(x)))
+            loss = nn.mse_loss(prediction, nn.Tensor(y))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if first_loss is None:
+                first_loss = loss.item()
+        assert loss.item() < first_loss * 0.5

@@ -1,0 +1,299 @@
+"""Numerical gradient checks and behavioural tests for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_gradient(func, arrays, index, epsilon=1e-6):
+    """Central-difference gradient of ``func`` w.r.t. ``arrays[index]``."""
+    base = [a.copy() for a in arrays]
+    grad = np.zeros_like(base[index])
+    flat = grad.ravel()
+    target = base[index].ravel()
+    for position in range(target.size):
+        original = target[position]
+        target[position] = original + epsilon
+        plus = func(*base)
+        target[position] = original - epsilon
+        minus = func(*base)
+        target[position] = original
+        flat[position] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def check_gradients(op, shapes, seed=0, atol=1e-5):
+    """Compare autograd gradients against numerical ones for every input."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=shape) for shape in shapes]
+
+    def scalar_func(*values):
+        tensors = [Tensor(v) for v in values]
+        return float(op(*tensors).data.sum())
+
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    output = op(*tensors)
+    output.sum().backward()
+    for index, tensor in enumerate(tensors):
+        expected = numerical_gradient(scalar_func, arrays, index)
+        assert tensor.grad is not None, f"input {index} received no gradient"
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=1e-4,
+                                   err_msg=f"gradient mismatch for input {index}")
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradients(lambda a, b: a + b, [(3, 4), (3, 4)])
+
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: a + b, [(3, 4), (4,)])
+
+    def test_sub(self):
+        check_gradients(lambda a, b: a - b, [(2, 5), (2, 5)])
+
+    def test_mul(self):
+        check_gradients(lambda a, b: a * b, [(3, 4), (3, 4)])
+
+    def test_mul_broadcast(self):
+        check_gradients(lambda a, b: a * b, [(2, 3, 4), (1, 3, 1)])
+
+    def test_div(self):
+        check_gradients(lambda a, b: a / (b * b + 1.0), [(3, 3), (3, 3)])
+
+    def test_pow(self):
+        check_gradients(lambda a: (a * a + 1.0) ** 1.5, [(4, 4)])
+
+    def test_neg(self):
+        check_gradients(lambda a: -a, [(5,)])
+
+    def test_exp(self):
+        check_gradients(lambda a: a.exp(), [(3, 4)])
+
+    def test_log(self):
+        check_gradients(lambda a: (a * a + 1.0).log(), [(3, 4)])
+
+    def test_sqrt(self):
+        check_gradients(lambda a: (a * a + 1.0).sqrt(), [(3, 4)])
+
+    def test_tanh(self):
+        check_gradients(lambda a: a.tanh(), [(3, 4)])
+
+    def test_sigmoid(self):
+        check_gradients(lambda a: a.sigmoid(), [(3, 4)])
+
+    def test_relu(self):
+        # Shift away from zero so the kink does not spoil the numerical check.
+        check_gradients(lambda a: (a + 3.0).relu(), [(3, 4)])
+
+    def test_leaky_relu(self):
+        check_gradients(lambda a: (a + 3.0).leaky_relu(0.1), [(3, 4)])
+
+    def test_abs(self):
+        check_gradients(lambda a: (a + 5.0).abs(), [(3, 3)])
+
+    def test_clip(self):
+        check_gradients(lambda a: a.clip(-10.0, 10.0), [(3, 3)])
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self):
+        check_gradients(lambda a, b: a.matmul(b), [(3, 4), (4, 5)])
+
+    def test_matmul_batched(self):
+        check_gradients(lambda a, b: a.matmul(b), [(2, 3, 4), (2, 4, 5)])
+
+    def test_matmul_vector(self):
+        check_gradients(lambda a, b: a.matmul(b), [(4,), (4,)])
+
+    def test_matmul_matrix_vector(self):
+        check_gradients(lambda a, b: a.matmul(b), [(3, 4), (4,)])
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradients(lambda a: a.sum(), [(3, 4)])
+
+    def test_sum_axis(self):
+        check_gradients(lambda a: a.sum(axis=1), [(3, 4)])
+
+    def test_sum_axis_keepdims(self):
+        check_gradients(lambda a: a.sum(axis=0, keepdims=True), [(3, 4)])
+
+    def test_mean(self):
+        check_gradients(lambda a: a.mean(axis=1), [(3, 4)])
+
+    def test_mean_all(self):
+        check_gradients(lambda a: a.mean(), [(3, 4)])
+
+    def test_var(self):
+        check_gradients(lambda a: a.var(axis=1), [(3, 5)])
+
+    def test_max(self):
+        rng = np.random.default_rng(1)
+        data = rng.permutation(20).astype(float).reshape(4, 5)
+        tensor = Tensor(data, requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        expected = np.zeros_like(data)
+        expected[np.arange(4), data.argmax(axis=1)] = 1.0
+        np.testing.assert_allclose(tensor.grad, expected)
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        check_gradients(lambda a: a.reshape(6, 2), [(3, 4)])
+
+    def test_transpose(self):
+        check_gradients(lambda a: a.transpose(1, 0), [(3, 4)])
+
+    def test_transpose_3d(self):
+        check_gradients(lambda a: a.transpose(2, 0, 1), [(2, 3, 4)])
+
+    def test_getitem(self):
+        check_gradients(lambda a: a[:, 1:3], [(3, 4)])
+
+    def test_pad1d(self):
+        check_gradients(lambda a: a.pad1d(2, 3), [(2, 3, 4)])
+
+    def test_concatenate(self):
+        check_gradients(lambda a, b: Tensor.concatenate([a, b], axis=1), [(2, 3), (2, 2)])
+
+    def test_stack(self):
+        check_gradients(lambda a, b: Tensor.stack([a, b], axis=1), [(2, 3), (2, 3)])
+
+
+class TestConvolutionGradients:
+    def test_conv1d_basic(self):
+        check_gradients(lambda x, w: x.conv1d(w), [(2, 3, 8), (4, 3, 3)])
+
+    def test_conv1d_stride2_kernel2(self):
+        # The VARADE building block: kernel 2, stride 2.
+        check_gradients(lambda x, w: x.conv1d(w, stride=2), [(2, 3, 8), (4, 3, 2)])
+
+    def test_conv1d_with_padding(self):
+        check_gradients(lambda x, w: x.conv1d(w, stride=1, padding=2), [(2, 2, 6), (3, 2, 3)])
+
+    def test_conv1d_with_bias(self):
+        check_gradients(lambda x, w, b: x.conv1d(w, b, stride=2), [(2, 3, 8), (4, 3, 2), (4,)])
+
+    def test_conv1d_forward_matches_direct_computation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 6))
+        w = rng.normal(size=(3, 2, 2))
+        out = Tensor(x).conv1d(Tensor(w), stride=2).numpy()
+        expected = np.zeros((1, 3, 3))
+        for o in range(3):
+            for l in range(3):
+                expected[0, o, l] = np.sum(x[0, :, 2 * l:2 * l + 2] * w[o])
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_conv_transpose1d_basic(self):
+        check_gradients(lambda x, w: x.conv_transpose1d(w), [(2, 3, 5), (3, 4, 3)])
+
+    def test_conv_transpose1d_stride2(self):
+        check_gradients(lambda x, w: x.conv_transpose1d(w, stride=2), [(2, 3, 4), (3, 2, 4)])
+
+    def test_conv_transpose1d_padding(self):
+        check_gradients(
+            lambda x, w, b: x.conv_transpose1d(w, b, stride=2, padding=1),
+            [(2, 3, 4), (3, 2, 4), (2,)],
+        )
+
+    def test_conv_transpose_inverts_conv_shape(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 4, 16)))
+        w_down = Tensor(np.random.default_rng(1).normal(size=(8, 4, 2)))
+        down = x.conv1d(w_down, stride=2)
+        w_up = Tensor(np.random.default_rng(2).normal(size=(8, 4, 2)))
+        up = down.conv_transpose1d(w_up, stride=2)
+        assert up.shape == x.shape
+
+    def test_conv1d_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 8)))
+        w = Tensor(np.zeros((4, 2, 2)))
+        with pytest.raises(ValueError):
+            x.conv1d(w)
+
+    def test_conv1d_too_short_raises(self):
+        x = Tensor(np.zeros((1, 3, 2)))
+        w = Tensor(np.zeros((4, 3, 5)))
+        with pytest.raises(ValueError):
+            x.conv1d(w)
+
+
+class TestCompositeGradients:
+    def test_two_layer_network(self):
+        def network(x, w1, b1, w2, b2):
+            hidden = (x.matmul(w1) + b1).relu()
+            return hidden.matmul(w2) + b2
+
+        check_gradients(network, [(5, 4), (4, 8), (8,), (8, 3), (3,)])
+
+    def test_gaussian_nll_gradients(self):
+        check_gradients(
+            lambda target, mean, log_var: nn.gaussian_nll(target, mean, log_var),
+            [(6, 3), (6, 3), (6, 3)],
+        )
+
+    def test_kl_gradients(self):
+        check_gradients(
+            lambda mean, log_var: nn.kl_standard_normal(mean, log_var),
+            [(6, 3), (6, 3)],
+        )
+
+    def test_gradient_accumulation_over_shared_input(self):
+        data = np.random.default_rng(0).normal(size=(3, 3))
+        x = Tensor(data, requires_grad=True)
+        y = (x * x) + x.exp() + x
+        y.sum().backward()
+        expected = 2 * data + np.exp(data) + 1.0
+        np.testing.assert_allclose(x.grad, expected, atol=1e-10)
+
+
+class TestAutogradBehaviour:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.sum().backward()
+
+    def test_no_grad_disables_tracking(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach()
+        z = (y * 3).sum()
+        assert not z.requires_grad
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        first = x.grad.copy()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_item_and_numpy(self):
+        x = Tensor(np.array([2.5]))
+        assert x.item() == pytest.approx(2.5)
+        assert x.numpy().shape == (1,)
+
+    def test_shape_properties(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.shape == (2, 3, 4)
+        assert x.ndim == 3
+        assert x.size == 24
+        assert len(x) == 2

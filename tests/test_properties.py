@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.data.normalization import MinMaxScaler
+from repro.data.windowing import sliding_windows
+from repro.eval.metrics import point_adjust, roc_auc_score
+from repro.robot.quaternion import (
+    euler_to_quaternion,
+    quaternion_conjugate,
+    quaternion_multiply,
+    quaternion_to_euler,
+)
+from repro.trees.isolation_forest import average_path_length
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False)
+
+
+@st.composite
+def small_matrices(draw, min_rows=2, max_rows=30, min_cols=1, max_cols=6):
+    rows = draw(st.integers(min_rows, max_rows))
+    cols = draw(st.integers(min_cols, max_cols))
+    return draw(hnp.arrays(np.float64, (rows, cols), elements=finite_floats))
+
+
+class TestScalerProperties:
+    @given(small_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_output_within_range(self, data):
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.all(scaled >= -1.0 - 1e-9)
+        assert np.all(scaled <= 1.0 + 1e-9)
+
+    @given(small_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_round_trip(self, data):
+        scaler = MinMaxScaler().fit(data)
+        recovered = scaler.inverse_transform(scaler.transform(data))
+        # Constant channels cannot be recovered exactly (they map to the
+        # midpoint); every non-constant channel must round-trip.
+        span = data.max(axis=0) - data.min(axis=0)
+        varying = span > 0
+        if not varying.any():
+            return
+        np.testing.assert_allclose(recovered[:, varying], data[:, varying],
+                                   atol=1e-6 * (1 + np.abs(data[:, varying]).max()))
+
+
+class TestWindowingProperties:
+    @given(st.integers(2, 40), st.integers(1, 5), st.integers(1, 8), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_sliding_window_count(self, n_samples, n_channels, window, stride):
+        if n_samples < window:
+            return
+        data = np.arange(n_samples * n_channels, dtype=float).reshape(n_samples, n_channels)
+        windows = sliding_windows(data, window, stride)
+        expected = (n_samples - window) // stride + 1
+        assert windows.shape == (expected, window, n_channels)
+        # Every window is a contiguous slice of the original stream.
+        np.testing.assert_allclose(windows[-1], data[(expected - 1) * stride:
+                                                     (expected - 1) * stride + window])
+
+
+class TestMetricProperties:
+    @given(st.integers(5, 60), st.integers(1, 1_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_auc_bounded_and_antisymmetric(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = rng.integers(0, 2, size=n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        auc = roc_auc_score(scores, labels)
+        assert 0.0 <= auc <= 1.0
+        assert roc_auc_score(-scores, labels) + auc == 1.0 or abs(
+            roc_auc_score(-scores, labels) + auc - 1.0) < 1e-9
+
+    @given(st.lists(st.integers(0, 1), min_size=3, max_size=40),
+           st.lists(st.integers(0, 1), min_size=3, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_point_adjust_never_decreases_detections(self, labels, predictions):
+        size = min(len(labels), len(predictions))
+        labels = np.array(labels[:size])
+        predictions = np.array(predictions[:size])
+        adjusted = point_adjust(predictions, labels)
+        assert adjusted.sum() >= predictions[labels.astype(bool)].sum()
+        # Adjustment never flips a prediction off.
+        assert np.all(adjusted >= (predictions & labels))
+
+
+class TestQuaternionProperties:
+    @given(st.floats(-1.4, 1.4), st.floats(-1.4, 1.4), st.floats(-1.4, 1.4))
+    @settings(max_examples=60, deadline=None)
+    def test_euler_round_trip(self, roll, pitch, yaw):
+        q = euler_to_quaternion(roll, pitch, yaw)
+        assert abs(np.linalg.norm(q) - 1.0) < 1e-9
+        r, p, y = quaternion_to_euler(q)
+        np.testing.assert_allclose([r, p, y], [roll, pitch, yaw], atol=1e-7)
+
+    @given(st.floats(-3.0, 3.0), st.floats(-1.4, 1.4), st.floats(-3.0, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_multiply_by_conjugate_is_identity(self, roll, pitch, yaw):
+        q = euler_to_quaternion(roll, pitch, yaw)
+        identity = quaternion_multiply(q, quaternion_conjugate(q))
+        np.testing.assert_allclose(identity, [1.0, 0.0, 0.0, 0.0], atol=1e-9)
+
+
+class TestTensorProperties:
+    @given(small_matrices(max_rows=6, max_cols=6), small_matrices(max_rows=6, max_cols=6))
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, a, b):
+        rows = min(a.shape[0], b.shape[0])
+        cols = min(a.shape[1], b.shape[1])
+        a, b = a[:rows, :cols], b[:rows, :cols]
+        left = (nn.Tensor(a) + nn.Tensor(b)).numpy()
+        right = (nn.Tensor(b) + nn.Tensor(a)).numpy()
+        np.testing.assert_allclose(left, right)
+
+    @given(small_matrices(max_rows=6, max_cols=6))
+    @settings(max_examples=40, deadline=None)
+    def test_relu_idempotent_and_nonnegative(self, a):
+        once = nn.Tensor(a).relu()
+        twice = once.relu()
+        assert np.all(once.numpy() >= 0)
+        np.testing.assert_allclose(once.numpy(), twice.numpy())
+
+    @given(small_matrices(max_rows=5, max_cols=5))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_matches_numpy(self, a):
+        assert nn.Tensor(a).sum().item() == np.testing.assert_allclose(
+            nn.Tensor(a).sum().item(), a.sum(), rtol=1e-9) or True
+
+
+class TestIsolationForestProperties:
+    @given(st.integers(2, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_average_path_length_positive_and_bounded(self, n):
+        value = float(average_path_length(n))
+        assert value >= 0.99 if n >= 2 else value == 0.0
+        # c(n) <= 2 * H(n-1) <= 2 * (ln(n) + 1)
+        assert value <= 2 * (np.log(max(n, 2)) + 1.0)

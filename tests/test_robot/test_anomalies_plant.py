@@ -1,0 +1,113 @@
+"""Tests for collision injection and the full robot-cell simulator."""
+
+import numpy as np
+import pytest
+
+from repro.robot import (
+    CollisionConfig,
+    CollisionInjector,
+    N_TOTAL_CHANNELS,
+    RobotCellConfig,
+    RobotCellSimulator,
+)
+
+
+class TestCollisionInjector:
+    def test_samples_requested_number_of_events(self):
+        injector = CollisionInjector(sample_rate=50.0, rng=np.random.default_rng(0))
+        events = injector.sample_events(n_samples=20000, n_collisions=30)
+        assert len(events) == 30
+
+    def test_events_do_not_overlap(self):
+        injector = CollisionInjector(sample_rate=50.0, rng=np.random.default_rng(1))
+        events = injector.sample_events(n_samples=30000, n_collisions=40)
+        events = sorted(events, key=lambda e: e.start_index)
+        for first, second in zip(events, events[1:]):
+            assert first.end_index <= second.start_index
+
+    def test_labels_match_events(self):
+        injector = CollisionInjector(sample_rate=50.0, rng=np.random.default_rng(2))
+        events = injector.sample_events(n_samples=5000, n_collisions=5)
+        labels = injector.labels(5000, events)
+        assert labels.sum() == sum(e.duration_samples for e in events)
+
+    def test_injection_only_modifies_collision_windows(self):
+        injector = CollisionInjector(sample_rate=50.0, rng=np.random.default_rng(3))
+        channels = np.zeros((2000, 77))
+        events = injector.sample_events(2000, n_collisions=3)
+        modified = injector.apply_to_joint_channels(channels, events)
+        labels = injector.labels(2000, events).astype(bool)
+        assert np.abs(modified[~labels]).max() == 0.0
+        assert np.abs(modified[labels]).max() > 1.0
+
+    def test_power_surge_nonnegative_and_local(self):
+        injector = CollisionInjector(sample_rate=50.0, rng=np.random.default_rng(4))
+        events = injector.sample_events(2000, n_collisions=3)
+        surge = injector.power_surge(2000, events)
+        labels = injector.labels(2000, events).astype(bool)
+        assert np.all(surge >= 0)
+        assert surge[~labels].max() == 0.0
+        assert surge[labels].max() > 10.0
+
+    def test_too_short_recording_raises(self):
+        injector = CollisionInjector(sample_rate=50.0)
+        with pytest.raises(ValueError):
+            injector.sample_events(n_samples=10, n_collisions=1)
+
+    def test_zero_collisions(self):
+        injector = CollisionInjector(sample_rate=50.0, rng=np.random.default_rng(5))
+        assert injector.sample_events(5000, n_collisions=0) == []
+
+
+class TestRobotCellSimulator:
+    def test_normal_recording_shape_and_schema(self, tiny_normal_recording):
+        recording = tiny_normal_recording
+        assert recording.data.shape[1] == N_TOTAL_CHANNELS == 86
+        assert len(recording.channel_names) == 86
+        assert recording.channel_names[0] == "action_id"
+        assert recording.channel_names[-1] == "import_energy"
+        assert recording.labels.sum() == 0
+        assert recording.duration_s == pytest.approx(20.0, rel=0.05)
+
+    def test_collision_recording_has_labelled_events(self, tiny_collision_recording):
+        recording = tiny_collision_recording
+        assert len(recording.events) == 4
+        assert recording.labels.sum() > 0
+        assert 0.0 < recording.anomaly_fraction < 0.5
+
+    def test_action_id_channel_within_library(self, tiny_normal_recording):
+        action_ids = tiny_normal_recording.channel("action_id")
+        assert set(np.unique(action_ids)).issubset(set(range(5)))
+
+    def test_channel_lookup_by_name(self, tiny_normal_recording):
+        assert tiny_normal_recording.channel("power").shape[0] == tiny_normal_recording.n_samples
+        with pytest.raises(KeyError):
+            tiny_normal_recording.channel("does_not_exist")
+
+    def test_reproducible_with_same_seed(self):
+        config = RobotCellConfig(sample_rate=20.0, num_actions=3)
+        a = RobotCellSimulator(config=config, seed=9).record_normal(6.0)
+        b = RobotCellSimulator(config=config, seed=9).record_normal(6.0)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_different_seeds_differ(self):
+        config = RobotCellConfig(sample_rate=20.0, num_actions=3)
+        a = RobotCellSimulator(config=config, seed=1).record_normal(6.0)
+        b = RobotCellSimulator(config=config, seed=2).record_normal(6.0)
+        assert not np.allclose(a.data, b.data)
+
+    def test_collisions_visible_in_kinematic_channels(self, tiny_collision_recording):
+        """Collision windows must show much stronger high-frequency content
+        (the impact ringing) than normal operation."""
+        recording = tiny_collision_recording
+        labels = recording.labels.astype(bool)
+        acc_columns = [i for i, name in enumerate(recording.channel_names) if "Acc" in name]
+        jerk = np.abs(np.diff(recording.data[:, acc_columns], axis=0)).mean(axis=1)
+        jerk_labels = labels[1:]
+        anomalous_energy = jerk[jerk_labels].mean()
+        normal_energy = jerk[~jerk_labels].mean()
+        assert anomalous_energy > 1.5 * normal_energy
+
+    def test_invalid_duration(self, tiny_simulator):
+        with pytest.raises(ValueError):
+            tiny_simulator.record_normal(0.0)

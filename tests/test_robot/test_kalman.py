@@ -1,0 +1,59 @@
+"""Tests for the Kalman filters used by the IMU sensor model."""
+
+import numpy as np
+import pytest
+
+from repro.robot import ConstantVelocityKalman, KalmanFilter1D, smooth_series
+
+
+class TestKalmanFilter1D:
+    def test_reduces_noise_variance(self):
+        rng = np.random.default_rng(0)
+        truth = np.sin(np.linspace(0, 4 * np.pi, 500))
+        noisy = truth + rng.normal(0, 0.3, truth.size)
+        filtered = KalmanFilter1D(process_variance=1e-3, measurement_variance=0.09,
+                                  initial_estimate=noisy[0]).filter(noisy)
+        assert np.var(filtered - truth) < np.var(noisy - truth)
+
+    def test_converges_to_constant(self):
+        filtered = KalmanFilter1D(initial_estimate=0.0).filter(np.full(200, 5.0))
+        assert filtered[-1] == pytest.approx(5.0, abs=0.05)
+
+    def test_variance_shrinks(self):
+        kalman = KalmanFilter1D()
+        initial = kalman.variance
+        kalman.filter(np.zeros(50))
+        assert kalman.variance < initial
+
+    def test_invalid_variances(self):
+        with pytest.raises(ValueError):
+            KalmanFilter1D(process_variance=0.0)
+
+
+class TestConstantVelocityKalman:
+    def test_tracks_ramp(self):
+        times = np.arange(300) * 0.01
+        truth = 2.0 * times
+        rng = np.random.default_rng(1)
+        noisy = truth + rng.normal(0, 0.05, truth.size)
+        kalman = ConstantVelocityKalman(dt=0.01, process_noise=1e-2, measurement_noise=2.5e-3)
+        filtered = kalman.filter(noisy)
+        assert abs(filtered[-1] - truth[-1]) < 0.1
+        # Velocity state should approach the true slope.
+        assert kalman.state[1, 0] == pytest.approx(2.0, abs=0.5)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            ConstantVelocityKalman(dt=0.0)
+
+
+class TestSmoothSeries:
+    def test_smooths(self):
+        rng = np.random.default_rng(2)
+        noisy = np.ones(200) + rng.normal(0, 0.2, 200)
+        smoothed = smooth_series(noisy)
+        assert np.std(np.diff(smoothed)) < np.std(np.diff(noisy))
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            smooth_series(np.zeros((3, 3)))

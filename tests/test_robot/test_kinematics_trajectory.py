@@ -1,0 +1,142 @@
+"""Tests for forward kinematics, trajectories and the action library."""
+
+import numpy as np
+import pytest
+
+from repro.robot import (
+    ActionLibrary,
+    JOINT_LIMITS_RAD,
+    JointTrajectory,
+    KukaLBRIiwa,
+    plan_waypoint_trajectory,
+)
+
+
+class TestKinematics:
+    def test_joint_positions_shape(self):
+        robot = KukaLBRIiwa()
+        positions = robot.joint_positions(np.zeros(7))
+        assert positions.shape == (7, 3)
+
+    def test_home_pose_is_vertical_stack(self):
+        robot = KukaLBRIiwa()
+        positions = robot.joint_positions(np.zeros(7))
+        # At the zero configuration the arm points straight up: x = y = 0.
+        np.testing.assert_allclose(positions[:, :2], 0.0, atol=1e-12)
+        assert positions[-1, 2] == pytest.approx(0.360 + 0.420 + 0.400 + 0.126, abs=1e-9)
+
+    def test_positions_within_reach(self):
+        robot = KukaLBRIiwa()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            q = rng.uniform(-1.0, 1.0, 7) * JOINT_LIMITS_RAD
+            positions = robot.joint_positions(q)
+            assert np.linalg.norm(positions[-1]) <= robot.reach() + 1e-9
+
+    def test_clamp_joints(self):
+        robot = KukaLBRIiwa()
+        clamped = robot.clamp_joints(np.full(7, 10.0))
+        np.testing.assert_allclose(clamped, JOINT_LIMITS_RAD)
+
+    def test_wrong_joint_count_raises(self):
+        with pytest.raises(ValueError):
+            KukaLBRIiwa().joint_positions(np.zeros(5))
+
+    def test_trajectory_helpers(self):
+        robot = KukaLBRIiwa()
+        trajectory = np.zeros((4, 7))
+        assert robot.trajectory_positions(trajectory).shape == (4, 7, 3)
+        assert robot.trajectory_orientations(trajectory).shape == (4, 7, 3)
+
+
+class TestQuinticTrajectory:
+    def test_boundary_conditions(self):
+        start = np.zeros(7)
+        end = np.ones(7) * 0.5
+        trajectory = plan_waypoint_trajectory([start, end], [2.0], sample_rate=100.0)
+        np.testing.assert_allclose(trajectory.positions[0], start, atol=1e-9)
+        np.testing.assert_allclose(trajectory.positions[-1], end, atol=1e-2)
+        # Quintic profiles start and end at rest.
+        np.testing.assert_allclose(trajectory.velocities[0], 0.0, atol=1e-9)
+        np.testing.assert_allclose(trajectory.accelerations[0], 0.0, atol=1e-6)
+
+    def test_sample_count_matches_duration(self):
+        trajectory = plan_waypoint_trajectory([np.zeros(2), np.ones(2)], [1.5], sample_rate=40.0)
+        assert trajectory.n_samples == 60
+        assert trajectory.duration == pytest.approx(59 / 40.0)
+
+    def test_velocity_is_derivative_of_position(self):
+        trajectory = plan_waypoint_trajectory([np.zeros(1), np.ones(1)], [1.0], sample_rate=200.0)
+        numeric = np.gradient(trajectory.positions[:, 0], trajectory.times)
+        np.testing.assert_allclose(numeric[5:-5], trajectory.velocities[5:-5, 0], atol=0.02)
+
+    def test_multi_segment(self):
+        waypoints = [np.zeros(3), np.ones(3), np.zeros(3)]
+        trajectory = plan_waypoint_trajectory(waypoints, [1.0, 1.0], sample_rate=50.0)
+        assert trajectory.n_samples == 100
+
+    def test_concatenate(self):
+        a = plan_waypoint_trajectory([np.zeros(2), np.ones(2)], [1.0], 50.0)
+        b = plan_waypoint_trajectory([np.ones(2), np.zeros(2)], [1.0], 50.0)
+        joined = a.concatenate(b)
+        assert joined.n_samples == a.n_samples + b.n_samples
+        assert np.all(np.diff(joined.times) > 0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_waypoint_trajectory([np.zeros(2)], [], 50.0)
+        with pytest.raises(ValueError):
+            plan_waypoint_trajectory([np.zeros(2), np.ones(2)], [1.0, 2.0], 50.0)
+        with pytest.raises(ValueError):
+            plan_waypoint_trajectory([np.zeros(2), np.ones(2)], [-1.0], 50.0)
+        with pytest.raises(ValueError):
+            plan_waypoint_trajectory([np.zeros(2), np.ones(2)], [1.0], 0.0)
+
+
+class TestActionLibrary:
+    def test_default_has_thirty_actions(self):
+        library = ActionLibrary()
+        assert len(library) == 30
+        assert library.action_ids == list(range(30))
+
+    def test_actions_are_deterministic_for_a_seed(self):
+        a = ActionLibrary(num_actions=5, seed=11)
+        b = ActionLibrary(num_actions=5, seed=11)
+        for action_id in range(5):
+            np.testing.assert_allclose(a[action_id].waypoints[1], b[action_id].waypoints[1])
+
+    def test_different_actions_differ(self):
+        library = ActionLibrary(num_actions=5, seed=2)
+        assert not np.allclose(library[0].waypoints[1], library[1].waypoints[1])
+
+    def test_waypoints_within_limits(self):
+        library = ActionLibrary(num_actions=10, seed=3)
+        for action in library:
+            for waypoint in action.waypoints:
+                assert np.all(np.abs(waypoint) <= JOINT_LIMITS_RAD + 1e-9)
+
+    def test_plan_produces_trajectory(self):
+        library = ActionLibrary(num_actions=3, seed=4)
+        trajectory = library[0].plan(sample_rate=50.0)
+        assert isinstance(trajectory, JointTrajectory)
+        assert trajectory.positions.shape[1] == 7
+
+    def test_schedule_covers_duration(self):
+        library = ActionLibrary(num_actions=4, seed=5)
+        schedule = library.schedule(total_duration=30.0)
+        total = sum(library[a].duration for a in schedule)
+        assert total >= 30.0
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(KeyError):
+            ActionLibrary(num_actions=3)[99]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ActionLibrary(num_actions=0)
+        with pytest.raises(ValueError):
+            ActionLibrary(min_waypoints=1)
+        with pytest.raises(ValueError):
+            ActionLibrary(amplitude_scale=0.0)
+        with pytest.raises(ValueError):
+            ActionLibrary().schedule(0.0)

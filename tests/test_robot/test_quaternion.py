@@ -1,0 +1,76 @@
+"""Tests for quaternion utilities."""
+
+import numpy as np
+import pytest
+
+from repro.robot import quaternion as quat
+
+
+class TestConversions:
+    def test_identity_rotation(self):
+        q = quat.euler_to_quaternion(0.0, 0.0, 0.0)
+        np.testing.assert_allclose(q, [1.0, 0.0, 0.0, 0.0], atol=1e-12)
+
+    def test_round_trip_euler(self):
+        rng = np.random.default_rng(0)
+        roll = rng.uniform(-1.2, 1.2, 50)
+        pitch = rng.uniform(-1.2, 1.2, 50)
+        yaw = rng.uniform(-1.2, 1.2, 50)
+        q = quat.euler_to_quaternion(roll, pitch, yaw)
+        r2, p2, y2 = quat.quaternion_to_euler(q)
+        np.testing.assert_allclose(r2, roll, atol=1e-9)
+        np.testing.assert_allclose(p2, pitch, atol=1e-9)
+        np.testing.assert_allclose(y2, yaw, atol=1e-9)
+
+    def test_unit_norm(self):
+        q = quat.euler_to_quaternion(np.array([0.3, -1.0]), np.array([0.2, 0.9]),
+                                     np.array([-0.7, 0.1]))
+        np.testing.assert_allclose(np.linalg.norm(q, axis=-1), 1.0, atol=1e-12)
+
+    def test_vectorised_shapes(self):
+        angles = np.zeros((5, 3))
+        q = quat.euler_to_quaternion(angles[:, 0], angles[:, 1], angles[:, 2])
+        assert q.shape == (5, 4)
+
+
+class TestAlgebra:
+    def test_multiply_by_conjugate_gives_identity(self):
+        q = quat.euler_to_quaternion(0.4, -0.3, 1.1)
+        product = quat.quaternion_multiply(q, quat.quaternion_conjugate(q))
+        np.testing.assert_allclose(product, [1.0, 0.0, 0.0, 0.0], atol=1e-12)
+
+    def test_multiplication_composes_rotations(self):
+        qa = quat.axis_angle_to_quaternion(np.array([0.0, 0.0, 1.0]), np.array(0.3))
+        qb = quat.axis_angle_to_quaternion(np.array([0.0, 0.0, 1.0]), np.array(0.5))
+        combined = quat.quaternion_multiply(qa, qb)
+        expected = quat.axis_angle_to_quaternion(np.array([0.0, 0.0, 1.0]), np.array(0.8))
+        np.testing.assert_allclose(combined, expected, atol=1e-12)
+
+    def test_normalize_handles_zero(self):
+        result = quat.quaternion_normalize(np.zeros(4))
+        assert np.isfinite(result).all()
+
+    def test_normalize_unit_output(self):
+        q = quat.quaternion_normalize(np.array([2.0, 0.0, 0.0, 0.0]))
+        np.testing.assert_allclose(q, [1.0, 0.0, 0.0, 0.0])
+
+
+class TestSlerp:
+    def test_endpoints(self):
+        qa = quat.euler_to_quaternion(0.0, 0.0, 0.0)
+        qb = quat.euler_to_quaternion(0.0, 0.0, 1.0)
+        np.testing.assert_allclose(quat.quaternion_slerp(qa, qb, 0.0), qa, atol=1e-9)
+        np.testing.assert_allclose(quat.quaternion_slerp(qa, qb, 1.0), qb, atol=1e-9)
+
+    def test_midpoint_half_angle(self):
+        qa = quat.axis_angle_to_quaternion(np.array([0.0, 0.0, 1.0]), np.array(0.0))
+        qb = quat.axis_angle_to_quaternion(np.array([0.0, 0.0, 1.0]), np.array(1.0))
+        mid = quat.quaternion_slerp(qa, qb, 0.5)
+        expected = quat.axis_angle_to_quaternion(np.array([0.0, 0.0, 1.0]), np.array(0.5))
+        np.testing.assert_allclose(mid, expected, atol=1e-9)
+
+    def test_nearly_identical_quaternions(self):
+        qa = quat.euler_to_quaternion(0.1, 0.0, 0.0)
+        qb = quat.euler_to_quaternion(0.1 + 1e-7, 0.0, 0.0)
+        result = quat.quaternion_slerp(qa, qb, 0.5)
+        assert np.linalg.norm(result) == pytest.approx(1.0)

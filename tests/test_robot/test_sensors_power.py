@@ -1,0 +1,158 @@
+"""Tests for the IMU and power-meter sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.robot import (
+    IMUConfig,
+    IMUSensorModel,
+    POWER_CHANNEL_NAMES,
+    PowerMeterConfig,
+    PowerMeterModel,
+    plan_waypoint_trajectory,
+)
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    waypoints = [np.zeros(7), np.full(7, 0.6), np.full(7, -0.3), np.zeros(7)]
+    return plan_waypoint_trajectory(waypoints, [1.5, 2.0, 1.5], sample_rate=50.0)
+
+
+class TestIMUSensorModel:
+    def test_reading_shapes(self, trajectory):
+        model = IMUSensorModel(IMUConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        reading = model.measure(trajectory.positions, trajectory.velocities,
+                                trajectory.accelerations, joint_index=2)
+        n = trajectory.n_samples
+        assert reading.acceleration.shape == (n, 3)
+        assert reading.angular_velocity.shape == (n, 3)
+        assert reading.quaternion.shape == (n, 4)
+        assert reading.temperature.shape == (n,)
+        assert reading.as_matrix().shape == (n, 11)
+
+    def test_measure_all_stacks_every_joint(self, trajectory):
+        model = IMUSensorModel(IMUConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        matrix = model.measure_all(trajectory.positions, trajectory.velocities,
+                                   trajectory.accelerations)
+        assert matrix.shape == (trajectory.n_samples, 7 * 11)
+
+    def test_quaternions_are_unit_norm(self, trajectory):
+        model = IMUSensorModel(IMUConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        reading = model.measure(trajectory.positions, trajectory.velocities,
+                                trajectory.accelerations, joint_index=0)
+        np.testing.assert_allclose(np.linalg.norm(reading.quaternion, axis=1), 1.0, atol=1e-9)
+
+    def test_gravity_visible_at_rest(self):
+        n = 100
+        zeros = np.zeros((n, 7))
+        model = IMUSensorModel(IMUConfig(sample_rate=50.0, apply_kalman=False),
+                               rng=np.random.default_rng(0))
+        reading = model.measure(zeros, zeros, zeros, joint_index=0)
+        assert reading.acceleration[:, 2].mean() == pytest.approx(9.81, abs=0.2)
+
+    def test_noise_scales_with_activity(self, trajectory):
+        """Fast segments must show more measurement scatter than dwell phases."""
+        model = IMUSensorModel(IMUConfig(sample_rate=50.0, apply_kalman=False),
+                               rng=np.random.default_rng(0))
+        reading = model.measure(trajectory.positions, trajectory.velocities,
+                                trajectory.accelerations, joint_index=3)
+        speed = np.abs(trajectory.velocities).sum(axis=1)
+        active = speed > np.quantile(speed, 0.8)
+        idle = speed < np.quantile(speed, 0.2)
+        scatter_active = np.std(np.diff(reading.angular_velocity[active, 1]))
+        scatter_idle = np.std(np.diff(reading.angular_velocity[idle, 1]))
+        assert scatter_active > 2.0 * scatter_idle
+
+    def test_temperature_rises_with_activity(self, trajectory):
+        model = IMUSensorModel(IMUConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        reading = model.measure(trajectory.positions, trajectory.velocities,
+                                trajectory.accelerations, joint_index=1)
+        assert reading.temperature[-1] >= reading.temperature[0]
+
+    def test_kalman_smoothing_reduces_jitter(self, trajectory):
+        raw = IMUSensorModel(IMUConfig(sample_rate=50.0, apply_kalman=False),
+                             rng=np.random.default_rng(5))
+        smooth = IMUSensorModel(IMUConfig(sample_rate=50.0, apply_kalman=True),
+                                rng=np.random.default_rng(5))
+        raw_reading = raw.measure(trajectory.positions, trajectory.velocities,
+                                  trajectory.accelerations, joint_index=0)
+        smooth_reading = smooth.measure(trajectory.positions, trajectory.velocities,
+                                        trajectory.accelerations, joint_index=0)
+        assert np.std(np.diff(smooth_reading.acceleration[:, 0])) \
+            < np.std(np.diff(raw_reading.acceleration[:, 0]))
+
+    def test_invalid_joint_index(self, trajectory):
+        model = IMUSensorModel()
+        with pytest.raises(ValueError):
+            model.measure(trajectory.positions, trajectory.velocities,
+                          trajectory.accelerations, joint_index=9)
+
+    def test_shape_validation(self):
+        model = IMUSensorModel()
+        with pytest.raises(ValueError):
+            model.measure(np.zeros(5), np.zeros(5), np.zeros(5), joint_index=0)
+        with pytest.raises(ValueError):
+            model.measure(np.zeros((5, 7)), np.zeros((4, 7)), np.zeros((5, 7)), joint_index=0)
+
+
+class TestPowerMeterModel:
+    def test_channel_count_and_order(self, trajectory):
+        model = PowerMeterModel(PowerMeterConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        channels = model.measure(trajectory.positions, trajectory.velocities,
+                                 trajectory.accelerations)
+        assert channels.shape == (trajectory.n_samples, len(POWER_CHANNEL_NAMES))
+
+    def test_power_above_idle_baseline(self, trajectory):
+        config = PowerMeterConfig(sample_rate=50.0)
+        model = PowerMeterModel(config, rng=np.random.default_rng(0))
+        channels = model.measure(trajectory.positions, trajectory.velocities,
+                                 trajectory.accelerations)
+        power = channels[:, POWER_CHANNEL_NAMES.index("power")]
+        assert power.mean() > config.idle_power * 0.9
+
+    def test_motion_draws_more_power_than_rest(self, trajectory):
+        model = PowerMeterModel(PowerMeterConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        mechanical = model.mechanical_power(trajectory.positions, trajectory.velocities,
+                                            trajectory.accelerations)
+        speed = np.abs(trajectory.velocities).sum(axis=1)
+        assert mechanical[speed > np.quantile(speed, 0.8)].mean() \
+            > mechanical[speed < np.quantile(speed, 0.2)].mean()
+
+    def test_electrical_consistency(self, trajectory):
+        """Apparent power must satisfy S^2 = P^2 + Q^2 and I = S / V."""
+        model = PowerMeterModel(PowerMeterConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        channels = model.measure(trajectory.positions, trajectory.velocities,
+                                 trajectory.accelerations)
+        names = list(POWER_CHANNEL_NAMES)
+        power = channels[:, names.index("power")]
+        reactive = channels[:, names.index("reactive_power")]
+        voltage = channels[:, names.index("voltage")]
+        current = channels[:, names.index("current")]
+        factor = channels[:, names.index("power_factor")]
+        apparent = np.sqrt(power ** 2 + reactive ** 2)
+        np.testing.assert_allclose(current, apparent / voltage, rtol=1e-9)
+        np.testing.assert_allclose(power / apparent, factor, rtol=1e-9)
+
+    def test_import_energy_is_monotonic(self, trajectory):
+        model = PowerMeterModel(PowerMeterConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        channels = model.measure(trajectory.positions, trajectory.velocities,
+                                 trajectory.accelerations)
+        energy = channels[:, POWER_CHANNEL_NAMES.index("import_energy")]
+        assert np.all(np.diff(energy) >= 0)
+
+    def test_extra_power_increases_reading(self, trajectory):
+        model = PowerMeterModel(PowerMeterConfig(sample_rate=50.0), rng=np.random.default_rng(0))
+        surge = np.full(trajectory.n_samples, 300.0)
+        base = PowerMeterModel(PowerMeterConfig(sample_rate=50.0), rng=np.random.default_rng(0)) \
+            .measure(trajectory.positions, trajectory.velocities, trajectory.accelerations)
+        boosted = model.measure(trajectory.positions, trajectory.velocities,
+                                trajectory.accelerations, extra_power=surge)
+        power_index = POWER_CHANNEL_NAMES.index("power")
+        assert boosted[:, power_index].mean() > base[:, power_index].mean() + 200
+
+    def test_extra_power_shape_validation(self, trajectory):
+        model = PowerMeterModel()
+        with pytest.raises(ValueError):
+            model.measure(trajectory.positions, trajectory.velocities,
+                          trajectory.accelerations, extra_power=np.zeros(3))
