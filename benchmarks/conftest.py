@@ -12,10 +12,18 @@ Environment knobs:
 
 import os
 
+import numpy as np
 import pytest
 
+from repro.core import TrainingConfig, VaradeConfig, VaradeDetector
 from repro.data import DatasetConfig, build_benchmark_dataset
 from repro.eval import ExperimentConfig, run_full_experiment
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark, deselect with -m 'not slow'"
+    )
 
 
 def _scale() -> float:
@@ -51,3 +59,42 @@ def experiment_result(benchmark_dataset):
         seed=0,
     )
     return run_full_experiment(config, dataset=benchmark_dataset)
+
+
+# --------------------------------------------------------------------------- #
+# Fleet-throughput benchmark fixtures (bench_fleet_throughput.py)
+# --------------------------------------------------------------------------- #
+FLEET_CHANNELS = 6
+
+
+def _fleet_stream(n_samples: int, seed: int) -> np.ndarray:
+    """Synthetic multi-channel stream with enough structure to train on."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_samples) / 50.0
+    channels = [
+        np.sin(2 * np.pi * (0.4 + 0.15 * c) * t + 0.7 * c)
+        + 0.05 * rng.normal(size=n_samples)
+        for c in range(FLEET_CHANNELS)
+    ]
+    return np.stack(channels, axis=1)
+
+
+@pytest.fixture(scope="session")
+def fleet_stream_factory():
+    """Factory of reproducible synthetic streams for the fleet benchmarks."""
+    return _fleet_stream
+
+
+@pytest.fixture(scope="session")
+def fleet_varade(fleet_stream_factory):
+    """A small trained VARADE detector shared by the fleet benchmarks."""
+    config = VaradeConfig(n_channels=FLEET_CHANNELS, window=32, base_feature_maps=8)
+    training = TrainingConfig(
+        learning_rate=3e-3,
+        epochs=3,
+        mean_warmup_epochs=1,
+        variance_finetune_epochs=2,
+        max_train_windows=300,
+        seed=0,
+    )
+    return VaradeDetector(config, training).fit(fleet_stream_factory(500, seed=0))

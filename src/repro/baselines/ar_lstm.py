@@ -130,18 +130,18 @@ class ARLSTMDetector(AnomalyDetector):
         return prediction.numpy()
 
     def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
-        self._check_fitted()
-        prediction = self.predict_next(window)[0]
-        return float(np.linalg.norm(prediction - np.asarray(target)))
+        """One-step scoring via :meth:`score_windows_batch` (one shared path)."""
+        return float(self.score_windows_batch(
+            np.asarray(window, dtype=np.float64)[None, ...],
+            np.asarray(target, dtype=np.float64).reshape(1, -1),
+        )[0])
 
-    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
-        output = np.empty(len(dataset))
-        for start in range(0, len(dataset), batch_size):
-            stop = min(start + batch_size, len(dataset))
-            prediction = self.predict_next(dataset.contexts[start:stop])
-            errors = prediction - dataset.targets[start:stop]
-            output[start:stop] = np.linalg.norm(errors, axis=1)
-        return output
+    def score_windows_batch(self, windows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorized forecasting-error scoring: one LSTM pass for all rows."""
+        self._check_fitted()
+        windows, targets = self._validate_batch(windows, targets)
+        predictions = self.predict_next(windows)
+        return np.linalg.norm(predictions - targets, axis=1)
 
     # -- cost ----------------------------------------------------------- #
     def inference_cost(self) -> InferenceCost:

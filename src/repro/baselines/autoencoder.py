@@ -148,20 +148,22 @@ class AutoencoderDetector(AnomalyDetector):
         return np.transpose(outputs.numpy(), (0, 2, 1))
 
     def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
-        """Reconstruction error of the most recent sample in the window."""
-        self._check_fitted()
-        reconstruction = self.reconstruct(window)[0]
-        return float(np.linalg.norm(reconstruction[-1] - np.asarray(window)[-1]))
+        """Reconstruction error of the most recent sample in the window.
 
-    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
-        output = np.empty(len(dataset))
-        for start in range(0, len(dataset), batch_size):
-            stop = min(start + batch_size, len(dataset))
-            contexts = dataset.contexts[start:stop]
-            reconstruction = self.reconstruct(contexts)
-            errors = reconstruction[:, -1, :] - contexts[:, -1, :]
-            output[start:stop] = np.linalg.norm(errors, axis=1)
-        return output
+        Delegates to :meth:`score_windows_batch` (one shared path).
+        """
+        return float(self.score_windows_batch(
+            np.asarray(window, dtype=np.float64)[None, ...],
+            np.asarray(target, dtype=np.float64).reshape(1, -1),
+        )[0])
+
+    def score_windows_batch(self, windows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorized reconstruction-error scoring for a batch of windows."""
+        self._check_fitted()
+        windows, _ = self._validate_batch(windows, targets)
+        reconstruction = self.reconstruct(windows)
+        errors = reconstruction[:, -1, :] - windows[:, -1, :]
+        return np.linalg.norm(errors, axis=1)
 
     # -- cost ----------------------------------------------------------- #
     def inference_cost(self) -> InferenceCost:

@@ -123,15 +123,18 @@ class GBRFDetector(AnomalyDetector):
         return self.model.predict(self._features(windows))
 
     def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
-        self._check_fitted()
-        prediction = self.predict_next(window)[0]
-        target = np.asarray(target, dtype=np.float64)[:self._n_outputs]
-        return float(np.linalg.norm(prediction - target))
+        """One-step scoring via :meth:`score_windows_batch` (one shared path)."""
+        return float(self.score_windows_batch(
+            np.asarray(window, dtype=np.float64)[None, ...],
+            np.asarray(target, dtype=np.float64).reshape(1, -1),
+        )[0])
 
-    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
-        predictions = self.predict_next(dataset.contexts)
-        targets = dataset.targets[:, :self._n_outputs]
-        return np.linalg.norm(predictions - targets, axis=1)
+    def score_windows_batch(self, windows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorized forecast-residual scoring for a batch of windows."""
+        self._check_fitted()
+        windows, targets = self._validate_batch(windows, targets)
+        predictions = self.predict_next(windows)
+        return np.linalg.norm(predictions - targets[:, :self._n_outputs], axis=1)
 
     # -- cost ----------------------------------------------------------- #
     def inference_cost(self) -> InferenceCost:

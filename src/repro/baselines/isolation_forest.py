@@ -14,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.detector import AnomalyDetector, InferenceCost
-from ..data.windowing import WindowDataset
 from ..trees.isolation_forest import IsolationForest
 
 __all__ = ["IsolationForestConfig", "IsolationForestDetector"]
@@ -71,11 +70,17 @@ class IsolationForestDetector(AnomalyDetector):
 
     # -- scoring -------------------------------------------------------- #
     def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
-        self._check_fitted()
-        return float(self.forest.score_samples(np.asarray(target).reshape(1, -1))[0])
+        """One-step scoring via :meth:`score_windows_batch` (one shared path)."""
+        return float(self.score_windows_batch(
+            np.asarray(window, dtype=np.float64)[None, ...],
+            np.asarray(target, dtype=np.float64).reshape(1, -1),
+        )[0])
 
-    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
-        return self.forest.score_samples(dataset.targets)
+    def score_windows_batch(self, windows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorized path-length scoring: one forest pass for all rows."""
+        self._check_fitted()
+        _, targets = self._validate_batch(windows, targets)
+        return self.forest.score_samples(targets)
 
     # -- cost ----------------------------------------------------------- #
     def inference_cost(self) -> InferenceCost:

@@ -16,7 +16,6 @@ from typing import Literal, Optional
 import numpy as np
 
 from ..core.detector import AnomalyDetector, InferenceCost
-from ..data.windowing import WindowDataset
 from ..neighbors.knn import KNNAnomalyScorer
 
 __all__ = ["KNNConfig", "KNNDetector"]
@@ -81,15 +80,17 @@ class KNNDetector(AnomalyDetector):
 
     # -- scoring -------------------------------------------------------- #
     def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
-        self._check_fitted()
-        return float(self.scorer.score_samples(np.asarray(target).reshape(1, -1))[0])
+        """One-step scoring via :meth:`score_windows_batch` (one shared path)."""
+        return float(self.score_windows_batch(
+            np.asarray(window, dtype=np.float64)[None, ...],
+            np.asarray(target, dtype=np.float64).reshape(1, -1),
+        )[0])
 
-    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
-        output = np.empty(len(dataset))
-        for start in range(0, len(dataset), batch_size):
-            stop = min(start + batch_size, len(dataset))
-            output[start:stop] = self.scorer.score_samples(dataset.targets[start:stop])
-        return output
+    def score_windows_batch(self, windows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorized distance scoring: one reference-set scan for all rows."""
+        self._check_fitted()
+        _, targets = self._validate_batch(windows, targets)
+        return self.scorer.score_samples(targets)
 
     # -- cost ----------------------------------------------------------- #
     def inference_cost(self) -> InferenceCost:

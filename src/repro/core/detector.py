@@ -9,6 +9,12 @@ uniformly:
   per-sample anomaly scores aligned with the stream indices;
 * :meth:`AnomalyDetector.score_window` scores a single rolling context window
   (the streaming path used by the edge runtime);
+* :meth:`AnomalyDetector.score_windows_batch` scores a batch of rolling
+  windows in one call -- the multi-stream fleet path
+  (:class:`repro.edge.MultiStreamRuntime`) gathers one window per stream and
+  amortises the per-call overhead across the whole batch.  Overrides must
+  return exactly the scores the :meth:`score_window` loop would, row for row;
+  the parity suite in ``tests/test_edge/test_fleet_parity.py`` enforces this;
 * :meth:`AnomalyDetector.inference_cost` reports the per-inference compute and
   memory-traffic profile consumed by the edge device model.
 """
@@ -128,18 +134,43 @@ class AnomalyDetector(abc.ABC):
     def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
         """Score one step: ``window`` is (window, channels), ``target`` (channels,)."""
 
+    def score_windows_batch(self, windows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Score a batch of rolling windows in one call.
+
+        ``windows`` has shape ``(n, window, channels)`` and ``targets``
+        ``(n, channels)``; the result is the ``(n,)`` array of scores that
+        :meth:`score_window` would produce row by row.  The rows are
+        independent -- they may come from different streams, which is exactly
+        how :class:`repro.edge.MultiStreamRuntime` amortises per-call
+        overhead across a fleet of streams.
+
+        The default implementation loops over :meth:`score_window`; every
+        detector in the study overrides it with a vectorized version that is
+        bit-identical per row regardless of the batch composition.
+        """
+        self._check_fitted()
+        windows, targets = self._validate_batch(windows, targets)
+        scores = np.empty(windows.shape[0])
+        for index in range(windows.shape[0]):
+            scores[index] = self.score_window(windows[index], targets[index])
+        return scores
+
     def score_stream(self, test_data: np.ndarray, batch_size: int = 256) -> ScoreResult:
         """Score every sample of a stream that has at least ``window`` history.
 
-        The default implementation loops over :meth:`score_window`; detectors
-        with efficient batched inference override :meth:`_score_batch`.
+        Scoring is delegated to :meth:`score_windows_batch` in chunks of
+        ``batch_size`` windows.
         """
         test_data = np.asarray(test_data, dtype=np.float64)
         self._check_fitted()
         n_samples = test_data.shape[0]
         scores = np.full(n_samples, np.nan)
         valid = np.zeros(n_samples, dtype=bool)
-        if n_samples <= self.window:
+        # Window-state detectors score the last sample of the first full
+        # window, so a stream of exactly `window` rows yields one score;
+        # forecasters need one more row to have a target.
+        min_rows = self.window if self.scores_current_sample else self.window + 1
+        if n_samples < min_rows:
             return ScoreResult(scores=scores, valid_mask=valid, window=self.window)
 
         if self.scores_current_sample:
@@ -158,10 +189,13 @@ class AnomalyDetector(abc.ABC):
         return ScoreResult(scores=scores, valid_mask=valid, window=self.window)
 
     def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
-        """Default batched scoring built on :meth:`score_window`."""
+        """Chunked batch scoring built on :meth:`score_windows_batch`."""
         output = np.empty(len(dataset))
-        for index in range(len(dataset)):
-            output[index] = self.score_window(dataset.contexts[index], dataset.targets[index])
+        for start in range(0, len(dataset), batch_size):
+            stop = min(start + batch_size, len(dataset))
+            output[start:stop] = self.score_windows_batch(
+                dataset.contexts[start:stop], dataset.targets[start:stop]
+            )
         return output
 
     # -- cost ----------------------------------------------------------- #
@@ -170,6 +204,27 @@ class AnomalyDetector(abc.ABC):
         """Per-inference compute/memory profile for the edge device model."""
 
     # -- helpers -------------------------------------------------------- #
+    def _validate_batch(self, windows: np.ndarray,
+                        targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Coerce and shape-check a ``score_windows_batch`` input pair."""
+        windows = np.asarray(windows, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError("windows must have shape (n, window, channels)")
+        if windows.shape[1] != self.window:
+            raise ValueError(
+                f"{self.name}: expected windows of {self.window} samples, "
+                f"got {windows.shape[1]}"
+            )
+        if targets.ndim != 2 or targets.shape[0] != windows.shape[0]:
+            raise ValueError("targets must have shape (n, channels) matching windows")
+        if targets.shape[1] != windows.shape[2]:
+            raise ValueError(
+                f"channel mismatch: windows carry {windows.shape[2]} channels, "
+                f"targets {targets.shape[1]}"
+            )
+        return windows, targets
+
     def _check_fitted(self) -> None:
         if not self._fitted:
             raise RuntimeError(f"{self.name}: score called before fit()")
@@ -270,19 +325,21 @@ class VaradeDetector(AnomalyDetector):
 
         The ``target`` argument is part of the common detector API but is not
         used: VARADE scores from its own uncertainty, before the next sample
-        is even observed.
+        is even observed.  Delegates to :meth:`score_windows_batch` so the
+        sequential and batched paths share one code path (and therefore
+        bit-identical scores).
         """
-        self._check_fitted()
-        _, log_var = self.network.predict_distribution(window[None, ...])
-        return float(np.exp(log_var).mean())
+        return float(self.score_windows_batch(
+            np.asarray(window, dtype=np.float64)[None, ...],
+            np.asarray(target, dtype=np.float64).reshape(1, -1),
+        )[0])
 
-    def _score_batch(self, dataset: WindowDataset, batch_size: int) -> np.ndarray:
-        output = np.empty(len(dataset))
-        for start in range(0, len(dataset), batch_size):
-            stop = min(start + batch_size, len(dataset))
-            _, log_var = self.network.predict_distribution(dataset.contexts[start:stop])
-            output[start:stop] = np.exp(log_var).mean(axis=1)
-        return output
+    def score_windows_batch(self, windows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorized variance scoring: one fast-path forward for all rows."""
+        self._check_fitted()
+        windows, _ = self._validate_batch(windows, targets)
+        _, log_var = self.network.predict_distribution(windows)
+        return np.exp(log_var).mean(axis=1)
 
     def forecast(self, window: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Return (mean, variance) of the next-sample distribution for one window."""

@@ -1,9 +1,55 @@
-"""Edge-platform substrate: Jetson device models, roofline-style metric
-estimation, a streaming inference runtime, and a jetson-stats style monitor.
+"""Edge-platform substrate: device models, runtimes, estimation, monitoring.
+
+The package provides two complementary views of running a detector on an
+edge board:
+
+* **Analytical** -- :mod:`repro.edge.device` describes the Jetson envelopes
+  (AGX Orin, Xavier NX) and :mod:`repro.edge.estimator` translates a
+  detector's :class:`~repro.core.detector.InferenceCost` into roofline-style
+  frequency/power/RAM estimates; :mod:`repro.edge.monitor` replays them as a
+  jetson-stats style telemetry session.
+* **Executable** -- the streaming runtimes replay recordings through a fitted
+  detector and measure real host wall-clock costs.
+
+Streaming runtimes
+------------------
+
+:class:`StreamingRuntime` is the paper's single-stream test script: one
+sample from one stream per call to
+:meth:`~repro.core.detector.AnomalyDetector.score_window`, with per-call
+latency measurement and optional threshold alarms.
+
+:class:`MultiStreamRuntime` (:mod:`repro.edge.fleet`) is the batched
+multi-tenant engine: it advances N concurrent
+:class:`~repro.data.streaming.StreamReader` replays in lockstep, keeps every
+rolling context window in one ``(n_streams, window, channels)`` ring buffer,
+and scores one gathered batch per tick through
+:meth:`~repro.core.detector.AnomalyDetector.score_windows_batch`.  It emits
+one :class:`StreamingResult` per stream -- bit-identical scores to the
+sequential runtime, NaN prefix included -- plus aggregate
+:class:`FleetStats` (samples/sec, per-batch latencies, batch sizes).
+
+Typical fleet usage::
+
+    from repro.data import StreamReader
+    from repro.edge import MultiStreamRuntime
+
+    runtime = MultiStreamRuntime(detector, threshold=calibrated)
+    fleet = runtime.run([StreamReader(s) for s in streams])
+    fleet.stats.samples_per_second     # aggregate throughput
+    fleet[0].scores                    # per-stream StreamingResult
+
+Benchmark the batched engine against per-stream sequential scoring with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_throughput.py -q -s
+
+which records samples/sec versus stream count; the score-parity suite lives
+in ``tests/test_edge/test_fleet_parity.py``.
 """
 
 from .device import DEVICES, EdgeDeviceSpec, JETSON_AGX_ORIN, JETSON_XAVIER_NX, get_device
 from .estimator import EdgeEstimator, EdgeMetrics
+from .fleet import FleetResult, FleetStats, MultiStreamRuntime
 from .monitor import BoardMonitor, MetricSample, MonitoringSession
 from .runtime import StreamingResult, StreamingRuntime
 
@@ -18,6 +64,9 @@ __all__ = [
     "BoardMonitor",
     "MetricSample",
     "MonitoringSession",
+    "FleetResult",
+    "FleetStats",
+    "MultiStreamRuntime",
     "StreamingResult",
     "StreamingRuntime",
 ]

@@ -1,0 +1,207 @@
+"""Batched multi-stream inference: one detector serving N concurrent streams.
+
+:class:`repro.edge.runtime.StreamingRuntime` reproduces the paper's edge test
+script faithfully -- one sample from one stream per call -- but a deployment
+that monitors a fleet of robot cells cannot afford a separate Python call,
+graph-free forward and per-call overhead for every stream.
+:class:`MultiStreamRuntime` multiplexes N concurrent
+:class:`~repro.data.streaming.StreamReader` replays in lockstep: at every
+tick it advances each live stream by one sample, maintains all rolling
+context windows in a single ``(n_streams, window, channels)`` ring buffer,
+gathers the full windows into one batch, and scores them with a single
+:meth:`~repro.core.detector.AnomalyDetector.score_windows_batch` call.
+
+Semantics are identical to running :class:`StreamingRuntime` once per
+stream -- the same NaN prefix before the window fills, the same
+``scores_current_sample`` alignment, the same ``max_samples`` budget and the
+same thresholded alarms -- but the per-call overhead is amortised across the
+whole fleet, which is where small-model edge throughput comes from.  The
+parity suite (``tests/test_edge/test_fleet_parity.py``) checks the scores
+are bit-identical for every detector in the study;
+``benchmarks/bench_fleet_throughput.py`` measures the speed-up.
+
+Latency accounting: one batched call scores several streams at once, so each
+scored sample is charged an equal share (``batch wall-clock / batch size``)
+of its call in the per-stream :class:`StreamingResult.latencies_s`; the
+unsplit per-call numbers are kept in :attr:`FleetStats.batch_latencies_s`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.calibration import CalibratedThreshold
+from ..core.detector import AnomalyDetector
+from ..data.streaming import StreamReader
+from .runtime import StreamingResult
+
+__all__ = ["FleetStats", "FleetResult", "MultiStreamRuntime"]
+
+
+@dataclass
+class FleetStats:
+    """Aggregate throughput profile of one multi-stream run."""
+
+    n_streams: int
+    ticks: int                     # lockstep steps taken (longest stream length)
+    samples_scored: int            # across all streams
+    wall_time_s: float             # full run() wall clock, windows + scoring
+    scoring_time_s: float          # wall clock inside score_windows_batch calls
+    batch_sizes: np.ndarray        # rows per batched scoring call
+    batch_latencies_s: np.ndarray  # wall clock per batched scoring call
+
+    @property
+    def samples_per_second(self) -> float:
+        """End-to-end scored-sample throughput of the whole fleet."""
+        if self.samples_scored == 0:
+            return 0.0
+        if self.wall_time_s <= 0.0:
+            return float("inf")
+        return self.samples_scored / self.wall_time_s
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(self.batch_sizes.mean()) if self.batch_sizes.size else 0.0
+
+
+@dataclass
+class FleetResult:
+    """Per-stream results plus fleet-wide throughput stats."""
+
+    results: List[StreamingResult]  # one per input stream, in input order
+    stats: FleetStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[StreamingResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> StreamingResult:
+        return self.results[index]
+
+
+class MultiStreamRuntime:
+    """Run one fitted detector over N concurrent streams with batched scoring.
+
+    Streams may have different lengths; a stream that ends simply drops out
+    of the batch while the rest keep going.  All streams must share the
+    detector's channel count.
+    """
+
+    def __init__(self, detector: AnomalyDetector,
+                 threshold: Optional[CalibratedThreshold] = None) -> None:
+        self.detector = detector
+        self.threshold = threshold
+
+    def run(self, readers: Sequence[StreamReader],
+            max_samples: Optional[int] = None) -> FleetResult:
+        """Advance every stream in lockstep, scoring one batch per tick.
+
+        ``max_samples`` limits how many samples are scored *per stream* (the
+        same budget :meth:`StreamingRuntime.run` applies to its one stream).
+        """
+        readers = list(readers)
+        if not readers:
+            raise ValueError("MultiStreamRuntime needs at least one stream")
+        n_channels = readers[0].n_channels
+        for reader in readers[1:]:
+            if reader.n_channels != n_channels:
+                raise ValueError(
+                    f"all streams must share one channel count: "
+                    f"got {reader.n_channels} and {n_channels}"
+                )
+        window = self.detector.window
+        n_streams = len(readers)
+        lengths = np.array([reader.n_samples for reader in readers], dtype=np.int64)
+        max_length = int(lengths.max())
+        data = [reader.data for reader in readers]
+
+        scores = [np.full(int(length), np.nan) for length in lengths]
+        alarms = [np.zeros(int(length), dtype=np.int64) for length in lengths]
+        latencies: List[List[float]] = [[] for _ in range(n_streams)]
+        scored = np.zeros(n_streams, dtype=np.int64)
+
+        # One ring buffer for the whole fleet.  Streams push in lockstep, so
+        # a single write slot cursor serves every live stream; rows of ended
+        # streams go stale but are never scored again.
+        ring = np.zeros((n_streams, window, n_channels))
+        slots = np.arange(window)
+        scores_current = self.detector.scores_current_sample
+        threshold = None if self.threshold is None else self.threshold.threshold
+
+        batch_sizes: List[int] = []
+        batch_latencies: List[float] = []
+        scoring_time = 0.0
+        pushes = 0
+        wall_start = time.perf_counter()
+        for tick in range(max_length):
+            active = np.flatnonzero(lengths > tick)
+            samples = np.stack([data[stream][tick] for stream in active])
+            if scores_current:
+                # Window-state detectors (VARADE, AE) include the newest
+                # sample in the context they score.
+                ring[active, pushes % window] = samples
+                filled = pushes + 1
+            else:
+                filled = pushes
+            if filled >= window:
+                if max_samples is None:
+                    in_budget = np.arange(active.size)
+                else:
+                    in_budget = np.flatnonzero(scored[active] < max_samples)
+                if in_budget.size:
+                    stream_ids = active[in_budget]
+                    # Gather every full window oldest-first from the ring.
+                    oldest = filled % window
+                    order = slots if oldest == 0 else np.concatenate(
+                        [slots[oldest:], slots[:oldest]]
+                    )
+                    batch_windows = ring[stream_ids[:, None], order[None, :], :]
+                    batch_targets = samples[in_budget]
+                    start = time.perf_counter()
+                    batch_scores = self.detector.score_windows_batch(
+                        batch_windows, batch_targets
+                    )
+                    elapsed = time.perf_counter() - start
+                    scoring_time += elapsed
+                    batch_sizes.append(int(stream_ids.size))
+                    batch_latencies.append(elapsed)
+                    per_row = elapsed / stream_ids.size
+                    for row, stream in enumerate(stream_ids):
+                        value = float(batch_scores[row])
+                        scores[stream][tick] = value
+                        if threshold is not None:
+                            alarms[stream][tick] = int(value > threshold)
+                        latencies[stream].append(per_row)
+                        scored[stream] += 1
+            if not scores_current:
+                ring[active, pushes % window] = samples
+            pushes += 1
+        wall_time = time.perf_counter() - wall_start
+
+        results = [
+            StreamingResult(
+                detector=self.detector.name,
+                scores=scores[stream],
+                labels=readers[stream].labels.copy(),
+                alarms=alarms[stream],
+                latencies_s=np.asarray(latencies[stream]),
+                samples_scored=int(scored[stream]),
+            )
+            for stream in range(n_streams)
+        ]
+        stats = FleetStats(
+            n_streams=n_streams,
+            ticks=max_length,
+            samples_scored=int(scored.sum()),
+            wall_time_s=wall_time,
+            scoring_time_s=scoring_time,
+            batch_sizes=np.asarray(batch_sizes, dtype=np.int64),
+            batch_latencies_s=np.asarray(batch_latencies),
+        )
+        return FleetResult(results=results, stats=stats)

@@ -46,8 +46,19 @@ class StreamingResult:
 
     @property
     def host_inference_hz(self) -> float:
+        """Inferences per second implied by the mean host latency.
+
+        ``nan`` when nothing was scored, ``inf`` when samples were scored but
+        every latency was below the timer resolution.  (A mean of exactly 0.0
+        used to fall through a ``mean and ...`` truthiness check and silently
+        report ``nan``, indistinguishable from the empty run.)
+        """
         mean = self.mean_latency_s
-        return 1.0 / mean if mean and np.isfinite(mean) and mean > 0 else float("nan")
+        if not np.isfinite(mean):
+            return float("nan")
+        if mean <= 0.0:
+            return float("inf")
+        return 1.0 / mean
 
     @property
     def valid_mask(self) -> np.ndarray:

@@ -28,6 +28,7 @@ from .layers import (
 from .recurrent import LSTM, LSTMCell
 from .optim import Adam, Optimizer, RMSprop, SGD, clip_grad_norm
 from .losses import elbo_loss, gaussian_nll, kl_standard_normal, mae_loss, mse_loss
+from .fastpath import FastForwardPlan, fast_conv1d
 from .utils import LayerProfile, ModelProfile, count_parameters, profile_model
 from . import init
 
@@ -63,6 +64,8 @@ __all__ = [
     "gaussian_nll",
     "kl_standard_normal",
     "elbo_loss",
+    "FastForwardPlan",
+    "fast_conv1d",
     "LayerProfile",
     "ModelProfile",
     "profile_model",

@@ -1,0 +1,230 @@
+"""Graph-free batched inference for convolutional forecasters.
+
+Training needs the full autograd graph (:mod:`repro.nn.tensor`), but the
+streaming hot path does not -- and in the seed implementation every scored
+sample still paid for Python ``Tensor`` allocation, graph bookkeeping and a
+fresh im2col copy per convolution.  On small edge-sized models that per-call
+overhead dominates the arithmetic, exactly as the
+:class:`repro.core.detector.InferenceCost.n_kernel_launches` model predicts.
+
+This module is the vectorized fast path used by
+:meth:`repro.core.varade.VaradeNetwork.predict_distribution`:
+
+* :func:`fast_conv1d` runs a ``Conv1d`` forward on raw arrays.  The input is
+  expanded into an im2col matrix with numpy stride tricks (a zero-copy view;
+  the only copy is one buffered write) and contracted with the flattened
+  ``(out_channels, in_channels * kernel)`` weight in a single batched matmul.
+* :class:`FastForwardPlan` compiles a ``Conv1d``/``ReLU`` backbone plus a set
+  of linear heads into a flat list of preallocated-buffer operations.
+  Buffers are allocated once per batch size and reused, so steady-state
+  streaming inference allocates almost nothing.
+
+Numerical contract: for a fixed input row the outputs are bit-identical no
+matter which batch the row is scored in.  The convolution contracts every
+batch slice with the same ``(O, C*K) x (C*K, L)`` matmul, and the heads use
+``np.einsum`` whose reduction order does not depend on the batch size.  The
+score-parity suite (``tests/test_edge/test_fleet_parity.py``) relies on this
+to compare batched multi-stream scores against the sequential runtime.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .layers import Conv1d, Linear, ReLU, Sequential
+from .module import Module
+
+__all__ = ["fast_conv1d", "FastForwardPlan"]
+
+#: how many distinct batch sizes a plan keeps buffers for before evicting the
+#: least recently used set (a fleet whose streams end at different times asks
+#: for a shrinking sequence of batch sizes).
+_MAX_CACHED_BATCH_SIZES = 8
+
+
+def _im2col_view(x: np.ndarray, kernel: int, stride: int) -> Tuple[np.ndarray, int]:
+    """Zero-copy ``(N, C, K, L_out)`` sliding view over a contiguous input."""
+    batch, channels, length = x.shape
+    out_length = (length - kernel) // stride + 1
+    if out_length <= 0:
+        raise ValueError(
+            f"conv1d output length would be {out_length} (input length {length}, "
+            f"kernel {kernel}, stride {stride})"
+        )
+    stride_n, stride_c, stride_l = x.strides
+    view = as_strided(
+        x,
+        shape=(batch, channels, kernel, out_length),
+        strides=(stride_n, stride_c, stride_l, stride_l * stride),
+        writeable=False,
+    )
+    return view, out_length
+
+
+def fast_conv1d(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None,
+                stride: int = 1, padding: int = 0,
+                cols_buf: Optional[np.ndarray] = None,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+    """1-D convolution forward on raw arrays as one batched matmul.
+
+    ``x`` is ``(N, C_in, L)`` (C-contiguous), ``weight`` ``(C_out, C_in, K)``;
+    the result is ``(N, C_out, L_out)`` and matches
+    :meth:`repro.nn.tensor.Tensor.conv1d` numerically.  ``cols_buf`` of shape
+    ``(N, C_in * K, L_out)`` and ``out`` of shape ``(N, C_out, L_out)`` let
+    the caller reuse scratch memory across calls.
+    """
+    x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    if x.ndim != 3 or weight.ndim != 3:
+        raise ValueError("fast_conv1d expects input (N, C, L) and weight (C_out, C_in, K)")
+    out_channels, in_channels, kernel = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"fast_conv1d channel mismatch: input has {x.shape[1]}, "
+            f"weight expects {in_channels}"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+    view, out_length = _im2col_view(x, kernel, stride)
+    batch = x.shape[0]
+    if cols_buf is None:
+        cols_buf = np.empty((batch, in_channels * kernel, out_length))
+    np.copyto(cols_buf.reshape(batch, in_channels, kernel, out_length), view)
+    if out is None:
+        out = np.empty((batch, out_channels, out_length))
+    np.matmul(weight.reshape(out_channels, in_channels * kernel), cols_buf, out=out)
+    if bias is not None:
+        out += bias.reshape(-1, 1)
+    return out
+
+
+class FastForwardPlan:
+    """Preallocated, graph-free forward pass for a conv backbone with heads.
+
+    The plan walks a :class:`~repro.nn.layers.Sequential` of ``Conv1d`` and
+    ``ReLU`` layers once at construction time to derive every intermediate
+    shape, then executes the whole stack with ``matmul``/``einsum`` into
+    reusable buffers.  Weights are read from the source modules at call time,
+    so the plan stays valid across optimiser steps and
+    :meth:`~repro.nn.module.Module.load_state_dict`.
+
+    .. warning::
+       :meth:`forward` returns views of internal buffers that are overwritten
+       by the next call with the same batch size; callers must copy (or
+       derive new arrays from) anything they keep.
+    """
+
+    def __init__(self, backbone: Sequential, heads: Mapping[str, Linear],
+                 in_channels: int, in_length: int) -> None:
+        if not heads:
+            raise ValueError("FastForwardPlan needs at least one head")
+        self._steps: List[Tuple[str, Optional[Module]]] = []
+        self._shapes: List[Tuple[int, int]] = []  # (channels, length) after each conv
+        channels, length = in_channels, in_length
+        for layer in backbone:
+            if isinstance(layer, Conv1d):
+                if layer.in_channels != channels:
+                    raise ValueError(
+                        f"backbone expects {layer.in_channels} channels, carrying {channels}"
+                    )
+                length = layer.output_length(length)
+                if length <= 0:
+                    raise ValueError("backbone reduces the sequence to zero length")
+                channels = layer.out_channels
+                self._steps.append(("conv", layer))
+                self._shapes.append((channels, length))
+            elif isinstance(layer, ReLU):
+                self._steps.append(("relu", None))
+            else:
+                raise TypeError(
+                    f"FastForwardPlan supports Conv1d/ReLU backbones, got {type(layer).__name__}"
+                )
+        self._flat_features = channels * length
+        for name, head in heads.items():
+            if not isinstance(head, Linear):
+                raise TypeError(f"head {name!r} must be a Linear layer")
+            if head.in_features != self._flat_features:
+                raise ValueError(
+                    f"head {name!r} expects {head.in_features} features, backbone "
+                    f"produces {self._flat_features}"
+                )
+        self._heads = dict(heads)
+        self._in_channels = in_channels
+        self._in_length = in_length
+        self._buffers: "OrderedDict[int, dict]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Buffer management
+    # ------------------------------------------------------------------ #
+    def _get_buffers(self, batch: int) -> dict:
+        cached = self._buffers.get(batch)
+        if cached is not None:
+            self._buffers.move_to_end(batch)
+            return cached
+        cols: List[np.ndarray] = []
+        outs: List[np.ndarray] = []
+        for step, layer in self._steps:
+            if step != "conv":
+                continue
+            out_channels, out_length = self._shapes[len(outs)]
+            cols.append(np.empty((batch, layer.in_channels * layer.kernel_size, out_length)))
+            outs.append(np.empty((batch, out_channels, out_length)))
+        heads = {name: np.empty((batch, head.out_features))
+                 for name, head in self._heads.items()}
+        buffers = {"cols": cols, "outs": outs, "heads": heads}
+        self._buffers[batch] = buffers
+        while len(self._buffers) > _MAX_CACHED_BATCH_SIZES:
+            self._buffers.popitem(last=False)
+        return buffers
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        """Run the backbone and heads over ``x`` of shape ``(N, C, L)``.
+
+        Returns a mapping from head name to its ``(N, out_features)`` output
+        buffer (overwritten by the next same-batch-size call).
+        """
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+        if x.ndim != 3 or x.shape[1] != self._in_channels or x.shape[2] != self._in_length:
+            raise ValueError(
+                f"expected input of shape (batch, {self._in_channels}, "
+                f"{self._in_length}), got {x.shape}"
+            )
+        buffers = self._get_buffers(x.shape[0])
+        current = x
+        conv_index = 0
+        for step, layer in self._steps:
+            if step == "conv":
+                current = fast_conv1d(
+                    current,
+                    layer.weight.data,
+                    None if layer.bias is None else layer.bias.data,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    cols_buf=buffers["cols"][conv_index],
+                    out=buffers["outs"][conv_index],
+                )
+                conv_index += 1
+            elif current is x:
+                # A ReLU before any convolution must not clobber the caller's
+                # array (ascontiguousarray returns the input unchanged when it
+                # is already contiguous).
+                current = np.maximum(current, 0.0)
+            else:  # relu, in place on the conv output buffer
+                np.maximum(current, 0.0, out=current)
+        flat = current.reshape(current.shape[0], -1)
+        results: Dict[str, np.ndarray] = {}
+        for name, head in self._heads.items():
+            out = buffers["heads"][name]
+            # einsum keeps the reduction order independent of the batch size,
+            # which the batched-vs-sequential score parity guarantee needs.
+            np.einsum("nf,of->no", flat, head.weight.data, out=out)
+            if head.bias is not None:
+                out += head.bias.data
+            results[name] = out
+        return results

@@ -13,6 +13,17 @@ from repro.data.dataset import DatasetConfig, build_benchmark_dataset
 from repro.robot.plant import RobotCellConfig, RobotCellSimulator
 
 
+def pytest_configure(config):
+    """Register the tier markers.
+
+    Tier 1 is the full default run; ``pytest -m "not slow"`` is the fast tier
+    that skips long-running throughput/scaling tests.
+    """
+    config.addinivalue_line(
+        "markers", "slow: long-running test, deselect with -m 'not slow'"
+    )
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(1234)

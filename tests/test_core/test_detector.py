@@ -100,6 +100,30 @@ class TestScoring:
         result = fitted_detector.score_stream(np.zeros((10, 5)))
         assert not result.valid_mask.any()
 
+    def test_window_length_stream_yields_exactly_one_score(self, fitted_detector):
+        """Regression: a window-state detector scores the last sample of the
+        first full window, so a stream of exactly `window` rows must yield
+        one score (matching the streaming runtimes), not an all-NaN result."""
+        from repro.data import StreamReader
+        from repro.edge import StreamingRuntime
+
+        test, _ = synthetic_stream(seed=8)
+        exact = test[:16]
+        result = fitted_detector.score_stream(exact)
+        assert result.valid_mask.sum() == 1
+        assert result.valid_mask[15]
+        streamed = StreamingRuntime(fitted_detector).run(StreamReader(exact))
+        np.testing.assert_allclose(result.scores, streamed.scores,
+                                   rtol=0, atol=1e-10, equal_nan=True)
+
+    def test_score_windows_batch_matches_score_window_exactly(self, fitted_detector):
+        test, _ = synthetic_stream(seed=9)
+        windows = np.stack([test[i:i + 16] for i in range(6)])
+        targets = test[16:22]
+        batch = fitted_detector.score_windows_batch(windows, targets)
+        singles = [fitted_detector.score_window(windows[i], targets[i]) for i in range(6)]
+        np.testing.assert_array_equal(batch, singles)
+
     def test_aligned_requires_matching_length(self, fitted_detector):
         test, _ = synthetic_stream(seed=7)
         result = fitted_detector.score_stream(test)

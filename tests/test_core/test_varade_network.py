@@ -87,6 +87,67 @@ class TestInference:
         mean, log_var = network.predict_distribution(np.zeros((16, 6)))
         assert mean.shape == (1, 6)
 
+    def test_predict_distribution_batch_matches_single(self, small_config):
+        """A window scores bit-identically alone or inside any batch.
+
+        The multi-stream fleet relies on this: batched scores must equal the
+        sequential runtime's one-window-at-a-time scores exactly.
+        """
+        rng = np.random.default_rng(11)
+        network = VaradeNetwork(small_config, rng=rng)
+        # Give the variance head structure so the check is not vacuous.
+        network.head_log_var.weight.data = rng.normal(
+            0.0, 0.3, network.head_log_var.weight.data.shape
+        )
+        windows = rng.normal(size=(9, 16, 6))
+        mean_batch, log_var_batch = network.predict_distribution(windows)
+        for index in range(windows.shape[0]):
+            mean_one, log_var_one = network.predict_distribution(windows[index])
+            np.testing.assert_array_equal(mean_batch[index], mean_one[0])
+            np.testing.assert_array_equal(log_var_batch[index], log_var_one[0])
+
+    def test_predict_distribution_matches_autograd_forward(self, network):
+        """The fast graph-free path agrees with the training-time forward."""
+        windows = np.random.default_rng(12).normal(size=(5, 16, 6))
+        mean, log_var = network.predict_distribution(windows)
+        with nn.no_grad():
+            mean_ref, log_var_ref = network(nn.Tensor(np.transpose(windows, (0, 2, 1))))
+        np.testing.assert_allclose(mean, mean_ref.numpy(), rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(log_var, log_var_ref.numpy(), rtol=1e-10, atol=1e-12)
+
+    def test_predict_distribution_tracks_weight_updates(self, small_config):
+        """The fast path reads live weights (no stale caching after training)."""
+        network = VaradeNetwork(small_config, rng=np.random.default_rng(13))
+        windows = np.random.default_rng(14).normal(size=(2, 16, 6))
+        _, before = network.predict_distribution(windows)
+        network.head_log_var.bias.data = network.head_log_var.bias.data + 1.0
+        _, after = network.predict_distribution(windows)
+        np.testing.assert_allclose(after, before + 1.0, atol=1e-12)
+
+    def test_predict_distribution_input_validation(self, network):
+        with pytest.raises(ValueError):
+            network.predict_distribution(np.zeros((2, 16, 5)))  # wrong channels
+        with pytest.raises(ValueError):
+            network.predict_distribution(np.zeros((2, 8, 6)))   # wrong window
+
+    def test_log_var_clipped_at_exact_boundary(self):
+        """The clip saturates at exactly +/-10.0, and 10.0 itself passes through."""
+        config = VaradeConfig(n_channels=3, window=8, base_feature_maps=2)
+        windows = np.random.default_rng(15).normal(size=(4, 8, 3))
+        for bias, expected in ((50.0, 10.0), (-50.0, -10.0),
+                               (10.0, 10.0), (-10.0, -10.0)):
+            network = VaradeNetwork(config, rng=np.random.default_rng(0))
+            # The variance head's weights start at zero, so its output is the
+            # bias exactly -- before and after the clip.
+            network.head_log_var.bias.data[:] = bias
+            _, log_var = network.predict_distribution(windows)
+            np.testing.assert_array_equal(log_var, np.full_like(log_var, expected))
+            with nn.no_grad():
+                _, log_var_graph = network(nn.Tensor(np.transpose(windows, (0, 2, 1))))
+            np.testing.assert_array_equal(
+                log_var_graph.numpy(), np.full_like(log_var, expected)
+            )
+
     def test_layer_summary(self, network):
         summary = network.layer_summary()
         assert len(summary) == 3 + 1

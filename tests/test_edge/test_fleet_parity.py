@@ -1,0 +1,192 @@
+"""Score-parity suite: batched multi-stream fleet vs the sequential runtime.
+
+For every detector in the study, :class:`repro.edge.MultiStreamRuntime` must
+produce exactly the scores that :class:`repro.edge.StreamingRuntime` produces
+when run once per stream -- bit-identical values, the same NaN prefix before
+the context window fills, the same ``max_samples`` budget and the same
+thresholded alarms.  This is the contract that lets the fleet engine replace
+the sequential path everywhere.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import DETECTOR_NAMES, DetectorRegistry
+from repro.core import ThresholdCalibrator
+from repro.data import StreamReader
+from repro.edge import MultiStreamRuntime, StreamingRuntime
+
+N_CHANNELS = 3
+WINDOW = 8
+STREAM_LENGTHS = (60, 50, 40, 25)
+
+
+def _make_stream(n_samples, seed, anomaly=False):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_samples) / 20.0
+    data = np.stack(
+        [np.sin(2 * np.pi * (0.4 + 0.2 * c) * t + c) + 0.05 * rng.normal(size=n_samples)
+         for c in range(N_CHANNELS)],
+        axis=1,
+    )
+    labels = np.zeros(n_samples, dtype=np.int64)
+    if anomaly:
+        start = n_samples // 2
+        data[start:start + 6] += rng.normal(0.0, 2.0, size=(6, N_CHANNELS))
+        labels[start:start + 6] = 1
+    return data, labels
+
+
+@pytest.fixture(scope="module")
+def train_stream():
+    return _make_stream(220, seed=0)[0]
+
+
+@pytest.fixture(scope="module")
+def detectors(train_stream):
+    """All six study detectors, trained tiny but through their real code paths."""
+    registry = DetectorRegistry(
+        n_channels=N_CHANNELS,
+        window=WINDOW,
+        neural_epochs=1,
+        max_train_windows=80,
+        varade_feature_maps=2,
+        varade_epochs=2,
+        varade_warmup_epochs=1,
+        lstm_hidden=8,
+        seed=0,
+    )
+    return {spec.name: spec.build().fit(train_stream) for spec in registry.specs()}
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """Unequal-length test streams, one with injected anomalies."""
+    return [
+        _make_stream(length, seed=30 + index, anomaly=index == 0)
+        for index, length in enumerate(STREAM_LENGTHS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def readers(streams):
+    return [StreamReader(data, labels=labels) for data, labels in streams]
+
+
+class TestScoreParity:
+    @pytest.mark.parametrize("name", DETECTOR_NAMES)
+    def test_batched_scores_match_sequential(self, detectors, readers, name):
+        detector = detectors[name]
+        fleet = MultiStreamRuntime(detector).run(readers)
+        assert len(fleet) == len(readers)
+        for reader, fleet_result in zip(readers, fleet):
+            sequential = StreamingRuntime(detector).run(reader)
+            # Identical NaN prefix (and any other unscored samples) ...
+            np.testing.assert_array_equal(
+                np.isnan(fleet_result.scores), np.isnan(sequential.scores)
+            )
+            # ... and bit-identical scores everywhere else.
+            np.testing.assert_allclose(
+                fleet_result.scores, sequential.scores,
+                rtol=0.0, atol=1e-10, equal_nan=True,
+            )
+            assert fleet_result.samples_scored == sequential.samples_scored
+            assert len(fleet_result.latencies_s) == fleet_result.samples_scored
+
+    def test_nan_prefix_length_matches_window_semantics(self, detectors, readers):
+        """Window-state detectors score one sample earlier than forecasters."""
+        for name, detector in detectors.items():
+            fleet = MultiStreamRuntime(detector).run(readers)
+            first_valid = int(np.flatnonzero(np.isfinite(fleet[0].scores))[0])
+            expected = detector.window - 1 if detector.scores_current_sample \
+                else detector.window
+            assert first_valid == expected, name
+
+    def test_max_samples_budget_matches_sequential(self, detectors, readers):
+        detector = detectors["VARADE"]
+        fleet = MultiStreamRuntime(detector).run(readers, max_samples=10)
+        for reader, fleet_result in zip(readers, fleet):
+            sequential = StreamingRuntime(detector).run(reader, max_samples=10)
+            assert fleet_result.samples_scored == sequential.samples_scored <= 10
+            np.testing.assert_allclose(
+                fleet_result.scores, sequential.scores,
+                rtol=0.0, atol=1e-10, equal_nan=True,
+            )
+
+    def test_threshold_alarms_match_sequential(self, detectors, readers, train_stream):
+        detector = detectors["VARADE"]
+        normal_scores = detector.score_stream(train_stream).valid_scores()
+        threshold = ThresholdCalibrator(quantile=0.9).calibrate(normal_scores)
+        fleet = MultiStreamRuntime(detector, threshold=threshold).run(readers)
+        for reader, fleet_result in zip(readers, fleet):
+            sequential = StreamingRuntime(detector, threshold=threshold).run(reader)
+            np.testing.assert_array_equal(fleet_result.alarms, sequential.alarms)
+
+
+class TestFleetRuntime:
+    def test_rejects_empty_fleet(self, detectors):
+        with pytest.raises(ValueError):
+            MultiStreamRuntime(detectors["VARADE"]).run([])
+
+    def test_rejects_mixed_channel_counts(self, detectors):
+        readers = [
+            StreamReader(np.zeros((30, N_CHANNELS))),
+            StreamReader(np.zeros((30, N_CHANNELS + 1))),
+        ]
+        with pytest.raises(ValueError, match="channel count"):
+            MultiStreamRuntime(detectors["VARADE"]).run(readers)
+
+    def test_stats_account_for_every_scored_sample(self, detectors, readers):
+        fleet = MultiStreamRuntime(detectors["VARADE"]).run(readers)
+        stats = fleet.stats
+        assert stats.n_streams == len(readers)
+        assert stats.ticks == max(STREAM_LENGTHS)
+        assert stats.samples_scored == sum(r.samples_scored for r in fleet)
+        assert stats.batch_sizes.sum() == stats.samples_scored
+        assert stats.batch_sizes.max() <= len(readers)
+        assert stats.batch_latencies_s.shape == stats.batch_sizes.shape
+        assert 0.0 < stats.scoring_time_s <= stats.wall_time_s
+        assert stats.samples_per_second > 0.0
+        assert 1.0 <= stats.mean_batch_size <= len(readers)
+
+    def test_short_stream_drops_out_of_the_batch(self, detectors, readers):
+        """Once the shortest stream ends, batches shrink but scoring goes on."""
+        fleet = MultiStreamRuntime(detectors["VARADE"]).run(readers)
+        assert fleet.stats.batch_sizes[0] == len(readers)
+        assert fleet.stats.batch_sizes[-1] == 1  # only the longest stream left
+        shortest = int(np.argmin(STREAM_LENGTHS))
+        assert fleet[shortest].samples_scored < fleet[0].samples_scored
+
+    def test_single_stream_fleet_degenerates_to_sequential(self, detectors, readers):
+        detector = detectors["AE"]
+        fleet = MultiStreamRuntime(detector).run(readers[:1])
+        sequential = StreamingRuntime(detector).run(readers[0])
+        np.testing.assert_allclose(
+            fleet[0].scores, sequential.scores, rtol=0.0, atol=1e-10, equal_nan=True,
+        )
+
+
+@pytest.mark.slow
+def test_fleet_is_not_slower_than_sequential(detectors):
+    """Throughput guard: 8 batched streams must beat 8 sequential runs.
+
+    The strict 3x acceptance assertion lives in
+    ``benchmarks/bench_fleet_throughput.py``; this slow-tier test only guards
+    against the batched path regressing below the sequential one.
+    """
+    detector = detectors["VARADE"]
+    readers = [StreamReader(_make_stream(220, seed=60 + i)[0]) for i in range(8)]
+
+    start = time.perf_counter()
+    for reader in readers:
+        StreamingRuntime(detector).run(reader)
+    sequential_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fleet = MultiStreamRuntime(detector).run(readers)
+    fleet_time = time.perf_counter() - start
+
+    assert fleet.stats.samples_scored > 0
+    assert fleet_time < sequential_time

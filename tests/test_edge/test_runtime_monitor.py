@@ -10,6 +10,7 @@ from repro.edge import (
     BoardMonitor,
     EdgeEstimator,
     JETSON_XAVIER_NX,
+    StreamingResult,
     StreamingRuntime,
 )
 
@@ -62,6 +63,39 @@ class TestStreamingRuntime:
         result = StreamingRuntime(detector, threshold=threshold).run(reader)
         anomalous = labels.astype(bool)
         assert result.alarms[anomalous].mean() > result.alarms[~anomalous].mean()
+
+
+class TestStreamingResultLatency:
+    @staticmethod
+    def _result(latencies):
+        latencies = np.asarray(latencies, dtype=np.float64)
+        n = max(latencies.size, 1)
+        return StreamingResult(
+            detector="x",
+            scores=np.full(n, np.nan),
+            labels=np.zeros(n, dtype=np.int64),
+            alarms=np.zeros(n, dtype=np.int64),
+            latencies_s=latencies,
+            samples_scored=int(latencies.size),
+        )
+
+    def test_empty_run_reports_nan(self):
+        result = self._result([])
+        assert np.isnan(result.mean_latency_s)
+        assert np.isnan(result.host_inference_hz)
+
+    def test_zero_latency_run_reports_inf_not_nan(self):
+        """Regression: a sub-timer-resolution run used to fall through the old
+        ``mean and ...`` truthiness check and report nan Hz, indistinguishable
+        from a run that scored nothing."""
+        result = self._result([0.0, 0.0, 0.0])
+        assert result.mean_latency_s == 0.0
+        assert result.host_inference_hz == float("inf")
+
+    def test_positive_latencies_report_reciprocal_hz(self):
+        result = self._result([0.01, 0.03])
+        assert result.mean_latency_s == pytest.approx(0.02)
+        assert result.host_inference_hz == pytest.approx(50.0)
 
 
 class TestBoardMonitor:

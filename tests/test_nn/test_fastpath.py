@@ -1,0 +1,110 @@
+"""Tests for the graph-free fast inference path (repro.nn.fastpath)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.fastpath import FastForwardPlan, fast_conv1d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFastConv1d:
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        (2, 2, 0),   # VARADE's configuration
+        (3, 1, 1),   # same-length convolution
+        (3, 2, 1),   # strided with padding
+        (1, 1, 0),   # pointwise
+    ])
+    def test_matches_autograd_conv1d(self, rng, kernel, stride, padding):
+        x = rng.normal(size=(4, 3, 16))
+        weight = rng.normal(size=(5, 3, kernel))
+        bias = rng.normal(size=5)
+        fast = fast_conv1d(x, weight, bias, stride=stride, padding=padding)
+        reference = nn.Tensor(x).conv1d(nn.Tensor(weight), nn.Tensor(bias),
+                                        stride=stride, padding=padding)
+        np.testing.assert_allclose(fast, reference.numpy(), rtol=1e-12, atol=1e-14)
+
+    def test_reuses_caller_buffers(self, rng):
+        x = rng.normal(size=(2, 3, 8))
+        weight = rng.normal(size=(4, 3, 2))
+        cols = np.empty((2, 6, 4))
+        out = np.empty((2, 4, 4))
+        result = fast_conv1d(x, weight, stride=2, cols_buf=cols, out=out)
+        assert result is out
+
+    def test_rejects_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            fast_conv1d(rng.normal(size=(1, 3, 8)), rng.normal(size=(4, 2, 2)))
+
+    def test_rejects_too_short_input(self, rng):
+        with pytest.raises(ValueError, match="output length"):
+            fast_conv1d(rng.normal(size=(1, 3, 2)), rng.normal(size=(4, 3, 5)))
+
+
+class TestFastForwardPlan:
+    def _plan(self, rng):
+        backbone = nn.Sequential(
+            nn.Conv1d(3, 4, kernel_size=2, stride=2, rng=rng),
+            nn.ReLU(),
+            nn.Conv1d(4, 8, kernel_size=2, stride=2, rng=rng),
+            nn.ReLU(),
+        )
+        head = nn.Linear(8 * 2, 3, rng=rng)
+        return backbone, head, FastForwardPlan(backbone, {"out": head},
+                                               in_channels=3, in_length=8)
+
+    def test_matches_graph_forward(self, rng):
+        backbone, head, plan = self._plan(rng)
+        x = rng.normal(size=(5, 3, 8))
+        fast = plan.forward(x)["out"]
+        with nn.no_grad():
+            reference = head(backbone(nn.Tensor(x)).flatten(start_dim=1))
+        np.testing.assert_allclose(fast, reference.numpy(), rtol=1e-10, atol=1e-12)
+
+    def test_batch_row_is_bit_identical_to_single(self, rng):
+        _, _, plan = self._plan(rng)
+        x = rng.normal(size=(7, 3, 8))
+        batch = plan.forward(x)["out"].copy()
+        for index in range(7):
+            single = plan.forward(x[index:index + 1])["out"]
+            np.testing.assert_array_equal(batch[index], single[0])
+
+    def test_relu_first_backbone_does_not_mutate_input(self, rng):
+        """Regression: a leading ReLU used to clobber the caller's array in
+        place when the input was already contiguous."""
+        backbone = nn.Sequential(nn.ReLU(), nn.Conv1d(3, 4, kernel_size=2, stride=2, rng=rng))
+        head = nn.Linear(4 * 4, 2, rng=rng)
+        plan = FastForwardPlan(backbone, {"out": head}, in_channels=3, in_length=8)
+        x = rng.normal(size=(2, 3, 8))
+        original = x.copy()
+        plan.forward(x)
+        np.testing.assert_array_equal(x, original)
+
+    def test_rejects_unsupported_layers(self, rng):
+        backbone = nn.Sequential(nn.Conv1d(3, 4, kernel_size=2, stride=2, rng=rng), nn.Tanh())
+        with pytest.raises(TypeError, match="Conv1d/ReLU"):
+            FastForwardPlan(backbone, {"out": nn.Linear(16, 2, rng=rng)},
+                            in_channels=3, in_length=8)
+
+    def test_rejects_mismatched_head(self, rng):
+        backbone = nn.Sequential(nn.Conv1d(3, 4, kernel_size=2, stride=2, rng=rng))
+        with pytest.raises(ValueError, match="head"):
+            FastForwardPlan(backbone, {"out": nn.Linear(7, 2, rng=rng)},
+                            in_channels=3, in_length=8)
+
+    def test_rejects_wrong_input_shape(self, rng):
+        _, _, plan = self._plan(rng)
+        with pytest.raises(ValueError):
+            plan.forward(rng.normal(size=(2, 3, 16)))
+
+    def test_reads_live_weights(self, rng):
+        _, head, plan = self._plan(rng)
+        x = rng.normal(size=(2, 3, 8))
+        before = plan.forward(x)["out"].copy()
+        head.bias.data = head.bias.data + 2.5
+        after = plan.forward(x)["out"]
+        np.testing.assert_allclose(after, before + 2.5, atol=1e-12)

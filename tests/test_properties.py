@@ -1,11 +1,13 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro import nn
 from repro.data.normalization import MinMaxScaler
+from repro.data.streaming import RollingWindow, StreamReader
 from repro.data.windowing import sliding_windows
 from repro.eval.metrics import point_adjust, roc_auc_score
 from repro.robot.quaternion import (
@@ -63,6 +65,99 @@ class TestWindowingProperties:
         # Every window is a contiguous slice of the original stream.
         np.testing.assert_allclose(windows[-1], data[(expected - 1) * stride:
                                                      (expected - 1) * stride + window])
+
+
+class TestRollingWindowProperties:
+    @given(st.integers(1, 8), st.integers(1, 5), st.integers(0, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_fill_level_and_oldest_first_ordering(self, window, n_channels, n_push):
+        rolling = RollingWindow(window, n_channels)
+        for value in range(n_push):
+            rolling.push(np.full(n_channels, float(value)))
+        assert len(rolling) == min(n_push, window)
+        assert rolling.is_full == (n_push >= window)
+        if rolling.is_full:
+            array = rolling.as_array()
+            assert array.shape == (window, n_channels)
+            # Exactly the last `window` pushed samples, oldest first.
+            np.testing.assert_array_equal(
+                array[:, 0], np.arange(n_push - window, n_push, dtype=float)
+            )
+        else:
+            with pytest.raises(RuntimeError):
+                rolling.as_array()
+
+    @given(st.integers(1, 6), st.integers(1, 4), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_clear_resets_and_window_refills(self, window, n_channels, n_push):
+        rolling = RollingWindow(window, n_channels)
+        for value in range(n_push):
+            rolling.push(np.full(n_channels, float(value)))
+        rolling.clear()
+        assert len(rolling) == 0
+        assert not rolling.is_full
+        for value in range(window):
+            rolling.push(np.full(n_channels, float(100 + value)))
+        np.testing.assert_array_equal(
+            rolling.as_array()[:, 0], np.arange(100, 100 + window, dtype=float)
+        )
+
+    @given(st.integers(1, 6), st.integers(1, 5), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_channel_mismatch_rejected(self, window, n_channels, wrong):
+        if wrong == n_channels:
+            wrong += 1
+        rolling = RollingWindow(window, n_channels)
+        with pytest.raises(ValueError):
+            rolling.push(np.zeros(wrong))
+        # A rejected push must not corrupt the fill level.
+        assert len(rolling) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RollingWindow(0, 3)
+        with pytest.raises(ValueError):
+            RollingWindow(4, 0)
+
+
+class TestStreamReaderProperties:
+    @given(small_matrices(min_rows=1, max_rows=25), st.floats(1.0, 500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_replay_preserves_order_and_timing(self, data, sample_rate):
+        reader = StreamReader(data, sample_rate=sample_rate)
+        samples = list(reader)
+        assert len(samples) == reader.n_samples == data.shape[0]
+        for index, sample in enumerate(samples):
+            assert sample.index == index
+            assert sample.timestamp == index / sample_rate
+            np.testing.assert_array_equal(sample.values, data[index])
+
+    @given(st.integers(2, 30), st.integers(1, 4), st.integers(1, 6), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_windows_are_the_preceding_slices(self, n_samples, n_channels, window, stride):
+        data = np.arange(n_samples * n_channels, dtype=float).reshape(n_samples, n_channels)
+        reader = StreamReader(data)
+        pairs = list(reader.windows(window, stride=stride))
+        expected = len(range(window, n_samples, stride)) if n_samples > window else 0
+        assert len(pairs) == expected
+        for context, sample in pairs:
+            assert sample.index >= window
+            np.testing.assert_array_equal(
+                context, data[sample.index - window:sample.index]
+            )
+
+    @given(small_matrices(min_rows=2, max_rows=10), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_label_length_mismatch_rejected(self, data, extra):
+        labels = np.zeros(data.shape[0] + extra, dtype=np.int64)
+        with pytest.raises(ValueError):
+            StreamReader(data, labels=labels)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StreamReader(np.zeros(5))  # 1-D stream
+        with pytest.raises(ValueError):
+            StreamReader(np.zeros((5, 2)), sample_rate=0.0)
 
 
 class TestMetricProperties:
