@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 test suite + the fast benchmark tier.
+#
+#   scripts/verify.sh          tier-1 tests, then benchmarks -m "not slow"
+#   scripts/verify.sh --fast   tier-1 tests only
+#
+# Tier 1 is the full default pytest run (the bar every PR must keep green).
+# The benchmark tier regenerates the paper's tables at reproduction scale
+# and takes a few minutes; the "slow" marker gates the long scaling sweeps.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier 1: full test suite =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo
+    echo '== benchmarks (-m "not slow") =='
+    # bench_*.py files must be named explicitly: pytest's default collection
+    # pattern (test_*.py) deliberately keeps them out of the tier-1 run.
+    python -m pytest benchmarks/bench_*.py -m "not slow" -q
+fi
+
+echo
+echo "verify: OK"

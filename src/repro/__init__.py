@@ -15,7 +15,9 @@ scratch on top of numpy:
 * :mod:`repro.edge` -- Jetson device models, metric estimation, streaming
   runtime;
 * :mod:`repro.eval` -- AUC-ROC and friends, the Table-2 / Figure-3 experiment
-  harness, ablations and reporting.
+  harness, ablations and reporting;
+* :mod:`repro.serialize` -- versioned save/load of fitted detectors (npz
+  weights + JSON manifest), the deployable edge artifact.
 """
 
 from . import baselines, core, data, edge, eval, neighbors, nn, robot, trees
@@ -24,6 +26,9 @@ from .data import DatasetConfig, build_benchmark_dataset
 from .eval import ExperimentConfig, run_full_experiment
 
 __version__ = "0.1.0"
+
+from . import serialize  # noqa: E402  (needs __version__ for the manifest)
+from .serialize import load_detector, save_detector
 
 __all__ = [
     "baselines",
@@ -34,7 +39,10 @@ __all__ = [
     "neighbors",
     "nn",
     "robot",
+    "serialize",
     "trees",
+    "load_detector",
+    "save_detector",
     "TrainingConfig",
     "VaradeConfig",
     "VaradeDetector",

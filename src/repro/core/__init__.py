@@ -8,6 +8,7 @@ and threshold calibration utilities.
 from .calibration import CalibratedThreshold, ThresholdCalibrator
 from .config import TrainingConfig, VaradeConfig
 from .detector import AnomalyDetector, InferenceCost, ScoreResult, VaradeDetector
+from .quantized import QuantizedVaradeDetector
 from .varade import VaradeNetwork
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "AnomalyDetector",
     "InferenceCost",
     "ScoreResult",
+    "QuantizedVaradeDetector",
     "VaradeDetector",
     "VaradeNetwork",
 ]

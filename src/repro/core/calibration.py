@@ -47,11 +47,27 @@ class ThresholdCalibrator:
         self.mad_factor = mad_factor
 
     def calibrate(self, normal_scores: np.ndarray) -> CalibratedThreshold:
-        """Compute the threshold from anomaly scores of normal data."""
-        scores = np.asarray(normal_scores, dtype=np.float64)
-        scores = scores[np.isfinite(scores)]
+        """Compute the threshold from anomaly scores of normal data.
+
+        Non-finite scores (the NaN prefix of a scored stream, overflowed
+        scores) are ignored; an empty input or one with *no* finite score at
+        all raises a descriptive ``ValueError`` rather than silently
+        propagating a nan threshold into the alarm path.
+        """
+        scores = np.asarray(normal_scores, dtype=np.float64).ravel()
         if scores.size == 0:
-            raise ValueError("no finite scores to calibrate on")
+            raise ValueError(
+                "cannot calibrate a threshold on an empty score array: "
+                "score a normal stream first and pass its valid scores"
+            )
+        finite = np.isfinite(scores)
+        if not finite.any():
+            raise ValueError(
+                f"cannot calibrate a threshold: all {scores.size} scores are "
+                "non-finite (nan/inf); the detector produced no usable scores "
+                "on the calibration data"
+            )
+        scores = scores[finite]
         if self.method == "quantile":
             threshold = float(np.quantile(scores, self.quantile))
             parameter = self.quantile

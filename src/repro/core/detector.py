@@ -16,7 +16,14 @@ uniformly:
   return exactly the scores the :meth:`score_window` loop would, row for row;
   the parity suite in ``tests/test_edge/test_fleet_parity.py`` enforces this;
 * :meth:`AnomalyDetector.inference_cost` reports the per-inference compute and
-  memory-traffic profile consumed by the edge device model.
+  memory-traffic profile consumed by the edge device model;
+* :meth:`AnomalyDetector.calibrate_threshold` attaches a
+  :class:`~repro.core.calibration.CalibratedThreshold` derived from normal
+  data, which the streaming runtimes pick up automatically and
+  :mod:`repro.serialize` persists alongside the weights;
+* :meth:`AnomalyDetector.quantize` returns an int8 post-training-quantized
+  drop-in detector for models that support it (VARADE; see
+  :mod:`repro.core.quantized`).
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import numpy as np
 
 from .. import nn
 from ..data.windowing import WindowDataset
+from .calibration import CalibratedThreshold, ThresholdCalibrator
 from .config import TrainingConfig, VaradeConfig
 from .varade import VaradeNetwork
 
@@ -51,6 +59,10 @@ class InferenceCost:
     ``n_kernel_launches`` the number of separate framework operations
     dispatched per inference -- on edge devices running small models, the
     per-launch overhead usually dominates the raw arithmetic.
+
+    ``compute_dtype`` names the arithmetic the kernels run in; int8 profiles
+    (``"int8"``) unlock the device's integer-throughput multiplier in the
+    edge estimator in addition to their smaller ``parameter_bytes``.
     """
 
     flops: float
@@ -64,6 +76,8 @@ class InferenceCost:
     #: ``parameter_bytes`` but is larger for models (LSTMs) that re-read their
     #: weights at every time step.
     weight_traffic_bytes: Optional[float] = None
+    #: arithmetic dtype of the kernels ("float32" or "int8").
+    compute_dtype: str = "float32"
 
     @property
     def memory_traffic_bytes(self) -> float:
@@ -123,6 +137,19 @@ class AnomalyDetector(abc.ABC):
         self.window = window
         self.history = TrainingHistory()
         self._fitted = False
+        #: calibrated decision threshold (optional deployment state).  Set by
+        #: :meth:`calibrate_threshold` / :meth:`set_threshold`; the streaming
+        #: runtimes use it for alarms when no explicit threshold is passed and
+        #: :mod:`repro.serialize` round-trips it with the weights.
+        self.threshold: Optional[CalibratedThreshold] = None
+        #: optional fitted input scaler (e.g. the training
+        #: :class:`~repro.data.normalization.MinMaxScaler`) carried with the
+        #: deployable artifact so deployment code can apply the training
+        #: normalisation (``detector.scaler.transform(raw)``) to raw sensor
+        #: streams before scoring.  The scoring paths and runtimes do NOT
+        #: apply it automatically -- they expect already-normalised input,
+        #: exactly like :meth:`fit` received.
+        self.scaler = None
 
     # -- training ------------------------------------------------------- #
     @abc.abstractmethod
@@ -197,6 +224,42 @@ class AnomalyDetector(abc.ABC):
                 dataset.contexts[start:stop], dataset.targets[start:stop]
             )
         return output
+
+    # -- deployment state ------------------------------------------------ #
+    def set_threshold(self, threshold: Optional[CalibratedThreshold]) -> "AnomalyDetector":
+        """Attach (or clear) the calibrated decision threshold."""
+        self.threshold = threshold
+        return self
+
+    def calibrate_threshold(self, normal_data: np.ndarray, *,
+                            method: str = "quantile", quantile: float = 0.99,
+                            mad_factor: float = 6.0,
+                            batch_size: int = 256) -> CalibratedThreshold:
+        """Calibrate and attach a decision threshold from a normal stream.
+
+        Scores ``normal_data`` (a ``(T, channels)`` anomaly-free stream) with
+        :meth:`score_stream` and derives the threshold from the resulting
+        score distribution via :class:`~repro.core.calibration.ThresholdCalibrator`.
+        The threshold is stored on :attr:`threshold` (picked up by the
+        streaming runtimes and by :mod:`repro.serialize`) and returned.
+        """
+        result = self.score_stream(normal_data, batch_size=batch_size)
+        calibrator = ThresholdCalibrator(method=method, quantile=quantile,
+                                         mad_factor=mad_factor)
+        self.threshold = calibrator.calibrate(result.valid_scores())
+        return self.threshold
+
+    # -- quantization ---------------------------------------------------- #
+    def quantize(self, calibration_data: np.ndarray,
+                 headroom: float = 2.0) -> "AnomalyDetector":
+        """Return an int8 post-training-quantized drop-in detector.
+
+        Only detectors with a quantizable compute graph override this;
+        the default raises so callers can feature-test support.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support post-training quantization"
+        )
 
     # -- cost ----------------------------------------------------------- #
     @abc.abstractmethod
@@ -346,6 +409,26 @@ class VaradeDetector(AnomalyDetector):
         self._check_fitted()
         mean, log_var = self.network.predict_distribution(window[None, ...])
         return mean[0], np.exp(log_var)[0]
+
+    # -- quantization ---------------------------------------------------- #
+    def quantize(self, calibration_data: np.ndarray,
+                 headroom: float = 2.0) -> "AnomalyDetector":
+        """Int8 post-training quantization of the fitted network.
+
+        ``calibration_data`` is either a normal stream of shape
+        ``(T, channels)`` (windowed internally) or an explicit batch of
+        context windows ``(n, window, channels)``; its activation ranges,
+        widened by ``headroom`` so abnormal windows do not saturate, set the
+        per-tensor int8 scales.  Returns a
+        :class:`~repro.core.quantized.QuantizedVaradeDetector` that serves
+        the same :meth:`score_windows_batch` contract (and inherits this
+        detector's calibrated threshold and scaler, if any).
+        """
+        from .quantized import QuantizedVaradeDetector
+
+        self._check_fitted()
+        return QuantizedVaradeDetector.from_detector(self, calibration_data,
+                                                     headroom=headroom)
 
     # -- cost ----------------------------------------------------------- #
     def inference_cost(self) -> InferenceCost:

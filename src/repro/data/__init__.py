@@ -2,7 +2,13 @@
 train/test builder and streaming replay of recordings.
 """
 
-from .dataset import BenchmarkDataset, DatasetConfig, build_benchmark_dataset
+from .dataset import (
+    BenchmarkDataset,
+    DatasetConfig,
+    SyntheticAnomalyDataset,
+    build_benchmark_dataset,
+    build_synthetic_anomaly_dataset,
+)
 from .normalization import MinMaxScaler, StandardScaler
 from .schema import ChannelGroup, ChannelSpec, StreamSchema, build_default_schema
 from .streaming import RollingWindow, StreamReader, StreamSample
@@ -11,7 +17,9 @@ from .windowing import WindowDataset, forecast_pairs, sliding_windows
 __all__ = [
     "BenchmarkDataset",
     "DatasetConfig",
+    "SyntheticAnomalyDataset",
     "build_benchmark_dataset",
+    "build_synthetic_anomaly_dataset",
     "MinMaxScaler",
     "StandardScaler",
     "ChannelGroup",

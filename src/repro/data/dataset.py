@@ -19,7 +19,13 @@ from ..robot.plant import RobotCellConfig, RobotCellSimulator, RobotRecording
 from .normalization import MinMaxScaler
 from .schema import StreamSchema, build_default_schema
 
-__all__ = ["BenchmarkDataset", "DatasetConfig", "build_benchmark_dataset"]
+__all__ = [
+    "BenchmarkDataset",
+    "DatasetConfig",
+    "build_benchmark_dataset",
+    "SyntheticAnomalyDataset",
+    "build_synthetic_anomaly_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -102,3 +108,85 @@ def build_benchmark_dataset(config: Optional[DatasetConfig] = None) -> Benchmark
         test_recording=test_recording,
         config=config,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Lightweight synthetic benchmark (no robot simulation)
+# --------------------------------------------------------------------------- #
+@dataclass
+class SyntheticAnomalyDataset:
+    """A seeded heteroscedastic stream with labelled noise-burst anomalies.
+
+    The cheap counterpart of :class:`BenchmarkDataset` for tests and
+    micro-benchmarks that need labelled anomalies but not the robot cell.
+    Channels are sinusoids with motion-dependent (envelope-modulated)
+    measurement noise -- the structure a variational forecaster's variance
+    head can actually learn -- and anomalies are additive Gaussian noise
+    bursts, the collision-like signature the paper's detectors rank on.
+    The streams are emitted at roughly unit scale by construction, so no
+    normalisation step is applied (or needed).  Deterministic in ``seed``.
+    """
+
+    train: np.ndarray        # (n_train, n_channels)
+    test: np.ndarray         # (n_test, n_channels)
+    test_labels: np.ndarray  # (n_test,) 0/1
+    seed: int
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.train.shape[1])
+
+    @property
+    def anomaly_fraction(self) -> float:
+        return float(self.test_labels.mean()) if self.test_labels.size else 0.0
+
+
+def build_synthetic_anomaly_dataset(n_channels: int = 5, train_samples: int = 600,
+                                    test_samples: int = 600, n_anomalies: int = 3,
+                                    anomaly_length: int = 30,
+                                    anomaly_magnitude: float = 1.5,
+                                    sample_rate: float = 50.0,
+                                    seed: int = 0) -> SyntheticAnomalyDataset:
+    """Build a labelled synthetic stream pair (train clean, test with bursts).
+
+    Anomaly bursts are additive Gaussian noise of standard deviation
+    ``anomaly_magnitude`` across all channels, each ``anomaly_length``
+    samples long (longer than the usual context windows, so fully anomalous
+    windows exist), centred at evenly spaced positions in the middle of the
+    test split.
+
+    This is the library promotion of the signal structure the unit suites
+    grew around (``tests/test_core/test_detector.py``); the generator in
+    ``tests/golden/golden_harness.py`` deliberately keeps its own frozen
+    copy -- the golden fixture must not move when this builder evolves.
+    """
+    if n_channels < 1:
+        raise ValueError("n_channels must be at least 1")
+    if n_anomalies < 1 or anomaly_length < 1:
+        raise ValueError("need at least one anomaly of at least one sample")
+    if test_samples < 2 * anomaly_length:
+        raise ValueError("test split too short for the requested anomaly length")
+    rng = np.random.default_rng(seed)
+
+    def _stream(n_samples: int) -> np.ndarray:
+        t = np.arange(n_samples) / sample_rate
+        envelope = 0.03 + 0.25 * np.abs(np.sin(2.0 * np.pi * 0.08 * t))
+        return np.stack([
+            np.sin(2.0 * np.pi * (0.4 + 0.2 * channel) * t + channel)
+            + envelope * rng.normal(0.0, 1.0, n_samples)
+            for channel in range(n_channels)
+        ], axis=1)
+
+    train = _stream(train_samples)
+    test = _stream(test_samples)
+    labels = np.zeros(test_samples, dtype=np.int64)
+
+    fractions = np.linspace(0.25, 0.75, n_anomalies)
+    for start in np.round(fractions * (test_samples - anomaly_length)).astype(int):
+        stop = start + anomaly_length
+        test[start:stop] += rng.normal(0.0, anomaly_magnitude,
+                                       size=(stop - start, n_channels))
+        labels[start:stop] = 1
+
+    return SyntheticAnomalyDataset(train=train, test=test, test_labels=labels,
+                                   seed=seed)

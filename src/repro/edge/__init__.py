@@ -45,6 +45,32 @@ Benchmark the batched engine against per-stream sequential scoring with::
 
 which records samples/sec versus stream count; the score-parity suite lives
 in ``tests/test_edge/test_fleet_parity.py``.
+
+Export -> quantize -> deploy
+----------------------------
+
+A fitted detector becomes a deployable edge artifact in three steps::
+
+    detector.fit(train)                      # train on the normal stream
+    detector.calibrate_threshold(train)      # attach the alarm threshold
+    quantized = detector.quantize(train)     # int8 weights + activations
+
+    from repro.serialize import save_detector, load_detector
+    save_detector(detector, "artifacts/varade")          # float artifact
+    save_detector(quantized, "artifacts/varade-int8")    # int8 artifact
+
+    # ... on the edge device ...
+    served = load_detector("artifacts/varade-int8")
+    fleet = MultiStreamRuntime(served).run(readers)      # threshold included
+
+Both runtimes pick up the artifact's calibrated threshold automatically;
+the estimator recognises int8 cost profiles
+(``InferenceCost.compute_dtype == "int8"``) and applies the device's
+integer-throughput multipliers on top of the smaller memory footprint.
+``benchmarks/bench_quantized_inference.py`` measures the realised float
+vs int8 batched throughput and the score drift of quantization;
+``tests/golden/`` freezes per-detector scores so refactors of any of this
+pipeline cannot silently change the numbers.
 """
 
 from .device import DEVICES, EdgeDeviceSpec, JETSON_AGX_ORIN, JETSON_XAVIER_NX, get_device

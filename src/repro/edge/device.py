@@ -48,6 +48,14 @@ class EdgeDeviceSpec:
     # boards are dominated by this term rather than by arithmetic throughput.
     gpu_launch_overhead_s: float
     cpu_launch_overhead_s: float
+    # Sustained int8 throughput relative to the float32 figures above.  Both
+    # Jetson generations expose integer dot-product units (DP4A on Volta,
+    # IMMA tensor cores on Ampere) whose effective advantage for small
+    # streaming models is well below the marketing ratio; these multipliers
+    # scale ``gpu_gflops_effective`` / ``cpu_gflops_per_core_effective`` when
+    # a cost profile declares ``compute_dtype="int8"``.
+    gpu_int8_speedup: float = 2.0
+    cpu_int8_speedup: float = 1.5
 
     def describe(self) -> str:
         """One-line summary used in benchmark output."""
@@ -78,6 +86,8 @@ JETSON_XAVIER_NX = EdgeDeviceSpec(
     cpu_dispatch_overhead_s=0.004,
     gpu_launch_overhead_s=0.0025,
     cpu_launch_overhead_s=0.0015,
+    gpu_int8_speedup=2.0,
+    cpu_int8_speedup=1.5,
 )
 
 # Jetson AGX Orin: 12-core Cortex-A78AE CPU, 2048-core Ampere GPU, 32 GB
@@ -101,6 +111,9 @@ JETSON_AGX_ORIN = EdgeDeviceSpec(
     cpu_dispatch_overhead_s=0.002,
     gpu_launch_overhead_s=0.0012,
     cpu_launch_overhead_s=0.0008,
+    # Ampere's IMMA path is markedly better than Volta's DP4A.
+    gpu_int8_speedup=3.0,
+    cpu_int8_speedup=2.0,
 )
 
 DEVICES: Dict[str, EdgeDeviceSpec] = {

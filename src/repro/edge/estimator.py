@@ -15,6 +15,13 @@ idle rows.  Absolute numbers are therefore indicative; what the model is
 designed to preserve is the *relative* behaviour of the six detectors (who is
 fast, who is power-hungry, who is CPU-bound), which is what the paper's
 trade-off analysis relies on.
+
+Int8 profiles (``InferenceCost.compute_dtype == "int8"``, produced by
+quantized detectors) additionally engage the device's integer-throughput
+multipliers (:attr:`~repro.edge.device.EdgeDeviceSpec.gpu_int8_speedup`),
+on top of the smaller parameter/activation byte counts the profile itself
+reports -- quantization helps twice, in arithmetic rate and in memory
+traffic, which is exactly the behaviour the paper's int8 rivals exhibit.
 """
 
 from __future__ import annotations
@@ -78,15 +85,23 @@ class EdgeEstimator:
         gpu_flops = cost.flops * cost.gpu_fraction
         cpu_flops = cost.flops * (1.0 - cost.gpu_fraction)
 
+        # Int8 profiles run on the integer dot-product units, whose sustained
+        # throughput is a device-specific multiple of the float32 figures.
+        int8 = cost.compute_dtype == "int8"
+        gpu_throughput_scale = device.gpu_int8_speedup if int8 else 1.0
+        cpu_throughput_scale = device.cpu_int8_speedup if int8 else 1.0
+
         gpu_compute = 0.0
         if gpu_flops > 0:
-            effective = device.gpu_gflops_effective * 1e9 * max(cost.parallel_efficiency, 1e-3)
+            effective = device.gpu_gflops_effective * gpu_throughput_scale * 1e9 \
+                * max(cost.parallel_efficiency, 1e-3)
             gpu_compute = gpu_flops / effective
 
         usable_cores = 1.0 + cost.parallel_efficiency * (device.cpu_cores - 1)
         cpu_compute = 0.0
         if cpu_flops > 0:
-            effective = device.cpu_gflops_per_core_effective * 1e9 * usable_cores
+            effective = device.cpu_gflops_per_core_effective * cpu_throughput_scale \
+                * 1e9 * usable_cores
             cpu_compute = cpu_flops / effective
 
         memory_time = cost.memory_traffic_bytes / (device.memory_bandwidth_gbps * 1e9)

@@ -37,7 +37,7 @@ import numpy as np
 from ..core.calibration import CalibratedThreshold
 from ..core.detector import AnomalyDetector
 from ..data.streaming import StreamReader
-from .runtime import StreamingResult
+from .runtime import StreamingResult, resolve_threshold
 
 __all__ = ["FleetStats", "FleetResult", "MultiStreamRuntime"]
 
@@ -91,12 +91,25 @@ class MultiStreamRuntime:
     Streams may have different lengths; a stream that ends simply drops out
     of the batch while the rest keep going.  All streams must share the
     detector's channel count.
+
+    Any detector honouring the ``score_windows_batch`` contract serves the
+    fleet, including the int8 drop-ins produced by
+    :meth:`~repro.core.detector.AnomalyDetector.quantize` -- quantized fleet
+    serving is just ``MultiStreamRuntime(detector.quantize(calibration))``.
+    When no explicit ``threshold`` is passed, the detector's own calibrated
+    threshold (if any) drives the alarms; the fallback is resolved at
+    :meth:`run` time, so a threshold calibrated after the runtime was built
+    is still picked up.
     """
 
     def __init__(self, detector: AnomalyDetector,
                  threshold: Optional[CalibratedThreshold] = None) -> None:
         self.detector = detector
+        #: explicit override; ``None`` defers to the detector's threshold.
         self.threshold = threshold
+
+    def _resolve_threshold(self) -> Optional[CalibratedThreshold]:
+        return resolve_threshold(self.threshold, self.detector)
 
     def run(self, readers: Sequence[StreamReader],
             max_samples: Optional[int] = None) -> FleetResult:
@@ -132,7 +145,8 @@ class MultiStreamRuntime:
         ring = np.zeros((n_streams, window, n_channels))
         slots = np.arange(window)
         scores_current = self.detector.scores_current_sample
-        threshold = None if self.threshold is None else self.threshold.threshold
+        resolved = self._resolve_threshold()
+        threshold = None if resolved is None else resolved.threshold
 
         batch_sizes: List[int] = []
         batch_latencies: List[float] = []

@@ -26,7 +26,22 @@ from ..core.calibration import CalibratedThreshold
 from ..core.detector import AnomalyDetector
 from ..data.streaming import RollingWindow, StreamReader
 
-__all__ = ["StreamingResult", "StreamingRuntime"]
+__all__ = ["StreamingResult", "StreamingRuntime", "resolve_threshold"]
+
+
+def resolve_threshold(explicit: Optional[CalibratedThreshold],
+                      detector: AnomalyDetector) -> Optional[CalibratedThreshold]:
+    """Alarm-threshold policy shared by the streaming and fleet runtimes.
+
+    An explicitly passed threshold wins; otherwise the detector's own
+    calibrated threshold (e.g. restored by
+    :func:`repro.serialize.load_detector`) is used, and ``None`` means no
+    alarms.  Called at run time, so a threshold calibrated after a runtime
+    was constructed is still picked up.
+    """
+    if explicit is not None:
+        return explicit
+    return getattr(detector, "threshold", None)
 
 
 @dataclass
@@ -66,12 +81,23 @@ class StreamingResult:
 
 
 class StreamingRuntime:
-    """Run a detector over a replayed stream the way the edge script does."""
+    """Run a detector over a replayed stream the way the edge script does.
+
+    When no explicit ``threshold`` is passed, the detector's own calibrated
+    threshold (:attr:`repro.core.detector.AnomalyDetector.threshold`, e.g.
+    restored by :func:`repro.serialize.load_detector`) is used for alarms.
+    The fallback is resolved at :meth:`run` time, so a threshold calibrated
+    after the runtime was built is still picked up.
+    """
 
     def __init__(self, detector: AnomalyDetector,
                  threshold: Optional[CalibratedThreshold] = None) -> None:
         self.detector = detector
+        #: explicit override; ``None`` defers to the detector's threshold.
         self.threshold = threshold
+
+    def _resolve_threshold(self) -> Optional[CalibratedThreshold]:
+        return resolve_threshold(self.threshold, self.detector)
 
     def run(self, reader: StreamReader, max_samples: Optional[int] = None) -> StreamingResult:
         """Stream ``reader`` through the detector.
@@ -88,6 +114,7 @@ class StreamingRuntime:
 
         scored = 0
         scores_current = self.detector.scores_current_sample
+        threshold = self._resolve_threshold()
         for sample in reader:
             if scores_current:
                 # Window-state detectors (VARADE, AE) include the newest sample
@@ -99,8 +126,8 @@ class StreamingRuntime:
                 score = self.detector.score_window(context, sample.values)
                 latencies.append(time.perf_counter() - start)
                 scores[sample.index] = score
-                if self.threshold is not None:
-                    alarms[sample.index] = int(score > self.threshold.threshold)
+                if threshold is not None:
+                    alarms[sample.index] = int(score > threshold.threshold)
                 scored += 1
             if not scores_current:
                 window.push(sample.values)

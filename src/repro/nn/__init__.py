@@ -29,6 +29,14 @@ from .recurrent import LSTM, LSTMCell
 from .optim import Adam, Optimizer, RMSprop, SGD, clip_grad_norm
 from .losses import elbo_loss, gaussian_nll, kl_standard_normal, mae_loss, mse_loss
 from .fastpath import FastForwardPlan, fast_conv1d
+from .quant import (
+    QuantizedConv1d,
+    QuantizedForwardPlan,
+    QuantizedLinear,
+    dequantize,
+    quantize_values,
+    quantize_weight,
+)
 from .utils import LayerProfile, ModelProfile, count_parameters, profile_model
 from . import init
 
@@ -66,6 +74,12 @@ __all__ = [
     "elbo_loss",
     "FastForwardPlan",
     "fast_conv1d",
+    "QuantizedConv1d",
+    "QuantizedForwardPlan",
+    "QuantizedLinear",
+    "dequantize",
+    "quantize_values",
+    "quantize_weight",
     "LayerProfile",
     "ModelProfile",
     "profile_model",

@@ -1,0 +1,599 @@
+"""Post-training int8 quantization of Conv1d/Linear forecasters.
+
+The paper benchmarks VARADE against int8-quantized rivals, and the related
+edge-AD literature (PaSTe, squeezed convolutional VAEs) treats int8
+post-training quantization as *the* enabling step for on-device inference.
+This module provides that step for the :mod:`repro.nn` stack:
+
+* :func:`quantize_weight` -- symmetric per-output-channel int8 quantization
+  of a weight array: one positive scale per output channel, integer codes in
+  ``[-127, 127]``.  Symmetric scales keep the matmul zero-point free, which
+  is what lets the integer products accumulate without cross terms.
+* :func:`quantize_values` / :func:`dequantize` -- the elementwise
+  quantize/dequantize pair.  The round-trip error is bounded by half a scale
+  step per element (asserted by the hypothesis suite in
+  ``tests/test_nn/test_quant.py``); all-zero and constant channels produce
+  finite, positive scales rather than nan/inf.
+* :class:`QuantizedConv1d` / :class:`QuantizedLinear` -- inference-only
+  parameter containers: int8 codes, per-channel weight scales, a per-tensor
+  activation scale calibrated from representative data, and the float bias.
+* :class:`QuantizedForwardPlan` -- the int8 mirror of
+  :class:`repro.nn.fastpath.FastForwardPlan`: a preallocated-buffer forward
+  pass over a ``Conv1d``/``ReLU`` backbone plus linear heads in which every
+  convolution and head is an int8 x int8 matmul with float accumulators.
+
+Execution model
+---------------
+
+NumPy has no int8 BLAS kernel, so the integer matmuls are executed the way
+int8 inference is emulated on hardware without integer dot-product units:
+the int8 codes are staged in float32 operands and contracted with a float32
+GEMM.  Every product of two codes is an integer of magnitude at most
+``127 * 127 = 16129`` and every partial sum stays below ``2**24`` for the
+reduction depths used here (asserted at plan construction), so the float32
+accumulator represents each intermediate value *exactly* -- the arithmetic
+is bit-for-bit integer arithmetic, merely carried in float registers, and
+therefore independent of the GEMM's summation order.  A given input row
+produces bit-identical outputs in any batch, the same contract the float
+fast path gives the fleet-parity suite.
+
+The quantized plan additionally keeps the batch dimension *inside* the GEMM
+(activations are laid out ``(channels, batch, length)`` so each layer is one
+large ``(O, C*K) x (C*K, N*L)`` contraction rather than N small ones), which
+together with the halved memory traffic of float32 staging is where the
+measured speed-up over the float64 fast path comes from
+(``benchmarks/bench_quantized_inference.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .fastpath import fast_conv1d
+from .layers import Conv1d, Linear, ReLU, Sequential
+
+__all__ = [
+    "QMAX",
+    "quantize_weight",
+    "quantize_values",
+    "dequantize",
+    "QuantizedConv1d",
+    "QuantizedLinear",
+    "QuantizedForwardPlan",
+]
+
+#: largest int8 code used by the symmetric scheme (the -128 code is unused so
+#: the grid is symmetric around zero).
+QMAX = 127
+
+#: float32 holds integers exactly up to 2**24; partial sums of int8 products
+#: must stay below this for the float-carried integer arithmetic to be exact.
+_EXACT_ACCUMULATOR_LIMIT = float(2 ** 24)
+
+#: how many distinct batch sizes a plan keeps buffers for (mirrors
+#: repro.nn.fastpath._MAX_CACHED_BATCH_SIZES).
+_MAX_CACHED_BATCH_SIZES = 8
+
+#: smallest usable quantization scale: the float32 minimum normal, so every
+#: scale's reciprocal (and every ratio of scales) is representable in float32.
+_MIN_SCALE = float(np.finfo(np.float32).tiny)
+
+
+def _safe_scale(amax: np.ndarray) -> np.ndarray:
+    """Scale(s) from max-magnitude statistics; zero ranges map to scale 1.
+
+    A channel that is identically zero (or an activation tensor that never
+    fires) has ``amax == 0``; dividing by a zero scale would produce nan/inf
+    codes, so those entries fall back to a scale of one, under which every
+    value in the degenerate channel quantizes exactly to code 0.
+    """
+    amax = np.asarray(amax, dtype=np.float64)
+    if not np.all(np.isfinite(amax)):
+        raise ValueError("cannot derive quantization scales from non-finite values")
+    scales = amax / QMAX
+    # Guard the quotient, not just amax: a subnormal amax underflows the
+    # division to 0.0, which would poison the codes with inf.  The floor is
+    # the float32 minimum normal, so the cached float32 reciprocals and
+    # requantization multipliers derived from any scale stay finite; a range
+    # this far below the representable grid is a dead channel anyway, and the
+    # unit fallback quantizes it exactly to code 0.
+    return np.where(scales >= _MIN_SCALE, scales, 1.0)
+
+
+def quantize_weight(weight: np.ndarray, channel_axis: int = 0
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-output-channel int8 quantization of a weight array.
+
+    Returns ``(codes, scales)`` where ``codes`` is an int8 array of
+    ``weight``'s shape and ``scales`` has one positive float per slice along
+    ``channel_axis`` such that ``codes * scale ~= weight`` with at most half
+    a scale step of error per element.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim < 1:
+        raise ValueError("quantize_weight expects an array with at least one axis")
+    reduce_axes = tuple(axis for axis in range(weight.ndim) if axis != channel_axis % weight.ndim)
+    amax = np.abs(weight).max(axis=reduce_axes) if reduce_axes else np.abs(weight)
+    scales = _safe_scale(amax)
+    shape = [1] * weight.ndim
+    shape[channel_axis % weight.ndim] = -1
+    codes = quantize_values(weight, scales.reshape(shape))
+    return codes, scales
+
+
+def quantize_values(values: np.ndarray, scale) -> np.ndarray:
+    """Quantize ``values`` to int8 codes under ``scale`` (round-to-nearest-even).
+
+    ``scale`` broadcasts against ``values``; values outside ``+-QMAX * scale``
+    saturate.  (:class:`QuantizedForwardPlan` quantizes in place inside its
+    own buffers with the same round/clip semantics.)
+    """
+    codes = np.rint(np.asarray(values, dtype=np.float64) / scale)
+    np.clip(codes, -QMAX, QMAX, out=codes)
+    return codes.astype(np.int8)
+
+
+def dequantize(codes: np.ndarray, scale, channel_axis: Optional[int] = None) -> np.ndarray:
+    """Map int8 codes back to float values (``codes * scale``)."""
+    codes = np.asarray(codes, dtype=np.float64)
+    scale = np.asarray(scale, dtype=np.float64)
+    if channel_axis is not None and scale.ndim == 1:
+        shape = [1] * codes.ndim
+        shape[channel_axis % codes.ndim] = -1
+        scale = scale.reshape(shape)
+    return codes * scale
+
+
+class QuantizedConv1d:
+    """Inference-only int8 convolution parameters (codes + scales + bias)."""
+
+    def __init__(self, weight_q: np.ndarray, weight_scale: np.ndarray,
+                 bias: Optional[np.ndarray], stride: int, padding: int,
+                 act_scale: float) -> None:
+        weight_q = np.asarray(weight_q, dtype=np.int8)
+        if weight_q.ndim != 3:
+            raise ValueError("QuantizedConv1d weight codes must be (O, C, K)")
+        if padding != 0:
+            raise ValueError("QuantizedForwardPlan backbones use padding 0")
+        self.weight_q = weight_q
+        self.weight_scale = np.asarray(weight_scale, dtype=np.float64).reshape(-1)
+        if self.weight_scale.shape[0] != weight_q.shape[0]:
+            raise ValueError("one weight scale per output channel is required")
+        if not np.all(np.isfinite(self.weight_scale)) \
+                or np.any(self.weight_scale < _MIN_SCALE):
+            raise ValueError(
+                "weight scales must be finite and at least the float32 minimum "
+                "normal (their reciprocals must be representable)"
+            )
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.act_scale = float(act_scale)
+        if not np.isfinite(self.act_scale) or self.act_scale < _MIN_SCALE:
+            raise ValueError(
+                "activation scale must be finite and at least the float32 "
+                "minimum normal"
+            )
+        self.out_channels, self.in_channels, self.kernel_size = weight_q.shape
+        # Float32 staging copy of the integer codes for the GEMM.  (The
+        # accumulator's dequantization factors live in the plan's fused
+        # requantization constants, not here.)
+        self._weight_f32 = np.ascontiguousarray(
+            weight_q.reshape(self.out_channels, -1).astype(np.float32)
+        )
+
+    @classmethod
+    def from_layer(cls, layer: Conv1d, act_scale: float) -> "QuantizedConv1d":
+        codes, scales = quantize_weight(layer.weight.data, channel_axis=0)
+        bias = None if layer.bias is None else layer.bias.data
+        return cls(codes, scales, bias, layer.stride, layer.padding, act_scale)
+
+    def output_length(self, length: int) -> int:
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+
+class QuantizedLinear:
+    """Inference-only int8 dense parameters (codes + scales + bias)."""
+
+    def __init__(self, weight_q: np.ndarray, weight_scale: np.ndarray,
+                 bias: Optional[np.ndarray], act_scale: float) -> None:
+        weight_q = np.asarray(weight_q, dtype=np.int8)
+        if weight_q.ndim != 2:
+            raise ValueError("QuantizedLinear weight codes must be (O, I)")
+        self.weight_q = weight_q
+        self.weight_scale = np.asarray(weight_scale, dtype=np.float64).reshape(-1)
+        if self.weight_scale.shape[0] != weight_q.shape[0]:
+            raise ValueError("one weight scale per output feature is required")
+        if not np.all(np.isfinite(self.weight_scale)) \
+                or np.any(self.weight_scale < _MIN_SCALE):
+            raise ValueError(
+                "weight scales must be finite and at least the float32 minimum "
+                "normal (their reciprocals must be representable)"
+            )
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.act_scale = float(act_scale)
+        if not np.isfinite(self.act_scale) or self.act_scale < _MIN_SCALE:
+            raise ValueError(
+                "activation scale must be finite and at least the float32 "
+                "minimum normal"
+            )
+        self.out_features, self.in_features = weight_q.shape
+        # (I, O) float32 staging copy so the head GEMM is (N, I) @ (I, O).
+        self._weight_f32_t = np.ascontiguousarray(weight_q.T.astype(np.float32))
+        self._dequant = (self.act_scale * self.weight_scale).astype(np.float32)
+
+    @classmethod
+    def from_layer(cls, layer: Linear, act_scale: float) -> "QuantizedLinear":
+        codes, scales = quantize_weight(layer.weight.data, channel_axis=0)
+        bias = None if layer.bias is None else layer.bias.data
+        return cls(codes, scales, bias, act_scale)
+
+
+def _collect_calibration_ranges(backbone: Sequential, in_channels: int, in_length: int,
+                                calibration: np.ndarray) -> Tuple[List[float], float]:
+    """Max-abs of the float input to every conv and to the head block.
+
+    Runs the float backbone over the calibration batch layer by layer and
+    records the dynamic range each quantized operand must cover.
+    """
+    x = np.ascontiguousarray(np.asarray(calibration, dtype=np.float64))
+    if x.ndim != 3 or x.shape[1] != in_channels or x.shape[2] != in_length:
+        raise ValueError(
+            f"calibration inputs must have shape (n, {in_channels}, {in_length}), "
+            f"got {x.shape}"
+        )
+    if x.shape[0] == 0:
+        raise ValueError("calibration requires at least one input window")
+    conv_ranges: List[float] = []
+    current = x
+    for layer in backbone:
+        if isinstance(layer, Conv1d):
+            conv_ranges.append(float(np.abs(current).max()))
+            current = fast_conv1d(current, layer.weight.data,
+                                  None if layer.bias is None else layer.bias.data,
+                                  stride=layer.stride, padding=layer.padding)
+        elif isinstance(layer, ReLU):
+            current = np.maximum(current, 0.0)
+        else:
+            raise TypeError(
+                f"quantization supports Conv1d/ReLU backbones, got {type(layer).__name__}"
+            )
+    head_range = float(np.abs(current).max())
+    return conv_ranges, head_range
+
+
+class QuantizedForwardPlan:
+    """Int8 mirror of :class:`repro.nn.fastpath.FastForwardPlan`.
+
+    The plan executes a ``Conv1d``/``ReLU`` backbone plus linear heads with
+    per-output-channel int8 weights and per-tensor int8 activations.
+    Activations live in ``(channels, batch, length)`` float32 buffers so each
+    convolution is a single ``(O, C*K) @ (C*K, N*L)`` GEMM over staged
+    integer codes; each accumulator is mapped to its consumer's codes with a
+    single fused requantization pass (per-channel scale + bias + ReLU folded
+    into the clip lower bound + round), so intermediate float activations are
+    never materialized and the elementwise traffic stays below the float
+    path's.
+
+    Build it from a trained float network with :meth:`from_network` (which
+    calibrates the activation scales on representative windows) or directly
+    from stored :class:`QuantizedConv1d`/:class:`QuantizedLinear` parameters
+    (the deserialization path).
+
+    .. warning::
+       Like the float plan, :meth:`forward` returns views of internal buffers
+       that the next same-batch-size call overwrites; callers must copy what
+       they keep.
+    """
+
+    def __init__(self, conv_layers: List[QuantizedConv1d],
+                 heads: Mapping[str, QuantizedLinear],
+                 in_channels: int, in_length: int,
+                 steps: Optional[List[str]] = None) -> None:
+        if not heads:
+            raise ValueError("QuantizedForwardPlan needs at least one head")
+        if steps is None:
+            steps = []
+            for _ in conv_layers:
+                steps.extend(["conv", "relu"])
+        if [step for step in steps if step == "conv"] != ["conv"] * len(conv_layers):
+            raise ValueError("steps must reference each conv layer exactly once, in order")
+        if any(step not in ("conv", "relu") for step in steps):
+            raise ValueError("steps may only contain 'conv' and 'relu'")
+        self._steps = list(steps)
+        self._convs = list(conv_layers)
+        self._shapes: List[Tuple[int, int]] = []
+        channels, length = in_channels, in_length
+        for conv in self._convs:
+            if conv.in_channels != channels:
+                raise ValueError(
+                    f"backbone expects {conv.in_channels} channels, carrying {channels}"
+                )
+            length = conv.output_length(length)
+            if length <= 0:
+                raise ValueError("backbone reduces the sequence to zero length")
+            channels = conv.out_channels
+            self._shapes.append((channels, length))
+            depth = conv.in_channels * conv.kernel_size
+            if depth * QMAX * QMAX >= _EXACT_ACCUMULATOR_LIMIT:
+                raise ValueError(
+                    f"conv reduction depth {depth} overflows the exact float32 "
+                    "integer accumulator (2**24); reduce the layer width"
+                )
+        self._flat_features = channels * length
+        self._final_shape = (channels, length)
+        for name, head in heads.items():
+            if head.in_features != self._flat_features:
+                raise ValueError(
+                    f"head {name!r} expects {head.in_features} features, backbone "
+                    f"produces {self._flat_features}"
+                )
+            if head.in_features * QMAX * QMAX >= _EXACT_ACCUMULATOR_LIMIT:
+                raise ValueError(
+                    f"head reduction depth {head.in_features} overflows the exact "
+                    "float32 integer accumulator (2**24)"
+                )
+        head_scales = {head.act_scale for head in heads.values()}
+        if len(head_scales) != 1:
+            raise ValueError(
+                "all heads consume the same flattened features and must share "
+                "one activation scale"
+            )
+        self._heads = dict(heads)
+        self._in_channels = in_channels
+        self._in_length = in_length
+        self._buffers: "OrderedDict[int, dict]" = OrderedDict()
+        self._prepare_requantization()
+
+    def _prepare_requantization(self) -> None:
+        """Fuse each layer boundary into one requantization per conv output.
+
+        Instead of dequantizing an accumulator to float and re-quantizing it
+        for the next layer (two elementwise scale passes plus separate bias /
+        ReLU passes), each conv output is mapped straight from accumulator
+        codes to the next operand's codes:
+
+        ``next_codes = clip(round(acc * m + b'), lo, 127)``
+
+        with ``m = act_scale * weight_scale / next_scale`` and
+        ``b' = bias / next_scale`` per output channel.  A ReLU between the
+        two layers commutes with the positive per-channel scales, so it folds
+        into a clip lower bound of 0.  The arithmetic is the same quantizer,
+        just evaluated in one pass -- this is the requantization trick real
+        int8 runtimes use, and it is what keeps the elementwise traffic of
+        the int8 path below the float path's.
+        """
+        head_scale = next(iter(self._heads.values())).act_scale
+        # Consumer scale of conv i: the act_scale of conv i+1, or the heads'
+        # shared scale for the last conv.
+        consumer_scales = [conv.act_scale for conv in self._convs[1:]] + [head_scale]
+        # Does a ReLU sit between conv i's output and its consumer?
+        conv_positions = [idx for idx, step in enumerate(self._steps) if step == "conv"]
+        relu_before_consumer: List[bool] = []
+        for order, position in enumerate(conv_positions):
+            end = conv_positions[order + 1] if order + 1 < len(conv_positions) \
+                else len(self._steps)
+            relu_before_consumer.append("relu" in self._steps[position + 1:end])
+        # A ReLU ahead of the first conv applies to the float input itself.
+        first_conv = conv_positions[0] if conv_positions else len(self._steps)
+        self._leading_relu = "relu" in self._steps[:first_conv]
+
+        self._requant_mult: List[np.ndarray] = []
+        self._requant_bias: List[Optional[np.ndarray]] = []
+        self._requant_low: List[float] = []
+        for conv, scale, has_relu in zip(self._convs, consumer_scales,
+                                         relu_before_consumer):
+            mult = (conv.act_scale * conv.weight_scale / scale).astype(np.float32)
+            self._requant_mult.append(mult[:, None, None])
+            if conv.bias is None:
+                self._requant_bias.append(None)
+            else:
+                bias = (conv.bias / scale).astype(np.float32)
+                self._requant_bias.append(bias[:, None, None])
+            self._requant_low.append(0.0 if has_relu else float(-QMAX))
+        # Head dequantization constants (float32, cached once).
+        self._head_bias_f32 = {
+            name: None if head.bias is None else head.bias.astype(np.float32)
+            for name, head in self._heads.items()
+        }
+        self._input_inv_scale = np.float32(1.0 / self._convs[0].act_scale) \
+            if self._convs else None
+
+    # ------------------------------------------------------------------ #
+    # Construction from a float network
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_network(cls, backbone: Sequential, heads: Mapping[str, Linear],
+                     in_channels: int, in_length: int,
+                     calibration: np.ndarray,
+                     headroom: float = 1.0) -> "QuantizedForwardPlan":
+        """Quantize a trained float backbone + heads against calibration data.
+
+        ``calibration`` is a ``(n, in_channels, in_length)`` batch of
+        representative (normal) inputs; its per-stage dynamic ranges become
+        the activation scales.  ``headroom`` multiplies those ranges before
+        the scales are derived: values above 1 trade quantization resolution
+        for saturation margin, which matters when inference-time inputs are
+        *expected* to exceed the calibration distribution -- an anomaly
+        detector's whole job is to score such inputs, so
+        :meth:`repro.core.detector.VaradeDetector.quantize` calibrates with
+        headroom by default.
+        """
+        if not np.isfinite(headroom) or headroom < 1.0:
+            raise ValueError("headroom must be a finite factor >= 1")
+        conv_ranges, head_range = _collect_calibration_ranges(
+            backbone, in_channels, in_length, calibration
+        )
+        steps: List[str] = []
+        conv_layers: List[QuantizedConv1d] = []
+        conv_index = 0
+        for layer in backbone:
+            if isinstance(layer, Conv1d):
+                act_scale = float(_safe_scale(headroom * conv_ranges[conv_index]))
+                conv_layers.append(QuantizedConv1d.from_layer(layer, act_scale))
+                steps.append("conv")
+                conv_index += 1
+            else:  # ReLU (anything else was rejected during calibration)
+                steps.append("relu")
+        head_scale = float(_safe_scale(headroom * head_range))
+        quantized_heads = {name: QuantizedLinear.from_layer(head, head_scale)
+                           for name, head in heads.items()}
+        return cls(conv_layers, quantized_heads, in_channels, in_length, steps=steps)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def conv_layers(self) -> List[QuantizedConv1d]:
+        return list(self._convs)
+
+    @property
+    def heads(self) -> Dict[str, QuantizedLinear]:
+        return dict(self._heads)
+
+    @property
+    def steps(self) -> List[str]:
+        return list(self._steps)
+
+    @property
+    def in_channels(self) -> int:
+        return self._in_channels
+
+    @property
+    def in_length(self) -> int:
+        return self._in_length
+
+    def parameter_bytes(self) -> int:
+        """Bytes of stored model state: int8 codes + float32 scales/biases."""
+        total = 0
+        for conv in self._convs:
+            total += conv.weight_q.size                  # int8 codes
+            total += conv.weight_scale.size * 4          # scales as float32
+            total += 0 if conv.bias is None else conv.bias.size * 4
+        for head in self._heads.values():
+            total += head.weight_q.size
+            total += head.weight_scale.size * 4
+            total += 0 if head.bias is None else head.bias.size * 4
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Buffer management
+    # ------------------------------------------------------------------ #
+    def _get_buffers(self, batch: int) -> dict:
+        cached = self._buffers.get(batch)
+        if cached is not None:
+            self._buffers.move_to_end(batch)
+            return cached
+        acts = [np.empty((self._in_channels, batch, self._in_length), dtype=np.float32)]
+        cols: List[np.ndarray] = []
+        for conv, (out_channels, out_length) in zip(self._convs, self._shapes):
+            cols.append(np.empty(
+                (conv.in_channels * conv.kernel_size, batch * out_length),
+                dtype=np.float32,
+            ))
+            acts.append(np.empty((out_channels, batch, out_length), dtype=np.float32))
+        flat = np.empty((batch, self._flat_features), dtype=np.float32)
+        heads = {name: np.empty((batch, head.out_features), dtype=np.float32)
+                 for name, head in self._heads.items()}
+        buffers = {"acts": acts, "cols": cols, "flat": flat, "heads": heads}
+        self._buffers[batch] = buffers
+        while len(self._buffers) > _MAX_CACHED_BATCH_SIZES:
+            self._buffers.popitem(last=False)
+        return buffers
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _im2col(act: np.ndarray, kernel: int, stride: int, out_length: int,
+                cols: np.ndarray) -> np.ndarray:
+        """Copy the sliding view of a (C, N, L) activation into (C*K, N*Lout)."""
+        channels, batch, _ = act.shape
+        stride_c, stride_n, stride_l = act.strides
+        view = as_strided(
+            act,
+            shape=(channels, kernel, batch, out_length),
+            strides=(stride_c, stride_l, stride_n, stride_l * stride),
+            writeable=False,
+        )
+        np.copyto(cols.reshape(channels, kernel, batch, out_length), view)
+        return cols
+
+    def forward(self, x: np.ndarray, layout: str = "ncl") -> Dict[str, np.ndarray]:
+        """Run the quantized backbone + heads over a batch of inputs.
+
+        ``layout`` names the axis order of ``x``: ``"ncl"`` is the
+        channels-first ``(batch, channels, length)`` convention of the float
+        plan; ``"nlc"`` accepts the stream layout ``(batch, length,
+        channels)`` directly, saving the caller a transposition copy (the
+        plan stages into its own ``(channels, batch, length)`` buffer either
+        way).  Returns a mapping from head name to its ``(N, out_features)``
+        float32 output buffer (overwritten by the next same-batch-size call).
+        """
+        x = np.asarray(x)
+        if layout == "ncl":
+            expected = (self._in_channels, self._in_length)
+            stage_axes = (1, 0, 2)
+        elif layout == "nlc":
+            expected = (self._in_length, self._in_channels)
+            stage_axes = (2, 0, 1)
+        else:
+            raise ValueError(f"layout must be 'ncl' or 'nlc', got {layout!r}")
+        if x.ndim != 3 or x.shape[1:] != expected:
+            raise ValueError(
+                f"expected input of shape (batch, {expected[0]}, {expected[1]}) "
+                f"for layout {layout!r}, got {x.shape}"
+            )
+        batch = x.shape[0]
+        buffers = self._get_buffers(batch)
+        acts = buffers["acts"]
+        # Stage the input in (C, N, L) layout so every conv is one large GEMM,
+        # folding the first quantization divide into the staging copy.
+        if self._convs:
+            np.multiply(x.transpose(stage_axes), self._input_inv_scale, out=acts[0])
+        else:
+            head_scale = next(iter(self._heads.values())).act_scale
+            np.multiply(x.transpose(stage_axes), np.float32(1.0 / head_scale),
+                        out=acts[0])
+        if self._leading_relu:
+            np.maximum(acts[0], 0.0, out=acts[0])
+        np.rint(acts[0], out=acts[0])
+        np.clip(acts[0], -QMAX, QMAX, out=acts[0])
+
+        current = acts[0]
+        for conv_index, conv in enumerate(self._convs):
+            out_channels, out_length = self._shapes[conv_index]
+            cols = self._im2col(current, conv.kernel_size, conv.stride,
+                                out_length, buffers["cols"][conv_index])
+            out = acts[conv_index + 1]
+            # Integer matmul carried exactly in a float32 accumulator.
+            np.matmul(conv._weight_f32, cols,
+                      out=out.reshape(out_channels, batch * out_length))
+            # Fused requantization straight to the consumer's codes (ReLU, if
+            # present, is folded into the clip's lower bound of 0).
+            out *= self._requant_mult[conv_index]
+            if self._requant_bias[conv_index] is not None:
+                out += self._requant_bias[conv_index]
+            np.rint(out, out=out)
+            np.clip(out, self._requant_low[conv_index], QMAX, out=out)
+            current = out
+
+        # `current` already holds int8 codes under the heads' shared scale.
+        flat = buffers["flat"]
+        np.copyto(
+            flat.reshape(batch, self._final_shape[0], self._final_shape[1]),
+            current.transpose(1, 0, 2),
+        )
+        results: Dict[str, np.ndarray] = {}
+        for name, head in self._heads.items():
+            out = buffers["heads"][name]
+            np.matmul(flat, head._weight_f32_t, out=out)
+            out *= head._dequant
+            if self._head_bias_f32[name] is not None:
+                out += self._head_bias_f32[name]
+            results[name] = out
+        return results

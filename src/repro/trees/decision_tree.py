@@ -9,7 +9,7 @@ binary splitting, as specified in the paper's implementation details
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -213,3 +213,65 @@ class DecisionTreeRegressor:
         if self.root is None:
             raise RuntimeError("tree has not been fitted")
         return count(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Array (de)serialisation (used by repro.serialize)
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the fitted tree into parallel preorder node arrays.
+
+        ``feature`` is -1 at leaves; ``left``/``right`` hold child node
+        indices (-1 at leaves).  The exact float64 thresholds and leaf values
+        are preserved, so a tree rebuilt with :meth:`from_arrays` routes and
+        predicts bit-identically.
+        """
+        if self.root is None:
+            raise RuntimeError("to_arrays() called before fit()")
+        features, thresholds, values, lefts, rights = [], [], [], [], []
+
+        def visit(node: TreeNode) -> int:
+            index = len(features)
+            features.append(node.feature)
+            thresholds.append(node.threshold)
+            values.append(node.value)
+            lefts.append(-1)
+            rights.append(-1)
+            if not node.is_leaf:
+                lefts[index] = visit(node.left)
+                rights[index] = visit(node.right)
+            return index
+
+        visit(self.root)
+        return {
+            "feature": np.asarray(features, dtype=np.int64),
+            "threshold": np.asarray(thresholds, dtype=np.float64),
+            "value": np.asarray(values, dtype=np.float64),
+            "left": np.asarray(lefts, dtype=np.int64),
+            "right": np.asarray(rights, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray], n_features: int,
+                    **constructor_kwargs) -> "DecisionTreeRegressor":
+        """Rebuild a fitted tree from :meth:`to_arrays` output."""
+        feature = np.asarray(arrays["feature"], dtype=np.int64)
+        threshold = np.asarray(arrays["threshold"], dtype=np.float64)
+        value = np.asarray(arrays["value"], dtype=np.float64)
+        left = np.asarray(arrays["left"], dtype=np.int64)
+        right = np.asarray(arrays["right"], dtype=np.int64)
+        if feature.size == 0:
+            raise ValueError("node arrays are empty")
+
+        def build(index: int) -> TreeNode:
+            node = TreeNode(feature=int(feature[index]),
+                            threshold=float(threshold[index]),
+                            value=float(value[index]))
+            if node.feature >= 0:
+                node.left = build(int(left[index]))
+                node.right = build(int(right[index]))
+            return node
+
+        tree = cls(**constructor_kwargs)
+        tree.n_features_ = int(n_features)
+        tree.root = build(0)
+        return tree

@@ -12,7 +12,7 @@ predictions to the running estimate.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -104,6 +104,50 @@ class GradientBoostingRegressor:
             stages[index] = output
         return stages
 
+    # ------------------------------------------------------------------ #
+    # Array (de)serialisation (used by repro.serialize)
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the fitted ensemble into concatenated node arrays.
+
+        Each tree's preorder node arrays are concatenated; ``tree_offsets``
+        (length ``n_trees + 1``) delimits them.  Child indices stay local to
+        their tree.
+        """
+        if not self.trees_:
+            raise RuntimeError("to_arrays() called before fit()")
+        per_tree = [tree.to_arrays() for tree in self.trees_]
+        offsets = np.zeros(len(per_tree) + 1, dtype=np.int64)
+        for index, arrays in enumerate(per_tree):
+            offsets[index + 1] = offsets[index] + arrays["feature"].shape[0]
+        stacked = {
+            key: np.concatenate([arrays[key] for arrays in per_tree])
+            for key in ("feature", "threshold", "value", "left", "right")
+        }
+        stacked["tree_offsets"] = offsets
+        stacked["initial_prediction"] = np.asarray([self.initial_prediction_])
+        stacked["train_scores"] = np.asarray(self.train_scores_, dtype=np.float64)
+        return stacked
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray], n_features: int) -> \
+            "GradientBoostingRegressor":
+        """Restore fitted state (trees + offset prediction) in place."""
+        offsets = np.asarray(arrays["tree_offsets"], dtype=np.int64)
+        self.trees_ = []
+        for index in range(offsets.shape[0] - 1):
+            lo, hi = int(offsets[index]), int(offsets[index + 1])
+            tree_arrays = {key: np.asarray(arrays[key])[lo:hi]
+                           for key in ("feature", "threshold", "value", "left", "right")}
+            self.trees_.append(DecisionTreeRegressor.from_arrays(
+                tree_arrays, n_features,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+            ))
+        self.initial_prediction_ = float(np.asarray(arrays["initial_prediction"])[0])
+        self.train_scores_ = [float(v) for v in np.asarray(arrays["train_scores"])]
+        return self
+
 
 class MultiOutputGradientBoosting:
     """One boosted ensemble per output channel.
@@ -148,3 +192,26 @@ class MultiOutputGradientBoosting:
         """Predict all output channels; returns (n_samples, n_outputs)."""
         predictions = [model.predict(features) for model in self.models_]
         return np.stack(predictions, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Array (de)serialisation (used by repro.serialize)
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten every per-channel ensemble, namespaced ``outNN.<key>``."""
+        stacked: Dict[str, np.ndarray] = {}
+        for output_index, model in enumerate(self.models_):
+            for key, value in model.to_arrays().items():
+                stacked[f"out{output_index}.{key}"] = value
+        return stacked
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray], n_features: int) -> \
+            "MultiOutputGradientBoosting":
+        """Restore every per-channel ensemble in place."""
+        for output_index, model in enumerate(self.models_):
+            prefix = f"out{output_index}."
+            model_arrays = {key[len(prefix):]: value for key, value in arrays.items()
+                            if key.startswith(prefix)}
+            if not model_arrays:
+                raise KeyError(f"missing arrays for output channel {output_index}")
+            model.load_arrays(model_arrays, n_features)
+        return self

@@ -11,7 +11,7 @@ larger values mean "more anomalous".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -161,3 +161,78 @@ class IsolationForest:
             raise RuntimeError("predict() called before fit()")
         scores = self.score_samples(data)
         return np.where(scores > self.threshold_, -1, 1)
+
+    # ------------------------------------------------------------------ #
+    # Array (de)serialisation (used by repro.serialize)
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the fitted forest into concatenated preorder node arrays."""
+        if not self.trees_:
+            raise RuntimeError("to_arrays() called before fit()")
+        features, thresholds, sizes, lefts, rights = [], [], [], [], []
+        offsets = [0]
+
+        for tree in self.trees_:
+            base = len(features)
+
+            def visit(node: IsolationTreeNode) -> int:
+                local = len(features) - base
+                features.append(node.feature)
+                thresholds.append(node.threshold)
+                sizes.append(node.size)
+                lefts.append(-1)
+                rights.append(-1)
+                if not node.is_leaf:
+                    lefts[base + local] = visit(node.left)
+                    rights[base + local] = visit(node.right)
+                return local
+
+            visit(tree.root)
+            offsets.append(len(features))
+        return {
+            "feature": np.asarray(features, dtype=np.int64),
+            "threshold": np.asarray(thresholds, dtype=np.float64),
+            "size": np.asarray(sizes, dtype=np.int64),
+            "left": np.asarray(lefts, dtype=np.int64),
+            "right": np.asarray(rights, dtype=np.int64),
+            "tree_offsets": np.asarray(offsets, dtype=np.int64),
+            "sample_size": np.asarray([self._sample_size], dtype=np.int64),
+            "score_threshold": np.asarray(
+                [np.nan if self.threshold_ is None else self.threshold_]
+            ),
+        }
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> "IsolationForest":
+        """Restore a fitted forest in place from :meth:`to_arrays` output.
+
+        Child indices in the node arrays are local to each tree's slice.
+        """
+        offsets = np.asarray(arrays["tree_offsets"], dtype=np.int64)
+        feature = np.asarray(arrays["feature"], dtype=np.int64)
+        threshold = np.asarray(arrays["threshold"], dtype=np.float64)
+        size = np.asarray(arrays["size"], dtype=np.int64)
+        left = np.asarray(arrays["left"], dtype=np.int64)
+        right = np.asarray(arrays["right"], dtype=np.int64)
+
+        self._sample_size = int(np.asarray(arrays["sample_size"])[0])
+        stored_threshold = float(np.asarray(arrays["score_threshold"])[0])
+        self.threshold_ = None if np.isnan(stored_threshold) else stored_threshold
+        height_limit = int(np.ceil(np.log2(max(self._sample_size, 2))))
+
+        def build(lo: int, index: int) -> IsolationTreeNode:
+            node = IsolationTreeNode(
+                feature=int(feature[lo + index]),
+                threshold=float(threshold[lo + index]),
+                size=int(size[lo + index]),
+            )
+            if not node.is_leaf:
+                node.left = build(lo, int(left[lo + index]))
+                node.right = build(lo, int(right[lo + index]))
+            return node
+
+        self.trees_ = []
+        for tree_index in range(offsets.shape[0] - 1):
+            tree = _IsolationTree(height_limit, self._rng)
+            tree.root = build(int(offsets[tree_index]), 0)
+            self.trees_.append(tree)
+        return self

@@ -174,3 +174,78 @@ class TestThresholdCalibration:
             ThresholdCalibrator(mad_factor=0.0)
         with pytest.raises(ValueError):
             ThresholdCalibrator().calibrate(np.array([np.nan]))
+
+    def test_empty_scores_raise_descriptive_error(self):
+        """Regression: an empty array must raise, not propagate nan."""
+        with pytest.raises(ValueError, match="empty score array"):
+            ThresholdCalibrator().calibrate(np.array([]))
+
+    def test_all_nan_scores_raise_descriptive_error(self):
+        """Regression: all-NaN scores used to be indistinguishable from empty."""
+        with pytest.raises(ValueError, match="all 4 scores are non-finite"):
+            ThresholdCalibrator().calibrate(np.full(4, np.nan))
+        with pytest.raises(ValueError, match="non-finite"):
+            ThresholdCalibrator(method="mad").calibrate(
+                np.array([np.inf, -np.inf, np.nan])
+            )
+
+    def test_threshold_is_never_nan(self):
+        """Whatever survives validation must yield a finite threshold."""
+        scores = np.array([np.nan, 0.4, np.nan, 0.6])
+        for method in ("quantile", "mad"):
+            threshold = ThresholdCalibrator(method=method).calibrate(scores)
+            assert np.isfinite(threshold.threshold)
+
+
+class TestDetectorThresholdWiring:
+    def test_calibrate_threshold_attaches_and_returns(self, fitted_detector):
+        stream, _ = synthetic_stream(n_samples=200, seed=3)
+        calibrated = fitted_detector.calibrate_threshold(stream, quantile=0.9)
+        try:
+            assert fitted_detector.threshold is calibrated
+            assert calibrated.method == "quantile"
+            assert np.isfinite(calibrated.threshold)
+            # The 0.9 quantile of the calibration scores themselves alarms on
+            # roughly the top decile.
+            scores = fitted_detector.score_stream(stream).valid_scores()
+            rate = calibrated.classify(scores).mean()
+            assert 0.0 < rate <= 0.2
+        finally:
+            fitted_detector.set_threshold(None)
+
+    def test_set_threshold_clears(self, fitted_detector):
+        fitted_detector.set_threshold(CalibratedThreshold(1.0, "quantile", 0.99))
+        assert fitted_detector.threshold is not None
+        fitted_detector.set_threshold(None)
+        assert fitted_detector.threshold is None
+
+    def test_runtimes_fall_back_to_detector_threshold(self, fitted_detector):
+        from repro.edge import MultiStreamRuntime, StreamingRuntime
+
+        marker = CalibratedThreshold(0.5, "quantile", 0.99)
+        fitted_detector.set_threshold(marker)
+        try:
+            assert StreamingRuntime(fitted_detector)._resolve_threshold() is marker
+            assert MultiStreamRuntime(fitted_detector)._resolve_threshold() is marker
+            explicit = CalibratedThreshold(2.0, "mad", 6.0)
+            runtime = StreamingRuntime(fitted_detector, explicit)
+            assert runtime._resolve_threshold() is explicit
+        finally:
+            fitted_detector.set_threshold(None)
+
+    def test_threshold_calibrated_after_runtime_construction_still_fires(self):
+        """Regression: the fallback is resolved at run() time, not __init__."""
+        from repro.data import StreamReader
+        from repro.edge import StreamingRuntime
+
+        stream, _ = synthetic_stream(n_samples=200, seed=9)
+        detector = VaradeDetector(
+            VaradeConfig(n_channels=5, window=16, base_feature_maps=4),
+            TrainingConfig(epochs=2, mean_warmup_epochs=1, learning_rate=3e-3,
+                           variance_finetune_epochs=1, max_train_windows=100, seed=0),
+        ).fit(stream)
+        runtime = StreamingRuntime(detector)          # built before calibration
+        detector.calibrate_threshold(stream, quantile=0.5)
+        result = runtime.run(StreamReader(stream))
+        # With a median threshold roughly half the scored samples must alarm.
+        assert result.alarms.sum() > 0.2 * result.samples_scored

@@ -1,0 +1,219 @@
+"""Unit and property tests for :mod:`repro.nn.quant`.
+
+The hypothesis section pins the quantizer's numeric contract: the
+quantize -> dequantize round trip errs by at most half a scale step per
+element, and degenerate inputs (all-zero channels, constant channels,
+single-element channels) produce finite positive scales instead of nan/inf.
+The plan section checks the int8 forward pass against the float fast path
+(bounded drift, bit-identical batch invariance) and its guard rails.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn.quant import (
+    QMAX,
+    QuantizedConv1d,
+    QuantizedForwardPlan,
+    QuantizedLinear,
+    dequantize,
+    quantize_values,
+    quantize_weight,
+)
+
+finite_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                          allow_infinity=False)
+
+
+@st.composite
+def weight_arrays(draw):
+    out_channels = draw(st.integers(1, 6))
+    in_features = draw(st.integers(1, 12))
+    return draw(hnp.arrays(np.float64, (out_channels, in_features),
+                           elements=finite_floats))
+
+
+class TestQuantizeDequantizeProperties:
+    @given(weight_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_error_bounded_by_half_scale(self, weight):
+        codes, scales = quantize_weight(weight, channel_axis=0)
+        restored = dequantize(codes, scales, channel_axis=0)
+        # Per-element error <= scale/2 (plus float slack) for each channel.
+        bound = (scales / 2.0)[:, None] * (1.0 + 1e-9) + 1e-12
+        assert np.all(np.abs(restored - weight) <= bound)
+
+    @given(weight_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_scales_always_finite_and_positive(self, weight):
+        codes, scales = quantize_weight(weight, channel_axis=0)
+        assert np.all(np.isfinite(scales))
+        assert np.all(scales > 0)
+        assert codes.dtype == np.int8
+        assert np.all(np.abs(codes.astype(np.int64)) <= QMAX)
+
+    @given(st.integers(1, 8), st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_channels_quantize_to_zero_without_nan(self, out_channels, in_features):
+        weight = np.zeros((out_channels, in_features))
+        codes, scales = quantize_weight(weight)
+        assert np.all(scales == 1.0)
+        assert np.all(codes == 0)
+        np.testing.assert_array_equal(dequantize(codes, scales, channel_axis=0), weight)
+
+    @given(finite_floats, st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_constant_channels_round_trip_exactly(self, value, in_features):
+        weight = np.full((1, in_features), value)
+        codes, scales = quantize_weight(weight)
+        assert np.all(np.isfinite(scales)) and np.all(scales > 0)
+        restored = dequantize(codes, scales, channel_axis=0)
+        if scales[0] == 1.0 and abs(value) < 1.0:
+            # Sub-floor range: the channel is treated as dead (codes 0) so
+            # the float32 reciprocal of the scale stays representable; the
+            # half-step error bound still holds trivially.
+            assert np.all(codes == 0)
+            assert np.all(np.abs(restored - weight) <= 0.5)
+        else:
+            # A constant channel sits exactly on the +-QMAX code of its scale.
+            np.testing.assert_allclose(restored, weight, rtol=1e-12, atol=1e-300)
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                     allow_infinity=False, allow_subnormal=True))
+    @settings(max_examples=60, deadline=None)
+    def test_single_value_channel(self, value):
+        codes, scales = quantize_weight(np.array([[value]]))
+        assert np.isfinite(scales).all() and (scales > 0).all()
+        # The single value maps to +-QMAX on its own scale (0 for values so
+        # small the scale division underflows and the unit scale kicks in).
+        assert int(codes[0, 0]) in (0, QMAX, -QMAX)
+        error = abs(float(dequantize(codes, scales, channel_axis=0)[0, 0]) - value)
+        assert error <= scales[0] / 2.0 + 1e-12
+
+    @given(hnp.arrays(np.float64, (4, 7), elements=finite_floats),
+           st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=40, deadline=None)
+    def test_values_saturate_at_qmax(self, values, scale):
+        codes = quantize_values(values, scale)
+        assert np.all(codes.astype(np.int64) <= QMAX)
+        assert np.all(codes.astype(np.int64) >= -QMAX)
+
+    def test_non_finite_ranges_are_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize_weight(np.array([[np.nan, 1.0]]))
+
+    def test_near_zero_ranges_keep_float32_reciprocals_finite(self):
+        """Regression: scales whose float32 reciprocal overflows are floored.
+
+        A near-dead channel (max-abs ~1e-39) used to yield a scale that
+        passed the positivity check but whose cached 1/scale overflowed
+        float32 to inf, saturating every staged code (and producing NaN for
+        exactly-zero samples).  Such ranges now fall back to the unit scale.
+        """
+        codes, scales = quantize_weight(np.full((1, 4), 1e-39))
+        assert scales[0] == 1.0
+        assert np.all(codes == 0)
+        assert np.isfinite(np.float32(1.0 / scales[0]))
+
+
+def _tiny_network(rng, in_channels=3, in_length=8):
+    backbone = nn.Sequential(
+        nn.Conv1d(in_channels, 6, kernel_size=2, stride=2, rng=rng),
+        nn.ReLU(),
+        nn.Conv1d(6, 8, kernel_size=2, stride=2, rng=rng),
+        nn.ReLU(),
+    )
+    flat = 8 * (in_length // 4)
+    heads = {"a": nn.Linear(flat, 4, rng=rng), "b": nn.Linear(flat, 2, rng=rng)}
+    return backbone, heads
+
+
+class TestQuantizedForwardPlan:
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+        self.backbone, self.heads = _tiny_network(self.rng)
+        self.calibration = self.rng.normal(size=(32, 3, 8))
+        self.plan = QuantizedForwardPlan.from_network(
+            self.backbone, self.heads, in_channels=3, in_length=8,
+            calibration=self.calibration,
+        )
+        self.float_plan = nn.FastForwardPlan(self.backbone, self.heads,
+                                             in_channels=3, in_length=8)
+
+    def test_outputs_track_the_float_plan(self):
+        x = self.rng.normal(size=(16, 3, 8))
+        quantized = self.plan.forward(x)
+        exact = self.float_plan.forward(x)
+        for name in self.heads:
+            scale = np.abs(exact[name]).max() + 1e-9
+            drift = np.abs(quantized[name] - exact[name]).max() / scale
+            assert drift < 0.1, f"head {name}: relative drift {drift:.3f}"
+
+    def test_rows_are_batch_invariant_bit_identical(self):
+        x = self.rng.normal(size=(20, 3, 8))
+        full = {name: out.copy() for name, out in self.plan.forward(x).items()}
+        for index in (0, 7, 19):
+            single = self.plan.forward(x[index:index + 1])
+            for name in self.heads:
+                np.testing.assert_array_equal(single[name][0], full[name][index])
+
+    def test_calibration_saturation_clips_instead_of_overflowing(self):
+        # Inputs far outside the calibrated range must still produce finite
+        # outputs (codes saturate at +-QMAX).
+        wild = 1e3 * self.rng.normal(size=(4, 3, 8))
+        outputs = self.plan.forward(wild)
+        for out in outputs.values():
+            assert np.all(np.isfinite(out))
+
+    def test_near_zero_calibration_data_yields_finite_outputs(self):
+        """Regression: a dead calibration stream must not poison the plan."""
+        backbone, heads = _tiny_network(np.random.default_rng(3))
+        plan = QuantizedForwardPlan.from_network(
+            backbone, heads, in_channels=3, in_length=8,
+            calibration=np.full((8, 3, 8), 1e-39),
+        )
+        for x in (np.zeros((2, 3, 8)), self.rng.normal(size=(2, 3, 8))):
+            outputs = plan.forward(x)
+            for out in outputs.values():
+                assert np.all(np.isfinite(out))
+
+    def test_plan_parameter_bytes_are_counted(self):
+        float_bytes = sum(p.size for p in
+                          list(self.backbone.parameters())
+                          + [p for h in self.heads.values() for p in h.parameters()]) * 4
+        assert 0 < self.plan.parameter_bytes() < float_bytes
+
+    def test_rejects_unsupported_backbones(self):
+        rng = np.random.default_rng(0)
+        backbone = nn.Sequential(nn.Conv1d(2, 4, 2, stride=2, rng=rng), nn.Tanh())
+        heads = {"h": nn.Linear(8, 2, rng=rng)}
+        with pytest.raises(TypeError, match="Conv1d/ReLU"):
+            QuantizedForwardPlan.from_network(backbone, heads, 2, 4,
+                                              calibration=rng.normal(size=(4, 2, 4)))
+
+    def test_rejects_empty_calibration(self):
+        with pytest.raises(ValueError, match="at least one"):
+            QuantizedForwardPlan.from_network(self.backbone, self.heads, 3, 8,
+                                              calibration=np.empty((0, 3, 8)))
+
+    def test_rejects_mismatched_head_scales(self):
+        conv = QuantizedConv1d(np.ones((2, 3, 2), dtype=np.int8), np.ones(2),
+                               None, stride=2, padding=0, act_scale=1.0)
+        heads = {
+            "a": QuantizedLinear(np.ones((1, 8), dtype=np.int8), np.ones(1), None, 1.0),
+            "b": QuantizedLinear(np.ones((1, 8), dtype=np.int8), np.ones(1), None, 2.0),
+        }
+        with pytest.raises(ValueError, match="share"):
+            QuantizedForwardPlan([conv], heads, in_channels=3, in_length=8)
+
+    def test_accumulator_depth_guard(self):
+        # 2048-wide reduction of int8 products exceeds the exact-float32 range.
+        conv = QuantizedConv1d(np.ones((1, 1024, 2), dtype=np.int8), np.ones(1),
+                               None, stride=2, padding=0, act_scale=1.0)
+        heads = {"h": QuantizedLinear(np.ones((1, 2), dtype=np.int8),
+                                      np.ones(1), None, 1.0)}
+        with pytest.raises(ValueError, match="accumulator"):
+            QuantizedForwardPlan([conv], heads, in_channels=1024, in_length=4)

@@ -1,0 +1,49 @@
+"""Fixtures shared by the serialization and golden-score suites.
+
+The golden harness (``tests/golden/golden_harness.py``) is the single source
+of truth for the stream, the detector configurations and the scoring
+protocol; it is loaded here by path so the tests and the regeneration script
+can never disagree.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_HARNESS_PATH = Path(__file__).resolve().parents[1] / "golden" / "golden_harness.py"
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location("golden_harness", _HARNESS_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="session")
+def golden():
+    """The golden harness module (stream + detector builders + protocol)."""
+    return _load_harness()
+
+
+@pytest.fixture(scope="session")
+def golden_fixture(golden):
+    """The committed frozen arrays (stream, per-detector scores, thresholds)."""
+    return golden.load_fixture()
+
+
+@pytest.fixture(scope="session")
+def golden_streams(golden):
+    train, test, labels = golden.generate_stream()
+    return {"train": train, "test": test, "labels": labels}
+
+
+@pytest.fixture(scope="session")
+def fitted_detectors(golden, golden_streams):
+    """All six detectors trained + threshold-calibrated per the golden recipe.
+
+    Session scoped: training happens once and is shared by the golden-score
+    comparison, the round-trip suite and the quantization tests.
+    """
+    return golden.fit_and_calibrate(golden_streams["train"])

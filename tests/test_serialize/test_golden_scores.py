@@ -1,0 +1,57 @@
+"""Golden-score regression suite.
+
+Retrains every detector in the exact configuration frozen by
+``tests/golden/golden_harness.py`` and compares full-stream scores against
+the committed ``tests/golden/golden_scores.npz``.  Any unintended numeric
+drift -- in the data generator, windowing, training loops, the fast paths or
+threshold calibration -- fails here; intentional changes are re-frozen with::
+
+    PYTHONPATH=src python tests/golden/golden_harness.py --write
+
+The tolerance is tight enough to catch algorithmic drift while absorbing
+run-to-run differences in low-level summation order across BLAS builds.
+"""
+
+import numpy as np
+
+RTOL = 1e-6
+ATOL = 1e-9
+
+
+def test_fixture_has_all_detectors(golden, golden_fixture):
+    for name in golden.DETECTOR_NAMES:
+        assert f"scores.{name}" in golden_fixture
+        assert f"threshold.{name}" in golden_fixture
+
+
+def test_stream_generator_matches_fixture(golden_streams, golden_fixture):
+    """The seeded generator must reproduce the frozen stream bit-for-bit."""
+    np.testing.assert_array_equal(golden_streams["train"], golden_fixture["stream.train"])
+    np.testing.assert_array_equal(golden_streams["test"], golden_fixture["stream.test"])
+    np.testing.assert_array_equal(golden_streams["labels"], golden_fixture["stream.labels"])
+
+
+def test_scores_match_golden(golden, golden_streams, golden_fixture, fitted_detectors):
+    scores = golden.score_all(fitted_detectors, golden_streams["test"])
+    for name in golden.DETECTOR_NAMES:
+        expected = golden_fixture[f"scores.{name}"]
+        actual = scores[name]
+        assert actual.shape == expected.shape, name
+        # NaN alignment (the unscored context prefix) must match exactly.
+        np.testing.assert_array_equal(np.isnan(actual), np.isnan(expected),
+                                      err_msg=f"{name}: NaN alignment drifted")
+        mask = ~np.isnan(expected)
+        np.testing.assert_allclose(
+            actual[mask], expected[mask], rtol=RTOL, atol=ATOL,
+            err_msg=(f"{name}: scores drifted from the golden fixture; if this "
+                     "change is intentional, regenerate with "
+                     "`PYTHONPATH=src python tests/golden/golden_harness.py --write`"),
+        )
+
+
+def test_calibrated_thresholds_match_golden(golden, golden_fixture, fitted_detectors):
+    for name in golden.DETECTOR_NAMES:
+        expected = float(golden_fixture[f"threshold.{name}"][0])
+        actual = fitted_detectors[name].threshold.threshold
+        np.testing.assert_allclose(actual, expected, rtol=RTOL, atol=ATOL,
+                                   err_msg=f"{name}: calibrated threshold drifted")
