@@ -14,7 +14,6 @@ Run with::
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.data import StreamReader

@@ -6,7 +6,6 @@ the paper-scale architectures.  Prints the reproduced table next to the
 paper's reference numbers.
 """
 
-import pytest
 
 from repro.eval import PAPER_TABLE2, format_comparison, format_table2
 

@@ -1,22 +1,39 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 test suite + the fast benchmark tier.
 #
-#   scripts/verify.sh          tier-1 tests, then benchmarks -m "not slow"
-#   scripts/verify.sh --fast   tier-1 tests only
+#   scripts/verify.sh                   tier-1 tests, then benchmarks -m "not slow"
+#   scripts/verify.sh --tier1-only      tier-1 tests only (the CI matrix legs)
+#   scripts/verify.sh --fast            alias of --tier1-only
+#   scripts/verify.sh --benchmarks-only fast benchmark tier only (CI runs this
+#                                       after the tier-1 matrix has gated)
 #
 # Tier 1 is the full default pytest run (the bar every PR must keep green).
 # The benchmark tier regenerates the paper's tables at reproduction scale
 # and takes a few minutes; the "slow" marker gates the long scaling sweeps.
+#
+# CI-safe: strict mode, no interactive assumptions, and any tier failing
+# fails the script (set -e propagates the benchmark tier's exit status too).
 
 set -euo pipefail
+
+mode="${1:-}"
+case "$mode" in
+    ""|--tier1-only|--fast|--benchmarks-only) ;;
+    *)
+        echo "usage: scripts/verify.sh [--tier1-only|--fast|--benchmarks-only]" >&2
+        exit 2
+        ;;
+esac
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier 1: full test suite =="
-python -m pytest -x -q
+if [[ "$mode" != "--benchmarks-only" ]]; then
+    echo "== tier 1: full test suite =="
+    python -m pytest -x -q
+fi
 
-if [[ "${1:-}" != "--fast" ]]; then
+if [[ "$mode" != "--tier1-only" && "$mode" != "--fast" ]]; then
     echo
     echo '== benchmarks (-m "not slow") =='
     # bench_*.py files must be named explicitly: pytest's default collection

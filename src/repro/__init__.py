@@ -11,7 +11,10 @@ scratch on top of numpy:
   substrates (autograd NN framework, CART/boosting/isolation forest, kNN);
 * :mod:`repro.robot` -- the simulated KUKA robot cell (kinematics, actions,
   IMU and power-meter models, collision injection);
-* :mod:`repro.data` -- schema, normalisation, windowing, train/test builders;
+* :mod:`repro.data` -- schema, normalisation, windowing, train/test builders
+  and concept-drift scenario generation;
+* :mod:`repro.drift` -- online score-stream drift detection and adaptive
+  threshold recalibration for the streaming runtimes;
 * :mod:`repro.edge` -- Jetson device models, metric estimation, streaming
   runtime;
 * :mod:`repro.eval` -- AUC-ROC and friends, the Table-2 / Figure-3 experiment
@@ -20,7 +23,7 @@ scratch on top of numpy:
   weights + JSON manifest), the deployable edge artifact.
 """
 
-from . import baselines, core, data, edge, eval, neighbors, nn, robot, trees
+from . import baselines, core, data, drift, edge, eval, neighbors, nn, robot, trees
 from .core import TrainingConfig, VaradeConfig, VaradeDetector
 from .data import DatasetConfig, build_benchmark_dataset
 from .eval import ExperimentConfig, run_full_experiment
@@ -34,6 +37,7 @@ __all__ = [
     "baselines",
     "core",
     "data",
+    "drift",
     "edge",
     "eval",
     "neighbors",

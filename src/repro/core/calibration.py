@@ -11,7 +11,7 @@ median-absolute-deviation rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Literal
 
 import numpy as np
 
@@ -45,6 +45,23 @@ class ThresholdCalibrator:
         self.method = method
         self.quantile = quantile
         self.mad_factor = mad_factor
+
+    @classmethod
+    def matching(cls, threshold: CalibratedThreshold) -> "ThresholdCalibrator":
+        """A calibrator configured like the one that produced ``threshold``.
+
+        :class:`CalibratedThreshold` records its ``method`` and ``parameter``
+        precisely so a later recalibration -- e.g. the online drift adaptation
+        in :mod:`repro.drift` -- can re-derive the threshold from fresh scores
+        *the same way* the original deployment calibrated it.
+        """
+        if threshold.method == "quantile":
+            return cls(method="quantile", quantile=threshold.parameter)
+        if threshold.method == "mad":
+            return cls(method="mad", mad_factor=threshold.parameter)
+        raise ValueError(
+            f"cannot rebuild a calibrator for unknown method {threshold.method!r}"
+        )
 
     def calibrate(self, normal_scores: np.ndarray) -> CalibratedThreshold:
         """Compute the threshold from anomaly scores of normal data.

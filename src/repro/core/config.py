@@ -13,7 +13,7 @@ CPU-only reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 __all__ = ["VaradeConfig", "TrainingConfig"]

@@ -1,5 +1,6 @@
 """Dataset layer: channel schema, normalisation, windowing, the benchmark
-train/test builder and streaming replay of recordings.
+train/test builder, streaming replay of recordings and concept-drift
+scenario generation.
 """
 
 from .dataset import (
@@ -8,6 +9,15 @@ from .dataset import (
     SyntheticAnomalyDataset,
     build_benchmark_dataset,
     build_synthetic_anomaly_dataset,
+)
+from .drift import (
+    DRIFT_KINDS,
+    DriftScenario,
+    build_drift_scenario,
+    inject_channel_dropout,
+    inject_gradual_ramp,
+    inject_mean_shift,
+    inject_sensor_gain,
 )
 from .normalization import MinMaxScaler, StandardScaler
 from .schema import ChannelGroup, ChannelSpec, StreamSchema, build_default_schema
@@ -20,6 +30,13 @@ __all__ = [
     "SyntheticAnomalyDataset",
     "build_benchmark_dataset",
     "build_synthetic_anomaly_dataset",
+    "DRIFT_KINDS",
+    "DriftScenario",
+    "build_drift_scenario",
+    "inject_channel_dropout",
+    "inject_gradual_ramp",
+    "inject_mean_shift",
+    "inject_sensor_gain",
     "MinMaxScaler",
     "StandardScaler",
     "ChannelGroup",

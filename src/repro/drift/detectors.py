@@ -1,0 +1,255 @@
+"""Score-stream drift detectors.
+
+A deployed detector's anomaly-score distribution is the cheapest observable
+proxy for input distribution shift: the threshold was calibrated against the
+score distribution on normal data, so when the *score* distribution moves,
+the calibration is stale regardless of what moved in the input.  Both
+detectors here therefore watch the scalar score stream, not the raw
+channels, which keeps the per-sample cost O(1)-ish and detector-agnostic.
+
+Two complementary tests are provided:
+
+* :class:`PageHinkley` -- the classic sequential change-point test on the
+  running mean.  Cheap (a handful of scalar updates per sample), sensitive
+  to sustained mean shifts, and direction-aware.  Increments are normalised
+  by a running standard deviation so one ``threshold`` setting works across
+  detectors whose score scales differ by orders of magnitude.
+* :class:`TwoWindowDrift` -- a rolling two-sample test comparing a *reference*
+  window of older scores against the most recent *current* window, with
+  either the Kolmogorov-Smirnov statistic or a robust quantile-shift
+  statistic.  Slower (it sorts the windows every ``check_every`` samples)
+  but catches variance/shape changes a mean test misses.
+
+Both implement the tiny :class:`DriftDetector` contract consumed by
+:class:`repro.drift.AdaptationPolicy`: ``update(value) -> bool`` per sample,
+``reset()`` after the policy has acted on a detection.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Literal
+
+import numpy as np
+
+__all__ = ["DriftDetector", "PageHinkley", "TwoWindowDrift"]
+
+
+class DriftDetector(abc.ABC):
+    """Sequential change detector over a scalar stream."""
+
+    #: short identifier recorded in :class:`repro.drift.AdaptationEvent`.
+    name: str = "drift"
+
+    @abc.abstractmethod
+    def update(self, value: float) -> bool:
+        """Consume one observation; return ``True`` when drift is detected."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all state, e.g. after the consumer recalibrated."""
+
+    @abc.abstractmethod
+    def clone(self) -> "DriftDetector":
+        """A fresh detector with the same configuration and no state.
+
+        The adaptation policy clones its prototype detector once per stream,
+        so one policy object can serve a whole fleet without the streams
+        sharing change-point state.
+        """
+
+
+class PageHinkley(DriftDetector):
+    """Page-Hinkley sequential test for a shift of the running mean.
+
+    The test accumulates ``m_t = sum_i (x_i - mean_i - delta)`` and flags
+    drift when ``m_t`` rises more than ``threshold`` above its running
+    minimum (upward shift) or falls more than ``threshold`` below its running
+    maximum (downward shift).  ``delta`` is the magnitude of mean change
+    considered negligible and ``threshold`` trades detection delay against
+    false alarms; both are expressed in running-standard-deviation units
+    when ``normalize`` is on (the default), which makes one configuration
+    portable across anomaly-score scales.
+
+    Non-finite inputs (the NaN prefix of a scored stream) are ignored.
+    """
+
+    name = "page-hinkley"
+
+    def __init__(self, delta: float = 0.15, threshold: float = 30.0,
+                 min_samples: int = 30,
+                 direction: Literal["up", "down", "both"] = "both",
+                 normalize: bool = True) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_samples < 2:
+            raise ValueError("min_samples must be at least 2")
+        if direction not in ("up", "down", "both"):
+            raise ValueError("direction must be 'up', 'down' or 'both'")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.direction = direction
+        self.normalize = normalize
+        self.reset()
+
+    def clone(self) -> "PageHinkley":
+        return PageHinkley(delta=self.delta, threshold=self.threshold,
+                           min_samples=self.min_samples,
+                           direction=self.direction, normalize=self.normalize)
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0          # Welford accumulator for the running variance
+        self._cum_up = 0.0
+        self._min_up = 0.0
+        self._cum_down = 0.0
+        self._max_down = 0.0
+
+    @property
+    def statistic(self) -> float:
+        """Current test statistic (max over the enabled directions)."""
+        up = self._cum_up - self._min_up
+        down = self._max_down - self._cum_down
+        if self.direction == "up":
+            return up
+        if self.direction == "down":
+            return down
+        return max(up, down)
+
+    def update(self, value: float) -> bool:
+        value = float(value)
+        if not np.isfinite(value):
+            return False
+        self._count += 1
+        delta_mean = value - self._mean
+        self._mean += delta_mean / self._count
+        self._m2 += delta_mean * (value - self._mean)
+        if self._count < self.min_samples:
+            return False
+
+        if self.normalize:
+            std = np.sqrt(self._m2 / (self._count - 1))
+            scale = std if std > 0 else 1.0
+        else:
+            scale = 1.0
+        deviation = (value - self._mean) / scale
+
+        detected = False
+        if self.direction in ("up", "both"):
+            self._cum_up += deviation - self.delta
+            self._min_up = min(self._min_up, self._cum_up)
+            detected |= (self._cum_up - self._min_up) > self.threshold
+        if self.direction in ("down", "both"):
+            self._cum_down += deviation + self.delta
+            self._max_down = max(self._max_down, self._cum_down)
+            detected |= (self._max_down - self._cum_down) > self.threshold
+        return detected
+
+
+class TwoWindowDrift(DriftDetector):
+    """Rolling two-window distribution-shift test.
+
+    Keeps the last ``reference_size + current_size`` finite observations in
+    a deque; the older ``reference_size`` form the reference sample, the
+    newest ``current_size`` the current sample.  Every ``check_every``
+    updates the two samples are compared with either
+
+    * ``statistic="ks"`` -- the two-sample Kolmogorov-Smirnov statistic
+      (max vertical distance between the empirical CDFs, in [0, 1]); or
+    * ``statistic="quantile"`` -- a robust quantile-shift statistic: the
+      distance between the two samples' ``quantile`` points divided by the
+      reference interquartile range, so it is scale-free like the KS mode.
+
+    Drift is flagged when the statistic exceeds ``threshold``.
+    """
+
+    name = "two-window"
+
+    def __init__(self, reference_size: int = 200, current_size: int = 50,
+                 statistic: Literal["ks", "quantile"] = "ks",
+                 threshold: float = 0.6, quantile: float = 0.5,
+                 check_every: int = 10) -> None:
+        if reference_size < 10:
+            raise ValueError("reference_size must be at least 10")
+        if current_size < 5:
+            raise ValueError("current_size must be at least 5")
+        if statistic not in ("ks", "quantile"):
+            raise ValueError("statistic must be 'ks' or 'quantile'")
+        if not 0.0 < threshold:
+            raise ValueError("threshold must be positive")
+        if statistic == "ks" and threshold >= 1.0:
+            raise ValueError("a KS threshold must lie in (0, 1)")
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if check_every < 1:
+            raise ValueError("check_every must be at least 1")
+        self.reference_size = reference_size
+        self.current_size = current_size
+        self.statistic_kind = statistic
+        self.threshold = threshold
+        self.quantile = quantile
+        self.check_every = check_every
+        self._buffer: Deque[float] = deque(maxlen=reference_size + current_size)
+        self._since_check = 0
+
+    def clone(self) -> "TwoWindowDrift":
+        return TwoWindowDrift(reference_size=self.reference_size,
+                              current_size=self.current_size,
+                              statistic=self.statistic_kind,
+                              threshold=self.threshold,
+                              quantile=self.quantile,
+                              check_every=self.check_every)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._since_check = 0
+
+    @staticmethod
+    def ks_statistic(reference: np.ndarray, current: np.ndarray) -> float:
+        """Two-sample KS statistic: sup |ECDF_ref - ECDF_cur|."""
+        reference = np.sort(np.asarray(reference, dtype=np.float64))
+        current = np.sort(np.asarray(current, dtype=np.float64))
+        grid = np.concatenate([reference, current])
+        cdf_ref = np.searchsorted(reference, grid, side="right") / reference.size
+        cdf_cur = np.searchsorted(current, grid, side="right") / current.size
+        return float(np.abs(cdf_ref - cdf_cur).max())
+
+    def _quantile_shift(self, reference: np.ndarray, current: np.ndarray) -> float:
+        q_ref = float(np.quantile(reference, self.quantile))
+        q_cur = float(np.quantile(current, self.quantile))
+        iqr = float(np.quantile(reference, 0.75) - np.quantile(reference, 0.25))
+        return abs(q_cur - q_ref) / max(iqr, 1e-12)
+
+    @property
+    def is_primed(self) -> bool:
+        """Whether the buffer holds enough history to run the test."""
+        return len(self._buffer) == self.reference_size + self.current_size
+
+    def current_statistic(self) -> float:
+        """Compute the configured statistic on the buffered windows."""
+        if not self.is_primed:
+            return 0.0
+        values = np.asarray(self._buffer, dtype=np.float64)
+        reference = values[: self.reference_size]
+        current = values[self.reference_size:]
+        if self.statistic_kind == "ks":
+            return self.ks_statistic(reference, current)
+        return self._quantile_shift(reference, current)
+
+    def update(self, value: float) -> bool:
+        value = float(value)
+        if not np.isfinite(value):
+            return False
+        self._buffer.append(value)
+        if not self.is_primed:
+            return False
+        self._since_check += 1
+        if self._since_check < self.check_every:
+            return False
+        self._since_check = 0
+        return self.current_statistic() > self.threshold

@@ -71,6 +71,32 @@ integer-throughput multipliers on top of the smaller memory footprint.
 vs int8 batched throughput and the score drift of quantization;
 ``tests/golden/`` freezes per-detector scores so refactors of any of this
 pipeline cannot silently change the numbers.
+
+Online drift adaptation
+-----------------------
+
+Both runtimes accept an optional :class:`~repro.drift.AdaptationPolicy`
+that turns the frozen deployment threshold into an adaptive one::
+
+    from repro.drift import AdaptationPolicy
+
+    runtime = StreamingRuntime(detector, adaptation=AdaptationPolicy())
+    result = runtime.run(reader)
+    result.adaptation_events      # confirmed drift recalibrations
+    result.threshold_trace        # threshold applied at each scored sample
+
+The policy watches the anomaly-score stream with a change detector
+(Page-Hinkley by default), confirms a shift against the recent score
+baseline, and re-derives the threshold with the same calibrator rule the
+deployment used -- see :mod:`repro.drift` for the hysteresis/cooldown
+machinery that keeps anomaly bursts from triggering self-blinding
+recalibration.  :class:`MultiStreamRuntime` mints one independent
+adaptation state per stream, so drift in one robot cell never recalibrates
+its neighbours.  Alarm semantics: each sample is classified with the
+threshold in effect *before* the sample is observed, so a no-drift run is
+bit-identical -- scores and alarms -- to the non-adaptive path.
+``benchmarks/bench_drift_adaptation.py`` measures the precision recovered
+on the seeded drift scenarios of :func:`repro.data.build_drift_scenario`.
 """
 
 from .device import DEVICES, EdgeDeviceSpec, JETSON_AGX_ORIN, JETSON_XAVIER_NX, get_device

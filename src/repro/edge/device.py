@@ -13,7 +13,7 @@ calibration anchor the paper itself uses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 __all__ = ["EdgeDeviceSpec", "JETSON_XAVIER_NX", "JETSON_AGX_ORIN", "DEVICES", "get_device"]
 

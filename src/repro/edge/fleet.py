@@ -37,6 +37,7 @@ import numpy as np
 from ..core.calibration import CalibratedThreshold
 from ..core.detector import AnomalyDetector
 from ..data.streaming import StreamReader
+from ..drift.policy import AdaptationPolicy
 from .runtime import StreamingResult, resolve_threshold
 
 __all__ = ["FleetStats", "FleetResult", "MultiStreamRuntime"]
@@ -100,13 +101,28 @@ class MultiStreamRuntime:
     threshold (if any) drives the alarms; the fallback is resolved at
     :meth:`run` time, so a threshold calibrated after the runtime was built
     is still picked up.
+
+    An optional :class:`~repro.drift.AdaptationPolicy` gives every stream an
+    *independent* adaptation lane: the policy mints one
+    :class:`~repro.drift.AdaptationState` per stream, so drift confirmed in
+    one robot cell recalibrates only that cell's threshold while the rest of
+    the fleet stays frozen.  Alarm semantics match the single-stream
+    runtime: a sample is classified with the threshold in effect before the
+    sample was observed, adaptations apply from the next tick, and a stream
+    in which no drift is confirmed scores and alarms bit-identically to the
+    non-adaptive engine.  Per-stream events land on
+    :attr:`StreamingResult.adaptation_events`.
     """
 
     def __init__(self, detector: AnomalyDetector,
-                 threshold: Optional[CalibratedThreshold] = None) -> None:
+                 threshold: Optional[CalibratedThreshold] = None,
+                 adaptation: Optional[AdaptationPolicy] = None) -> None:
         self.detector = detector
         #: explicit override; ``None`` defers to the detector's threshold.
         self.threshold = threshold
+        #: optional online drift adaptation policy (one state per stream);
+        #: ``None`` keeps every stream's threshold frozen.
+        self.adaptation = adaptation
 
     def _resolve_threshold(self) -> Optional[CalibratedThreshold]:
         return resolve_threshold(self.threshold, self.detector)
@@ -147,6 +163,14 @@ class MultiStreamRuntime:
         scores_current = self.detector.scores_current_sample
         resolved = self._resolve_threshold()
         threshold = None if resolved is None else resolved.threshold
+        adapters = None
+        if self.adaptation is not None:
+            # One independent adaptation lane per stream: drift in one cell
+            # must not recalibrate its neighbours.
+            adapters = [self.adaptation.start(resolved) for _ in range(n_streams)]
+        traces = None
+        if resolved is not None:
+            traces = [np.full(int(length), np.nan) for length in lengths]
 
         batch_sizes: List[int] = []
         batch_latencies: List[float] = []
@@ -189,8 +213,15 @@ class MultiStreamRuntime:
                     for row, stream in enumerate(stream_ids):
                         value = float(batch_scores[row])
                         scores[stream][tick] = value
-                        if threshold is not None:
+                        if adapters is not None:
+                            current = adapters[stream].threshold.threshold
+                            alarms[stream][tick] = int(value > current)
+                            traces[stream][tick] = current
+                            adapters[stream].observe(tick, value,
+                                                     raw=batch_targets[row])
+                        elif threshold is not None:
                             alarms[stream][tick] = int(value > threshold)
+                            traces[stream][tick] = threshold
                         latencies[stream].append(per_row)
                         scored[stream] += 1
             if not scores_current:
@@ -206,6 +237,8 @@ class MultiStreamRuntime:
                 alarms=alarms[stream],
                 latencies_s=np.asarray(latencies[stream]),
                 samples_scored=int(scored[stream]),
+                adaptation_events=adapters[stream].events if adapters is not None else [],
+                threshold_trace=None if traces is None else traces[stream],
             )
             for stream in range(n_streams)
         ]

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.calibration import CalibratedThreshold
 from ..core.detector import AnomalyDetector
 from ..data.streaming import RollingWindow, StreamReader
+from ..drift.policy import AdaptationEvent, AdaptationPolicy
 
 __all__ = ["StreamingResult", "StreamingRuntime", "resolve_threshold"]
 
@@ -54,6 +55,12 @@ class StreamingResult:
     alarms: np.ndarray            # (n_samples,) 0/1, only meaningful with a threshold
     latencies_s: np.ndarray       # per-inference host wall-clock times
     samples_scored: int
+    #: confirmed drift recalibrations, in stream order (empty without an
+    #: :class:`~repro.drift.AdaptationPolicy` or when no drift was confirmed).
+    adaptation_events: List[AdaptationEvent] = field(default_factory=list)
+    #: threshold in effect at each scored sample (np.nan elsewhere / without a
+    #: threshold) -- a constant trace for frozen runs, stepwise for adaptive.
+    threshold_trace: Optional[np.ndarray] = None
 
     @property
     def mean_latency_s(self) -> float:
@@ -88,13 +95,27 @@ class StreamingRuntime:
     restored by :func:`repro.serialize.load_detector`) is used for alarms.
     The fallback is resolved at :meth:`run` time, so a threshold calibrated
     after the runtime was built is still picked up.
+
+    An optional :class:`~repro.drift.AdaptationPolicy` turns the frozen
+    threshold into an adaptive one: every scored sample is fed to the
+    policy's drift detector and a *confirmed* drift re-derives the threshold
+    from recent scores.  A sample's alarm always uses the threshold in
+    effect *before* that sample was observed (classify, then learn), so an
+    adaptation takes effect from the next sample on, and a run in which no
+    drift is confirmed is bit-identical -- scores and alarms -- to the
+    frozen run.  The confirmed recalibrations are reported on
+    :attr:`StreamingResult.adaptation_events`.
     """
 
     def __init__(self, detector: AnomalyDetector,
-                 threshold: Optional[CalibratedThreshold] = None) -> None:
+                 threshold: Optional[CalibratedThreshold] = None,
+                 adaptation: Optional[AdaptationPolicy] = None) -> None:
         self.detector = detector
         #: explicit override; ``None`` defers to the detector's threshold.
         self.threshold = threshold
+        #: optional online drift adaptation policy; ``None`` keeps the
+        #: threshold frozen for the whole run.
+        self.adaptation = adaptation
 
     def _resolve_threshold(self) -> Optional[CalibratedThreshold]:
         return resolve_threshold(self.threshold, self.detector)
@@ -115,6 +136,12 @@ class StreamingRuntime:
         scored = 0
         scores_current = self.detector.scores_current_sample
         threshold = self._resolve_threshold()
+        adapter = None
+        trace = None
+        if self.adaptation is not None:
+            adapter = self.adaptation.start(threshold)
+        if threshold is not None:
+            trace = np.full(n_samples, np.nan)
         for sample in reader:
             if scores_current:
                 # Window-state detectors (VARADE, AE) include the newest sample
@@ -126,8 +153,14 @@ class StreamingRuntime:
                 score = self.detector.score_window(context, sample.values)
                 latencies.append(time.perf_counter() - start)
                 scores[sample.index] = score
-                if threshold is not None:
+                if adapter is not None:
+                    current = adapter.threshold.threshold
+                    alarms[sample.index] = int(score > current)
+                    trace[sample.index] = current
+                    adapter.observe(sample.index, score, raw=sample.values)
+                elif threshold is not None:
                     alarms[sample.index] = int(score > threshold.threshold)
+                    trace[sample.index] = threshold.threshold
                 scored += 1
             if not scores_current:
                 window.push(sample.values)
@@ -139,4 +172,6 @@ class StreamingRuntime:
             alarms=alarms,
             latencies_s=np.asarray(latencies),
             samples_scored=scored,
+            adaptation_events=adapter.events if adapter is not None else [],
+            threshold_trace=trace,
         )

@@ -1,7 +1,15 @@
 """Evaluation layer: metrics (AUC-ROC, PR, F1, point-adjust), the Table-2 /
-Figure-3 experiment harness, ablations and result formatting.
+Figure-3 experiment harness, drift-adaptation metrics, ablations and result
+formatting.
 """
 
+from .adaptation import (
+    AdaptationReport,
+    alarm_precision,
+    compare_adaptation,
+    drift_detection_delay,
+    false_alarm_rate,
+)
 from .ablation import (
     AblationResult,
     run_kl_weight_sweep,
@@ -35,6 +43,11 @@ from .reporting import (
 )
 
 __all__ = [
+    "AdaptationReport",
+    "alarm_precision",
+    "compare_adaptation",
+    "drift_detection_delay",
+    "false_alarm_rate",
     "AblationResult",
     "run_kl_weight_sweep",
     "run_variational_ablation",

@@ -18,7 +18,7 @@ The paper motivates two central choices that these ablations quantify:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -1,0 +1,193 @@
+"""Metrics for online drift adaptation.
+
+AUC-ROC is threshold-free, so it cannot see the failure mode drift
+adaptation exists for: a *threshold* calibrated on the pre-drift score
+distribution mis-classifying everything after the distribution moves.
+These metrics therefore work on the *alarm* streams of
+:class:`~repro.edge.StreamingResult` runs, split at the ground-truth drift
+onset of a :class:`~repro.data.drift.DriftScenario`:
+
+* :func:`drift_detection_delay` -- samples between the true drift onset and
+  the adaptation that answered it (flag or recalibration);
+* :func:`alarm_precision` / :func:`false_alarm_rate` -- alarm quality over a
+  sample range;
+* :func:`compare_adaptation` -- the full frozen-vs-adaptive scorecard: the
+  pre-drift precision both runtimes share, the post-drift precision each
+  retains, and the fraction of pre-drift precision the adaptive runtime
+  *recovers* -- the headline number of
+  ``benchmarks/bench_drift_adaptation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..drift.policy import AdaptationEvent
+from ..edge.runtime import StreamingResult
+
+__all__ = [
+    "drift_detection_delay",
+    "alarm_precision",
+    "false_alarm_rate",
+    "AdaptationReport",
+    "compare_adaptation",
+]
+
+
+def drift_detection_delay(events: Sequence[AdaptationEvent], drift_start: int,
+                          *, of: str = "adapted") -> float:
+    """Samples from the true drift onset to the first answering adaptation.
+
+    ``of="adapted"`` (default) measures to the sample where the new
+    threshold took effect -- the delay that matters operationally;
+    ``of="flagged"`` measures to the underlying drift flag.  Only
+    drift-triggered ``"recalibration"`` events count: a ``"refinement"`` is
+    scheduled follow-up of an earlier adaptation, and crediting one would
+    let the refinements of a *spurious pre-drift* adaptation masquerade as
+    having answered the drift.  Events from before the onset are ignored;
+    ``inf`` when no recalibration answered the drift at all.
+    """
+    if of not in ("adapted", "flagged"):
+        raise ValueError("of must be 'adapted' or 'flagged'")
+    if drift_start < 0:
+        raise ValueError("drift_start must be non-negative")
+    marks = [event.adapted_at if of == "adapted" else event.flagged_at
+             for event in events if event.kind == "recalibration"]
+    answered = [mark for mark in marks if mark >= drift_start]
+    if not answered:
+        return float("inf")
+    return float(min(answered) - drift_start)
+
+
+def _alarm_counts(result: StreamingResult, start: int, stop: Optional[int]
+                  ) -> tuple[int, int, int, int]:
+    """(tp, fp, fn, tn) over the *scored* samples of ``[start, stop)``."""
+    stop = result.scores.shape[0] if stop is None else stop
+    if not 0 <= start < stop <= result.scores.shape[0]:
+        raise ValueError(f"invalid sample range [{start}, {stop})")
+    mask = result.valid_mask.copy()
+    mask[:start] = False
+    mask[stop:] = False
+    alarms = result.alarms[mask].astype(bool)
+    labels = result.labels[mask].astype(bool)
+    tp = int(np.count_nonzero(alarms & labels))
+    fp = int(np.count_nonzero(alarms & ~labels))
+    fn = int(np.count_nonzero(~alarms & labels))
+    tn = int(np.count_nonzero(~alarms & ~labels))
+    return tp, fp, fn, tn
+
+
+def alarm_precision(result: StreamingResult, start: int = 0,
+                    stop: Optional[int] = None) -> float:
+    """Precision of the alarm stream over ``[start, stop)``.
+
+    ``nan`` when the runtime raised no alarm in the range (precision of an
+    empty prediction set is undefined).
+    """
+    tp, fp, _, _ = _alarm_counts(result, start, stop)
+    if tp + fp == 0:
+        return float("nan")
+    return tp / (tp + fp)
+
+
+def false_alarm_rate(result: StreamingResult, start: int = 0,
+                     stop: Optional[int] = None) -> float:
+    """Fraction of scored *normal* samples that alarmed over ``[start, stop)``."""
+    _, fp, _, tn = _alarm_counts(result, start, stop)
+    if fp + tn == 0:
+        return float("nan")
+    return fp / (fp + tn)
+
+
+@dataclass(frozen=True)
+class AdaptationReport:
+    """Frozen-vs-adaptive scorecard around one ground-truth drift onset."""
+
+    drift_start: int
+    settle_samples: int               # post-drift samples excluded as settling time
+    detection_delay: float            # samples to the answering recalibration
+    pre_drift_precision: float        # shared by both runtimes (identical pre-drift)
+    post_precision_frozen: float
+    post_precision_adaptive: float
+    pre_drift_false_alarm_rate: float
+    post_far_frozen: float
+    post_far_adaptive: float
+    n_adaptations: int
+
+    @property
+    def precision_recovered(self) -> float:
+        """Fraction of pre-drift precision the adaptive runtime retains post-drift.
+
+        The frozen runtime's same ratio is
+        ``post_precision_frozen / pre_drift_precision``; an adaptive runtime
+        doing its job keeps this near 1.0 while the frozen one collapses.
+        """
+        if not np.isfinite(self.pre_drift_precision) or self.pre_drift_precision == 0:
+            return float("nan")
+        return self.post_precision_adaptive / self.pre_drift_precision
+
+    @property
+    def frozen_precision_retained(self) -> float:
+        """Same ratio for the frozen baseline (the number to beat)."""
+        if not np.isfinite(self.pre_drift_precision) or self.pre_drift_precision == 0:
+            return float("nan")
+        return self.post_precision_frozen / self.pre_drift_precision
+
+
+def compare_adaptation(frozen: StreamingResult, adaptive: StreamingResult,
+                       drift_start: int,
+                       settle_samples: Optional[int] = None) -> AdaptationReport:
+    """Score a frozen and an adaptive run of the *same* drifted stream.
+
+    Both results must come from the same stream (same labels, same length).
+    The post-drift window starts ``settle_samples`` after the drift onset
+    -- the adaptation needs its confirmation window, cooldown and
+    refinements before the threshold reaches its final form, and excluding
+    the settling period from *both* runtimes keeps the comparison fair.
+    The default settle time runs to the adaptive run's *last* adaptation
+    event (the emergency recalibration is followed by scheduled
+    refinements; only after the last one is the threshold steady), or zero
+    when it never adapted, which charges the full post-drift window
+    against it.
+    """
+    if frozen.scores.shape[0] != adaptive.scores.shape[0]:
+        raise ValueError("frozen and adaptive results must cover the same stream")
+    if not np.array_equal(frozen.labels, adaptive.labels):
+        raise ValueError("frozen and adaptive results carry different labels")
+    n_samples = frozen.scores.shape[0]
+    if not 0 <= drift_start < n_samples:
+        raise ValueError("drift_start must fall inside the stream")
+
+    delay = drift_detection_delay(adaptive.adaptation_events, drift_start)
+    if settle_samples is None:
+        if np.isfinite(delay):
+            answered = [event.adapted_at for event in adaptive.adaptation_events
+                        if event.adapted_at >= drift_start]
+            settle_samples = max(answered) - drift_start
+        else:
+            # No recalibration answered the drift: charge the adaptive run
+            # the full post-drift window (refinements of a spurious
+            # pre-drift adaptation do not buy settling time).
+            settle_samples = 0
+    post_start = min(drift_start + settle_samples, n_samples - 1)
+
+    # An onset at sample 0 leaves no pre-drift window; the pre-drift
+    # metrics are undefined rather than an invalid-range error.
+    no_pre = drift_start == 0
+    return AdaptationReport(
+        drift_start=drift_start,
+        settle_samples=settle_samples,
+        detection_delay=delay,
+        pre_drift_precision=float("nan") if no_pre
+        else alarm_precision(frozen, 0, drift_start),
+        post_precision_frozen=alarm_precision(frozen, post_start),
+        post_precision_adaptive=alarm_precision(adaptive, post_start),
+        pre_drift_false_alarm_rate=float("nan") if no_pre
+        else false_alarm_rate(frozen, 0, drift_start),
+        post_far_frozen=false_alarm_rate(frozen, post_start),
+        post_far_adaptive=false_alarm_rate(adaptive, post_start),
+        n_adaptations=len(adaptive.adaptation_events),
+    )

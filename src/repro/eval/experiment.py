@@ -22,7 +22,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..baselines.ar_lstm import ARLSTMConfig, ARLSTMDetector
 from ..baselines.autoencoder import AutoencoderConfig, AutoencoderDetector
@@ -33,7 +32,7 @@ from ..baselines.registry import DETECTOR_NAMES, DetectorRegistry
 from ..core.config import VaradeConfig
 from ..core.detector import AnomalyDetector, InferenceCost, VaradeDetector
 from ..data.dataset import BenchmarkDataset, DatasetConfig, build_benchmark_dataset
-from ..edge.device import DEVICES, EdgeDeviceSpec, get_device
+from ..edge.device import get_device
 from ..edge.estimator import EdgeEstimator, EdgeMetrics
 from .metrics import average_precision_score, best_f1_score, roc_auc_score
 

@@ -10,8 +10,7 @@ for completeness and for the extended analyses in the examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -6,7 +6,7 @@ Layouts follow the channels-first convention: sequence inputs are
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

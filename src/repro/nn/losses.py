@@ -7,7 +7,6 @@ the paper) as well as standard regression losses for the baselines.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .tensor import Tensor
 

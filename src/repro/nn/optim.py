@@ -6,7 +6,7 @@ The paper trains its neural detectors with Adam at a fixed learning rate of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

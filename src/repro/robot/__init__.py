@@ -9,6 +9,7 @@ meter sensor models, and a collision-anomaly injector.
 
 from .actions import ActionLibrary, DEFAULT_NUM_ACTIONS, RobotAction
 from .anomalies import CollisionConfig, CollisionEvent, CollisionInjector
+from .drift import RecordingDriftInjector, SensorDriftEvent
 from .kalman import ConstantVelocityKalman, KalmanFilter1D, smooth_series
 from .kinematics import DHParameters, JOINT_LIMITS_RAD, KukaLBRIiwa
 from .plant import (
@@ -40,6 +41,8 @@ __all__ = [
     "CollisionConfig",
     "CollisionEvent",
     "CollisionInjector",
+    "RecordingDriftInjector",
+    "SensorDriftEvent",
     "ConstantVelocityKalman",
     "KalmanFilter1D",
     "smooth_series",

@@ -11,7 +11,7 @@ distinct, repeatable motion signature -- which is what lets a detector learn
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -1,0 +1,123 @@
+"""Sensor-drift injection for simulated robot-cell recordings.
+
+The collision injector (:mod:`repro.robot.anomalies`) produces *anomalies*
+-- short transients the detector should flag.  This module produces
+*concept drift*: persistent changes to the measurement chain itself that a
+deployed detector should absorb by recalibrating, not alarm on forever.
+The drift signatures mirror what ages on a real cell:
+
+* an IMU losing its zero after a knock (accelerometer offset step);
+* an analogue gain change after an amplifier/ADC recalibration;
+* a temperature-like slow ramp on a channel group;
+* a sensor or its fieldbus link dying (channels freeze).
+
+:class:`RecordingDriftInjector` applies one of these to a
+:class:`~repro.robot.plant.RobotRecording` and returns a new recording plus
+the per-sample drift mask -- the ground truth the adaptation metrics in
+:mod:`repro.eval.adaptation` measure detection delay against.  The
+recording's anomaly ``labels`` are left untouched: drifted samples are
+*not* anomalous, which is exactly the distinction the adaptive runtime has
+to learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.drift import (
+    inject_channel_dropout,
+    inject_gradual_ramp,
+    inject_mean_shift,
+    inject_sensor_gain,
+)
+from .plant import RobotRecording
+
+__all__ = ["SensorDriftEvent", "RecordingDriftInjector"]
+
+
+@dataclass(frozen=True)
+class SensorDriftEvent:
+    """One applied drift: what changed, where, and from when."""
+
+    kind: str                    # one of repro.data.drift.DRIFT_KINDS
+    start_index: int
+    channel_names: Tuple[str, ...]
+    magnitude: float             # offset, gain factor, or fill value
+
+
+class RecordingDriftInjector:
+    """Apply persistent sensor-drift signatures to a robot recording."""
+
+    def __init__(self, recording: RobotRecording) -> None:
+        self.recording = recording
+
+    def _channel_indices(self, names: Sequence[str]) -> np.ndarray:
+        index = []
+        for name in names:
+            try:
+                index.append(self.recording.channel_names.index(name))
+            except ValueError as error:
+                raise KeyError(f"unknown channel {name!r}") from error
+        return np.asarray(index, dtype=np.int64)
+
+    def joint_channels(self, joint: int,
+                       suffixes: Sequence[str] = ("AccX", "AccY", "AccZ")
+                       ) -> Tuple[str, ...]:
+        """Names of one joint's sensor channels (default: the accelerometer)."""
+        return tuple(f"sensor_id_{joint}_{suffix}" for suffix in suffixes)
+
+    def _apply(self, kind: str, data: np.ndarray, mask: np.ndarray,
+               names: Sequence[str], magnitude: float
+               ) -> Tuple[RobotRecording, SensorDriftEvent]:
+        drifted = replace(self.recording, data=data)
+        event = SensorDriftEvent(kind=kind,
+                                 start_index=int(np.flatnonzero(mask)[0]),
+                                 channel_names=tuple(names),
+                                 magnitude=magnitude)
+        return drifted, event
+
+    def offset_step(self, start: int, names: Sequence[str],
+                    offset: float) -> Tuple[RobotRecording, SensorDriftEvent]:
+        """A zero-offset step on the named channels (knocked IMU)."""
+        data, mask = inject_mean_shift(self.recording.data, start, offset,
+                                       self._channel_indices(names))
+        return self._apply("mean_shift", data, mask, names, offset)
+
+    def gain_change(self, start: int, names: Sequence[str],
+                    gain: float) -> Tuple[RobotRecording, SensorDriftEvent]:
+        """A multiplicative gain change (recalibrated amplifier/ADC)."""
+        data, mask = inject_sensor_gain(self.recording.data, start, gain,
+                                        self._channel_indices(names))
+        return self._apply("sensor_gain", data, mask, names, gain)
+
+    def slow_ramp(self, start: int, names: Sequence[str], magnitude: float,
+                  ramp_len: Optional[int] = None
+                  ) -> Tuple[RobotRecording, SensorDriftEvent]:
+        """An offset fading in over ``ramp_len`` samples (wear, thermal trend).
+
+        ``ramp_len`` defaults to ten seconds of the recording's sample rate.
+        """
+        if ramp_len is None:
+            ramp_len = max(int(10.0 * self.recording.sample_rate), 1)
+        data, mask = inject_gradual_ramp(self.recording.data, start, magnitude,
+                                         ramp_len, self._channel_indices(names))
+        return self._apply("gradual_ramp", data, mask, names, magnitude)
+
+    def sensor_dropout(self, start: int, names: Sequence[str],
+                       fill: float = 0.0
+                       ) -> Tuple[RobotRecording, SensorDriftEvent]:
+        """The named channels freeze at ``fill`` (dead sensor or link)."""
+        data, mask = inject_channel_dropout(self.recording.data, start,
+                                            self._channel_indices(names),
+                                            fill=fill)
+        return self._apply("channel_dropout", data, mask, names, fill)
+
+    @staticmethod
+    def drift_mask(recording: RobotRecording, event: SensorDriftEvent) -> np.ndarray:
+        """Rebuild the per-sample drift mask implied by ``event``."""
+        mask = np.zeros(recording.n_samples, dtype=bool)
+        mask[event.start_index:] = True
+        return mask

@@ -9,7 +9,6 @@ noise character as the paper's.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

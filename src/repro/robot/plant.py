@@ -18,7 +18,7 @@ are parameters so the reproduction can run at laptop scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

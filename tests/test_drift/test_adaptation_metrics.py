@@ -1,0 +1,146 @@
+"""Unit tests for the drift-adaptation metrics (repro.eval.adaptation)."""
+
+import numpy as np
+import pytest
+
+from repro.drift import AdaptationEvent
+from repro.edge import StreamingResult
+from repro.eval import (
+    alarm_precision,
+    compare_adaptation,
+    drift_detection_delay,
+    false_alarm_rate,
+)
+
+
+def _event(flagged_at, adapted_at, kind="recalibration"):
+    return AdaptationEvent(flagged_at=flagged_at, adapted_at=adapted_at,
+                           trigger="page-hinkley", old_threshold=1.0,
+                           new_threshold=2.0, n_calibration_scores=48,
+                           kind=kind)
+
+
+def _result(scores, labels, alarms, events=()):
+    scores = np.asarray(scores, dtype=np.float64)
+    return StreamingResult(
+        detector="test",
+        scores=scores,
+        labels=np.asarray(labels, dtype=np.int64),
+        alarms=np.asarray(alarms, dtype=np.int64),
+        latencies_s=np.zeros(int(np.isfinite(scores).sum())),
+        samples_scored=int(np.isfinite(scores).sum()),
+        adaptation_events=list(events),
+    )
+
+
+class TestDriftDetectionDelay:
+    def test_measures_to_first_answering_event(self):
+        events = [_event(80, 90), _event(120, 150), _event(300, 400)]
+        assert drift_detection_delay(events, drift_start=100) == 50.0
+        assert drift_detection_delay(events, drift_start=100, of="flagged") == 20.0
+
+    def test_spurious_pre_drift_events_are_ignored(self):
+        events = [_event(10, 20)]
+        assert drift_detection_delay(events, drift_start=100) == float("inf")
+
+    def test_refinements_of_a_spurious_adaptation_do_not_answer(self):
+        """Post-drift refinements of a pre-drift recalibration are not credited."""
+        events = [_event(10, 20), _event(120, 120, kind="refinement")]
+        assert drift_detection_delay(events, drift_start=100) == float("inf")
+
+    def test_post_drift_refinement_alone_is_not_a_detection(self):
+        events = [_event(150, 150, kind="refinement")]
+        assert drift_detection_delay(events, drift_start=100) == float("inf")
+
+    def test_no_events_is_infinite(self):
+        assert drift_detection_delay([], drift_start=0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="'adapted' or 'flagged'"):
+            drift_detection_delay([], 0, of="confirmed")
+        with pytest.raises(ValueError, match="non-negative"):
+            drift_detection_delay([], -1)
+
+
+class TestAlarmMetrics:
+    def test_precision_and_far_over_ranges(self):
+        scores = [np.nan, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        labels = [0, 0, 1, 1, 0, 0, 0]
+        alarms = [0, 1, 1, 0, 0, 1, 0]
+        result = _result(scores, labels, alarms)
+        # Full range: TP=1 (idx 2), FP=2 (idx 1, 5) -> precision 1/3.
+        assert alarm_precision(result) == pytest.approx(1 / 3)
+        # FP=2 of 4 scored normals -> FAR 0.5.
+        assert false_alarm_rate(result) == pytest.approx(0.5)
+        # Restricted range [4, 7): no TP, one FP.
+        assert alarm_precision(result, 4, 7) == 0.0
+        assert false_alarm_rate(result, 4, 7) == pytest.approx(1 / 3)
+
+    def test_nan_prefix_is_excluded(self):
+        result = _result([np.nan, np.nan, 1.0], [1, 1, 0], [0, 0, 0])
+        assert false_alarm_rate(result) == 0.0
+
+    def test_empty_prediction_set_is_nan(self):
+        result = _result([1.0, 1.0], [0, 1], [0, 0])
+        assert np.isnan(alarm_precision(result))
+
+    def test_invalid_range_raises(self):
+        result = _result([1.0, 1.0], [0, 1], [0, 0])
+        with pytest.raises(ValueError, match="invalid sample range"):
+            alarm_precision(result, 1, 1)
+
+
+class TestCompareAdaptation:
+    def _pair(self):
+        n = 10
+        scores = np.ones(n)
+        labels = [0, 1, 0, 0, 0, 0, 1, 0, 0, 0]
+        frozen_alarms = [0, 1, 0, 0, 0, 1, 1, 1, 1, 1]   # alarms on everything post-drift
+        adaptive_alarms = [0, 1, 0, 0, 0, 1, 1, 0, 0, 0]  # recovers after settling
+        events = [_event(5, 6)]
+        frozen = _result(scores, labels, frozen_alarms)
+        adaptive = _result(scores, labels, adaptive_alarms, events)
+        return frozen, adaptive
+
+    def test_report_fields(self):
+        frozen, adaptive = self._pair()
+        report = compare_adaptation(frozen, adaptive, drift_start=5)
+        assert report.drift_start == 5
+        # Default settle runs to the last answering event (index 6).
+        assert report.settle_samples == 1
+        assert report.detection_delay == 1.0
+        assert report.pre_drift_precision == 1.0
+        assert report.n_adaptations == 1
+        # Post window [6, 10): frozen alarms 4 (1 TP), adaptive 1 (1 TP).
+        assert report.post_precision_frozen == pytest.approx(0.25)
+        assert report.post_precision_adaptive == 1.0
+        assert report.precision_recovered == 1.0
+        assert report.frozen_precision_retained == pytest.approx(0.25)
+
+    def test_drift_start_zero_yields_nan_pre_metrics(self):
+        frozen, adaptive = self._pair()
+        report = compare_adaptation(frozen, adaptive, drift_start=0)
+        assert np.isnan(report.pre_drift_precision)
+        assert np.isnan(report.pre_drift_false_alarm_rate)
+        assert np.isfinite(report.post_precision_frozen)
+
+    def test_spurious_adaptation_charges_full_post_window(self):
+        """With no answering recalibration, settle defaults to zero."""
+        frozen, adaptive = self._pair()
+        spurious = _result(adaptive.scores, adaptive.labels, adaptive.alarms,
+                           [_event(1, 2), _event(7, 7, kind="refinement")])
+        report = compare_adaptation(frozen, spurious, drift_start=5)
+        assert report.detection_delay == float("inf")
+        assert report.settle_samples == 0
+
+    def test_mismatched_runs_raise(self):
+        frozen, adaptive = self._pair()
+        short = _result([1.0], [0], [0])
+        with pytest.raises(ValueError, match="same stream"):
+            compare_adaptation(frozen, short, drift_start=0)
+        relabeled = _result(adaptive.scores, 1 - adaptive.labels,
+                            adaptive.alarms)
+        with pytest.raises(ValueError, match="different labels"):
+            compare_adaptation(frozen, relabeled, drift_start=0)
+        with pytest.raises(ValueError, match="drift_start"):
+            compare_adaptation(frozen, adaptive, drift_start=99)

@@ -1,0 +1,149 @@
+"""Unit tests for the score-stream drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.drift import PageHinkley, TwoWindowDrift
+
+
+def _first_flag(detector, values):
+    for index, value in enumerate(values):
+        if detector.update(value):
+            return index
+    return None
+
+
+class TestPageHinkley:
+    def test_no_false_alarm_on_stationary_stream(self):
+        rng = np.random.default_rng(5)
+        detector = PageHinkley()
+        flags = [detector.update(v) for v in rng.normal(1.0, 0.2, 10_000)]
+        assert not any(flags)
+
+    def test_detects_upward_mean_shift_with_bounded_delay(self):
+        rng = np.random.default_rng(0)
+        stream = np.concatenate([
+            rng.normal(1.0, 0.1, 500),
+            rng.normal(2.0, 0.1, 500),
+        ])
+        flagged = _first_flag(PageHinkley(), stream)
+        assert flagged is not None
+        assert 500 <= flagged <= 600, f"flag at {flagged}, shift at 500"
+
+    def test_detects_downward_shift_in_both_mode(self):
+        rng = np.random.default_rng(1)
+        stream = np.concatenate([
+            rng.normal(2.0, 0.1, 500),
+            rng.normal(1.0, 0.1, 500),
+        ])
+        flagged = _first_flag(PageHinkley(direction="both"), stream)
+        assert flagged is not None and flagged >= 500
+        # An up-only detector must stay silent on the same stream.
+        assert _first_flag(PageHinkley(direction="up"), stream) is None
+
+    def test_nan_inputs_are_ignored(self):
+        detector = PageHinkley()
+        rng = np.random.default_rng(2)
+        for value in rng.normal(1.0, 0.1, 100):
+            detector.update(value)
+        statistic = detector.statistic
+        assert detector.update(float("nan")) is False
+        assert detector.update(float("inf")) is False
+        assert detector.statistic == statistic
+
+    def test_reset_forgets_history(self):
+        rng = np.random.default_rng(3)
+        detector = PageHinkley()
+        stream = np.concatenate([rng.normal(1.0, 0.1, 500),
+                                 rng.normal(5.0, 0.1, 200)])
+        assert _first_flag(detector, stream) is not None
+        detector.reset()
+        assert detector.statistic == 0.0
+        # After the reset the elevated level is the new baseline.
+        assert _first_flag(detector, rng.normal(5.0, 0.1, 500)) is None
+
+    def test_clone_is_fresh_and_configured(self):
+        prototype = PageHinkley(delta=0.3, threshold=12.0, min_samples=50,
+                                direction="up", normalize=False)
+        rng = np.random.default_rng(4)
+        for value in rng.normal(1.0, 0.1, 200):
+            prototype.update(value)
+        clone = prototype.clone()
+        assert clone.statistic == 0.0
+        assert (clone.delta, clone.threshold, clone.min_samples,
+                clone.direction, clone.normalize) == (0.3, 12.0, 50, "up", False)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"delta": -0.1},
+        {"threshold": 0.0},
+        {"min_samples": 1},
+        {"direction": "sideways"},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PageHinkley(**kwargs)
+
+
+class TestTwoWindowDrift:
+    def test_ks_statistic_matches_manual_computation(self):
+        reference = np.array([0.0, 1.0, 2.0, 3.0])
+        current = np.array([10.0, 11.0, 12.0, 13.0])
+        # Disjoint supports: the CDF gap reaches 1.
+        assert TwoWindowDrift.ks_statistic(reference, current) == 1.0
+        assert TwoWindowDrift.ks_statistic(reference, reference) == 0.0
+
+    def test_detects_mean_shift(self):
+        rng = np.random.default_rng(0)
+        stream = np.concatenate([rng.normal(1.0, 0.1, 600),
+                                 rng.normal(2.0, 0.1, 300)])
+        detector = TwoWindowDrift(reference_size=200, current_size=50,
+                                  threshold=0.6, check_every=5)
+        flagged = _first_flag(detector, stream)
+        assert flagged is not None
+        assert 600 <= flagged <= 700
+
+    def test_quantile_mode_detects_shift(self):
+        rng = np.random.default_rng(1)
+        stream = np.concatenate([rng.normal(1.0, 0.1, 600),
+                                 rng.normal(1.8, 0.1, 300)])
+        detector = TwoWindowDrift(reference_size=200, current_size=50,
+                                  statistic="quantile", threshold=3.0,
+                                  check_every=5)
+        flagged = _first_flag(detector, stream)
+        assert flagged is not None and flagged >= 600
+
+    def test_silent_until_primed(self):
+        detector = TwoWindowDrift(reference_size=100, current_size=20)
+        rng = np.random.default_rng(2)
+        for value in rng.normal(0.0, 1.0, 119):
+            assert detector.update(value) is False
+        assert not detector.is_primed
+        detector.update(0.0)
+        assert detector.is_primed
+
+    def test_no_false_alarm_on_stationary_stream(self):
+        rng = np.random.default_rng(3)
+        detector = TwoWindowDrift()
+        assert _first_flag(detector, rng.normal(1.0, 0.2, 5000)) is None
+
+    def test_reset_clears_buffer(self):
+        rng = np.random.default_rng(4)
+        detector = TwoWindowDrift(reference_size=100, current_size=20)
+        for value in rng.normal(0.0, 1.0, 200):
+            detector.update(value)
+        detector.reset()
+        assert not detector.is_primed
+        assert detector.current_statistic() == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"reference_size": 5},
+        {"current_size": 2},
+        {"statistic": "t-test"},
+        {"threshold": 0.0},
+        {"statistic": "ks", "threshold": 1.5},
+        {"quantile": 1.0},
+        {"check_every": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TwoWindowDrift(**kwargs)

@@ -1,0 +1,209 @@
+"""Tests for the confirm-then-recalibrate adaptation policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import CalibratedThreshold, ThresholdCalibrator
+from repro.data import MinMaxScaler
+from repro.drift import AdaptationPolicy, PageHinkley
+
+
+def _threshold(value=2.0, method="quantile", parameter=0.99):
+    return CalibratedThreshold(threshold=value, method=method, parameter=parameter)
+
+
+def _feed(state, scores, start_index=0, raw=None):
+    events = []
+    for offset, score in enumerate(scores):
+        sample = None if raw is None else raw[offset]
+        event = state.observe(start_index + offset, score, raw=sample)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def _normal(rng, n, loc=1.0, scale=0.05):
+    return rng.normal(loc, scale, n)
+
+
+class TestPolicyConfiguration:
+    def test_start_requires_threshold(self):
+        with pytest.raises(ValueError, match="initial CalibratedThreshold"):
+            AdaptationPolicy().start(None)
+
+    def test_matching_calibrator_follows_initial_threshold(self):
+        state = AdaptationPolicy().start(_threshold(method="mad", parameter=5.0))
+        assert state.calibrator.method == "mad"
+        assert state.calibrator.mad_factor == 5.0
+        state = AdaptationPolicy().start(_threshold(method="quantile", parameter=0.95))
+        assert state.calibrator.method == "quantile"
+        assert state.calibrator.quantile == 0.95
+
+    def test_explicit_calibrator_wins(self):
+        calibrator = ThresholdCalibrator(method="mad", mad_factor=3.0)
+        state = AdaptationPolicy(calibrator=calibrator).start(_threshold())
+        assert state.calibrator is calibrator
+
+    def test_states_are_independent_per_stream(self):
+        policy = AdaptationPolicy()
+        first, second = policy.start(_threshold()), policy.start(_threshold())
+        assert first.detector is not second.detector
+        first._reservoir.append(1.0)
+        assert len(second._reservoir) == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"reservoir_size": 8},
+        {"min_reservoir": 0},
+        {"min_reservoir": 2000},
+        {"confirm_samples": 4},
+        {"confirm_iqr": 0.0},
+        {"trim_iqr": -1.0},
+        {"cooldown": -1},
+        {"reservoir_guard": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptationPolicy(**kwargs)
+
+
+class TestHysteresis:
+    def test_anomaly_burst_does_not_recalibrate(self):
+        """A short huge-score burst must be rejected by the confirmation tail."""
+        rng = np.random.default_rng(0)
+        scores = np.concatenate([
+            _normal(rng, 400),
+            np.full(20, 60.0),       # anomaly burst, 30x the normal level
+            _normal(rng, 400),
+        ])
+        state = AdaptationPolicy().start(_threshold(1.2))
+        events = _feed(state, scores)
+        assert events == []
+        assert state.threshold.threshold == 1.2
+
+    def test_sustained_shift_confirms_and_recalibrates(self):
+        rng = np.random.default_rng(1)
+        scores = np.concatenate([_normal(rng, 400), _normal(rng, 800, loc=3.0)])
+        state = AdaptationPolicy().start(_threshold(1.2))
+        events = _feed(state, scores)
+        recalibrations = [e for e in events if e.kind == "recalibration"]
+        assert len(recalibrations) == 1
+        event = recalibrations[0]
+        assert event.flagged_at >= 390
+        assert event.old_threshold == 1.2
+        assert 2.5 < event.new_threshold < 3.6
+        assert state.threshold.threshold == events[-1].new_threshold
+
+    def test_burst_then_real_shift_still_detected(self):
+        """A rejected burst must not blind the detector to later real drift."""
+        rng = np.random.default_rng(2)
+        scores = np.concatenate([
+            _normal(rng, 300),
+            np.full(15, 40.0),
+            _normal(rng, 300),
+            _normal(rng, 800, loc=3.0),
+        ])
+        state = AdaptationPolicy().start(_threshold(1.2))
+        events = _feed(state, scores)
+        assert any(e.kind == "recalibration" for e in events)
+        assert 2.5 < state.threshold.threshold < 3.6
+
+    def test_no_adaptation_before_min_reservoir(self):
+        rng = np.random.default_rng(3)
+        policy = AdaptationPolicy(min_reservoir=100)
+        state = policy.start(_threshold(1.2))
+        # The shift starts long before the reservoir can be primed.
+        events = _feed(state, _normal(rng, 60, loc=5.0))
+        assert events == []
+
+
+class TestRefinement:
+    def test_refinements_follow_the_recalibration(self):
+        rng = np.random.default_rng(4)
+        policy = AdaptationPolicy(reservoir_size=1024, cooldown=400)
+        scores = np.concatenate([_normal(rng, 400), _normal(rng, 2000, loc=3.0)])
+        state = policy.start(_threshold(1.2))
+        events = _feed(state, scores)
+        kinds = [e.kind for e in events]
+        assert kinds == ["recalibration", "refinement", "refinement"]
+        # The final refinement saw a full reservoir's worth of scores.
+        assert events[-1].n_calibration_scores >= 900
+        # All thresholds describe the shifted regime.
+        for event in events:
+            assert 2.5 < event.new_threshold < 3.6
+
+    def test_cooldown_suppresses_recalibration_chains(self):
+        rng = np.random.default_rng(5)
+        policy = AdaptationPolicy(cooldown=400)
+        scores = np.concatenate([_normal(rng, 400), _normal(rng, 1000, loc=3.0)])
+        state = policy.start(_threshold(1.2))
+        events = _feed(state, scores)
+        recalibrations = [e for e in events if e.kind == "recalibration"]
+        assert len(recalibrations) == 1
+
+
+class TestReservoirGuard:
+    def test_guard_keeps_anomaly_scores_out(self):
+        rng = np.random.default_rng(6)
+        policy = AdaptationPolicy(reservoir_guard=2.5)
+        state = policy.start(_threshold(1.2))
+        _feed(state, _normal(rng, 50))
+        _feed(state, [100.0], start_index=50)       # 80x the threshold
+        assert 100.0 not in state.reservoir_scores
+
+    def test_guard_disabled_admits_everything(self):
+        rng = np.random.default_rng(7)
+        policy = AdaptationPolicy(reservoir_guard=None)
+        state = policy.start(_threshold(1.2))
+        _feed(state, _normal(rng, 50))
+        _feed(state, [100.0], start_index=50)
+        assert 100.0 in state.reservoir_scores
+
+
+class TestScalerRefresh:
+    def test_confirmed_drift_refreshes_scaler_from_raw_samples(self):
+        rng = np.random.default_rng(8)
+        policy = AdaptationPolicy(refresh_scaler=True,
+                                  scaler_factory=MinMaxScaler)
+        state = policy.start(_threshold(1.2))
+        n_pre, n_post = 400, 800
+        scores = np.concatenate([_normal(rng, n_pre),
+                                 _normal(rng, n_post, loc=3.0)])
+        raw = np.concatenate([rng.normal(0.0, 1.0, (n_pre, 3)),
+                              rng.normal(4.0, 1.0, (n_post, 3))])
+        events = _feed(state, scores, raw=raw)
+        refreshed = [e for e in events if e.scaler_refreshed]
+        assert refreshed, "no event carried a refreshed scaler"
+        scaler = refreshed[0].scaler
+        assert isinstance(scaler, MinMaxScaler)
+        # The refreshed scaler describes the *drifted* raw distribution,
+        # not a pre/post blend: the raw window is cut back to the
+        # confirmation window at the recalibration, so even the minima sit
+        # in the shifted regime (a blend would carry pre-drift minima ~ -3).
+        assert scaler.data_min_ is not None
+        assert scaler.data_max_.mean() > 2.0
+        assert scaler.data_min_.mean() > 0.0
+        assert state.scaler is not None
+        # Refinements republish a scaler fitted on more post-drift rows.
+        refinements = [e for e in events if e.kind == "refinement"]
+        assert refinements and all(e.scaler_refreshed for e in refinements)
+
+    def test_no_refresh_without_opt_in(self):
+        rng = np.random.default_rng(9)
+        state = AdaptationPolicy().start(_threshold(1.2))
+        scores = np.concatenate([_normal(rng, 400), _normal(rng, 800, loc=3.0)])
+        raw = rng.normal(0.0, 1.0, (1200, 3))
+        events = _feed(state, scores, raw=raw)
+        assert events and all(not e.scaler_refreshed for e in events)
+        assert state.scaler is None
+
+
+class TestCustomDetector:
+    def test_policy_accepts_a_configured_detector_prototype(self):
+        rng = np.random.default_rng(10)
+        prototype = PageHinkley(delta=0.1, threshold=15.0)
+        policy = AdaptationPolicy(drift_detector=prototype)
+        state = policy.start(_threshold(1.2))
+        assert state.detector is not prototype
+        assert state.detector.threshold == 15.0
+        scores = np.concatenate([_normal(rng, 400), _normal(rng, 800, loc=3.0)])
+        assert _feed(state, scores)

@@ -1,0 +1,187 @@
+"""Integration tests: drift adaptation wired into both streaming runtimes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNConfig, KNNDetector
+from repro.data import StreamReader, build_drift_scenario
+from repro.drift import AdaptationPolicy
+from repro.edge import MultiStreamRuntime, StreamingRuntime
+from repro.eval import compare_adaptation, drift_detection_delay
+
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def mean_shift_scenario():
+    return build_drift_scenario("mean_shift", n_test=2400, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fitted_knn(mean_shift_scenario):
+    detector = KNNDetector(KNNConfig(
+        n_channels=mean_shift_scenario.n_channels, max_reference_points=600))
+    detector.fit(mean_shift_scenario.train)
+    detector.calibrate_threshold(mean_shift_scenario.train)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def clean_stream(mean_shift_scenario):
+    """A drift-free stream (anomaly bursts included) with its labels."""
+    start = mean_shift_scenario.drift_start
+    return (mean_shift_scenario.stream[:start],
+            mean_shift_scenario.labels[:start])
+
+
+class TestNoDriftBitIdentity:
+    def test_single_stream_scores_and_alarms_identical(self, fitted_knn,
+                                                       clean_stream):
+        data, labels = clean_stream
+        plain = StreamingRuntime(fitted_knn).run(StreamReader(data, labels))
+        adaptive = StreamingRuntime(
+            fitted_knn, adaptation=AdaptationPolicy()
+        ).run(StreamReader(data, labels))
+        assert adaptive.adaptation_events == []
+        assert np.array_equal(plain.scores, adaptive.scores, equal_nan=True)
+        assert np.array_equal(plain.alarms, adaptive.alarms)
+
+    def test_fleet_scores_and_alarms_identical(self, fitted_knn, clean_stream):
+        data, labels = clean_stream
+
+        def readers():
+            return [StreamReader(data, labels), StreamReader(data, labels)]
+
+        plain = MultiStreamRuntime(fitted_knn).run(readers())
+        adaptive = MultiStreamRuntime(
+            fitted_knn, adaptation=AdaptationPolicy()
+        ).run(readers())
+        for plain_stream, adaptive_stream in zip(plain, adaptive):
+            assert adaptive_stream.adaptation_events == []
+            assert np.array_equal(plain_stream.scores, adaptive_stream.scores,
+                                  equal_nan=True)
+            assert np.array_equal(plain_stream.alarms, adaptive_stream.alarms)
+
+    def test_threshold_trace_is_flat_without_drift(self, fitted_knn,
+                                                   clean_stream):
+        data, labels = clean_stream
+        result = StreamingRuntime(
+            fitted_knn, adaptation=AdaptationPolicy()
+        ).run(StreamReader(data, labels))
+        trace = result.threshold_trace
+        assert trace is not None
+        scored = np.isfinite(trace)
+        assert scored.sum() == result.samples_scored
+        assert np.unique(trace[scored]).size == 1
+        assert trace[scored][0] == fitted_knn.threshold.threshold
+
+
+class TestMeanShiftAdaptation:
+    @pytest.fixture(scope="class")
+    def runs(self, fitted_knn, mean_shift_scenario):
+        scenario = mean_shift_scenario
+        frozen = StreamingRuntime(fitted_knn).run(
+            StreamReader(scenario.stream, scenario.labels))
+        adaptive = StreamingRuntime(
+            fitted_knn, adaptation=AdaptationPolicy()
+        ).run(StreamReader(scenario.stream, scenario.labels))
+        return frozen, adaptive
+
+    def test_detection_delay_bounded(self, runs, mean_shift_scenario):
+        _, adaptive = runs
+        delay = drift_detection_delay(adaptive.adaptation_events,
+                                      mean_shift_scenario.drift_start)
+        assert np.isfinite(delay)
+        assert delay <= 400
+
+    def test_scores_unchanged_by_adaptation(self, runs):
+        """Adaptation touches alarms only -- scores must stay bit-identical."""
+        frozen, adaptive = runs
+        assert np.array_equal(frozen.scores, adaptive.scores, equal_nan=True)
+
+    def test_adaptive_raises_threshold_and_stops_false_alarms(
+            self, runs, mean_shift_scenario):
+        frozen, adaptive = runs
+        report = compare_adaptation(frozen, adaptive,
+                                    mean_shift_scenario.drift_start)
+        assert report.post_far_frozen > 0.5
+        assert report.post_far_adaptive < 0.05
+        assert adaptive.adaptation_events[0].new_threshold > \
+            adaptive.adaptation_events[0].old_threshold
+
+    def test_threshold_trace_steps_at_adaptation(self, runs):
+        _, adaptive = runs
+        event = adaptive.adaptation_events[0]
+        trace = adaptive.threshold_trace
+        assert trace[event.adapted_at] == event.old_threshold
+        assert trace[event.adapted_at + 1] == event.new_threshold
+
+
+class TestFleetPerStreamAdaptation:
+    def test_drift_in_one_stream_leaves_the_other_frozen(
+            self, fitted_knn, mean_shift_scenario, clean_stream):
+        clean_data, clean_labels = clean_stream
+        scenario = mean_shift_scenario
+
+        def readers():
+            return [
+                StreamReader(clean_data, clean_labels),
+                StreamReader(scenario.stream, scenario.labels),
+            ]
+
+        fleet = MultiStreamRuntime(
+            fitted_knn, adaptation=AdaptationPolicy()
+        ).run(readers())
+        clean_result, drifted_result = fleet[0], fleet[1]
+
+        assert clean_result.adaptation_events == []
+        assert drifted_result.adaptation_events
+
+        # The clean lane stays bit-identical to the same fleet without
+        # adaptation (same batch composition; adaptation is the only
+        # variable -- a solo run would differ by BLAS batch-shape ULPs).
+        frozen_fleet = MultiStreamRuntime(fitted_knn).run(readers())
+        assert np.array_equal(frozen_fleet[0].scores, clean_result.scores,
+                              equal_nan=True)
+        assert np.array_equal(frozen_fleet[0].alarms, clean_result.alarms)
+
+        # And its threshold never moved, while the drifted lane's did.
+        clean_trace = clean_result.threshold_trace
+        assert np.unique(clean_trace[np.isfinite(clean_trace)]).size == 1
+        drifted_trace = drifted_result.threshold_trace
+        assert np.unique(drifted_trace[np.isfinite(drifted_trace)]).size > 1
+
+    def test_fleet_matches_single_stream_adaptation(self, fitted_knn,
+                                                    mean_shift_scenario):
+        """One drifted stream adapts identically under both runtimes."""
+        scenario = mean_shift_scenario
+        solo = StreamingRuntime(
+            fitted_knn, adaptation=AdaptationPolicy()
+        ).run(StreamReader(scenario.stream, scenario.labels))
+        fleet = MultiStreamRuntime(
+            fitted_knn, adaptation=AdaptationPolicy()
+        ).run([StreamReader(scenario.stream, scenario.labels)])
+        assert np.array_equal(solo.scores, fleet[0].scores, equal_nan=True)
+        assert np.array_equal(solo.alarms, fleet[0].alarms)
+        assert [e.new_threshold for e in solo.adaptation_events] == \
+            [e.new_threshold for e in fleet[0].adaptation_events]
+
+
+class TestAdaptationRequiresThreshold:
+    def test_streaming_runtime_raises_without_threshold(self, clean_stream):
+        data, labels = clean_stream
+        detector = KNNDetector(KNNConfig(n_channels=data.shape[1],
+                                         max_reference_points=100))
+        detector.fit(data[:200])
+        runtime = StreamingRuntime(detector, adaptation=AdaptationPolicy())
+        with pytest.raises(ValueError, match="initial CalibratedThreshold"):
+            runtime.run(StreamReader(data, labels))
+
+    def test_fleet_runtime_raises_without_threshold(self, clean_stream):
+        data, labels = clean_stream
+        detector = KNNDetector(KNNConfig(n_channels=data.shape[1],
+                                         max_reference_points=100))
+        detector.fit(data[:200])
+        runtime = MultiStreamRuntime(detector, adaptation=AdaptationPolicy())
+        with pytest.raises(ValueError, match="initial CalibratedThreshold"):
+            runtime.run([StreamReader(data, labels)])

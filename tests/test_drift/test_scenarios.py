@@ -1,0 +1,153 @@
+"""Tests for the drift scenario generators (repro.data.drift, repro.robot.drift)."""
+
+import numpy as np
+import pytest
+
+from repro.data import DRIFT_KINDS, build_drift_scenario
+from repro.data.drift import (
+    inject_channel_dropout,
+    inject_gradual_ramp,
+    inject_mean_shift,
+    inject_sensor_gain,
+)
+from repro.robot import RecordingDriftInjector
+
+
+class TestInjectors:
+    @pytest.fixture()
+    def base(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(0.0, 1.0, (200, 4))
+
+    def test_mean_shift_applies_offset_from_start(self, base):
+        shifted, mask = inject_mean_shift(base, start=50, magnitude=2.0,
+                                          channels=[1, 3])
+        np.testing.assert_array_equal(shifted[:50], base[:50])
+        np.testing.assert_allclose(shifted[50:, [1, 3]], base[50:, [1, 3]] + 2.0)
+        np.testing.assert_array_equal(shifted[50:, [0, 2]], base[50:, [0, 2]])
+        assert mask[:50].sum() == 0 and mask[50:].all()
+
+    def test_input_is_never_modified(self, base):
+        snapshot = base.copy()
+        inject_mean_shift(base, 50, 2.0)
+        inject_gradual_ramp(base, 50, 2.0, ramp_len=30)
+        inject_sensor_gain(base, 50, 1.5)
+        inject_channel_dropout(base, 50, channels=[0])
+        np.testing.assert_array_equal(base, snapshot)
+
+    def test_gradual_ramp_reaches_full_magnitude(self, base):
+        ramped, mask = inject_gradual_ramp(base, start=50, magnitude=3.0,
+                                           ramp_len=40, channels=[0])
+        # During the ramp the offset is strictly between 0 and the magnitude.
+        mid_offset = ramped[70, 0] - base[70, 0]
+        assert 0.0 < mid_offset < 3.0
+        np.testing.assert_allclose(ramped[90:, 0], base[90:, 0] + 3.0)
+        assert mask[50:].all() and not mask[:50].any()
+
+    def test_sensor_gain_scales_channels(self, base):
+        gained, _ = inject_sensor_gain(base, start=100, gain=1.8, channels=[2])
+        np.testing.assert_allclose(gained[100:, 2], base[100:, 2] * 1.8)
+        np.testing.assert_array_equal(gained[:100], base[:100])
+
+    def test_channel_dropout_freezes_channels(self, base):
+        dropped, _ = inject_channel_dropout(base, start=80, channels=[0, 1],
+                                            fill=0.5)
+        assert (dropped[80:, [0, 1]] == 0.5).all()
+        np.testing.assert_array_equal(dropped[80:, 2:], base[80:, 2:])
+
+    def test_dropout_must_leave_live_channels(self, base):
+        with pytest.raises(ValueError, match="live channel"):
+            inject_channel_dropout(base, 10, channels=[0, 1, 2, 3])
+
+    def test_bad_start_and_channels_raise(self, base):
+        with pytest.raises(ValueError):
+            inject_mean_shift(base, start=500, magnitude=1.0)
+        with pytest.raises(ValueError):
+            inject_mean_shift(base, start=-1, magnitude=1.0)
+        with pytest.raises(ValueError):
+            inject_mean_shift(base, start=10, magnitude=1.0, channels=[7])
+        with pytest.raises(ValueError):
+            inject_sensor_gain(base, start=10, gain=0.0)
+
+
+class TestBuildDriftScenario:
+    @pytest.mark.parametrize("kind", DRIFT_KINDS)
+    def test_every_kind_produces_consistent_ground_truth(self, kind):
+        scenario = build_drift_scenario(kind, n_train=400, n_test=900,
+                                        drift_start=450, n_anomalies=8,
+                                        seed=5)
+        assert scenario.kind == kind
+        assert scenario.train.shape == (400, 6)
+        assert scenario.stream.shape == (900, 6)
+        assert scenario.drift_start == 450
+        assert scenario.labels.shape == (900,)
+        assert scenario.labels.sum() > 0
+        assert not scenario.drift_mask[:450].any()
+        assert scenario.drift_mask[450:].all()
+
+    def test_seeding_is_deterministic(self):
+        first = build_drift_scenario("mean_shift", seed=9)
+        second = build_drift_scenario("mean_shift", seed=9)
+        np.testing.assert_array_equal(first.stream, second.stream)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_anomalies_present_on_both_sides_of_the_drift(self):
+        scenario = build_drift_scenario("mean_shift", seed=11)
+        start = scenario.drift_start
+        assert scenario.labels[:start].sum() > 0
+        assert scenario.labels[start:].sum() > 0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            build_drift_scenario("voltage_spike")
+
+
+class TestRecordingDriftInjector:
+    def test_offset_step_on_joint_accelerometer(self, tiny_normal_recording):
+        injector = RecordingDriftInjector(tiny_normal_recording)
+        names = injector.joint_channels(2)
+        drifted, event = injector.offset_step(start=100, names=names, offset=3.0)
+
+        assert event.kind == "mean_shift"
+        assert event.start_index == 100
+        assert event.channel_names == names
+        # The drifted recording is a new object with shifted channels...
+        assert drifted is not tiny_normal_recording
+        for name in names:
+            original = tiny_normal_recording.channel(name)
+            np.testing.assert_allclose(drifted.channel(name)[100:],
+                                       original[100:] + 3.0)
+            np.testing.assert_array_equal(drifted.channel(name)[:100],
+                                          original[:100])
+        # ...and the anomaly labels are untouched: drift is not an anomaly.
+        np.testing.assert_array_equal(drifted.labels,
+                                      tiny_normal_recording.labels)
+
+    def test_gain_dropout_and_ramp(self, tiny_normal_recording):
+        injector = RecordingDriftInjector(tiny_normal_recording)
+        power, _ = injector.gain_change(start=50, names=["power"], gain=2.0)
+        np.testing.assert_allclose(power.channel("power")[50:],
+                                   tiny_normal_recording.channel("power")[50:] * 2.0)
+
+        dead, event = injector.sensor_dropout(start=50, names=["current"])
+        assert (dead.channel("current")[50:] == 0.0).all()
+        assert event.kind == "channel_dropout"
+
+        ramped, event = injector.slow_ramp(start=50, names=["voltage"],
+                                           magnitude=5.0, ramp_len=60)
+        assert event.kind == "gradual_ramp"
+        offset = ramped.channel("voltage") - tiny_normal_recording.channel("voltage")
+        assert abs(offset[55]) < 5.0
+        np.testing.assert_allclose(offset[120:], 5.0)
+
+    def test_drift_mask_matches_event(self, tiny_normal_recording):
+        injector = RecordingDriftInjector(tiny_normal_recording)
+        drifted, event = injector.offset_step(
+            start=30, names=["power"], offset=1.0)
+        mask = RecordingDriftInjector.drift_mask(drifted, event)
+        assert not mask[:30].any() and mask[30:].all()
+
+    def test_unknown_channel_raises(self, tiny_normal_recording):
+        injector = RecordingDriftInjector(tiny_normal_recording)
+        with pytest.raises(KeyError, match="no_such_channel"):
+            injector.offset_step(start=10, names=["no_such_channel"], offset=1.0)

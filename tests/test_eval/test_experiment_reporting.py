@@ -1,6 +1,5 @@
 """Tests for the experiment harness, reporting helpers and ablations."""
 
-import numpy as np
 import pytest
 
 from repro.eval import (

@@ -1,7 +1,6 @@
 """Tests for model profiling (parameter / FLOP / activation accounting)."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.nn.utils import profile_model
@@ -23,7 +22,7 @@ class TestProfileModel:
             nn.Conv1d(8, 16, kernel_size=2, stride=2, rng=rng),
         )
         profile = profile_model(model, (6, 16))
-        conv_layers = [l for l in profile.layers if l.kind == "Conv1d"]
+        conv_layers = [layer for layer in profile.layers if layer.kind == "Conv1d"]
         assert conv_layers[0].output_shape == (8, 8)
         assert conv_layers[1].output_shape == (16, 4)
         assert profile.total_parameters == model.num_parameters()

@@ -184,8 +184,8 @@ class TestConvolutionGradients:
         out = Tensor(x).conv1d(Tensor(w), stride=2).numpy()
         expected = np.zeros((1, 3, 3))
         for o in range(3):
-            for l in range(3):
-                expected[0, o, l] = np.sum(x[0, :, 2 * l:2 * l + 2] * w[o])
+            for pos in range(3):
+                expected[0, o, pos] = np.sum(x[0, :, 2 * pos:2 * pos + 2] * w[o])
         np.testing.assert_allclose(out, expected, atol=1e-12)
 
     def test_conv_transpose1d_basic(self):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.robot import (
-    CollisionConfig,
     CollisionInjector,
     N_TOTAL_CHANNELS,
     RobotCellConfig,
