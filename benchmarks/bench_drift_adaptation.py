@@ -28,11 +28,11 @@ Run with::
 import numpy as np
 import pytest
 
-from repro.baselines.knn import KNNConfig, KNNDetector
 from repro.data import DRIFT_KINDS, StreamReader, build_drift_scenario
-from repro.drift import AdaptationPolicy
 from repro.edge import MultiStreamRuntime, StreamingRuntime
 from repro.eval import compare_adaptation
+from repro.pipeline import (AdaptationSpec, DeploymentSpec, DetectorSpec,
+                            Pipeline)
 
 SEED = 11
 N_TEST = 3600            # long enough for the full refinement schedule to land
@@ -41,21 +41,25 @@ FROZEN_CEILING = 0.30
 DELAY_BUDGET = 400       # samples from drift onset to the answering recalibration
 
 
-def _fitted_detector(scenario):
-    detector = KNNDetector(KNNConfig(n_channels=scenario.n_channels,
-                                     max_reference_points=800))
-    detector.fit(scenario.train)
-    detector.calibrate_threshold(scenario.train)
-    return detector
+def _fitted_pipeline(scenario):
+    """Fit + calibrate the kNN deployment through the declarative pipeline."""
+    spec = DeploymentSpec(
+        detector=DetectorSpec(kind="knn",
+                              params={"n_channels": scenario.n_channels,
+                                      "max_reference_points": 800}),
+        adaptation=AdaptationSpec(),      # AdaptationPolicy() defaults
+        seed=0,
+    )
+    return Pipeline.from_spec(spec).fit(scenario.train).calibrate()
 
 
 def _run_pair(scenario):
-    detector = _fitted_detector(scenario)
-    reader = StreamReader(scenario.stream, scenario.labels)
-    frozen = StreamingRuntime(detector).run(reader)
-    adaptive = StreamingRuntime(detector, adaptation=AdaptationPolicy()).run(
+    pipeline = _fitted_pipeline(scenario)
+    # Frozen baseline: the raw runtime without the spec's adaptation policy.
+    frozen = StreamingRuntime(pipeline.detector).run(
         StreamReader(scenario.stream, scenario.labels)
     )
+    adaptive = pipeline.deploy_stream(scenario.stream, labels=scenario.labels)
     return frozen, adaptive
 
 
@@ -122,7 +126,8 @@ def test_mean_shift_false_alarms_controlled(scenario_reports):
 def test_no_drift_streams_bit_identical():
     """Adaptation must be a no-op -- bit for bit -- on drift-free streams."""
     scenario = build_drift_scenario("mean_shift", n_test=1500, seed=SEED)
-    detector = _fitted_detector(scenario)
+    pipeline = _fitted_pipeline(scenario)
+    detector = pipeline.detector
     # A drift-free stream with the same anomaly bursts: scenario.train is
     # clean; reuse the generator's base by clipping the test stream before
     # the drift onset (anomalies included).
@@ -130,9 +135,7 @@ def test_no_drift_streams_bit_identical():
     labels = scenario.labels[: scenario.drift_start]
 
     plain = StreamingRuntime(detector).run(StreamReader(clean, labels))
-    adaptive = StreamingRuntime(detector, adaptation=AdaptationPolicy()).run(
-        StreamReader(clean, labels)
-    )
+    adaptive = pipeline.deploy_stream(clean, labels=labels)
     assert adaptive.adaptation_events == []
     assert np.array_equal(plain.scores, adaptive.scores, equal_nan=True)
     assert np.array_equal(plain.alarms, adaptive.alarms)
@@ -140,9 +143,7 @@ def test_no_drift_streams_bit_identical():
     fleet_plain = MultiStreamRuntime(detector).run(
         [StreamReader(clean, labels), StreamReader(clean, labels)]
     )
-    fleet_adaptive = MultiStreamRuntime(detector, adaptation=AdaptationPolicy()).run(
-        [StreamReader(clean, labels), StreamReader(clean, labels)]
-    )
+    fleet_adaptive = pipeline.deploy_fleet([clean, clean], labels=[labels, labels])
     for plain_stream, adaptive_stream in zip(fleet_plain, fleet_adaptive):
         assert adaptive_stream.adaptation_events == []
         assert np.array_equal(plain_stream.scores, adaptive_stream.scores,

@@ -22,11 +22,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import TrainingConfig, VaradeConfig, VaradeDetector
+from repro.core import VaradeConfig, VaradeDetector
 from repro.data import build_synthetic_anomaly_dataset
 from repro.data.windowing import sliding_windows
 from repro.edge import DEVICES, EdgeEstimator
 from repro.eval import roc_auc_score
+from repro.pipeline import (DeploymentSpec, DetectorSpec, Pipeline,
+                            QuantizationSpec)
 
 BATCH_SIZES = (64, 256, 512)
 TIMING_REPEATS = 30
@@ -61,12 +63,19 @@ def throughput_detectors():
     """
     n_channels, window = 8, 64
     stream = _training_stream(1200, n_channels)
-    config = VaradeConfig(n_channels=n_channels, window=window, base_feature_maps=48)
-    training = TrainingConfig(learning_rate=3e-3, epochs=1, mean_warmup_epochs=1,
-                              variance_finetune_epochs=1, max_train_windows=100,
-                              seed=0)
-    detector = VaradeDetector(config, training).fit(stream)
-    return detector, detector.quantize(stream), stream
+    spec = DeploymentSpec(
+        detector=DetectorSpec(
+            kind="varade",
+            params={"n_channels": n_channels, "window": window,
+                    "base_feature_maps": 48},
+            training={"learning_rate": 3e-3, "epochs": 1, "mean_warmup_epochs": 1,
+                      "variance_finetune_epochs": 1, "max_train_windows": 100},
+        ),
+        quantization=QuantizationSpec(),
+        seed=0,
+    )
+    pipeline = Pipeline.from_spec(spec).fit(stream).quantize()
+    return pipeline.detector, pipeline.quantized, stream
 
 
 def test_quantized_batched_throughput(benchmark, throughput_detectors):
@@ -117,12 +126,18 @@ def test_quantized_batched_throughput(benchmark, throughput_detectors):
 def test_quantized_accuracy_on_synthetic_benchmark():
     """Int8 AUC within 2 points of float on the labelled synthetic benchmark."""
     dataset = build_synthetic_anomaly_dataset(n_channels=5, seed=7)
-    config = VaradeConfig(n_channels=5, window=16, base_feature_maps=4)
-    training = TrainingConfig(learning_rate=3e-3, epochs=10, mean_warmup_epochs=4,
-                              variance_finetune_epochs=15, max_train_windows=400,
-                              seed=0)
-    detector = VaradeDetector(config, training).fit(dataset.train)
-    quantized = detector.quantize(dataset.train)
+    spec = DeploymentSpec(
+        detector=DetectorSpec(
+            kind="varade",
+            params={"n_channels": 5, "window": 16, "base_feature_maps": 4},
+            training={"learning_rate": 3e-3, "epochs": 10, "mean_warmup_epochs": 4,
+                      "variance_finetune_epochs": 15, "max_train_windows": 400},
+        ),
+        quantization=QuantizationSpec(),
+        seed=0,
+    )
+    pipeline = Pipeline.from_spec(spec).fit(dataset.train).quantize()
+    detector, quantized = pipeline.detector, pipeline.quantized
 
     float_scores, labels = detector.score_stream(dataset.test).aligned(dataset.test_labels)
     int8_scores, _ = quantized.score_stream(dataset.test).aligned(dataset.test_labels)

@@ -3,6 +3,10 @@
 Same protocol as the Xavier NX benchmark on the Orin device model; the paper
 observes that every detector roughly doubles its inference frequency while
 the ranking stays the same.
+
+Detector construction runs through :class:`repro.pipeline.Pipeline` via the
+shared ``experiment_result`` fixture (see ``bench_table2_xavier_nx.py``);
+scores are bit-identical to the pre-pipeline harness.
 """
 
 from repro.eval import PAPER_TABLE2, format_comparison, format_table2

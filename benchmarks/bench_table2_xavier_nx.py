@@ -4,6 +4,11 @@ Trains all six detectors on the simulated robot cell, evaluates AUC-ROC on
 the collision experiment and estimates the Xavier NX deployment metrics of
 the paper-scale architectures.  Prints the reproduced table next to the
 paper's reference numbers.
+
+Detector construction runs through :class:`repro.pipeline.Pipeline` (the
+``experiment_result`` fixture calls :func:`repro.eval.run_full_experiment`,
+which routes every study entry through a declarative ``DeploymentSpec``);
+the scores are bit-identical to the pre-pipeline harness.
 """
 
 

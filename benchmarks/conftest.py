@@ -15,9 +15,9 @@ import os
 import numpy as np
 import pytest
 
-from repro.core import TrainingConfig, VaradeConfig, VaradeDetector
 from repro.data import DatasetConfig, build_benchmark_dataset
 from repro.eval import ExperimentConfig, run_full_experiment
+from repro.pipeline import DeploymentSpec, DetectorSpec, Pipeline
 
 
 def pytest_configure(config):
@@ -88,13 +88,14 @@ def fleet_stream_factory():
 @pytest.fixture(scope="session")
 def fleet_varade(fleet_stream_factory):
     """A small trained VARADE detector shared by the fleet benchmarks."""
-    config = VaradeConfig(n_channels=FLEET_CHANNELS, window=32, base_feature_maps=8)
-    training = TrainingConfig(
-        learning_rate=3e-3,
-        epochs=3,
-        mean_warmup_epochs=1,
-        variance_finetune_epochs=2,
-        max_train_windows=300,
+    spec = DeploymentSpec(
+        detector=DetectorSpec(
+            kind="varade",
+            params={"n_channels": FLEET_CHANNELS, "window": 32,
+                    "base_feature_maps": 8},
+            training={"learning_rate": 3e-3, "epochs": 3, "mean_warmup_epochs": 1,
+                      "variance_finetune_epochs": 2, "max_train_windows": 300},
+        ),
         seed=0,
     )
-    return VaradeDetector(config, training).fit(fleet_stream_factory(500, seed=0))
+    return Pipeline.from_spec(spec).fit(fleet_stream_factory(500, seed=0)).detector

@@ -14,8 +14,10 @@ from __future__ import annotations
 import time
 
 from repro.baselines import DetectorRegistry
+from repro.baselines.registry import DETECTOR_NAMES
 from repro.data import DatasetConfig, build_benchmark_dataset
 from repro.eval import PAPER_AUC, evaluate_detector, format_comparison
+from repro.pipeline import Pipeline
 
 
 def main() -> None:
@@ -38,9 +40,12 @@ def main() -> None:
     )
 
     rows = []
-    for spec in registry.specs():
+    # Each study entry becomes a declarative DeploymentSpec; the pipeline
+    # builds a bit-identical detector to the legacy registry constructor.
+    for name in DETECTOR_NAMES:
+        detector = Pipeline.from_spec(registry.deployment_spec(name)).build_detector()
         start = time.perf_counter()
-        evaluation = evaluate_detector(spec.build(), dataset)
+        evaluation = evaluate_detector(detector, dataset)
         rows.append(evaluation)
         print(f"{evaluation.name:<18} AUC-ROC={evaluation.auc_roc:.3f}  "
               f"AP={evaluation.average_precision:.3f}  best-F1={evaluation.best_f1:.3f}  "

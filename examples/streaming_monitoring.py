@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ThresholdCalibrator, TrainingConfig, VaradeConfig, VaradeDetector
-from repro.data import DatasetConfig, StreamReader, build_benchmark_dataset
-from repro.edge import StreamingRuntime
+from repro.data import DatasetConfig, build_benchmark_dataset
+from repro.pipeline import (CalibrationSpec, DeploymentSpec, DetectorSpec,
+                            Pipeline, RuntimeSpec)
 
 
 def main() -> None:
@@ -29,22 +29,29 @@ def main() -> None:
     ))
     print(f"dataset: {dataset.summary()}")
 
-    config = VaradeConfig(n_channels=dataset.n_channels, window=32, base_feature_maps=16)
-    training = TrainingConfig(epochs=14, mean_warmup_epochs=4, variance_finetune_epochs=12,
-                              learning_rate=3e-3, max_train_windows=1000, seed=0)
-    detector = VaradeDetector(config, training).fit(dataset.train)
-
-    normal_scores = detector.score_stream(dataset.train).valid_scores()
-    threshold = ThresholdCalibrator(method="quantile", quantile=0.997).calibrate(normal_scores)
+    # The whole deployment -- detector, training, calibration rule and
+    # stream-replay settings -- in one declarative spec.
+    spec = DeploymentSpec(
+        detector=DetectorSpec(
+            kind="varade",
+            params={"n_channels": dataset.n_channels, "window": 32,
+                    "base_feature_maps": 16},
+            training={"epochs": 14, "mean_warmup_epochs": 4,
+                      "variance_finetune_epochs": 12, "learning_rate": 3e-3,
+                      "max_train_windows": 1000},
+        ),
+        calibration=CalibrationSpec(method="quantile", quantile=0.997),
+        runtime=RuntimeSpec(sample_rate_hz=dataset.config.sample_rate),
+        seed=0,
+    )
+    pipeline = Pipeline.from_spec(spec).fit(dataset.train).calibrate()
+    threshold = pipeline.detector.threshold
     print(f"calibrated alarm threshold: {threshold.threshold:.4f} "
           f"({threshold.method}, {threshold.parameter})")
 
-    reader = StreamReader(dataset.test, labels=dataset.test_labels,
-                          sample_rate=dataset.config.sample_rate)
-    runtime = StreamingRuntime(detector, threshold=threshold)
-    result = runtime.run(reader)
+    result = pipeline.deploy_stream(dataset.test, labels=dataset.test_labels)
 
-    print(f"streamed {reader.n_samples} samples, scored {result.samples_scored}, "
+    print(f"streamed {result.scores.shape[0]} samples, scored {result.samples_scored}, "
           f"host inference rate {result.host_inference_hz:.1f} Hz "
           f"(mean latency {result.mean_latency_s * 1e3:.2f} ms)")
 

@@ -31,6 +31,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 if [[ "$mode" != "--benchmarks-only" ]]; then
     echo "== tier 1: full test suite =="
     python -m pytest -x -q
+
+    echo
+    echo "== CLI smoke: train --fast -> quantize -> package -> stream =="
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    python -m repro train --fast --workdir "$smoke_dir" >/dev/null
+    python -m repro quantize --workdir "$smoke_dir" >/dev/null
+    python -m repro package --workdir "$smoke_dir" >/dev/null
+    python -m repro stream --workdir "$smoke_dir" >/dev/null
+    echo "CLI smoke: OK"
 fi
 
 if [[ "$mode" != "--tier1-only" && "$mode" != "--fast" ]]; then

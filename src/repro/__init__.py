@@ -20,18 +20,27 @@ scratch on top of numpy:
 * :mod:`repro.eval` -- AUC-ROC and friends, the Table-2 / Figure-3 experiment
   harness, ablations and reporting;
 * :mod:`repro.serialize` -- versioned save/load of fitted detectors (npz
-  weights + JSON manifest), the deployable edge artifact.
+  weights + JSON manifest), the deployable edge artifact;
+* :mod:`repro.pipeline` -- the unified deployment pipeline: declarative
+  :class:`~repro.pipeline.DeploymentSpec`, staged
+  :class:`~repro.pipeline.Pipeline` facade and the string-keyed detector
+  registry, driven end to end by the ``python -m repro`` CLI
+  (:mod:`repro.cli`).
 """
+
+__version__ = "0.1.0"
 
 from . import baselines, core, data, drift, edge, eval, neighbors, nn, robot, trees
 from .core import TrainingConfig, VaradeConfig, VaradeDetector
 from .data import DatasetConfig, build_benchmark_dataset
 from .eval import ExperimentConfig, run_full_experiment
-
-__version__ = "0.1.0"
-
-from . import serialize  # noqa: E402  (needs __version__ for the manifest)
+from . import serialize
 from .serialize import load_detector, save_detector
+from . import pipeline
+# DetectorSpec is deliberately not re-exported here: repro.pipeline.DetectorSpec
+# (registry kind + params) and repro.baselines.DetectorSpec (named constructor)
+# are distinct classes -- keep them module-qualified at call sites.
+from .pipeline import DeploymentSpec, Pipeline
 
 __all__ = [
     "baselines",
@@ -42,11 +51,14 @@ __all__ = [
     "eval",
     "neighbors",
     "nn",
+    "pipeline",
     "robot",
     "serialize",
     "trees",
     "load_detector",
     "save_detector",
+    "DeploymentSpec",
+    "Pipeline",
     "TrainingConfig",
     "VaradeConfig",
     "VaradeDetector",

@@ -5,12 +5,23 @@ detectors (VARADE + five baselines) built consistently for a given channel
 count and context window.  The registry centralises those constructors so
 experiments, examples and tests stay in sync, and exposes both the
 scaled-down reproduction settings and the paper's full-scale settings.
+
+.. note::
+   This is the *legacy* study registry, kept as a thin compatibility layer:
+   new code should describe detectors declaratively with
+   :class:`repro.pipeline.DeploymentSpec` and build them through
+   :class:`repro.pipeline.Pipeline` (string-keyed kinds, JSON round-trip,
+   seed plumbing).  :meth:`DetectorRegistry.deployment_spec` bridges the
+   two worlds: it converts this registry's scaled-down settings for one
+   detector into the equivalent ``DeploymentSpec``, and is what
+   :func:`repro.eval.run_full_experiment` now routes through.  Both paths
+   construct bit-identical detectors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.config import TrainingConfig, VaradeConfig
 from ..core.detector import AnomalyDetector, VaradeDetector
@@ -34,7 +45,13 @@ class DetectorSpec:
 
 
 class DetectorRegistry:
-    """Build the study's detectors for a given stream shape and budget."""
+    """Build the study's detectors for a given stream shape and budget.
+
+    Distinct from the pipeline's string-keyed registry of the same name,
+    :class:`repro.pipeline.DetectorRegistry` -- keep both module-qualified
+    at call sites (:meth:`deployment_spec` bridges from this one to the
+    declarative path).
+    """
 
     def __init__(self, n_channels: int, window: int = 32,
                  neural_epochs: int = 4, max_train_windows: int = 600,
@@ -58,9 +75,9 @@ class DetectorRegistry:
         self.seed = seed
 
     # ------------------------------------------------------------------ #
-    # Individual constructors
+    # Config constructors (shared by the builders and the pipeline bridge)
     # ------------------------------------------------------------------ #
-    def build_varade(self) -> VaradeDetector:
+    def varade_configs(self) -> "Tuple[VaradeConfig, TrainingConfig]":
         config = VaradeConfig(
             n_channels=self.n_channels,
             window=self.window,
@@ -78,16 +95,15 @@ class DetectorRegistry:
             max_train_windows=max(self.max_train_windows, 1200),
             seed=self.seed,
         )
-        return VaradeDetector(config, training)
+        return config, training
 
-    def build_ar_lstm(self) -> ARLSTMDetector:
+    def ar_lstm_config(self) -> ARLSTMConfig:
         # The recurrent baseline is run with a shorter context than the
         # convolutional models (sequential processing makes a full window
         # prohibitively slow in pure Python); its score rule is unchanged.
-        lstm_window = min(self.window, 16)
-        config = ARLSTMConfig(
+        return ARLSTMConfig(
             n_channels=self.n_channels,
-            window=lstm_window,
+            window=min(self.window, 16),
             hidden_size=self.lstm_hidden,
             num_layers=2,
             fc_size=self.lstm_hidden * 2,
@@ -95,10 +111,9 @@ class DetectorRegistry:
             max_train_windows=min(self.max_train_windows, 300),
             seed=self.seed,
         )
-        return ARLSTMDetector(config)
 
-    def build_autoencoder(self) -> AutoencoderDetector:
-        config = AutoencoderConfig(
+    def autoencoder_config(self) -> AutoencoderConfig:
+        return AutoencoderConfig(
             n_channels=self.n_channels,
             window=self.window,
             base_feature_maps=self.varade_feature_maps,
@@ -107,10 +122,9 @@ class DetectorRegistry:
             max_train_windows=self.max_train_windows,
             seed=self.seed,
         )
-        return AutoencoderDetector(config)
 
-    def build_gbrf(self) -> GBRFDetector:
-        config = GBRFConfig(
+    def gbrf_config(self) -> GBRFConfig:
+        return GBRFConfig(
             n_channels=self.n_channels,
             window=self.window,
             n_estimators=30,
@@ -118,15 +132,83 @@ class DetectorRegistry:
             max_train_windows=min(self.max_train_windows, 400),
             seed=self.seed,
         )
-        return GBRFDetector(config)
+
+    def knn_config(self) -> KNNConfig:
+        return KNNConfig(n_channels=self.n_channels, seed=self.seed)
+
+    def isolation_forest_config(self) -> IsolationForestConfig:
+        return IsolationForestConfig(n_channels=self.n_channels, seed=self.seed)
+
+    #: display name -> (config-builder, detector-builder) method names; the
+    #: one dispatch table behind both :meth:`specs` and
+    #: :meth:`deployment_spec`, so the legacy and pipeline paths cannot
+    #: drift apart when a detector is added or renamed.
+    _BUILDERS = {
+        "AR-LSTM": ("ar_lstm_config", "build_ar_lstm"),
+        "GBRF": ("gbrf_config", "build_gbrf"),
+        "AE": ("autoencoder_config", "build_autoencoder"),
+        "kNN": ("knn_config", "build_knn"),
+        "Isolation Forest": ("isolation_forest_config", "build_isolation_forest"),
+        "VARADE": ("varade_configs", "build_varade"),
+    }
+
+    # ------------------------------------------------------------------ #
+    # Individual constructors
+    # ------------------------------------------------------------------ #
+    def build_varade(self) -> VaradeDetector:
+        return VaradeDetector(*self.varade_configs())
+
+    def build_ar_lstm(self) -> ARLSTMDetector:
+        return ARLSTMDetector(self.ar_lstm_config())
+
+    def build_autoencoder(self) -> AutoencoderDetector:
+        return AutoencoderDetector(self.autoencoder_config())
+
+    def build_gbrf(self) -> GBRFDetector:
+        return GBRFDetector(self.gbrf_config())
 
     def build_knn(self) -> KNNDetector:
-        config = KNNConfig(n_channels=self.n_channels, seed=self.seed)
-        return KNNDetector(config)
+        return KNNDetector(self.knn_config())
 
     def build_isolation_forest(self) -> IsolationForestDetector:
-        config = IsolationForestConfig(n_channels=self.n_channels, seed=self.seed)
-        return IsolationForestDetector(config)
+        return IsolationForestDetector(self.isolation_forest_config())
+
+    # ------------------------------------------------------------------ #
+    # Bridge to the declarative pipeline
+    # ------------------------------------------------------------------ #
+    def deployment_spec(self, name: str, **spec_kwargs) -> "DeploymentSpec":
+        """The :class:`repro.pipeline.DeploymentSpec` equivalent of one entry.
+
+        ``Pipeline.from_spec(registry.deployment_spec(name)).build_detector()``
+        constructs exactly the detector ``registry.specs([name])[0].build()``
+        would -- same config dataclass, same seed -- so harnesses migrating
+        to the pipeline keep bit-identical scores.  Extra ``spec_kwargs``
+        (``calibration=``, ``quantization=``, ...) are forwarded to the
+        spec.
+        """
+        from dataclasses import asdict
+
+        # Imported lazily: repro.pipeline layers on top of the baselines
+        # package, not the other way around.
+        from ..pipeline import DETECTORS, DeploymentSpec
+        from ..pipeline import DetectorSpec as PipelineDetectorSpec
+
+        if name not in self._BUILDERS:
+            raise KeyError(f"unknown detector names: [{name!r}]")
+        kind = DETECTORS.kind_for_display_name(name)
+        make_configs = getattr(self, self._BUILDERS[name][0])
+        training = None
+        if name == "VARADE":
+            config, training_config = make_configs()
+            training = asdict(training_config)
+        else:
+            config = make_configs()
+        return DeploymentSpec(
+            detector=PipelineDetectorSpec(kind=kind, params=asdict(config),
+                                          training=training),
+            seed=self.seed,
+            **spec_kwargs,
+        )
 
     # ------------------------------------------------------------------ #
     # Collections
@@ -134,12 +216,8 @@ class DetectorRegistry:
     def specs(self, include: Optional[List[str]] = None) -> List[DetectorSpec]:
         """Constructor specs for the requested detectors (default: all six)."""
         constructors: Dict[str, Callable[[], AnomalyDetector]] = {
-            "AR-LSTM": self.build_ar_lstm,
-            "GBRF": self.build_gbrf,
-            "AE": self.build_autoencoder,
-            "kNN": self.build_knn,
-            "Isolation Forest": self.build_isolation_forest,
-            "VARADE": self.build_varade,
+            name: getattr(self, build_attr)
+            for name, (_, build_attr) in self._BUILDERS.items()
         }
         names = list(DETECTOR_NAMES) if include is None else list(include)
         unknown = [name for name in names if name not in constructors]

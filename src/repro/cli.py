@@ -1,0 +1,368 @@
+"""``python -m repro`` -- the reproducible deployment pipeline CLI.
+
+Drives :class:`repro.pipeline.Pipeline` end to end from the command line, so
+an edge deployment is reproducible from one spec file and a handful of
+commands that share a working directory::
+
+    python -m repro train    --spec spec.json --workdir runs/cell-7
+    python -m repro quantize --workdir runs/cell-7
+    python -m repro package  --workdir runs/cell-7
+    python -m repro stream   --workdir runs/cell-7
+    python -m repro bench    --workdir runs/cell-7
+
+Layout of the working directory:
+
+* ``spec.json``        -- the deployment spec (copied/written by ``train``);
+* ``detector/``        -- the fitted + calibrated float artifact;
+* ``detector-int8/``   -- the int8 artifact (written by ``quantize``);
+* ``package/``         -- the final deployable artifact (``package``), int8
+  when one exists, with the spec embedded in its manifest;
+* ``package.fingerprint`` -- the deterministic content fingerprint of the
+  package (:func:`repro.serialize.artifact_fingerprint`).
+
+``train --fast`` uses a built-in tiny synthetic spec (seconds on a laptop
+CPU), which is what the CI smoke job runs on every push.  All stages are
+deterministic in the spec's master ``seed``: re-running ``train`` +
+``package`` from the same spec reproduces the same fingerprint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import shutil
+import sys
+from pathlib import Path
+from typing import Any, List, Optional
+
+import numpy as np
+
+from .pipeline import (CalibrationSpec, DataSpec, DeploymentSpec, DetectorSpec,
+                       Pipeline, PipelineStageError, QuantizationSpec,
+                       RuntimeSpec, SpecError)
+from .serialize import MANIFEST_NAME, SerializationError, artifact_fingerprint
+
+__all__ = ["main", "fast_spec"]
+
+SPEC_NAME = "spec.json"
+FLOAT_ARTIFACT = "detector"
+INT8_ARTIFACT = "detector-int8"
+PACKAGE_DIR = "package"
+FINGERPRINT_NAME = "package.fingerprint"
+
+
+class CLIUsageError(Exception):
+    """A user-facing CLI mistake (missing file/flag); exits 2 like SpecError."""
+
+
+def _drop_stale(workdir: Path, *names: str) -> None:
+    """Remove derived artifacts a stage has just made stale."""
+    for name in names:
+        stale = workdir / name
+        if stale.is_dir():
+            shutil.rmtree(stale)
+            print(f"removed stale {stale}/")
+    (workdir / FINGERPRINT_NAME).unlink(missing_ok=True)
+
+
+def fast_spec(seed: int = 0) -> DeploymentSpec:
+    """The built-in tiny synthetic spec behind ``train --fast``."""
+    return DeploymentSpec(
+        detector=DetectorSpec(
+            kind="varade",
+            params={"n_channels": 4, "window": 16, "base_feature_maps": 4},
+            training={"epochs": 2, "mean_warmup_epochs": 1,
+                      "variance_finetune_epochs": 2, "learning_rate": 3e-3,
+                      "max_train_windows": 150},
+        ),
+        data=DataSpec(source="synthetic",
+                      params={"n_channels": 4, "train_samples": 400,
+                              "test_samples": 400}),
+        calibration=CalibrationSpec(method="quantile", quantile=0.995),
+        runtime=RuntimeSpec(sample_rate_hz=50.0,
+                            devices=("Jetson Xavier NX", "Jetson AGX Orin")),
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------------- #
+def _load_spec(workdir: Path) -> DeploymentSpec:
+    spec_path = workdir / SPEC_NAME
+    if not spec_path.is_file():
+        raise CLIUsageError(
+            f"{spec_path} not found; run `repro train` in this "
+            f"workdir first (or pass --workdir)"
+        )
+    return DeploymentSpec.load(spec_path)
+
+
+def _build_dataset(spec: DeploymentSpec) -> Any:
+    if spec.data is None:
+        raise CLIUsageError(
+            "the spec has no 'data' entry; the CLI stages need one to "
+            "build the training/replay streams"
+        )
+    return spec.data.build(spec.seed)
+
+
+def _serving_artifact(workdir: Path, prefer_package: bool = False) -> Path:
+    """The artifact that deploys.
+
+    ``prefer_package`` picks the packaged directory when one exists (the
+    ``stream``/``bench`` stages replay what was shipped); otherwise the int8
+    artifact wins over the float one.
+    """
+    if prefer_package:
+        package = workdir / PACKAGE_DIR
+        if (package / MANIFEST_NAME).is_file():
+            return package
+    int8 = workdir / INT8_ARTIFACT
+    if (int8 / MANIFEST_NAME).is_file():
+        return int8
+    return workdir / FLOAT_ARTIFACT
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_train(args: argparse.Namespace) -> int:
+    workdir: Path = args.workdir
+    if args.fast:
+        spec = fast_spec(seed=args.seed if args.seed is not None else 0)
+    elif args.spec is not None:
+        if not args.spec.is_file():
+            raise CLIUsageError(f"spec file {args.spec} not found")
+        spec = DeploymentSpec.load(args.spec)
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+    else:
+        raise CLIUsageError("train needs --spec FILE or --fast")
+
+    dataset = _build_dataset(spec)
+    print(f"train: kind={spec.detector.kind} seed={spec.seed} "
+          f"data={spec.data.source} "
+          f"train_samples={np.asarray(dataset.train).shape[0]}")
+    pipeline = Pipeline.from_spec(spec)
+    pipeline.fit(dataset.train)
+    pipeline.calibrate()
+    detector = pipeline.detector
+    assert detector.threshold is not None
+    loss = detector.history.final_loss
+    loss_part = f", final loss {loss}" if loss is not None else ""
+    print(f"train: fitted {detector.name} in "
+          f"{detector.history.wall_time_s:.1f}s{loss_part}, threshold "
+          f"{detector.threshold.threshold:.6g} "
+          f"({detector.threshold.method}, {detector.threshold.parameter})")
+
+    workdir.mkdir(parents=True, exist_ok=True)
+    spec.save(workdir / SPEC_NAME)
+    pipeline.package(workdir / FLOAT_ARTIFACT, overwrite=True)
+    # Derived artifacts from a previous run no longer match the new weights;
+    # drop them so a later `quantize`/`package`/`stream` cannot silently
+    # serve them.
+    _drop_stale(workdir, INT8_ARTIFACT, PACKAGE_DIR)
+    print(f"train: wrote {workdir / SPEC_NAME} and {workdir / FLOAT_ARTIFACT}/")
+    return 0
+
+
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    workdir: Path = args.workdir
+    spec = _load_spec(workdir)
+    if args.headroom is not None:
+        spec = dataclasses.replace(
+            spec, quantization=QuantizationSpec(headroom=args.headroom))
+    elif spec.quantization is None:
+        spec = dataclasses.replace(spec, quantization=QuantizationSpec())
+    pipeline = Pipeline.load(workdir / FLOAT_ARTIFACT)
+    # The refreshed spec may legitimately differ in its quantization (and
+    # other post-training) entries, but training-relevant edits would make
+    # the packaged spec lie about the weights it ships with.
+    for field_name in ("detector", "data", "calibration", "seed"):
+        if getattr(spec, field_name) != getattr(pipeline.spec, field_name):
+            raise CLIUsageError(
+                f"spec.json {field_name!r} differs from the spec the float "
+                f"artifact was trained with; re-run `repro train` before "
+                f"quantizing"
+            )
+    # The loaded artifact may predate the quantization entry; the refreshed
+    # spec governs this stage and is re-saved below.
+    pipeline.spec = spec
+
+    dataset = _build_dataset(spec)
+    try:
+        pipeline.quantize(np.asarray(dataset.train, dtype=np.float64))
+    except NotImplementedError as error:
+        # AnomalyDetector.quantize's feature-test contract: detectors
+        # without a quantizable graph raise NotImplementedError.
+        raise CLIUsageError(
+            f"{pipeline.detector.name} does not support int8 quantization: "
+            f"{error}"
+        ) from error
+    quantized = pipeline.quantized
+    # package() serves the quantized detector once one exists and embeds the
+    # spec -- one packaging code path for both the int8 and final artifacts.
+    pipeline.package(workdir / INT8_ARTIFACT, overwrite=True)
+    # A package built before quantization no longer reflects what should
+    # deploy; drop it so `stream`/`bench` fall back to the fresh int8 artifact.
+    _drop_stale(workdir, PACKAGE_DIR)
+    spec.save(workdir / SPEC_NAME)
+    float_kb = pipeline.detector.inference_cost().parameter_bytes / 1e3
+    int8_kb = quantized.inference_cost().parameter_bytes / 1e3
+    print(f"quantize: {quantized.name} written to {workdir / INT8_ARTIFACT}/ "
+          f"({float_kb:.0f} KB float -> {int8_kb:.0f} KB int8, "
+          f"headroom {spec.quantization.headroom})")
+    return 0
+
+
+def _cmd_package(args: argparse.Namespace) -> int:
+    workdir: Path = args.workdir
+    source = _serving_artifact(workdir)
+    out: Path = args.out if args.out is not None else workdir / PACKAGE_DIR
+    pipeline = Pipeline.load(source)
+    if pipeline.spec.quantization is not None and source.name != INT8_ARTIFACT:
+        # Packaging float weights under a spec that declares int8 would make
+        # the artifact manifest lie about what it ships.
+        raise CLIUsageError(
+            "the spec enables int8 quantization but no quantized artifact "
+            "exists; run `repro quantize` first (or drop the spec's "
+            "'quantization' entry)"
+        )
+    pipeline.package(out, overwrite=True)
+    fingerprint = artifact_fingerprint(out)
+    # The workdir fingerprint file describes the workdir's own package/;
+    # with --out the artifact lives elsewhere, so only print it.
+    if args.out is None:
+        (workdir / FINGERPRINT_NAME).write_text(fingerprint + "\n",
+                                                encoding="utf-8")
+    print(f"package: {source.name} -> {out}/ "
+          f"(serving {pipeline.serving_detector.name})")
+    print(f"package: fingerprint {fingerprint}")
+    return 0
+
+
+def _load_serving_pipeline(workdir: Path) -> Pipeline:
+    """Load what was shipped, warning when spec.json has since been edited.
+
+    The replay stages deliberately run the spec *embedded in the artifact*
+    (that is what deploys); a diverged workdir spec.json means the user
+    edited it without re-running the stages that would apply the edit.
+    """
+    source = _serving_artifact(workdir, prefer_package=True)
+    pipeline = Pipeline.load(source)
+    spec_path = workdir / SPEC_NAME
+    if spec_path.is_file():
+        try:
+            workdir_spec = DeploymentSpec.load(spec_path)
+        except (SpecError, OSError):
+            workdir_spec = None
+        if workdir_spec is not None and workdir_spec != pipeline.spec:
+            print(f"note: {spec_path} differs from the spec embedded in "
+                  f"{source.name}/; replaying the shipped spec (re-run "
+                  f"`repro train`/`quantize`/`package` to apply the edits)",
+                  file=sys.stderr)
+    return pipeline
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    workdir: Path = args.workdir
+    pipeline = _load_serving_pipeline(workdir)
+    dataset = _build_dataset(pipeline.spec)
+    result = pipeline.deploy_stream(dataset.test, labels=dataset.test_labels,
+                                    max_samples=args.max_samples)
+    detected = int(result.alarms[np.asarray(dataset.test_labels) == 1].sum())
+    false_alarms = int(result.alarms[np.asarray(dataset.test_labels) == 0].sum())
+    print(f"stream: {pipeline.serving_detector.name} replayed "
+          f"{result.scores.shape[0]} samples, scored {result.samples_scored} "
+          f"at {result.host_inference_hz:.1f} Hz host rate")
+    print(f"stream: {detected} anomalous samples alarmed, "
+          f"{false_alarms} false alarms, "
+          f"{len(result.adaptation_events)} adaptation events")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    workdir: Path = args.workdir
+    pipeline = _load_serving_pipeline(workdir)
+    dataset = _build_dataset(pipeline.spec)
+    report = pipeline.evaluate(dataset.test, labels=dataset.test_labels)
+    print(f"bench: {report.name} on {pipeline.spec.data.source} data "
+          f"(seed {pipeline.spec.seed})")
+    print(f"bench: AUC-ROC {report.auc_roc:.4f}, "
+          f"AP {report.average_precision:.4f} over "
+          f"{report.samples_scored} scored samples")
+    for device_name, metrics in pipeline.edge_estimates().items():
+        print(f"bench: {device_name}: "
+              f"{metrics.inference_frequency_hz:.1f} Hz, "
+              f"{metrics.power_w:.2f} W, {metrics.ram_mb:.0f} MB RAM")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproducible VARADE deployment pipeline "
+                    "(spec -> train -> quantize -> package -> serve).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workdir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workdir", type=Path, default=Path("runs/default"),
+                       help="pipeline working directory (default: runs/default)")
+
+    train = sub.add_parser("train", help="fit + calibrate per the spec, "
+                                         "save the float artifact")
+    add_workdir(train)
+    source = train.add_mutually_exclusive_group()
+    source.add_argument("--spec", type=Path, help="deployment spec JSON file")
+    source.add_argument("--fast", action="store_true",
+                        help="use the built-in tiny synthetic spec")
+    train.add_argument("--seed", type=int, default=None,
+                       help="override the spec's master seed")
+    train.set_defaults(func=_cmd_train)
+
+    quantize = sub.add_parser("quantize", help="int8-quantize the trained "
+                                               "float artifact")
+    add_workdir(quantize)
+    quantize.add_argument("--headroom", type=float, default=None,
+                          help="activation-range headroom (default: spec's, "
+                               "else 2.0)")
+    quantize.set_defaults(func=_cmd_quantize)
+
+    package = sub.add_parser("package", help="produce the deployable package "
+                                             "(int8 artifact when present)")
+    add_workdir(package)
+    package.add_argument("--out", type=Path, default=None,
+                         help="package output dir (default: WORKDIR/package)")
+    package.set_defaults(func=_cmd_package)
+
+    stream = sub.add_parser("stream", help="replay the spec's test stream "
+                                           "through the streaming runtime")
+    add_workdir(stream)
+    stream.add_argument("--max-samples", type=int, default=None,
+                        help="limit how many samples are scored")
+    stream.set_defaults(func=_cmd_stream)
+
+    bench = sub.add_parser("bench", help="AUC + edge estimates of the "
+                                         "packaged detector")
+    add_workdir(bench)
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return int(args.func(args))
+    except (SpecError, SerializationError, PipelineStageError,
+            CLIUsageError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -181,7 +181,19 @@ def evaluate_detector(detector: AnomalyDetector, dataset: BenchmarkDataset) -> D
 
 def run_full_experiment(config: Optional[ExperimentConfig] = None,
                         dataset: Optional[BenchmarkDataset] = None) -> ExperimentResult:
-    """Run the full evaluation: every detector, every board."""
+    """Run the full evaluation: every detector, every board.
+
+    Detector construction goes through the declarative pipeline
+    (:class:`repro.pipeline.Pipeline` over the registry's
+    :meth:`~repro.baselines.registry.DetectorRegistry.deployment_spec`
+    bridge), so the harness exercises the same front door as the CLI and
+    the examples while producing bit-identical detectors to the legacy
+    ``registry.specs(...)[i].build()`` path.
+    """
+    # Imported here: repro.eval loads before repro.pipeline in the package
+    # __init__, so the pipeline must not be a module-level dependency.
+    from ..pipeline import Pipeline
+
     config = config if config is not None else ExperimentConfig()
     if dataset is None:
         dataset = build_benchmark_dataset(config.dataset)
@@ -197,13 +209,18 @@ def run_full_experiment(config: Optional[ExperimentConfig] = None,
     costs = paper_scale_costs(n_channels=86)
     estimators = {name: EdgeEstimator(get_device(name)) for name in config.devices}
 
+    # Validate every requested name upfront (as registry.specs always did)
+    # so a typo fails before any detector burns training time.
+    deployments = [(name, registry.deployment_spec(name))
+                   for name in config.detectors]
+
     evaluations: List[DetectorEvaluation] = []
-    for spec in registry.specs(list(config.detectors)):
-        detector = spec.build()
+    for name, deployment in deployments:
+        detector = Pipeline.from_spec(deployment).build_detector()
         evaluation = evaluate_detector(detector, dataset)
         for device_name, estimator in estimators.items():
             evaluation.edge[estimator.device.name] = estimator.estimate(
-                costs[spec.name], spec.name, max_rate_hz=config.sensor_rate_hz
+                costs[name], name, max_rate_hz=config.sensor_rate_hz
             )
         evaluations.append(evaluation)
 

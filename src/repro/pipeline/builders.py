@@ -1,0 +1,84 @@
+"""Built-in detector registrations for the deployment pipeline.
+
+Importing this module (which :mod:`repro.pipeline` does) registers VARADE,
+all five baselines and the int8-quantized VARADE on the process-wide
+:data:`~repro.pipeline.registry.DETECTORS` registry.  Each builder maps a
+spec's plain ``params`` mapping onto the detector's config dataclass, so
+unknown hyper-parameter keys fail loudly inside the config's own
+constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..baselines.ar_lstm import ARLSTMConfig, ARLSTMDetector
+from ..baselines.autoencoder import AutoencoderConfig, AutoencoderDetector
+from ..baselines.gbrf import GBRFConfig, GBRFDetector
+from ..baselines.isolation_forest import IsolationForestConfig, IsolationForestDetector
+from ..baselines.knn import KNNConfig, KNNDetector
+from ..core.config import TrainingConfig, VaradeConfig
+from ..core.detector import VaradeDetector
+from ..core.quantized import QuantizedVaradeDetector
+from .registry import DETECTORS
+
+__all__ = ["DETECTOR_KINDS"]
+
+#: spec-buildable kinds in a stable order (the int8 VARADE is a pipeline
+#: product, not a spec kind).
+DETECTOR_KINDS = ("varade", "ar_lstm", "autoencoder", "gbrf", "knn",
+                  "isolation_forest")
+
+Params = Dict[str, Any]
+
+
+@DETECTORS.register("varade", display_name="VARADE", config_cls=VaradeConfig,
+                    detector_cls=VaradeDetector, accepts_training=True)
+def _build_varade(params: Params, training: Optional[Params]) -> VaradeDetector:
+    config = VaradeConfig(**params)
+    return VaradeDetector(config, TrainingConfig(**training)
+                          if training is not None else None)
+
+
+@DETECTORS.register("ar_lstm", display_name="AR-LSTM", config_cls=ARLSTMConfig,
+                    detector_cls=ARLSTMDetector)
+def _build_ar_lstm(params: Params, training: Optional[Params]) -> ARLSTMDetector:
+    return ARLSTMDetector(ARLSTMConfig(**params))
+
+
+@DETECTORS.register("autoencoder", display_name="AE", config_cls=AutoencoderConfig,
+                    detector_cls=AutoencoderDetector)
+def _build_autoencoder(params: Params,
+                       training: Optional[Params]) -> AutoencoderDetector:
+    return AutoencoderDetector(AutoencoderConfig(**params))
+
+
+@DETECTORS.register("gbrf", display_name="GBRF", config_cls=GBRFConfig,
+                    detector_cls=GBRFDetector)
+def _build_gbrf(params: Params, training: Optional[Params]) -> GBRFDetector:
+    return GBRFDetector(GBRFConfig(**params))
+
+
+@DETECTORS.register("knn", display_name="kNN", config_cls=KNNConfig,
+                    detector_cls=KNNDetector)
+def _build_knn(params: Params, training: Optional[Params]) -> KNNDetector:
+    return KNNDetector(KNNConfig(**params))
+
+
+@DETECTORS.register("isolation_forest", display_name="Isolation Forest",
+                    config_cls=IsolationForestConfig,
+                    detector_cls=IsolationForestDetector)
+def _build_isolation_forest(params: Params,
+                            training: Optional[Params]) -> IsolationForestDetector:
+    return IsolationForestDetector(IsolationForestConfig(**params))
+
+
+@DETECTORS.register("varade_int8", display_name="VARADE-int8",
+                    config_cls=VaradeConfig, detector_cls=QuantizedVaradeDetector,
+                    trainable=False)
+def _build_varade_int8(params: Params,
+                       training: Optional[Params]) -> QuantizedVaradeDetector:
+    raise NotImplementedError(
+        "varade_int8 artifacts are produced by Pipeline.quantize(), "
+        "not built from a spec"
+    )  # pragma: no cover - guarded by RegisteredDetector.build

@@ -52,7 +52,17 @@ from .core.quantized import QuantizedVaradeDetector
 from .data.normalization import MinMaxScaler, StandardScaler
 from .nn.quant import QuantizedConv1d, QuantizedForwardPlan, QuantizedLinear
 
-__all__ = ["FORMAT_VERSION", "SerializationError", "save_detector", "load_detector"]
+__all__ = [
+    "FORMAT_VERSION",
+    "SerializationError",
+    "ArtifactNotFoundError",
+    "UnsupportedFormatError",
+    "UnknownDetectorError",
+    "save_detector",
+    "load_detector",
+    "read_manifest",
+    "artifact_fingerprint",
+]
 
 FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
@@ -63,6 +73,18 @@ Arrays = Dict[str, np.ndarray]
 
 class SerializationError(RuntimeError):
     """Raised when a detector cannot be saved or a saved artifact is invalid."""
+
+
+class ArtifactNotFoundError(SerializationError):
+    """``path`` is not a saved-detector directory (manifest or arrays missing)."""
+
+
+class UnsupportedFormatError(SerializationError):
+    """The artifact's manifest declares a format version this build cannot read."""
+
+
+class UnknownDetectorError(SerializationError):
+    """The manifest names a detector class/kind no registry entry covers."""
 
 
 # --------------------------------------------------------------------------- #
@@ -289,18 +311,23 @@ def _scaler_from_state(entry: Optional[dict], arrays: Arrays):
 # --------------------------------------------------------------------------- #
 # Public API
 # --------------------------------------------------------------------------- #
-def save_detector(detector: AnomalyDetector, path, *, overwrite: bool = False) -> Path:
+def save_detector(detector: AnomalyDetector, path, *, overwrite: bool = False,
+                  extra_manifest: Optional[dict] = None) -> Path:
     """Save a fitted detector (weights + config + threshold + scaler) to ``path``.
 
     ``path`` becomes a directory holding ``manifest.json`` and ``arrays.npz``.
     Returns the directory path.  Refuses to overwrite an existing artifact
     unless ``overwrite=True``, and refuses to save unfitted detectors (a
     saved artifact is a deployable unit, not a checkpoint).
+
+    ``extra_manifest`` entries are merged into the manifest verbatim (e.g.
+    the ``deployment_spec`` a :class:`repro.pipeline.Pipeline` packages with
+    its artifact); they may not shadow the reserved manifest keys.
     """
     class_name = type(detector).__name__
     handler = _HANDLERS.get(class_name)
     if handler is None:
-        raise SerializationError(
+        raise UnknownDetectorError(
             f"no serializer registered for {class_name}; known classes: "
             f"{sorted(_HANDLERS)}"
         )
@@ -328,6 +355,14 @@ def save_detector(detector: AnomalyDetector, path, *, overwrite: bool = False) -
         "arrays": sorted(arrays),
     }
     manifest.update(manifest_body)
+    if extra_manifest:
+        clashes = sorted(set(extra_manifest) & set(manifest))
+        if clashes:
+            raise SerializationError(
+                f"extra_manifest entries would shadow reserved manifest "
+                f"keys: {clashes}"
+            )
+        manifest.update(extra_manifest)
 
     target = Path(path)
     if target.exists():
@@ -346,33 +381,71 @@ def save_detector(detector: AnomalyDetector, path, *, overwrite: bool = False) -
     return target
 
 
-def load_detector(path) -> AnomalyDetector:
-    """Load a detector saved by :func:`save_detector`.
+def read_manifest(path) -> dict:
+    """Read and version-check an artifact's ``manifest.json``.
 
-    The returned detector is fitted, carries the saved threshold / scaler /
-    history, and reproduces the saved detector's ``score_windows_batch``
-    bit-identically.
+    Raises :class:`ArtifactNotFoundError` when ``path`` is not a
+    saved-detector directory (distinguishing the missing file in the
+    message) and :class:`UnsupportedFormatError` when the manifest declares
+    a format version this build cannot read.
     """
     source = Path(path)
     manifest_path = source / MANIFEST_NAME
     arrays_path = source / ARRAYS_NAME
-    if not manifest_path.is_file() or not arrays_path.is_file():
-        raise SerializationError(
-            f"{source} is not a saved detector (missing {MANIFEST_NAME} or {ARRAYS_NAME})"
+    if not manifest_path.is_file():
+        raise ArtifactNotFoundError(
+            f"{source} is not a saved detector: {MANIFEST_NAME} is missing "
+            f"(expected a directory produced by save_detector)"
+        )
+    if not arrays_path.is_file():
+        raise ArtifactNotFoundError(
+            f"{source} is not a complete saved detector: {ARRAYS_NAME} is "
+            f"missing next to {MANIFEST_NAME}"
         )
     with open(manifest_path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
+        try:
+            manifest = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise SerializationError(
+                f"{manifest_path} is not valid JSON: {error}"
+            ) from error
 
     version = manifest.get("format_version")
     if version != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported format version {version!r} (this build reads "
-            f"version {FORMAT_VERSION})"
+        raise UnsupportedFormatError(
+            f"unsupported format version {version!r} in {manifest_path} "
+            f"(this build reads version {FORMAT_VERSION}); re-save the "
+            f"detector with this version of repro"
         )
+    return manifest
+
+
+def load_detector(path, *, manifest: Optional[dict] = None) -> AnomalyDetector:
+    """Load a detector saved by :func:`save_detector`.
+
+    The returned detector is fitted, carries the saved threshold / scaler /
+    history, and reproduces the saved detector's ``score_windows_batch``
+    bit-identically.  Callers that already hold the artifact's manifest
+    (from :func:`read_manifest`) can pass it to skip re-reading the file.
+
+    Error paths are distinct: :class:`ArtifactNotFoundError` for a missing
+    or incomplete artifact directory, :class:`UnsupportedFormatError` for an
+    unknown manifest format version and :class:`UnknownDetectorError` for a
+    detector class no registry entry covers -- all subclasses of
+    :class:`SerializationError`, so existing ``except`` sites keep working.
+    """
+    source = Path(path)
+    if manifest is None:
+        manifest = read_manifest(source)
+    arrays_path = source / ARRAYS_NAME
+
     class_name = manifest.get("detector_class")
     handler = _HANDLERS.get(class_name)
     if handler is None:
-        raise SerializationError(f"unknown detector class {class_name!r} in manifest")
+        raise UnknownDetectorError(
+            f"unknown detector class {class_name!r} in manifest; this build "
+            f"can restore: {sorted(_HANDLERS)}"
+        )
 
     with np.load(arrays_path, allow_pickle=False) as payload:
         arrays = {name: payload[name] for name in payload.files}
@@ -390,3 +463,31 @@ def load_detector(path) -> AnomalyDetector:
     detector.scaler = _scaler_from_state(manifest.get("scaler"), arrays)
     detector._mark_fitted()
     return detector
+
+
+def artifact_fingerprint(path) -> str:
+    """Deterministic sha256 fingerprint of a saved artifact's content.
+
+    Hashes the manifest (minus the wall-clock training time, the one field
+    that legitimately differs between two otherwise identical training runs)
+    plus every array's name, dtype, shape and exact bytes.  Two pipeline
+    runs from the same :class:`repro.pipeline.DeploymentSpec` produce the
+    same fingerprint -- the determinism contract enforced by
+    ``tests/test_pipeline/test_determinism.py``.  The npz file itself is not
+    hashed directly because zip archives embed timestamps.
+    """
+    import hashlib
+
+    source = Path(path)
+    manifest = read_manifest(source)
+    manifest.get("history", {}).pop("wall_time_s", None)
+    digest = hashlib.sha256()
+    digest.update(json.dumps(manifest, sort_keys=True).encode("utf-8"))
+    with np.load(source / ARRAYS_NAME, allow_pickle=False) as payload:
+        for name in sorted(payload.files):
+            array = payload[name]
+            digest.update(name.encode("utf-8"))
+            digest.update(str(array.dtype).encode("utf-8"))
+            digest.update(str(array.shape).encode("utf-8"))
+            digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,112 @@
+"""Seed plumbing: one master seed -> bit-identical packaged artifacts.
+
+The determinism contract of the deployment pipeline: running the same
+DeploymentSpec twice -- fresh detector, fresh training run, fresh packaging
+-- produces artifacts with identical content fingerprints
+(:func:`repro.serialize.artifact_fingerprint` hashes the manifest minus the
+wall-clock training time plus every array bit).  This is what makes a spec
+file a reproducible description of a deployment rather than a hint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (DataSpec, DeploymentSpec, DetectorSpec, Pipeline,
+                            QuantizationSpec)
+from repro.serialize import artifact_fingerprint
+
+DATA = DataSpec(source="synthetic", params={"n_channels": 4,
+                                            "train_samples": 200,
+                                            "test_samples": 120})
+
+
+def _spec(kind: str, seed: int = 0) -> DeploymentSpec:
+    params = {
+        "varade": {"n_channels": 4, "window": 8, "base_feature_maps": 2},
+        "knn": {"n_channels": 4, "max_reference_points": 60},
+        "isolation_forest": {"n_channels": 4, "n_estimators": 8,
+                             "max_samples": 32},
+        "gbrf": {"n_channels": 4, "window": 8, "n_estimators": 3,
+                 "context_samples": 2, "max_train_windows": 60},
+    }[kind]
+    training = {"epochs": 1, "mean_warmup_epochs": 1,
+                "variance_finetune_epochs": 1, "max_train_windows": 60} \
+        if kind == "varade" else None
+    return DeploymentSpec(
+        detector=DetectorSpec(kind=kind, params=params, training=training),
+        data=DATA,
+        quantization=QuantizationSpec() if kind == "varade" else None,
+        seed=seed,
+    )
+
+
+def _package(spec: DeploymentSpec, path) -> str:
+    pipeline = Pipeline.from_spec(spec)
+    report = pipeline.run()
+    assert report.threshold is not None
+    pipeline.package(path)
+    return artifact_fingerprint(path)
+
+
+@pytest.mark.parametrize("kind", ["varade", "knn", "isolation_forest", "gbrf"])
+def test_same_spec_same_artifact_fingerprint(tmp_path, kind):
+    """Same spec -> bit-identical packaged artifact, across detector families
+    (neural + quantized, neighbour, isolation trees, boosted trees)."""
+    spec = _spec(kind)
+    first = _package(spec, tmp_path / "first")
+    second = _package(DeploymentSpec.from_json(spec.to_json()),
+                      tmp_path / "second")
+    assert first == second
+
+
+def test_different_seed_changes_the_artifact(tmp_path):
+    base = _package(_spec("varade", seed=0), tmp_path / "seed0")
+    other = _package(_spec("varade", seed=1), tmp_path / "seed1")
+    assert base != other
+
+
+def test_master_seed_reaches_detector_and_training_configs():
+    """DeploymentSpec.seed lands in every stage's config unless pinned."""
+    varade = Pipeline.from_spec(_spec("varade", seed=7)).build_detector()
+    assert varade.training.seed == 7
+    knn = Pipeline.from_spec(_spec("knn", seed=7)).build_detector()
+    assert knn.config.seed == 7
+    forest = Pipeline.from_spec(_spec("isolation_forest", seed=7)).build_detector()
+    assert forest.config.seed == 7
+
+
+def test_explicit_seed_in_params_wins_over_master_seed():
+    spec = DeploymentSpec(
+        detector=DetectorSpec(kind="knn",
+                              params={"n_channels": 4, "seed": 3}),
+        seed=7,
+    )
+    assert Pipeline.from_spec(spec).build_detector().config.seed == 3
+
+
+def test_master_seed_reaches_the_data_builder():
+    spec = _spec("knn", seed=11)
+    dataset = spec.data.build(spec.seed)
+    again = spec.data.build(spec.seed)
+    assert dataset.seed == 11
+    assert np.array_equal(dataset.train, again.train)
+    assert np.array_equal(dataset.test, again.test)
+
+
+def test_fingerprint_ignores_wall_clock_but_not_weights(tmp_path):
+    """Two runs differ only in wall_time_s; the fingerprint must not see it."""
+    import json
+
+    spec = _spec("knn")
+    _package(spec, tmp_path / "a")
+    manifest_path = tmp_path / "a" / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    before = artifact_fingerprint(tmp_path / "a")
+
+    manifest["history"]["wall_time_s"] = 123.456
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    assert artifact_fingerprint(tmp_path / "a") == before
+
+    manifest["window"] = 999   # any real manifest field must change the hash
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    assert artifact_fingerprint(tmp_path / "a") != before

@@ -1,0 +1,94 @@
+"""The string-keyed, decorator-based detector registry."""
+
+import pytest
+
+from repro.baselines.knn import KNNConfig, KNNDetector
+from repro.core.config import VaradeConfig
+from repro.core.detector import VaradeDetector
+from repro.core.quantized import QuantizedVaradeDetector
+from repro.pipeline import DETECTOR_KINDS, DETECTORS, DetectorRegistry
+from repro.serialize import UnknownDetectorError
+
+
+def test_all_seven_kinds_registered():
+    assert set(DETECTORS.kinds()) == set(DETECTOR_KINDS) | {"varade_int8"}
+    for kind in DETECTOR_KINDS:
+        assert kind in DETECTORS
+
+
+def test_display_names_cover_the_study():
+    names = {DETECTORS.get(kind).display_name for kind in DETECTOR_KINDS}
+    assert names == {"VARADE", "AR-LSTM", "AE", "GBRF", "kNN",
+                     "Isolation Forest"}
+
+
+def test_build_constructs_the_registered_class():
+    detector = DETECTORS.build("knn", {"n_channels": 3})
+    assert isinstance(detector, KNNDetector)
+    assert isinstance(detector.config, KNNConfig)
+
+    varade = DETECTORS.build("varade", {"n_channels": 3, "window": 8,
+                                        "base_feature_maps": 2},
+                             {"epochs": 1})
+    assert isinstance(varade, VaradeDetector)
+    assert varade.training.epochs == 1
+
+
+def test_unknown_kind_raises_descriptive_error():
+    with pytest.raises(UnknownDetectorError, match="no_such_kind"):
+        DETECTORS.get("no_such_kind")
+    with pytest.raises(UnknownDetectorError, match="registered kinds"):
+        DETECTORS.build("no_such_kind", {})
+
+
+def test_training_config_rejected_for_kinds_without_one():
+    with pytest.raises(ValueError, match="training config"):
+        DETECTORS.build("knn", {"n_channels": 3}, {"epochs": 5})
+
+
+def test_int8_kind_is_inference_only():
+    entry = DETECTORS.get("varade_int8")
+    assert not entry.trainable
+    with pytest.raises(UnknownDetectorError, match="inference-only"):
+        DETECTORS.build("varade_int8", {})
+
+
+def test_kind_for_reverse_lookup():
+    assert DETECTORS.kind_for(DETECTORS.build("knn", {"n_channels": 2})) == "knn"
+    varade = VaradeDetector(VaradeConfig(n_channels=2, window=8,
+                                         base_feature_maps=2))
+    assert DETECTORS.kind_for(varade) == "varade"
+    assert QuantizedVaradeDetector is DETECTORS.get("varade_int8").detector_cls
+
+    class NotRegistered:
+        pass
+
+    with pytest.raises(UnknownDetectorError, match="NotRegistered"):
+        DETECTORS.kind_for(NotRegistered())
+
+
+def test_kind_for_display_name():
+    assert DETECTORS.kind_for_display_name("VARADE") == "varade"
+    assert DETECTORS.kind_for_display_name("Isolation Forest") == "isolation_forest"
+    with pytest.raises(UnknownDetectorError, match="Foo"):
+        DETECTORS.kind_for_display_name("Foo")
+
+
+def test_duplicate_registration_rejected():
+    registry = DetectorRegistry()
+
+    @registry.register("custom", config_cls=KNNConfig, detector_cls=KNNDetector)
+    def _build(params, training):
+        return KNNDetector(KNNConfig(**params))
+
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register("custom", config_cls=KNNConfig,
+                          detector_cls=KNNDetector)(_build)
+
+
+@pytest.mark.parametrize("bad_kind", ["", "Mixed-Case", "has space", "UPPER"])
+def test_malformed_kind_keys_rejected(bad_kind):
+    registry = DetectorRegistry()
+    with pytest.raises(ValueError, match="lower_snake_case"):
+        registry.register(bad_kind, config_cls=KNNConfig,
+                          detector_cls=KNNDetector)

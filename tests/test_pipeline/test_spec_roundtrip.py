@@ -1,0 +1,194 @@
+"""DeploymentSpec JSON round-trips: every detector kind, strict parsing."""
+
+import pytest
+
+from repro.pipeline import (AdaptationSpec, CalibrationSpec, DataSpec,
+                            DeploymentSpec, DetectorSpec, QuantizationSpec,
+                            RuntimeSpec, SpecError)
+
+#: representative params per spec-buildable kind (all six study detectors).
+KIND_PARAMS = {
+    "varade": {"n_channels": 4, "window": 16, "base_feature_maps": 4,
+               "kl_weight": 0.2},
+    "ar_lstm": {"n_channels": 4, "window": 8, "hidden_size": 8,
+                "num_layers": 1, "fc_size": 16},
+    "autoencoder": {"n_channels": 4, "window": 16, "base_feature_maps": 4,
+                    "n_blocks": 4},
+    "gbrf": {"n_channels": 4, "window": 8, "n_estimators": 5,
+             "context_samples": 2},
+    "knn": {"n_channels": 4, "n_neighbors": 3, "max_reference_points": 50},
+    "isolation_forest": {"n_channels": 4, "n_estimators": 10,
+                         "max_samples": 32},
+}
+
+
+def _full_spec(kind: str) -> DeploymentSpec:
+    training = {"epochs": 2, "learning_rate": 1e-3} if kind == "varade" else None
+    return DeploymentSpec(
+        detector=DetectorSpec(kind=kind, params=dict(KIND_PARAMS[kind]),
+                              training=training),
+        data=DataSpec(source="synthetic", params={"n_channels": 4,
+                                                  "train_samples": 200}),
+        calibration=CalibrationSpec(method="mad", mad_factor=4.0),
+        quantization=QuantizationSpec(headroom=3.0),
+        adaptation=AdaptationSpec(detector="two_window",
+                                  detector_params={"reference_size": 64,
+                                                   "current_size": 16},
+                                  cooldown=200, reservoir_guard=None),
+        runtime=RuntimeSpec(sample_rate_hz=100.0, max_samples=500,
+                            devices=("Jetson Xavier NX",)),
+        seed=42,
+    )
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_PARAMS))
+def test_round_trip_equality_all_kinds(kind):
+    spec = _full_spec(kind)
+    restored = DeploymentSpec.from_json(spec.to_json())
+    assert restored == spec
+    # And a second hop stays stable (canonical form).
+    assert DeploymentSpec.from_json(restored.to_json()) == restored
+
+
+def test_round_trip_preserves_optional_none_entries():
+    spec = DeploymentSpec(detector=DetectorSpec(kind="knn",
+                                                params={"n_channels": 2}))
+    restored = DeploymentSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert restored.quantization is None
+    assert restored.adaptation is None
+    assert restored.data is None
+    assert restored.detector.training is None
+
+
+def test_runtime_devices_tuple_survives_json_list():
+    spec = _full_spec("varade")
+    restored = DeploymentSpec.from_json(spec.to_json())
+    assert isinstance(restored.runtime.devices, tuple)
+    assert restored.runtime.devices == ("Jetson Xavier NX",)
+
+
+def test_save_load_file_round_trip(tmp_path):
+    spec = _full_spec("gbrf")
+    path = tmp_path / "spec.json"
+    spec.save(path)
+    assert DeploymentSpec.load(path) == spec
+
+
+# --------------------------------------------------------------------------- #
+# Strict parsing
+# --------------------------------------------------------------------------- #
+def test_unknown_top_level_key_rejected():
+    payload = _full_spec("varade").to_dict()
+    payload["detector_kind"] = "varade"
+    with pytest.raises(SpecError, match="detector_kind"):
+        DeploymentSpec.from_dict(payload)
+
+
+@pytest.mark.parametrize("section", ["detector", "calibration", "quantization",
+                                     "adaptation", "runtime", "data"])
+def test_unknown_nested_key_rejected(section):
+    payload = _full_spec("varade").to_dict()
+    payload[section]["bogus_knob"] = 1
+    with pytest.raises(SpecError, match="bogus_knob"):
+        DeploymentSpec.from_dict(payload)
+
+
+def test_missing_detector_rejected():
+    with pytest.raises(SpecError, match="detector"):
+        DeploymentSpec.from_dict({"seed": 1})
+
+
+def test_non_integer_seed_rejected():
+    payload = _full_spec("varade").to_dict()
+    payload["seed"] = "7"
+    with pytest.raises(SpecError, match="seed"):
+        DeploymentSpec.from_dict(payload)
+
+
+def test_invalid_json_text_rejected():
+    with pytest.raises(SpecError, match="JSON"):
+        DeploymentSpec.from_json("{not json")
+
+
+def test_invalid_sub_config_values_rejected():
+    with pytest.raises(SpecError, match="calibration.method"):
+        CalibrationSpec(method="percentile")
+    with pytest.raises(SpecError, match="headroom"):
+        QuantizationSpec(headroom=0.5)
+    with pytest.raises(SpecError, match="adaptation.detector"):
+        AdaptationSpec(detector="adwin")
+    with pytest.raises(SpecError, match="sample_rate"):
+        RuntimeSpec(sample_rate_hz=0.0)
+    with pytest.raises(SpecError, match="data.source"):
+        DataSpec(source="csv")
+    with pytest.raises(SpecError, match="kind"):
+        DetectorSpec(kind="")
+
+
+def test_detector_params_unknown_hyperparameter_fails_at_build():
+    """Unknown keys inside params surface as a SpecError naming the kind."""
+    from repro.pipeline import Pipeline
+
+    spec = DeploymentSpec(detector=DetectorSpec(
+        kind="knn", params={"n_channels": 2, "bogus": 1}))
+    import numpy as np
+
+    with pytest.raises(SpecError, match="'knn'.*bogus"):
+        Pipeline.from_spec(spec).fit(np.zeros((50, 2)))
+
+
+def test_non_mapping_params_rejected_at_parse_time():
+    """params/training/detector_params must be mappings, caught eagerly."""
+    with pytest.raises(SpecError, match="detector.params"):
+        DetectorSpec(kind="knn", params="oops")
+    with pytest.raises(SpecError, match="detector.training"):
+        DetectorSpec(kind="varade", training=[1, 2])
+    with pytest.raises(SpecError, match="data.params"):
+        DataSpec(params="oops")
+    with pytest.raises(SpecError, match="adaptation.detector_params"):
+        AdaptationSpec(detector_params="oops")
+
+
+def test_typoed_builder_kwargs_surface_as_spec_errors():
+    """Typos inside data.params / adaptation.detector_params -> SpecError."""
+    with pytest.raises(SpecError, match="train_sample"):
+        DataSpec(params={"train_sample": 400}).build(seed=0)
+    with pytest.raises(SpecError, match="delta_typo"):
+        AdaptationSpec(detector_params={"delta_typo": 0.1})
+
+
+def test_out_of_range_builder_kwargs_surface_as_spec_errors():
+    """Out-of-range values (plain ValueError underneath) -> SpecError."""
+    with pytest.raises(SpecError, match="data.params"):
+        DataSpec(params={"train_samples": -5}).build(seed=0)
+    with pytest.raises(SpecError, match="detector_params"):
+        AdaptationSpec(detector_params={"threshold": -1.0})
+
+
+def test_runtime_devices_validated_at_parse_time():
+    """A bare string or unknown device name fails parsing, not `bench`."""
+    with pytest.raises(SpecError, match="list of edge device names"):
+        RuntimeSpec(devices="Jetson AGX Orin")
+    with pytest.raises(SpecError, match="Jetson Nano"):
+        RuntimeSpec(devices=("Jetson Nano",))
+    spec = RuntimeSpec(devices=["Jetson AGX Orin", "Jetson Xavier NX"])
+    assert spec.devices == ("Jetson AGX Orin", "Jetson Xavier NX")
+
+
+def test_calibration_and_adaptation_ranges_validated_eagerly():
+    """Out-of-range numeric fields fail at spec parse, not after training."""
+    with pytest.raises(SpecError, match="calibration.quantile"):
+        CalibrationSpec(quantile=1.5)
+    with pytest.raises(SpecError, match="mad_factor"):
+        CalibrationSpec(method="mad", mad_factor=0.0)
+    with pytest.raises(SpecError, match="reservoir_size"):
+        AdaptationSpec(reservoir_size=8)
+    with pytest.raises(SpecError, match="min_reservoir"):
+        AdaptationSpec(reservoir_size=64, min_reservoir=128)
+    with pytest.raises(SpecError, match="confirm_samples"):
+        AdaptationSpec(confirm_samples=2)
+    with pytest.raises(SpecError, match="cooldown"):
+        AdaptationSpec(cooldown=-1)
+    with pytest.raises(SpecError, match="reservoir_guard"):
+        AdaptationSpec(reservoir_guard=1.0)

@@ -1,0 +1,104 @@
+"""load_detector error-path hardening: distinct, descriptive exceptions.
+
+Each failure mode raises its own exception class -- all subclasses of
+:class:`repro.serialize.SerializationError`, so pre-existing ``except``
+sites keep working -- with a message that names the offending path/field.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNConfig, KNNDetector
+from repro.serialize import (ArtifactNotFoundError, SerializationError,
+                             UnknownDetectorError, UnsupportedFormatError,
+                             load_detector, read_manifest, save_detector)
+
+
+@pytest.fixture()
+def artifact(tmp_path):
+    detector = KNNDetector(KNNConfig(n_channels=2, max_reference_points=30))
+    detector.fit(np.random.default_rng(0).normal(size=(60, 2)))
+    return save_detector(detector, tmp_path / "artifact")
+
+
+def _edit_manifest(artifact, **changes):
+    manifest_path = artifact / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest.update(changes)
+    manifest_path.write_text(json.dumps(manifest))
+
+
+def test_missing_directory_raises_artifact_not_found(tmp_path):
+    missing = tmp_path / "never-saved"
+    with pytest.raises(ArtifactNotFoundError, match="manifest.json is missing"):
+        load_detector(missing)
+
+
+def test_missing_manifest_raises_artifact_not_found(artifact):
+    (artifact / "manifest.json").unlink()
+    with pytest.raises(ArtifactNotFoundError, match="manifest.json"):
+        load_detector(artifact)
+
+
+def test_missing_arrays_raises_artifact_not_found_naming_the_file(artifact):
+    (artifact / "arrays.npz").unlink()
+    with pytest.raises(ArtifactNotFoundError, match="arrays.npz"):
+        load_detector(artifact)
+
+
+def test_unknown_format_version_raises_unsupported_format(artifact):
+    _edit_manifest(artifact, format_version=99)
+    with pytest.raises(UnsupportedFormatError, match="99"):
+        load_detector(artifact)
+
+
+def test_missing_format_version_raises_unsupported_format(artifact):
+    manifest_path = artifact / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    del manifest["format_version"]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(UnsupportedFormatError, match="None"):
+        load_detector(artifact)
+
+
+def test_registry_unknown_detector_kind_raises_unknown_detector(artifact):
+    _edit_manifest(artifact, detector_class="FrobnicatorDetector")
+    with pytest.raises(UnknownDetectorError, match="FrobnicatorDetector"):
+        load_detector(artifact)
+
+
+def test_corrupt_manifest_json_raises_serialization_error(artifact):
+    (artifact / "manifest.json").write_text("{not valid json")
+    with pytest.raises(SerializationError, match="not valid JSON"):
+        load_detector(artifact)
+
+
+def test_all_error_classes_subclass_serialization_error():
+    for cls in (ArtifactNotFoundError, UnsupportedFormatError,
+                UnknownDetectorError):
+        assert issubclass(cls, SerializationError)
+
+
+def test_read_manifest_happy_path_returns_the_manifest(artifact):
+    manifest = read_manifest(artifact)
+    assert manifest["detector_class"] == "KNNDetector"
+    assert manifest["format_version"] == 1
+
+
+def test_save_unregistered_class_raises_unknown_detector(tmp_path):
+    class HomemadeDetector:
+        name = "homemade"
+        _fitted = True
+
+    with pytest.raises(UnknownDetectorError, match="HomemadeDetector"):
+        save_detector(HomemadeDetector(), tmp_path / "nope")
+
+
+def test_extra_manifest_cannot_shadow_reserved_keys(tmp_path):
+    detector = KNNDetector(KNNConfig(n_channels=2, max_reference_points=30))
+    detector.fit(np.random.default_rng(0).normal(size=(60, 2)))
+    with pytest.raises(SerializationError, match="reserved"):
+        save_detector(detector, tmp_path / "clash",
+                      extra_manifest={"window": 5})
