@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""End-to-end serving smoke: package an artifact, serve it, alarm over TCP.
+
+The flow CI's ``serve-smoke`` job runs on every push (and ``scripts/
+verify.sh`` runs locally):
+
+1. ``repro train --fast`` + ``repro package`` build a tiny deployable
+   artifact in a scratch workdir;
+2. ``repro serve`` starts the line-JSON TCP server on an ephemeral port
+   (the bound port lands in a port file -- a race-free handshake);
+3. a :class:`repro.serve.TCPClient` opens a session, replays the spec's
+   own synthetic test split (which contains seeded anomalies), and asserts
+   that at least one alarm comes back over the wire;
+4. the client asks the server to shut down and the script asserts a clean
+   exit.
+
+Run directly::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [workdir]
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+SERVER_STARTUP_TIMEOUT_S = 60.0
+SERVER_EXIT_TIMEOUT_S = 30.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing \
+        else src + os.pathsep + existing
+    return env
+
+
+def run_cli(*args: str) -> None:
+    subprocess.run([sys.executable, "-m", "repro", *args], check=True,
+                   cwd=REPO, env=_env())
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cli import fast_spec
+    from repro.serve import TCPClient
+
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    print(f"serve-smoke: workdir {workdir}")
+    run_cli("train", "--fast", "--workdir", str(workdir))
+    run_cli("package", "--workdir", str(workdir))
+
+    port_file = workdir / "port"
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workdir", str(workdir),
+         "--port", "0", "--port-file", str(port_file),
+         "--max-delay-ms", "2", "--max-seconds", "120"],
+        cwd=REPO, env=_env(),
+    )
+    try:
+        deadline = time.monotonic() + SERVER_STARTUP_TIMEOUT_S
+        while not port_file.is_file():
+            if server.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early with code {server.returncode}")
+            if time.monotonic() > deadline:
+                raise RuntimeError("server did not come up in time")
+            time.sleep(0.2)
+        port = int(port_file.read_text().strip())
+        print(f"serve-smoke: server listening on port {port}")
+
+        spec = fast_spec()
+        dataset = spec.data.build(spec.seed)
+        stream = np.asarray(dataset.test)[:250]
+        with TCPClient(port=port) as client:
+            assert client.ping()["ok"]
+            opened = client.open("smoke-1")
+            assert opened["threshold"] is not None, \
+                "packaged artifact should carry a calibrated threshold"
+            client.push_stream("smoke-1", stream)
+            summary = client.close_stream("smoke-1")
+            print(f"serve-smoke: pushed {summary['samples_pushed']}, "
+                  f"scored {summary['samples_scored']}, "
+                  f"{len(client.alarms)} alarms")
+            assert summary["samples_scored"] > 0, "nothing was scored"
+            assert summary["samples_dropped"] == 0, "windows were dropped"
+            assert client.alarms, \
+                "expected at least one alarm from the seeded anomalies"
+            stats = client.stats()
+            assert stats["live_sessions"] == 0
+            assert client.shutdown()["ok"]
+
+        code = server.wait(timeout=SERVER_EXIT_TIMEOUT_S)
+        assert code == 0, f"server exited with {code}"
+        print("serve-smoke: clean shutdown, OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

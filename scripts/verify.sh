@@ -41,6 +41,11 @@ if [[ "$mode" != "--benchmarks-only" ]]; then
     python -m repro package --workdir "$smoke_dir" >/dev/null
     python -m repro stream --workdir "$smoke_dir" >/dev/null
     echo "CLI smoke: OK"
+
+    echo
+    echo "== serve smoke: package -> repro serve -> TCP alarm -> shutdown =="
+    python scripts/serve_smoke.py >/dev/null
+    echo "serve smoke: OK"
 fi
 
 if [[ "$mode" != "--tier1-only" && "$mode" != "--fast" ]]; then

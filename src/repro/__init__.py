@@ -17,6 +17,9 @@ scratch on top of numpy:
   threshold recalibration for the streaming runtimes;
 * :mod:`repro.edge` -- Jetson device models, metric estimation, streaming
   runtime;
+* :mod:`repro.serve` -- the async serving API: per-stream scoring sessions,
+  latency-budgeted micro-batched inference, the asyncio/TCP
+  :class:`~repro.serve.AnomalyService` front door (``repro serve``);
 * :mod:`repro.eval` -- AUC-ROC and friends, the Table-2 / Figure-3 experiment
   harness, ablations and reporting;
 * :mod:`repro.serialize` -- versioned save/load of fitted detectors (npz
@@ -30,7 +33,7 @@ scratch on top of numpy:
 
 __version__ = "0.1.0"
 
-from . import baselines, core, data, drift, edge, eval, neighbors, nn, robot, trees
+from . import baselines, core, data, drift, edge, eval, neighbors, nn, robot, serve, trees
 from .core import TrainingConfig, VaradeConfig, VaradeDetector
 from .data import DatasetConfig, build_benchmark_dataset
 from .eval import ExperimentConfig, run_full_experiment
@@ -54,6 +57,7 @@ __all__ = [
     "pipeline",
     "robot",
     "serialize",
+    "serve",
     "trees",
     "load_detector",
     "save_detector",

@@ -9,6 +9,7 @@ commands that share a working directory::
     python -m repro package  --workdir runs/cell-7
     python -m repro stream   --workdir runs/cell-7
     python -m repro bench    --workdir runs/cell-7
+    python -m repro serve    --workdir runs/cell-7 --port 7007
 
 Layout of the working directory:
 
@@ -39,7 +40,7 @@ import numpy as np
 
 from .pipeline import (CalibrationSpec, DataSpec, DeploymentSpec, DetectorSpec,
                        Pipeline, PipelineStageError, QuantizationSpec,
-                       RuntimeSpec, SpecError)
+                       RuntimeSpec, ServiceSpec, SpecError)
 from .serialize import MANIFEST_NAME, SerializationError, artifact_fingerprint
 
 __all__ = ["main", "fast_spec"]
@@ -79,6 +80,7 @@ def fast_spec(seed: int = 0) -> DeploymentSpec:
                       params={"n_channels": 4, "train_samples": 400,
                               "test_samples": 400}),
         calibration=CalibrationSpec(method="quantile", quantile=0.995),
+        service=ServiceSpec(max_batch=16, max_delay_ms=5.0),
         runtime=RuntimeSpec(sample_rate_hz=50.0,
                             devices=("Jetson Xavier NX", "Jetson AGX Orin")),
         seed=seed,
@@ -282,6 +284,73 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the packaged artifact over line-JSON TCP (``repro serve``)."""
+    import asyncio
+
+    from .serve import AnomalyTCPServer, ServiceConfig
+
+    workdir: Path = args.workdir
+    pipeline = _load_serving_pipeline(workdir)
+    service_spec = pipeline.spec.service
+    overrides = {}
+    for name in ("max_batch", "max_delay_ms", "max_queue", "backpressure"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    if service_spec is not None:
+        config = service_spec.config(**overrides)
+    else:
+        config = ServiceConfig(**overrides)
+    host = args.host if args.host is not None else \
+        (service_spec.host if service_spec is not None else "127.0.0.1")
+    port = args.port if args.port is not None else \
+        (service_spec.port if service_spec is not None else 7007)
+
+    service = pipeline.deploy_service(config=config)
+    server = AnomalyTCPServer(service, host=host, port=port)
+    detector = pipeline.serving_detector
+    threshold = getattr(detector, "threshold", None)
+    print(f"serve: {detector.name} (window {detector.window}, threshold "
+          f"{'none' if threshold is None else format(threshold.threshold, '.6g')}) "
+          f"batch<= {config.max_batch}, delay<= {config.max_delay_ms}ms, "
+          f"queue<= {config.max_queue} [{config.backpressure}]")
+
+    async def _serve() -> None:
+        ready: "asyncio.Event" = asyncio.Event()
+        task = asyncio.create_task(
+            server.serve_forever(port_file=args.port_file, ready=ready))
+        # Wait for the listener OR an early failure (e.g. the port is taken):
+        # waiting on `ready` alone would hang forever on a bind error.
+        ready_task = asyncio.create_task(ready.wait())
+        try:
+            await asyncio.wait({task, ready_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            ready_task.cancel()
+        if task.done():
+            await task        # propagate the startup failure
+            return
+        print(f"serve: listening on {host}:{server.bound_port} "
+              f"(line-delimited JSON; ops: open/push/close/stats/ping/shutdown)",
+              flush=True)
+        if args.max_seconds is not None:
+            async def _deadline() -> None:
+                await asyncio.sleep(args.max_seconds)
+                server.request_stop()
+            asyncio.create_task(_deadline())
+        await task
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        raise CLIUsageError(f"cannot serve on {host}:{port}: {error}") from error
+    print("serve: stopped")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     workdir: Path = args.workdir
     pipeline = _load_serving_pipeline(workdir)
@@ -351,6 +420,32 @@ def _build_parser() -> argparse.ArgumentParser:
                                          "packaged detector")
     add_workdir(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser("serve", help="serve the packaged detector over "
+                                         "line-JSON TCP (repro.serve)")
+    add_workdir(serve)
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: spec's service.host, "
+                            "else 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port, 0 = ephemeral (default: spec's "
+                            "service.port, else 7007)")
+    serve.add_argument("--port-file", type=Path, default=None,
+                       help="write the bound port to this file once listening")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="micro-batch size bound (default: spec's, else 32)")
+    serve.add_argument("--max-delay-ms", type=float, default=None,
+                       help="latency budget before a partial batch flushes "
+                            "(default: spec's, else 5.0)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="per-session pending-window bound "
+                            "(default: spec's, else 256)")
+    serve.add_argument("--backpressure", default=None,
+                       choices=("block", "drop_oldest", "reject"),
+                       help="full-queue policy (default: spec's, else block)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="stop the server after this long (smoke flows)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

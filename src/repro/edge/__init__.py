@@ -20,14 +20,23 @@ sample from one stream per call to
 latency measurement and optional threshold alarms.
 
 :class:`MultiStreamRuntime` (:mod:`repro.edge.fleet`) is the batched
-multi-tenant engine: it advances N concurrent
-:class:`~repro.data.streaming.StreamReader` replays in lockstep, keeps every
-rolling context window in one ``(n_streams, window, channels)`` ring buffer,
-and scores one gathered batch per tick through
+lockstep replay engine: it advances N concurrent
+:class:`~repro.data.streaming.StreamReader` replays one sample per tick and
+scores one coalesced batch per tick through
 :meth:`~repro.core.detector.AnomalyDetector.score_windows_batch`.  It emits
 one :class:`StreamingResult` per stream -- bit-identical scores to the
 sequential runtime, NaN prefix included -- plus aggregate
-:class:`FleetStats` (samples/sec, per-batch latencies, batch sizes).
+:class:`FleetStats` (samples/sec, per-batch latencies, batch sizes, and
+streaming p50/p95/p99 latency / batch-occupancy histograms).
+
+Both runtimes are thin drivers over the session-based serving core in
+:mod:`repro.serve` (per-stream :class:`~repro.serve.ScoringSession` state
+machines plus the :class:`~repro.serve.MicroBatcher` scheduler), which is
+also where *new* serving code should go: :class:`~repro.serve.AnomalyService`
+serves dynamically created sessions at unaligned push rates with
+latency-budgeted micro-batching, an asyncio/TCP front door and explicit
+backpressure -- ``MultiStreamRuntime`` is kept as a deprecated replay shim
+(see the migration table in the :mod:`repro.serve` docstring).
 
 Typical fleet usage::
 
@@ -102,7 +111,8 @@ on the seeded drift scenarios of :func:`repro.data.build_drift_scenario`.
 from .device import DEVICES, EdgeDeviceSpec, JETSON_AGX_ORIN, JETSON_XAVIER_NX, get_device
 from .estimator import EdgeEstimator, EdgeMetrics
 from .fleet import FleetResult, FleetStats, MultiStreamRuntime
-from .monitor import BoardMonitor, MetricSample, MonitoringSession
+from .monitor import (BoardMonitor, MetricSample, MonitoringSession,
+                      StreamingHistogram)
 from .runtime import StreamingResult, StreamingRuntime
 
 __all__ = [
@@ -116,6 +126,7 @@ __all__ = [
     "BoardMonitor",
     "MetricSample",
     "MonitoringSession",
+    "StreamingHistogram",
     "FleetResult",
     "FleetStats",
     "MultiStreamRuntime",

@@ -1,35 +1,44 @@
-"""Batched multi-stream inference: one detector serving N concurrent streams.
+"""Batched multi-stream replay: a synchronous driver over ``repro.serve``.
 
-:class:`repro.edge.runtime.StreamingRuntime` reproduces the paper's edge test
-script faithfully -- one sample from one stream per call -- but a deployment
-that monitors a fleet of robot cells cannot afford a separate Python call,
-graph-free forward and per-call overhead for every stream.
-:class:`MultiStreamRuntime` multiplexes N concurrent
-:class:`~repro.data.streaming.StreamReader` replays in lockstep: at every
-tick it advances each live stream by one sample, maintains all rolling
-context windows in a single ``(n_streams, window, channels)`` ring buffer,
-gathers the full windows into one batch, and scores them with a single
-:meth:`~repro.core.detector.AnomalyDetector.score_windows_batch` call.
+.. deprecated::
+    :class:`MultiStreamRuntime` predates the session-based serving API and
+    is kept as a thin replay shim.  New serving code should use
+    :mod:`repro.serve` -- :class:`~repro.serve.ScoringSession` +
+    :class:`~repro.serve.MicroBatcher` for synchronous drivers, or
+    :class:`~repro.serve.AnomalyService` for push-based async serving --
+    which this class is now implemented on top of (see the migration table
+    in the :mod:`repro.serve` docstring).
 
-Semantics are identical to running :class:`StreamingRuntime` once per
-stream -- the same NaN prefix before the window fills, the same
-``scores_current_sample`` alignment, the same ``max_samples`` budget and the
-same thresholded alarms -- but the per-call overhead is amortised across the
-whole fleet, which is where small-model edge throughput comes from.  The
-parity suite (``tests/test_edge/test_fleet_parity.py``) checks the scores
-are bit-identical for every detector in the study;
-``benchmarks/bench_fleet_throughput.py`` measures the speed-up.
+:class:`repro.edge.runtime.StreamingRuntime` reproduces the paper's edge
+test script faithfully -- one sample from one stream per call.
+:class:`MultiStreamRuntime` replays N recordings *in lockstep*: at every
+tick it advances each live stream by one sample, submits every full window
+to a shared :class:`~repro.serve.MicroBatcher`, and flushes once -- one
+:meth:`~repro.core.detector.AnomalyDetector.score_windows_batch` call per
+tick for the whole fleet.  Semantics are identical to running
+:class:`StreamingRuntime` once per stream -- the same NaN prefix before
+the window fills, the same ``scores_current_sample`` alignment, the same
+``max_samples`` budget, the same thresholded alarms and per-stream drift
+adaptation lanes -- and a stream that ends mid-run simply drains out of
+the batch while the rest keep scoring.  The parity suite
+(``tests/test_edge/test_fleet_parity.py``) checks the scores are
+bit-identical for every detector in the study.
 
-Latency accounting: one batched call scores several streams at once, so each
-scored sample is charged an equal share (``batch wall-clock / batch size``)
-of its call in the per-stream :class:`StreamingResult.latencies_s`; the
-unsplit per-call numbers are kept in :attr:`FleetStats.batch_latencies_s`.
+Latency accounting: one batched call scores several streams at once, so
+each scored sample is charged an equal share (``batch wall-clock / batch
+size``) of its call in the per-stream
+:class:`StreamingResult.latencies_s`; the unsplit per-call numbers are
+kept in :attr:`FleetStats.batch_latencies_s`, and
+:attr:`FleetStats.latency_histogram` / :attr:`FleetStats.occupancy_histogram`
+summarise enqueue-to-score latency and batch fill as streaming
+p50/p95/p99 (no full-trace retention -- the same telemetry an unbounded
+:class:`~repro.serve.AnomalyService` reports).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -38,6 +47,7 @@ from ..core.calibration import CalibratedThreshold
 from ..core.detector import AnomalyDetector
 from ..data.streaming import StreamReader
 from ..drift.policy import AdaptationPolicy
+from .monitor import StreamingHistogram
 from .runtime import StreamingResult, resolve_threshold
 
 __all__ = ["FleetStats", "FleetResult", "MultiStreamRuntime"]
@@ -54,6 +64,13 @@ class FleetStats:
     scoring_time_s: float          # wall clock inside score_windows_batch calls
     batch_sizes: np.ndarray        # rows per batched scoring call
     batch_latencies_s: np.ndarray  # wall clock per batched scoring call
+    #: streaming enqueue-to-score latency summary (p50/p95/p99 without
+    #: retaining the trace); populated by the micro-batcher.
+    latency_histogram: Optional[StreamingHistogram] = field(default=None,
+                                                            repr=False)
+    #: streaming batch-occupancy summary (rows per flush).
+    occupancy_histogram: Optional[StreamingHistogram] = field(default=None,
+                                                              repr=False)
 
     @property
     def samples_per_second(self) -> float:
@@ -67,6 +84,20 @@ class FleetStats:
     @property
     def mean_batch_size(self) -> float:
         return float(self.batch_sizes.mean()) if self.batch_sizes.size else 0.0
+
+    @property
+    def latency_p99_s(self) -> float:
+        """p99 enqueue-to-score latency (nan when nothing was scored)."""
+        if self.latency_histogram is None:
+            return float("nan")
+        return self.latency_histogram.p99
+
+    @property
+    def occupancy_p50(self) -> float:
+        """Median rows per batched scoring call (nan without flushes)."""
+        if self.occupancy_histogram is None:
+            return float("nan")
+        return self.occupancy_histogram.p50
 
 
 @dataclass
@@ -87,31 +118,35 @@ class FleetResult:
 
 
 class MultiStreamRuntime:
-    """Run one fitted detector over N concurrent streams with batched scoring.
+    """Replay N recordings through one detector with batched scoring.
 
-    Streams may have different lengths; a stream that ends simply drops out
-    of the batch while the rest keep going.  All streams must share the
-    detector's channel count.
+    .. deprecated::
+        Kept as a synchronous replay shim over the session-based serving
+        core; prefer :class:`repro.serve.AnomalyService` for new serving
+        code (the :mod:`repro.serve` docstring has the migration table).
+
+    Streams may have different lengths; a stream that ends mid-run drains
+    and closes while the rest keep going (its ended session simply stops
+    submitting windows).  All streams must share the detector's channel
+    count.
 
     Any detector honouring the ``score_windows_batch`` contract serves the
     fleet, including the int8 drop-ins produced by
-    :meth:`~repro.core.detector.AnomalyDetector.quantize` -- quantized fleet
-    serving is just ``MultiStreamRuntime(detector.quantize(calibration))``.
-    When no explicit ``threshold`` is passed, the detector's own calibrated
+    :meth:`~repro.core.detector.AnomalyDetector.quantize`.  When no
+    explicit ``threshold`` is passed, the detector's own calibrated
     threshold (if any) drives the alarms; the fallback is resolved at
-    :meth:`run` time, so a threshold calibrated after the runtime was built
-    is still picked up.
+    :meth:`run` time, so a threshold calibrated after the runtime was
+    built is still picked up.
 
-    An optional :class:`~repro.drift.AdaptationPolicy` gives every stream an
-    *independent* adaptation lane: the policy mints one
-    :class:`~repro.drift.AdaptationState` per stream, so drift confirmed in
-    one robot cell recalibrates only that cell's threshold while the rest of
-    the fleet stays frozen.  Alarm semantics match the single-stream
-    runtime: a sample is classified with the threshold in effect before the
-    sample was observed, adaptations apply from the next tick, and a stream
-    in which no drift is confirmed scores and alarms bit-identically to the
-    non-adaptive engine.  Per-stream events land on
-    :attr:`StreamingResult.adaptation_events`.
+    An optional :class:`~repro.drift.AdaptationPolicy` gives every stream
+    an *independent* adaptation lane (one
+    :class:`~repro.drift.AdaptationState` per session), so drift confirmed
+    in one robot cell recalibrates only that cell's threshold while the
+    rest of the fleet stays frozen.  Alarm semantics match the
+    single-stream runtime: a sample is classified with the threshold in
+    effect before the sample was observed, adaptations apply from the next
+    tick, and a stream in which no drift is confirmed scores and alarms
+    bit-identically to the non-adaptive engine.
     """
 
     def __init__(self, detector: AnomalyDetector,
@@ -134,6 +169,9 @@ class MultiStreamRuntime:
         ``max_samples`` limits how many samples are scored *per stream* (the
         same budget :meth:`StreamingRuntime.run` applies to its one stream).
         """
+        from ..serve.batcher import MicroBatcher
+        from ..serve.session import ScoringSession
+
         readers = list(readers)
         if not readers:
             raise ValueError("MultiStreamRuntime needs at least one stream")
@@ -144,111 +182,64 @@ class MultiStreamRuntime:
                     f"all streams must share one channel count: "
                     f"got {reader.n_channels} and {n_channels}"
                 )
-        window = self.detector.window
         n_streams = len(readers)
-        lengths = np.array([reader.n_samples for reader in readers], dtype=np.int64)
-        max_length = int(lengths.max())
+        lengths = [reader.n_samples for reader in readers]
+        max_length = max(lengths)
         data = [reader.data for reader in readers]
 
-        scores = [np.full(int(length), np.nan) for length in lengths]
-        alarms = [np.zeros(int(length), dtype=np.int64) for length in lengths]
-        latencies: List[List[float]] = [[] for _ in range(n_streams)]
-        scored = np.zeros(n_streams, dtype=np.int64)
+        sessions = [
+            ScoringSession(
+                self.detector,
+                stream_id=f"stream-{stream}",
+                threshold=self.threshold,
+                adaptation=self.adaptation,
+                max_samples=max_samples,
+                record=True,
+            )
+            for stream in range(n_streams)
+        ]
+        # One batch per lockstep tick: every live stream submits at most one
+        # window, then a single flush scores them all.  The latency budget
+        # never fires (the driver flushes explicitly), and the per-session
+        # queues never exceed one entry, so backpressure is irrelevant here.
+        batcher = MicroBatcher(
+            self.detector,
+            max_batch=n_streams,
+            max_delay_ms=0.0,
+            max_queue=1,
+            record_batches=True,
+        )
 
-        # One ring buffer for the whole fleet.  Streams push in lockstep, so
-        # a single write slot cursor serves every live stream; rows of ended
-        # streams go stale but are never scored again.
-        ring = np.zeros((n_streams, window, n_channels))
-        slots = np.arange(window)
-        scores_current = self.detector.scores_current_sample
-        resolved = self._resolve_threshold()
-        threshold = None if resolved is None else resolved.threshold
-        adapters = None
-        if self.adaptation is not None:
-            # One independent adaptation lane per stream: drift in one cell
-            # must not recalibrate its neighbours.
-            adapters = [self.adaptation.start(resolved) for _ in range(n_streams)]
-        traces = None
-        if resolved is not None:
-            traces = [np.full(int(length), np.nan) for length in lengths]
-
-        batch_sizes: List[int] = []
-        batch_latencies: List[float] = []
-        scoring_time = 0.0
-        pushes = 0
         wall_start = time.perf_counter()
         for tick in range(max_length):
-            active = np.flatnonzero(lengths > tick)
-            samples = np.stack([data[stream][tick] for stream in active])
-            if scores_current:
-                # Window-state detectors (VARADE, AE) include the newest
-                # sample in the context they score.
-                ring[active, pushes % window] = samples
-                filled = pushes + 1
-            else:
-                filled = pushes
-            if filled >= window:
-                if max_samples is None:
-                    in_budget = np.arange(active.size)
-                else:
-                    in_budget = np.flatnonzero(scored[active] < max_samples)
-                if in_budget.size:
-                    stream_ids = active[in_budget]
-                    # Gather every full window oldest-first from the ring.
-                    oldest = filled % window
-                    order = slots if oldest == 0 else np.concatenate(
-                        [slots[oldest:], slots[:oldest]]
-                    )
-                    batch_windows = ring[stream_ids[:, None], order[None, :], :]
-                    batch_targets = samples[in_budget]
-                    start = time.perf_counter()
-                    batch_scores = self.detector.score_windows_batch(
-                        batch_windows, batch_targets
-                    )
-                    elapsed = time.perf_counter() - start
-                    scoring_time += elapsed
-                    batch_sizes.append(int(stream_ids.size))
-                    batch_latencies.append(elapsed)
-                    per_row = elapsed / stream_ids.size
-                    for row, stream in enumerate(stream_ids):
-                        value = float(batch_scores[row])
-                        scores[stream][tick] = value
-                        if adapters is not None:
-                            current = adapters[stream].threshold.threshold
-                            alarms[stream][tick] = int(value > current)
-                            traces[stream][tick] = current
-                            adapters[stream].observe(tick, value,
-                                                     raw=batch_targets[row])
-                        elif threshold is not None:
-                            alarms[stream][tick] = int(value > threshold)
-                            traces[stream][tick] = threshold
-                        latencies[stream].append(per_row)
-                        scored[stream] += 1
-            if not scores_current:
-                ring[active, pushes % window] = samples
-            pushes += 1
+            for stream in range(n_streams):
+                if lengths[stream] > tick:
+                    request = sessions[stream].submit(data[stream][tick])
+                    if request is not None:
+                        batcher.enqueue(request)
+                elif not sessions[stream].closed:
+                    # Lockstep-exhaustion handling: a finished stream closes
+                    # its session and drops out of the batch while the rest
+                    # of the fleet keeps scoring.
+                    sessions[stream].close()
+            batcher.flush()
+        for session in sessions:
+            session.close()
         wall_time = time.perf_counter() - wall_start
 
         results = [
-            StreamingResult(
-                detector=self.detector.name,
-                scores=scores[stream],
-                labels=readers[stream].labels.copy(),
-                alarms=alarms[stream],
-                latencies_s=np.asarray(latencies[stream]),
-                samples_scored=int(scored[stream]),
-                adaptation_events=adapters[stream].events if adapters is not None else [],
-                threshold_trace=None if traces is None else traces[stream],
-            )
-            for stream in range(n_streams)
+            session.result(labels=reader.labels)
+            for session, reader in zip(sessions, readers)
         ]
         stats = FleetStats(
             n_streams=n_streams,
             ticks=max_length,
-            samples_scored=int(scored.sum()),
+            samples_scored=batcher.scored,
             wall_time_s=wall_time,
-            scoring_time_s=scoring_time,
-            batch_sizes=np.asarray(batch_sizes, dtype=np.int64),
-            batch_latencies_s=np.asarray(batch_latencies),
+            scoring_time_s=batcher.scoring_time_s,
+            batch_sizes=np.asarray(batcher.batch_sizes, dtype=np.int64),
+            batch_latencies_s=np.asarray(batcher.batch_latencies_s),
+            latency_histogram=batcher.queue_delay_histogram,
+            occupancy_histogram=batcher.occupancy_histogram,
         )
         return FleetResult(results=results, stats=stats)

@@ -1,4 +1,4 @@
-"""Board-metric monitoring (jetson-stats substitute).
+"""Board-metric monitoring (jetson-stats substitute) and streaming histograms.
 
 The paper samples board metrics with the jetson-stats library while each
 detector runs, then reports the mean over the run (and over a 6-minute idle
@@ -6,19 +6,184 @@ window as the baseline).  :class:`BoardMonitor` reproduces that measurement
 chain on top of the analytical device model: given the estimated operating
 point of a detector it synthesises a time series of noisy metric samples (as
 a real monitor would observe) and reduces them to the same mean statistics.
+
+:class:`StreamingHistogram` is the long-run telemetry companion: a
+fixed-bin histogram that summarises per-sample latencies and batch
+occupancies as p50/p95/p99 without retaining the full trace, so an
+always-on serving process (:mod:`repro.serve`) can report tail latency over
+millions of samples in constant memory.  :class:`repro.edge.FleetStats`
+carries one for its batch latencies and one for its batch occupancies.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .device import EdgeDeviceSpec
 from .estimator import EdgeMetrics
 
-__all__ = ["MetricSample", "MonitoringSession", "BoardMonitor"]
+__all__ = ["MetricSample", "MonitoringSession", "BoardMonitor",
+           "StreamingHistogram"]
+
+
+class StreamingHistogram:
+    """Fixed-bin streaming histogram with quantile estimates.
+
+    Values are counted into pre-declared bins (ascending ``edges``); values
+    below the first or above the last edge land in open-ended overflow bins.
+    Memory is ``O(n_bins)`` regardless of how many values are added -- the
+    point of the class: an always-on serving loop can keep p99 latency over
+    an unbounded run without retaining the trace.  Exact minimum, maximum,
+    count and sum are tracked alongside, so :meth:`quantile` can clamp its
+    in-bin interpolation to the observed range (a histogram fed a single
+    value reports that value for every quantile).
+
+    Use :meth:`log_spaced` for latencies (relative resolution across six
+    decades) and :meth:`linear` for bounded counts such as batch occupancy.
+    """
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        edges = np.asarray(edges, dtype=np.float64)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ValueError("edges must be a 1-D sequence of at least 2 values")
+        if not np.all(np.diff(edges) > 0):
+            raise ValueError("edges must be strictly increasing")
+        self.edges = edges
+        # counts[0] underflows below edges[0]; counts[-1] overflows above
+        # edges[-1]; counts[i] covers [edges[i-1], edges[i]).
+        self._counts = np.zeros(edges.size + 1, dtype=np.int64)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- constructors ----------------------------------------------------- #
+    @classmethod
+    def log_spaced(cls, low: float = 1e-6, high: float = 10.0,
+                   bins_per_decade: int = 20) -> "StreamingHistogram":
+        """Logarithmic bins from ``low`` to ``high`` (latency-style range)."""
+        if low <= 0 or high <= low:
+            raise ValueError("need 0 < low < high for log-spaced edges")
+        if bins_per_decade < 1:
+            raise ValueError("bins_per_decade must be at least 1")
+        decades = math.log10(high / low)
+        n_edges = max(int(round(decades * bins_per_decade)) + 1, 2)
+        return cls(np.logspace(math.log10(low), math.log10(high), n_edges))
+
+    @classmethod
+    def linear(cls, low: float, high: float, n_bins: int) -> "StreamingHistogram":
+        """``n_bins`` equal-width bins across ``[low, high]`` (occupancy-style)."""
+        if n_bins < 1:
+            raise ValueError("n_bins must be at least 1")
+        return cls(np.linspace(low, high, n_bins + 1))
+
+    # -- ingestion -------------------------------------------------------- #
+    def add(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            return
+        self._counts[int(np.searchsorted(self.edges, value, side="right"))] += 1
+        self._count += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram with identical edges into this one."""
+        if not np.array_equal(self.edges, other.edges):
+            raise ValueError("cannot merge histograms with different edges")
+        self._counts += other._counts
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- statistics ------------------------------------------------------- #
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile by interpolating inside the hit bin.
+
+        The estimate is exact to within one bin width (one log-step for
+        :meth:`log_spaced` histograms) and clamped to the exact observed
+        ``[min, max]`` range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return float("nan")
+        rank = q * self._count
+        cumulative = np.cumsum(self._counts)
+        bin_index = int(np.searchsorted(cumulative, rank, side="left"))
+        previous = cumulative[bin_index - 1] if bin_index > 0 else 0
+        in_bin = self._counts[bin_index]
+        # Bin support, with the open overflow bins pinned to the exact
+        # observed extrema.
+        low = self.edges[bin_index - 1] if bin_index > 0 else self._min
+        high = self.edges[bin_index] if bin_index < self.edges.size else self._max
+        if in_bin > 0:
+            fraction = (rank - previous) / in_bin
+            value = low + fraction * (high - low)
+        else:
+            value = low
+        return float(min(max(value, self._min), self._max))
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> Dict[str, float]:
+        """The monitoring tuple the serving benchmark and stats report."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    def nonzero_bins(self) -> List[Tuple[float, float, int]]:
+        """``(low, high, count)`` for every populated bin (debug/reporting)."""
+        rows: List[Tuple[float, float, int]] = []
+        for index, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            low = self.edges[index - 1] if index > 0 else -math.inf
+            high = self.edges[index] if index < self.edges.size else math.inf
+            rows.append((float(low), float(high), int(count)))
+        return rows
 
 
 @dataclass(frozen=True)

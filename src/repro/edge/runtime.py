@@ -16,7 +16,6 @@ estimates translate the workload onto the Jetson device envelopes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -24,7 +23,7 @@ import numpy as np
 
 from ..core.calibration import CalibratedThreshold
 from ..core.detector import AnomalyDetector
-from ..data.streaming import RollingWindow, StreamReader
+from ..data.streaming import StreamReader
 from ..drift.policy import AdaptationEvent, AdaptationPolicy
 
 __all__ = ["StreamingResult", "StreamingRuntime", "resolve_threshold"]
@@ -126,52 +125,23 @@ class StreamingRuntime:
         ``max_samples`` limits how many samples are scored (after the context
         window fills), which keeps latency measurements cheap for the slower
         detectors.
+
+        Implemented as the inline-scoring spelling of a
+        :class:`repro.serve.ScoringSession` -- the same window/threshold/
+        adaptation state machine that serves the micro-batched
+        :class:`~repro.serve.AnomalyService`, so the sequential and served
+        paths cannot drift apart.
         """
-        n_samples = reader.n_samples
-        scores = np.full(n_samples, np.nan)
-        alarms = np.zeros(n_samples, dtype=np.int64)
-        latencies: List[float] = []
-        window = RollingWindow(self.detector.window, reader.n_channels)
+        from ..serve.session import ScoringSession
 
-        scored = 0
-        scores_current = self.detector.scores_current_sample
-        threshold = self._resolve_threshold()
-        adapter = None
-        trace = None
-        if self.adaptation is not None:
-            adapter = self.adaptation.start(threshold)
-        if threshold is not None:
-            trace = np.full(n_samples, np.nan)
-        for sample in reader:
-            if scores_current:
-                # Window-state detectors (VARADE, AE) include the newest sample
-                # in the context they score.
-                window.push(sample.values)
-            if window.is_full and (max_samples is None or scored < max_samples):
-                context = window.as_array()
-                start = time.perf_counter()
-                score = self.detector.score_window(context, sample.values)
-                latencies.append(time.perf_counter() - start)
-                scores[sample.index] = score
-                if adapter is not None:
-                    current = adapter.threshold.threshold
-                    alarms[sample.index] = int(score > current)
-                    trace[sample.index] = current
-                    adapter.observe(sample.index, score, raw=sample.values)
-                elif threshold is not None:
-                    alarms[sample.index] = int(score > threshold.threshold)
-                    trace[sample.index] = threshold.threshold
-                scored += 1
-            if not scores_current:
-                window.push(sample.values)
-
-        return StreamingResult(
-            detector=self.detector.name,
-            scores=scores,
-            labels=reader.labels.copy(),
-            alarms=alarms,
-            latencies_s=np.asarray(latencies),
-            samples_scored=scored,
-            adaptation_events=adapter.events if adapter is not None else [],
-            threshold_trace=trace,
+        session = ScoringSession(
+            self.detector,
+            stream_id="stream-0",
+            threshold=self.threshold,
+            adaptation=self.adaptation,
+            max_samples=max_samples,
+            record=True,
         )
+        for sample in reader:
+            session.push(sample.values)
+        return session.result(labels=reader.labels)

@@ -49,7 +49,8 @@ from .pipeline import (DetectorReport, Pipeline, PipelineReport,
                        PipelineStageError, run_pipeline)
 from .registry import DETECTORS, DetectorRegistry, RegisteredDetector
 from .spec import (AdaptationSpec, CalibrationSpec, DataSpec, DeploymentSpec,
-                   DetectorSpec, QuantizationSpec, RuntimeSpec, SpecError)
+                   DetectorSpec, QuantizationSpec, RuntimeSpec, ServiceSpec,
+                   SpecError)
 
 __all__ = [
     "DETECTOR_KINDS",
@@ -62,6 +63,7 @@ __all__ = [
     "CalibrationSpec",
     "QuantizationSpec",
     "AdaptationSpec",
+    "ServiceSpec",
     "RuntimeSpec",
     "DeploymentSpec",
     "Pipeline",

@@ -317,6 +317,32 @@ class Pipeline:
             max_samples = self.spec.runtime.max_samples
         return runtime.run(readers, max_samples=max_samples)
 
+    def deploy_service(self, config: Optional[Any] = None,
+                       record_sessions: bool = False):
+        """Build the :class:`repro.serve.AnomalyService` for this deployment.
+
+        The serving detector (int8 when one exists), its calibrated
+        threshold, ``spec.adaptation`` (one independent lane per session)
+        and ``spec.service`` (micro-batcher sizing, backpressure policy,
+        scaler application) configure the service; an explicit ``config``
+        (:class:`repro.serve.ServiceConfig`) overrides the spec section.
+        The service is returned un-started -- ``await service.start()`` (or
+        use it as an async context manager) from the hosting event loop.
+        ``repro serve`` wraps it in the line-JSON TCP server.
+        """
+        from ..serve import AnomalyService, ServiceConfig
+
+        if config is None:
+            if self.spec.service is not None:
+                config = self.spec.service.config(
+                    record_sessions=record_sessions)
+            else:
+                config = ServiceConfig(record_sessions=record_sessions)
+        adaptation = None if self.spec.adaptation is None \
+            else self.spec.adaptation.policy()
+        return AnomalyService(self.serving_detector, config=config,
+                              adaptation=adaptation)
+
     def edge_estimates(self) -> Dict[str, Any]:
         """Analytical edge-board metrics for ``spec.runtime.devices``."""
         from ..edge.device import get_device

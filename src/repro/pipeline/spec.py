@@ -32,6 +32,7 @@ __all__ = [
     "CalibrationSpec",
     "QuantizationSpec",
     "AdaptationSpec",
+    "ServiceSpec",
     "RuntimeSpec",
     "DeploymentSpec",
 ]
@@ -256,6 +257,61 @@ class AdaptationSpec:
 
 
 @dataclass(frozen=True)
+class ServiceSpec:
+    """Serving-API settings (presence enables ``Pipeline.deploy_service``).
+
+    Mirrors :class:`repro.serve.ServiceConfig` -- micro-batcher sizing
+    (``max_batch`` windows per flush, ``max_delay_ms`` latency budget),
+    per-session queue bound (``max_queue``) with its ``backpressure``
+    policy, and the TCP endpoint (``host``/``port``; port ``0`` binds an
+    ephemeral port) the ``repro serve`` CLI listens on.  ``apply_scaler``
+    makes sessions normalise raw pushed samples with the artifact's
+    training scaler.
+    """
+
+    max_batch: int = 32
+    max_delay_ms: float = 5.0
+    max_queue: int = 256
+    backpressure: str = "block"
+    apply_scaler: bool = False
+    host: str = "127.0.0.1"
+    port: int = 7007
+
+    def __post_init__(self) -> None:
+        # Run ServiceConfig's own validation (one source of truth for the
+        # batcher knobs) so a bad spec fails at parse time, not when the
+        # service starts; ValueErrors are re-raised as SpecErrors with the
+        # spec-section prefix.
+        try:
+            self.config()
+        except ValueError as error:
+            raise SpecError(f"invalid service entry: {error}") from error
+        if not isinstance(self.max_batch, int) \
+                or not isinstance(self.max_queue, int):
+            raise SpecError("service.max_batch and service.max_queue must "
+                            "be integers")
+        if not isinstance(self.host, str) or not self.host:
+            raise SpecError("service.host must be a non-empty string")
+        if not isinstance(self.port, int) or isinstance(self.port, bool) \
+                or not 0 <= self.port <= 65535:
+            raise SpecError("service.port must be an integer in [0, 65535]")
+
+    def config(self, **overrides: Any) -> "ServiceConfig":
+        """Build the runtime :class:`repro.serve.ServiceConfig`."""
+        from ..serve import ServiceConfig
+
+        kwargs: Dict[str, Any] = {
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_ms,
+            "max_queue": self.max_queue,
+            "backpressure": self.backpressure,
+            "apply_scaler": self.apply_scaler,
+        }
+        kwargs.update(overrides)
+        return ServiceConfig(**kwargs)
+
+
+@dataclass(frozen=True)
 class RuntimeSpec:
     """Streaming/fleet replay settings and optional edge-board estimates."""
 
@@ -322,7 +378,9 @@ class DeploymentSpec:
     (``data``, optional when datasets are passed in explicitly), the
     threshold calibration rule (``calibration``), optional int8 quantization
     (``quantization``), optional online drift adaptation (``adaptation``),
-    stream-replay/fleet settings (``runtime``) and the master ``seed``.
+    optional serving-API settings (``service``, consumed by
+    ``Pipeline.deploy_service`` and ``repro serve``), stream-replay/fleet
+    settings (``runtime``) and the master ``seed``.
     """
 
     detector: DetectorSpec
@@ -330,6 +388,7 @@ class DeploymentSpec:
     calibration: CalibrationSpec = field(default_factory=CalibrationSpec)
     quantization: Optional[QuantizationSpec] = None
     adaptation: Optional[AdaptationSpec] = None
+    service: Optional[ServiceSpec] = None
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
     seed: int = 0
 
@@ -341,6 +400,7 @@ class DeploymentSpec:
         ("calibration", CalibrationSpec, False),
         ("quantization", QuantizationSpec, True),
         ("adaptation", AdaptationSpec, True),
+        ("service", ServiceSpec, True),
         ("runtime", RuntimeSpec, False),
     )
 
@@ -416,3 +476,4 @@ if TYPE_CHECKING:  # pragma: no cover - hints for type checkers only
     from ..core.calibration import ThresholdCalibrator
     from ..drift.detectors import DriftDetector
     from ..drift.policy import AdaptationPolicy
+    from ..serve import ServiceConfig

@@ -1,0 +1,98 @@
+"""Async serving API: session-based ingestion with micro-batched scoring.
+
+VARADE's pitch is real-time multivariate anomaly detection on the edge; a
+production deployment of it is a *service*: many streams, unaligned and
+bursty sample arrival, sessions that come and go, one small model that
+should spend its time in batched inference rather than per-call Python
+overhead.  :mod:`repro.serve` is that serving layer, built from three
+pieces that compose:
+
+* :class:`ScoringSession` -- the per-stream handle.  Owns the stream's
+  rolling context window, (optional) input scaler, resolved alarm
+  threshold and an independent drift-adaptation lane;
+  ``push(sample) -> Optional[Alarm]`` scores inline, while the
+  ``submit``/``complete`` halves let a scheduler batch the scoring.
+  Sessions are created and closed dynamically -- no fixed fleet.
+* :class:`MicroBatcher` -- the latency-budgeted scheduler.  Coalesces the
+  windows pending across *all* live sessions into one
+  :meth:`~repro.core.detector.AnomalyDetector.score_windows_batch` call,
+  flushing on ``max_batch`` or ``max_delay_ms``, with bounded per-session
+  queues and an explicit backpressure policy (``"block"`` /
+  ``"drop_oldest"`` / ``"reject"``).
+* :class:`AnomalyService` -- the asyncio front door
+  (``await service.push(stream_id, sample)``,
+  ``async for alarm in service.alarms()``), plus a line-delimited JSON
+  TCP server/client pair (:class:`AnomalyTCPServer`, :class:`TCPClient`)
+  so out-of-process producers can stream samples in.  Wired into the
+  pipeline as :meth:`repro.pipeline.Pipeline.deploy_service` and the CLI
+  as ``repro serve``.
+
+Everything downstream of a session is bit-identical to the sequential
+:class:`repro.edge.StreamingRuntime` path -- scores, alarms, NaN warm-up
+prefix and adaptation events -- because batched scoring is batch-invariant
+(the PR-1 parity contract) and sessions enforce per-stream completion
+order.  ``tests/test_serve/`` holds the whole stack to that;
+``benchmarks/bench_service_throughput.py`` measures the micro-batching
+win at 32 unaligned streams.
+
+Migrating from ``MultiStreamRuntime``
+-------------------------------------
+
+:class:`repro.edge.MultiStreamRuntime` is now a thin synchronous driver
+over sessions + batcher and is kept as a deprecated replay shim.  New
+serving code should target the service API:
+
+==============================================  =============================================
+``MultiStreamRuntime`` (lockstep replay)         :class:`AnomalyService` (push-based serving)
+==============================================  =============================================
+fixed fleet: all readers at ``run(...)``         ``open_session`` / ``close_session`` any time
+every stream ticks together                      each stream pushes at its own rate
+one batch per lockstep tick                      micro-batch per ``max_batch``/``max_delay_ms``
+stream end stalls nothing, but fleet must        finished sessions drain and close while
+be re-run to add a stream                        the rest keep scoring
+results after the whole replay                   ``async for alarm in service.alarms()``
+``threshold=`` / ``adaptation=`` per run         same knobs, per service (lane per session)
+``FleetStats`` arrays after the run              ``service.stats()`` histograms, live
+==============================================  =============================================
+
+Choosing a backpressure policy
+------------------------------
+
+* ``"block"`` (default) -- never lose a sample; producers slow down to the
+  scoring rate.  Right for replay/ETL ingestion and anywhere completeness
+  beats freshness.
+* ``"drop_oldest"`` -- bounded staleness; the newest window always gets
+  scored.  Right for live dashboards and alerting on the *current* state,
+  where scoring a sample from three seconds ago is worthless.
+* ``"reject"`` -- push back explicitly (:class:`QueueFullError`; the TCP
+  server replies ``ok: false``).  Right when the producer can buffer or
+  downsample itself and needs to know it should.
+
+``max_delay_ms`` is the latency budget: the oldest pending window is never
+older than that when its batch is scored (the service benchmark asserts
+p99 enqueue-to-score latency stays under it).  ``max_batch`` caps how much
+work one flush does; at 32 small-model windows per call the per-call
+Python overhead is already well amortised.
+"""
+
+from .batcher import BACKPRESSURE_POLICIES, MicroBatcher, QueueFullError
+from .service import AnomalyService, ServiceConfig, ServiceStats
+from .session import (Alarm, ScoredSample, ScoringSession, SessionClosedError,
+                      WindowRequest)
+from .tcp import AnomalyTCPServer, TCPClient
+
+__all__ = [
+    "Alarm",
+    "ScoredSample",
+    "WindowRequest",
+    "ScoringSession",
+    "SessionClosedError",
+    "BACKPRESSURE_POLICIES",
+    "MicroBatcher",
+    "QueueFullError",
+    "AnomalyService",
+    "ServiceConfig",
+    "ServiceStats",
+    "AnomalyTCPServer",
+    "TCPClient",
+]

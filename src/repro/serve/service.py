@@ -1,0 +1,462 @@
+"""Asyncio front door: dynamic sessions, micro-batched scoring, alarm stream.
+
+:class:`AnomalyService` is the push-based serving API VARADE's real-time
+pitch implies: producers ``await service.push(stream_id, sample)`` at
+whatever unaligned, bursty rates their sensors deliver, a single scheduler
+task coalesces everything pending into micro-batches under a latency
+budget, and consumers ``async for alarm in service.alarms()``.  Sessions
+are created and closed dynamically -- there is no fixed fleet at
+construction, unlike the lockstep :class:`repro.edge.MultiStreamRuntime`
+this package supersedes.
+
+The service is a thin asyncio shell over the deterministic synchronous
+core (:class:`~repro.serve.session.ScoringSession` +
+:class:`~repro.serve.batcher.MicroBatcher`), so its scores, alarms and
+adaptation events are bit-identical to the sequential
+:class:`repro.edge.StreamingRuntime` path -- the parity suite in
+``tests/test_serve/`` holds it to that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional
+
+import numpy as np
+
+from ..core.calibration import CalibratedThreshold
+from ..core.detector import AnomalyDetector
+from ..drift.policy import AdaptationPolicy
+from ..edge.monitor import StreamingHistogram
+from .batcher import MicroBatcher, validate_batcher_knobs
+from .session import Alarm, ScoredSample, ScoringSession
+
+__all__ = ["ServiceConfig", "ServiceStats", "AnomalyService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`AnomalyService` (see ``spec.service``).
+
+    ``max_batch`` / ``max_delay_ms`` / ``max_queue`` / ``backpressure``
+    configure the micro-batcher (:mod:`repro.serve.batcher` documents the
+    backpressure trade-offs).  ``event_buffer`` bounds each subscriber's
+    event queue -- a slow consumer loses its *oldest* undelivered events
+    rather than stalling scoring.  ``record_sessions`` keeps per-sample
+    traces on every session (parity tests and bounded replays); leave it
+    off for unbounded serving.  ``apply_scaler`` normalises pushed samples
+    with the detector's carried training scaler, for producers that push
+    raw sensor values.
+    """
+
+    max_batch: int = 32
+    max_delay_ms: float = 5.0
+    max_queue: int = 256
+    backpressure: str = "block"
+    event_buffer: int = 1024
+    record_sessions: bool = False
+    apply_scaler: bool = False
+
+    def __post_init__(self) -> None:
+        validate_batcher_knobs(self.max_batch, self.max_delay_ms,
+                               self.max_queue, self.backpressure)
+        if self.event_buffer < 1:
+            raise ValueError("event_buffer must be at least 1")
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate telemetry of one service (histograms, not traces)."""
+
+    sessions_opened: int
+    sessions_closed: int
+    live_sessions: int
+    samples_pushed: int
+    samples_scored: int
+    samples_dropped: int
+    flushes: int
+    scoring_time_s: float
+    queue_delay_histogram: StreamingHistogram = field(repr=False)
+    occupancy_histogram: StreamingHistogram = field(repr=False)
+
+    @property
+    def queue_delay_p99_s(self) -> float:
+        return self.queue_delay_histogram.p99
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.samples_scored / self.flushes if self.flushes else 0.0
+
+
+class _Subscriber:
+    """One consumer of the event stream (optionally alarms only)."""
+
+    def __init__(self, buffer: int, alarms_only: bool) -> None:
+        self.queue: "asyncio.Queue[Optional[ScoredSample]]" = \
+            asyncio.Queue(maxsize=buffer)
+        self.alarms_only = alarms_only
+
+    def offer(self, sample: ScoredSample) -> None:
+        if self.alarms_only and not sample.alarm:
+            return
+        while True:
+            try:
+                self.queue.put_nowait(sample)
+                return
+            except asyncio.QueueFull:
+                # Slow consumer: shed its oldest undelivered event instead
+                # of stalling the scoring loop.
+                try:
+                    self.queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - tiny race-free
+                    pass
+
+    def finish(self) -> None:
+        while True:
+            try:
+                self.queue.put_nowait(None)
+                return
+            except asyncio.QueueFull:
+                try:
+                    self.queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover
+                    pass
+
+
+class AnomalyService:
+    """Session-based anomaly scoring service with micro-batched inference.
+
+    Usage::
+
+        service = AnomalyService(detector, config=ServiceConfig(max_batch=64))
+        await service.start()
+        await service.open_session("cell-7")
+        ...
+        await service.push("cell-7", sample)        # backpressure-aware
+        async for alarm in service.alarms():        # ScoredSample, alarm=True
+            ...
+        await service.close_session("cell-7")       # drains, then closes
+        await service.stop()
+
+    ``push`` auto-opens unknown sessions by default, so a producer can
+    stream without a handshake; pass ``auto_open=False`` to require an
+    explicit :meth:`open_session`.  All sessions share one detector and
+    one micro-batcher; each gets its own independent threshold/adaptation
+    lane.
+    """
+
+    def __init__(self, detector: AnomalyDetector, *,
+                 config: Optional[ServiceConfig] = None,
+                 threshold: Optional[CalibratedThreshold] = None,
+                 adaptation: Optional[AdaptationPolicy] = None,
+                 auto_open: bool = True) -> None:
+        self.detector = detector
+        self.config = config if config is not None else ServiceConfig()
+        self.threshold = threshold
+        self.adaptation = adaptation
+        self.auto_open = auto_open
+        self._sessions: Dict[str, ScoringSession] = {}
+        self._batcher: Optional[MicroBatcher] = None
+        self._scheduler: Optional[asyncio.Task] = None
+        self._work: Optional[asyncio.Event] = None
+        self._batch_full: Optional[asyncio.Event] = None
+        self._space: Optional[asyncio.Event] = None
+        self._subscribers: List[_Subscriber] = []
+        self._running = False
+        self._failure: Optional[BaseException] = None
+        self._pushed = 0
+        self._opened = 0
+        self._closed_count = 0
+        self._blocked_pushers = 0
+        self._n_channels: Optional[int] = None
+
+    # -- lifecycle --------------------------------------------------------- #
+    async def start(self) -> "AnomalyService":
+        if self._running:
+            raise RuntimeError("service already started")
+        if self._failure is not None:
+            raise RuntimeError(
+                "service failed while scoring and cannot be restarted; "
+                "create a new AnomalyService"
+            ) from self._failure
+        self._batcher = MicroBatcher(
+            self.detector,
+            max_batch=self.config.max_batch,
+            max_delay_ms=self.config.max_delay_ms,
+            max_queue=self.config.max_queue,
+            backpressure=self.config.backpressure,
+        )
+        self._work = asyncio.Event()
+        self._batch_full = asyncio.Event()
+        self._space = asyncio.Event()
+        self._running = True
+        self._scheduler = asyncio.create_task(self._run_scheduler(),
+                                              name="repro-serve-scheduler")
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop scoring; by default drain pending windows first.
+
+        After a scoring failure (see ``_fail``) stop is still safe to call:
+        it reaps the dead scheduler task and skips the drain (the batcher
+        state is what the failed flush left behind).
+        """
+        if not self._running and self._scheduler is None:
+            return
+        self._running = False
+        self._work.set()           # wake the scheduler so it can exit
+        self._batch_full.set()
+        if self._scheduler is not None:
+            await self._scheduler
+            self._scheduler = None
+        if drain and self._batcher is not None and self._failure is None:
+            try:
+                self._broadcast(self._batcher.drain())
+            except BaseException as error:
+                # The final drain can hit the same poisoned-batch failures
+                # the scheduler guards against; unwedge pushers/subscribers
+                # before surfacing it.
+                self._fail(error)
+                raise
+        self._signal_space()       # release any pusher blocked on backpressure
+        for subscriber in self._subscribers:
+            subscriber.finish()
+        self._subscribers = []
+
+    async def __aenter__(self) -> "AnomalyService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- sessions ---------------------------------------------------------- #
+    @property
+    def sessions(self) -> Dict[str, ScoringSession]:
+        """Read-only view of the live sessions by stream id."""
+        return dict(self._sessions)
+
+    def session(self, stream_id: str) -> ScoringSession:
+        try:
+            return self._sessions[stream_id]
+        except KeyError:
+            raise KeyError(f"no live session {stream_id!r}") from None
+
+    async def open_session(self, stream_id: str, *,
+                           max_samples: Optional[int] = None,
+                           record: Optional[bool] = None) -> ScoringSession:
+        """Create a new per-stream session (dynamic -- no fixed fleet)."""
+        self._require_running()
+        stream_id = str(stream_id)
+        if stream_id in self._sessions:
+            raise ValueError(f"session {stream_id!r} is already open")
+        scaler = getattr(self.detector, "scaler", None) \
+            if self.config.apply_scaler else None
+        if self.config.apply_scaler and scaler is None:
+            raise ValueError(
+                "apply_scaler is enabled but the detector carries no scaler"
+            )
+        session = ScoringSession(
+            self.detector, stream_id,
+            threshold=self.threshold,
+            adaptation=self.adaptation,
+            scaler=scaler,
+            max_samples=max_samples,
+            record=self.config.record_sessions if record is None else record,
+        )
+        self._sessions[stream_id] = session
+        self._opened += 1
+        return session
+
+    async def close_session(self, stream_id: str,
+                            drain: bool = True) -> ScoringSession:
+        """Close one session; its pending windows drain, others continue."""
+        self._require_running()
+        session = self.session(stream_id)
+        session.close()
+        if drain and self._batcher is not None:
+            self._broadcast(self._batcher.drain(session))
+            self._signal_space()
+        del self._sessions[stream_id]
+        self._closed_count += 1
+        return session
+
+    # -- ingestion ---------------------------------------------------------- #
+    async def push(self, stream_id: str, values) -> None:
+        """Ingest one sample for ``stream_id``, respecting backpressure.
+
+        Under the ``"block"`` policy a full per-session queue makes this
+        coroutine wait for the scheduler to drain -- it never deadlocks,
+        because the scheduler task flushes independently.  Under
+        ``"reject"`` a full queue raises
+        :class:`~repro.serve.batcher.QueueFullError`; under
+        ``"drop_oldest"`` the session's stalest pending window is shed.
+        Alarms surface on :meth:`alarms` / :meth:`events`, not here.
+        """
+        self._require_running()
+        stream_id = str(stream_id)
+        session = self._sessions.get(stream_id)
+        if session is None:
+            if not self.auto_open:
+                raise KeyError(
+                    f"no session {stream_id!r} (auto_open is off; call "
+                    f"open_session first)"
+                )
+            session = await self.open_session(stream_id)
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if self._n_channels is None:
+            self._n_channels = int(values.shape[0])
+        elif values.shape[0] != self._n_channels:
+            raise ValueError(
+                f"stream {stream_id!r} pushed {values.shape[0]} channels; "
+                f"this service scores {self._n_channels}-channel streams"
+            )
+        if self.config.backpressure == "block":
+            while self._running and self._batcher.is_full(session):
+                self._space.clear()
+                # A stalled producer overrides the latency budget: flush now
+                # rather than sleeping out max_delay_ms with a full queue.
+                # The counter (checked synchronously by the scheduler before
+                # it commits to a timed wait) closes the lost-wakeup race of
+                # setting the event while the scheduler is mid-flush.
+                self._blocked_pushers += 1
+                try:
+                    self._work.set()
+                    self._batch_full.set()
+                    await self._space.wait()
+                finally:
+                    self._blocked_pushers -= 1
+            self._require_running()
+        request = session.submit(values)
+        self._pushed += 1
+        if request is None:
+            return
+        # Non-"block" policies are handled inside the core (drop/reject).
+        self._broadcast(self._batcher.enqueue(request))
+        self._work.set()
+        if self._batcher.pending_count() >= self._batcher.max_batch:
+            # Wake a scheduler sleeping out its latency budget: the batch
+            # is full, there is nothing left to wait for.  (Idle->working
+            # transitions ride on _work; per-push wake-ups would churn a
+            # timer per sample.)
+            self._batch_full.set()
+
+    # -- event stream -------------------------------------------------------- #
+    async def events(self) -> AsyncIterator[ScoredSample]:
+        """Every scored sample, in scoring order, until :meth:`stop`."""
+        async for sample in self._subscribe(alarms_only=False):
+            yield sample
+
+    async def alarms(self) -> AsyncIterator[Alarm]:
+        """Only the samples that crossed their session's threshold."""
+        async for sample in self._subscribe(alarms_only=True):
+            yield sample
+
+    async def _subscribe(self, alarms_only: bool) -> AsyncIterator[ScoredSample]:
+        # A subscriber registered after stop() would wait forever: nothing
+        # will ever broadcast to it or enqueue its end-of-stream marker.
+        self._require_running()
+        subscriber = _Subscriber(self.config.event_buffer, alarms_only)
+        self._subscribers.append(subscriber)
+        try:
+            while True:
+                sample = await subscriber.queue.get()
+                if sample is None:
+                    return
+                yield sample
+        finally:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+    # -- telemetry ----------------------------------------------------------- #
+    def stats(self) -> ServiceStats:
+        batcher = self._batcher
+        if batcher is None:
+            raise RuntimeError("service was never started")
+        return ServiceStats(
+            sessions_opened=self._opened,
+            sessions_closed=self._closed_count,
+            live_sessions=len(self._sessions),
+            samples_pushed=self._pushed,
+            samples_scored=batcher.scored,
+            samples_dropped=batcher.dropped,
+            flushes=batcher.flushes,
+            scoring_time_s=batcher.scoring_time_s,
+            queue_delay_histogram=batcher.queue_delay_histogram,
+            occupancy_histogram=batcher.occupancy_histogram,
+        )
+
+    # -- internals ------------------------------------------------------------ #
+    def _require_running(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError(
+                f"service failed while scoring: {self._failure!r}"
+            ) from self._failure
+        if not self._running:
+            raise RuntimeError("service is not running (call start())")
+
+    def _fail(self, error: BaseException) -> None:
+        """A scoring error is fatal: unwedge everyone instead of hanging.
+
+        Blocked pushers wake (and get the failure from ``_require_running``),
+        subscribers see end-of-stream, and every later call raises with the
+        original error attached -- a crashed flush loop must never look like
+        a healthy-but-slow service.
+        """
+        self._failure = error
+        self._running = False
+        self._signal_space()
+        for subscriber in self._subscribers:
+            subscriber.finish()
+        self._subscribers = []
+
+    def _signal_space(self) -> None:
+        self._space.set()
+
+    def _broadcast(self, samples: List[ScoredSample]) -> None:
+        if not samples:
+            return
+        for sample in samples:
+            for subscriber in self._subscribers:
+                subscriber.offer(sample)
+
+    async def _run_scheduler(self) -> None:
+        """The one flush loop: batch-full flushes now, else by the deadline."""
+        try:
+            await self._scheduler_loop()
+        except asyncio.CancelledError:  # pragma: no cover - defensive
+            raise
+        except BaseException as error:
+            self._fail(error)
+
+    async def _scheduler_loop(self) -> None:
+        batcher = self._batcher
+        while self._running:
+            if not batcher.pending_count():
+                self._work.clear()
+                # Nothing pending: sleep until a push signals work.
+                await self._work.wait()
+                continue
+            if batcher.pending_count() < batcher.max_batch \
+                    and not self._blocked_pushers:
+                due = batcher.due_at()
+                delay = max(0.0, due - batcher.clock())
+                if delay > 0:
+                    # Wait out the latency budget; waking per push would
+                    # spend more on timer churn than on scoring, so only
+                    # flush-now signals cut the wait short: a full batch, a
+                    # producer blocked on backpressure, or stop().  All of
+                    # them want an immediate flush, so no re-check below.
+                    self._batch_full.clear()
+                    try:
+                        await asyncio.wait_for(self._batch_full.wait(), delay)
+                    except asyncio.TimeoutError:
+                        pass
+            if not self._running:
+                break
+            self._broadcast(batcher.flush())
+            self._signal_space()
+            # Yield so pushers/consumers run between batches even when the
+            # queue never empties.
+            await asyncio.sleep(0)

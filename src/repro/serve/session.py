@@ -1,0 +1,402 @@
+"""Per-stream scoring sessions: the push-based unit of the serving API.
+
+A :class:`ScoringSession` owns everything one stream needs to be scored and
+alarmed on -- its rolling context window, its (optionally scaler-normalised)
+input path, its resolved decision threshold and its independent
+drift-adaptation lane -- but deliberately not the scoring schedule.  The
+session is a deterministic state machine with two halves:
+
+* :meth:`ScoringSession.submit` ingests one sample and, once the context
+  window is full (and the ``max_samples`` budget allows), emits a
+  :class:`WindowRequest` -- a materialised ``(window, target)`` pair ready
+  to be scored by anyone;
+* :meth:`ScoringSession.complete` consumes the score for a previously
+  submitted request, applies the threshold in effect *before* the sample
+  was observed (classify, then learn -- the same semantics as
+  :class:`repro.edge.StreamingRuntime`), feeds the adaptation lane, and
+  returns the :class:`ScoredSample`.
+
+The split is what lets a :class:`~repro.serve.batcher.MicroBatcher` coalesce
+requests from many sessions into one
+:meth:`~repro.core.detector.AnomalyDetector.score_windows_batch` call while
+every session keeps bit-identical scores, alarms and adaptation events to
+the sequential single-stream path.  For callers that do not batch,
+:meth:`ScoringSession.push` is the inline spelling: submit, score a
+one-row batch immediately, complete -- one shared code path either way.
+
+Requests must be completed in submission order per session (enforced), so
+threshold adaptation always observes scores in stream order regardless of
+how the scheduler interleaves sessions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.calibration import CalibratedThreshold
+from ..core.detector import AnomalyDetector
+from ..drift.policy import AdaptationPolicy, AdaptationState
+
+__all__ = ["Alarm", "ScoredSample", "WindowRequest", "ScoringSession",
+           "SessionClosedError"]
+
+
+class SessionClosedError(RuntimeError):
+    """A sample was pushed into (or completed against) a closed session."""
+
+
+@dataclass(frozen=True)
+class ScoredSample:
+    """One scored sample of one stream, with the decision applied to it."""
+
+    stream_id: str
+    index: int                     #: sample index within the stream
+    score: float
+    threshold: Optional[float]     #: threshold in effect (None = no alarms)
+    alarm: bool
+    #: this sample's share of the scoring call's wall clock (batch time / rows)
+    latency_s: float = 0.0
+    #: enqueue-to-score wall clock when a batcher scheduled the request
+    #: (``None`` on the inline path)
+    queue_delay_s: Optional[float] = None
+
+
+#: A :class:`ScoredSample` whose ``alarm`` flag is set -- the type
+#: :meth:`ScoringSession.push` and :meth:`repro.serve.AnomalyService.alarms`
+#: deliver.  Kept as an alias: an alarm *is* a scored sample, just one that
+#: crossed the threshold.
+Alarm = ScoredSample
+
+
+@dataclass
+class WindowRequest:
+    """One scorable unit: a materialised context window plus its target.
+
+    Emitted by :meth:`ScoringSession.submit`; scored by whoever schedules it
+    (inline, micro-batcher, ...) and handed back to
+    :meth:`ScoringSession.complete`.  ``seq`` numbers a session's requests
+    in submission order; completion must follow that order.
+    """
+
+    session: "ScoringSession"
+    seq: int                 #: per-session submission sequence number
+    index: int               #: sample index within the stream
+    context: np.ndarray      #: (window, channels), oldest first
+    target: np.ndarray       #: (channels,) -- the sample being scored
+    enqueued_at: float = 0.0  #: batcher clock stamp (0 until enqueued)
+
+    @property
+    def stream_id(self) -> str:
+        return self.session.stream_id
+
+
+class ScoringSession:
+    """Push-based scoring handle for one stream.
+
+    Parameters
+    ----------
+    detector:
+        The fitted detector serving this session.  Sessions sharing a
+        :class:`~repro.serve.batcher.MicroBatcher` must share its detector.
+    stream_id:
+        Name used in emitted :class:`ScoredSample` events.
+    threshold:
+        Explicit decision threshold; ``None`` defers to the detector's own
+        calibrated threshold (resolved once, at session creation), and no
+        threshold at all means scores are produced but nothing alarms.
+    adaptation:
+        Optional :class:`~repro.drift.AdaptationPolicy`; the session mints
+        its own independent :class:`~repro.drift.AdaptationState` lane, so
+        drift confirmed in this stream recalibrates only this stream.
+    scaler:
+        Optional input scaler with a ``transform`` method, applied to every
+        pushed sample before it enters the context window.  ``None`` (the
+        default) scores the stream as given, exactly like the runtimes.
+    max_samples:
+        Budget of scored samples, matching the runtimes' ``max_samples``.
+    record:
+        Keep per-sample scores/alarms/latencies so :meth:`result` can build
+        a :class:`~repro.edge.StreamingResult`.  Long-running services turn
+        this off and rely on the event stream + histograms instead.
+    """
+
+    def __init__(self, detector: AnomalyDetector, stream_id: str = "stream-0",
+                 *, threshold: Optional[CalibratedThreshold] = None,
+                 adaptation: Optional[AdaptationPolicy] = None,
+                 scaler: Optional[object] = None,
+                 max_samples: Optional[int] = None,
+                 record: bool = True) -> None:
+        from ..edge.runtime import resolve_threshold
+
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be at least 1 (or None)")
+        self.detector = detector
+        self.stream_id = str(stream_id)
+        self.scaler = scaler
+        self.max_samples = max_samples
+        self.record = record
+        # Preallocated ring buffer (lazily sized on the first push); a plain
+        # ndarray ring keeps per-sample cost in C, which matters because at
+        # micro-batched scoring rates the window bookkeeping -- not the
+        # model -- is the marginal cost.
+        self._ring: Optional[np.ndarray] = None      # (window, n_channels)
+        self._cursor = 0                             # next write slot
+        self._filled = 0                             # total samples written
+        self._resolved = resolve_threshold(threshold, detector)
+        self._adapter: Optional[AdaptationState] = None
+        if adaptation is not None:
+            self._adapter = adaptation.start(self._resolved)
+        self._closed = False
+        self._pushed = 0           # samples ingested
+        self._submitted = 0        # requests emitted (== budget consumed)
+        self._next_complete = 0    # seq the next complete() must carry
+        self._completed = 0
+        self._dropped = 0
+        self._discarded: set = set()   # dropped seqs awaiting skip-over
+        # Recording state (index-aligned, NaN until scored).
+        self._scores: List[float] = []
+        self._alarms: List[int] = []
+        self._trace: List[float] = []
+        self._latencies: List[float] = []
+
+    # -- introspection ---------------------------------------------------- #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def samples_pushed(self) -> int:
+        return self._pushed
+
+    @property
+    def samples_scored(self) -> int:
+        return self._completed
+
+    @property
+    def samples_dropped(self) -> int:
+        """Requests discarded unscored (drop-oldest backpressure)."""
+        return self._dropped
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted requests not yet completed or discarded."""
+        return self._submitted - self._completed - self._dropped
+
+    @property
+    def threshold(self) -> Optional[CalibratedThreshold]:
+        """The threshold currently in effect (adaptive lanes move it)."""
+        if self._adapter is not None:
+            return self._adapter.threshold
+        return self._resolved
+
+    @property
+    def adaptation_events(self) -> list:
+        return self._adapter.events if self._adapter is not None else []
+
+    @property
+    def adaptation_state(self) -> Optional[AdaptationState]:
+        return self._adapter
+
+    # -- the submit/complete state machine -------------------------------- #
+    def submit(self, values: Union[np.ndarray, list]) -> Optional[WindowRequest]:
+        """Ingest one sample; return a scorable request once the window fills.
+
+        Returns ``None`` during the warm-up prefix (and once the
+        ``max_samples`` budget is spent) -- exactly the samples the
+        sequential runtime leaves NaN.
+        """
+        if self._closed:
+            raise SessionClosedError(
+                f"session {self.stream_id!r} is closed"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            values = values.ravel()
+        if self.scaler is not None:
+            values = np.asarray(
+                self.scaler.transform(values[None, :]), dtype=np.float64
+            ).ravel()
+        if self._ring is None:
+            if values.shape[0] < 1:
+                raise ValueError("samples must carry at least one channel")
+            self._ring = np.empty((self.detector.window, values.shape[0]))
+        elif values.shape[0] != self._ring.shape[1]:
+            raise ValueError(
+                f"expected {self._ring.shape[1]} channels, "
+                f"got {values.shape[0]}"
+            )
+        index = self._pushed
+        self._pushed += 1
+        if self.record:
+            self._scores.append(float("nan"))
+            self._alarms.append(0)
+            self._trace.append(float("nan"))
+
+        scores_current = self.detector.scores_current_sample
+        if scores_current:
+            # Window-state detectors (VARADE, AE) include the newest sample
+            # in the context they score.
+            self._push_ring(values)
+        request = None
+        if self._filled >= self._ring.shape[0] and \
+                (self.max_samples is None
+                 or self._submitted < self.max_samples):
+            request = WindowRequest(
+                session=self,
+                seq=self._submitted,
+                index=index,
+                context=self._window_array(),
+                target=values,
+            )
+            self._submitted += 1
+        if not scores_current:
+            self._push_ring(values)
+        return request
+
+    def _push_ring(self, values: np.ndarray) -> None:
+        self._ring[self._cursor] = values
+        self._cursor += 1
+        if self._cursor == self._ring.shape[0]:
+            self._cursor = 0
+        self._filled += 1
+
+    def _window_array(self) -> np.ndarray:
+        """Materialise the full context window, oldest sample first."""
+        if self._cursor == 0:
+            return self._ring.copy()
+        return np.concatenate((self._ring[self._cursor:],
+                               self._ring[:self._cursor]))
+
+    def complete(self, request: WindowRequest, score: float, *,
+                 latency_s: float = 0.0,
+                 queue_delay_s: Optional[float] = None) -> ScoredSample:
+        """Apply threshold + adaptation to a scored request, in order."""
+        if request.session is not self:
+            raise ValueError("request belongs to a different session")
+        if request.seq != self._next_complete:
+            raise ValueError(
+                f"session {self.stream_id!r}: completions must follow "
+                f"submission order (expected seq {self._next_complete}, "
+                f"got {request.seq})"
+            )
+        self._next_complete += 1
+        self._skip_discarded()
+        self._completed += 1
+        score = float(score)
+        threshold_value: Optional[float] = None
+        alarm = False
+        if self._adapter is not None:
+            threshold_value = self._adapter.threshold.threshold
+            alarm = score > threshold_value
+            self._adapter.observe(request.index, score, raw=request.target)
+        elif self._resolved is not None:
+            threshold_value = self._resolved.threshold
+            alarm = score > threshold_value
+        if self.record:
+            self._scores[request.index] = score
+            if threshold_value is not None:
+                self._alarms[request.index] = int(alarm)
+                self._trace[request.index] = threshold_value
+            self._latencies.append(latency_s)
+        return ScoredSample(
+            stream_id=self.stream_id,
+            index=request.index,
+            score=score,
+            threshold=threshold_value,
+            alarm=alarm,
+            latency_s=latency_s,
+            queue_delay_s=queue_delay_s,
+        )
+
+    def discard(self, request: WindowRequest) -> None:
+        """Drop a submitted request unscored (backpressure shedding).
+
+        The sample keeps its NaN score (its push already advanced the
+        context window, so later windows stay contiguous); completion
+        bookkeeping skips the dropped sequence number so the remaining
+        completions still arrive in submission order.  Both backpressure
+        sheds route here: ``drop_oldest`` discards the session's stalest
+        pending request, ``reject`` the refused newest one.
+        """
+        if request.session is not self:
+            raise ValueError("request belongs to a different session")
+        if request.seq < self._next_complete or request.seq in self._discarded:
+            raise ValueError(
+                f"session {self.stream_id!r}: request seq {request.seq} was "
+                f"already completed or discarded"
+            )
+        self._dropped += 1
+        self._discarded.add(request.seq)
+        self._skip_discarded()
+
+    def _skip_discarded(self) -> None:
+        while self._next_complete in self._discarded:
+            self._discarded.remove(self._next_complete)
+            self._next_complete += 1
+
+    # -- inline scoring ---------------------------------------------------- #
+    def push(self, values: Union[np.ndarray, list]) -> Optional[Alarm]:
+        """Ingest and score one sample inline; return the alarm it raised.
+
+        The inline path scores a one-row batch through the same
+        ``score_windows_batch`` contract the micro-batcher uses, so inline
+        and batched serving are bit-identical.  Returns the
+        :class:`Alarm` (a :class:`ScoredSample` with ``alarm=True``) when
+        this sample crossed the threshold, ``None`` otherwise -- including
+        the warm-up prefix and thresholdless sessions.
+        """
+        request = self.submit(values)
+        if request is None:
+            return None
+        start = time.perf_counter()
+        score = self.detector.score_windows_batch(
+            request.context[None, ...], request.target[None, :]
+        )[0]
+        latency = time.perf_counter() - start
+        sample = self.complete(request, float(score), latency_s=latency)
+        return sample if sample.alarm else None
+
+    # -- lifecycle / results ----------------------------------------------- #
+    def close(self) -> None:
+        """Refuse further pushes.  Outstanding requests may still complete."""
+        self._closed = True
+
+    def result(self, labels: Optional[np.ndarray] = None):
+        """Build the :class:`~repro.edge.StreamingResult` of this session.
+
+        Only available on recording sessions (``record=True``); the arrays
+        cover every pushed sample, NaN where nothing was scored -- the same
+        layout the sequential runtime produces.
+        """
+        from ..edge.runtime import StreamingResult
+
+        if not self.record:
+            raise RuntimeError(
+                f"session {self.stream_id!r} was created with record=False; "
+                f"consume its ScoredSample events instead"
+            )
+        if labels is None:
+            labels = np.zeros(self._pushed, dtype=np.int64)
+        else:
+            labels = np.asarray(labels).copy()
+            if labels.shape[0] != self._pushed:
+                raise ValueError(
+                    f"labels must have one entry per pushed sample "
+                    f"({self._pushed}), got {labels.shape[0]}"
+                )
+        has_threshold = self._resolved is not None
+        return StreamingResult(
+            detector=self.detector.name,
+            scores=np.asarray(self._scores, dtype=np.float64),
+            labels=labels,
+            alarms=np.asarray(self._alarms, dtype=np.int64),
+            latencies_s=np.asarray(self._latencies, dtype=np.float64),
+            samples_scored=self._completed,
+            adaptation_events=self.adaptation_events,
+            threshold_trace=np.asarray(self._trace, dtype=np.float64)
+            if has_threshold else None,
+        )

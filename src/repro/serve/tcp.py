@@ -1,0 +1,341 @@
+"""Line-delimited JSON TCP transport for :class:`AnomalyService`.
+
+A deliberately small wire protocol so any producer -- a robot cell's data
+logger, a shell script, ``nc`` -- can stream samples into a running
+service.  Every line is one JSON object, UTF-8, ``\\n``-terminated.
+
+Requests (client -> server)::
+
+    {"op": "open",  "stream": "cell-7"}            optional: "max_samples"
+    {"op": "push",  "stream": "cell-7", "values": [0.1, 0.2, ...]}
+    {"op": "close", "stream": "cell-7"}
+    {"op": "stats"}
+    {"op": "ping"}
+    {"op": "shutdown"}                             stops the whole server
+
+Every request gets exactly one reply, in request order::
+
+    {"ok": true, "op": "push"}                     (+ op-specific fields)
+    {"ok": false, "op": "push", "error": "..."}
+
+Between replies the server interleaves unsolicited *event* lines for every
+alarm raised by any stream of this connection (a line is an event iff it
+carries an ``"event"`` key)::
+
+    {"event": "alarm", "stream": "cell-7", "index": 412,
+     "score": 3.1, "threshold": 1.9}
+
+``close`` replies with the session summary (samples pushed/scored/dropped,
+adaptation event count), so a producer gets its end-of-stream accounting
+without a second channel.  Backpressure under the ``"reject"`` policy
+surfaces as an ``ok: false`` push reply with ``"error": "queue full ..."``;
+under ``"block"`` the reply is simply delayed -- TCP's own flow control
+propagates the slowdown to the producer.
+
+The server is :class:`AnomalyTCPServer` (asyncio, one task per connection);
+:class:`TCPClient` is the blocking client used by the CLI smoke flow and
+the tests.  Streams opened by a connection are closed (and drained) when
+that connection drops, so a crashed producer cannot leak sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from .service import AnomalyService
+from .session import ScoredSample
+
+__all__ = ["AnomalyTCPServer", "TCPClient"]
+
+
+def _event_line(sample: ScoredSample) -> bytes:
+    payload = {
+        "event": "alarm",
+        "stream": sample.stream_id,
+        "index": sample.index,
+        "score": sample.score,
+        "threshold": sample.threshold,
+    }
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+class AnomalyTCPServer:
+    """Serve an :class:`AnomalyService` over line-delimited JSON TCP."""
+
+    def __init__(self, service: AnomalyService, host: str = "127.0.0.1",
+                 port: int = 7007, *, allow_shutdown: bool = True) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        #: honour the ``shutdown`` op (the smoke flow's clean-exit path);
+        #: disable for servers that must only stop from their own host.
+        self.allow_shutdown = allow_shutdown
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping: Optional[asyncio.Event] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (useful with ``port=0`` ephemeral binding)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self,
+                            port_file: Optional[Union[str, Path]] = None,
+                            ready: Optional[asyncio.Event] = None) -> None:
+        """Run service + listener until ``shutdown`` (or cancellation).
+
+        ``port_file``, when given, receives the bound port as text once
+        the listener is up -- a race-free handshake for scripted clients.
+        ``ready`` is set at the same moment (for in-process callers).
+        """
+        self._stopping = asyncio.Event()
+        await self.service.start()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port)
+            try:
+                if port_file is not None:
+                    Path(port_file).write_text(str(self.bound_port) + "\n",
+                                               encoding="utf-8")
+                if ready is not None:
+                    ready.set()
+                await self._stopping.wait()
+            finally:
+                self._server.close()
+                await self._server.wait_closed()
+                self._server = None
+        finally:
+            await self.service.stop()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to wind down (idempotent)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # -- per-connection handling ------------------------------------------- #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        owned: List[str] = []
+        # The forwarder filters on every stream this connection EVER owned,
+        # not the live set: a close drains pending windows whose alarms are
+        # broadcast before the close handler prunes `owned`, and those
+        # end-of-stream alarms must still reach the client.  (Consequence:
+        # do not reuse a closed stream id from a different connection.)
+        ever_owned: set = set()
+        alarm_task = asyncio.create_task(
+            self._forward_alarms(writer, ever_owned))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = await self._dispatch(line, owned, ever_owned)
+                writer.write((json.dumps(reply) + "\n").encode("utf-8"))
+                await writer.drain()
+                if reply.get("op") == "shutdown" and reply.get("ok"):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            alarm_task.cancel()
+            try:
+                await alarm_task
+            except asyncio.CancelledError:
+                pass
+            # A dropped producer must not leak its sessions.
+            for stream_id in owned:
+                if stream_id in self.service.sessions:
+                    try:
+                        await self.service.close_session(stream_id)
+                    except RuntimeError:
+                        pass   # service already stopped
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _forward_alarms(self, writer: asyncio.StreamWriter,
+                              ever_owned: set) -> None:
+        async for alarm in self.service.alarms():
+            if alarm.stream_id not in ever_owned:
+                continue
+            try:
+                writer.write(_event_line(alarm))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+
+    async def _dispatch(self, line: bytes, owned: List[str],
+                        ever_owned: set) -> Dict[str, Any]:
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return {"ok": False, "op": None, "error": f"bad JSON line: {error}"}
+        if not isinstance(message, dict) or "op" not in message:
+            return {"ok": False, "op": None,
+                    "error": "each line must be an object with an 'op' key"}
+        op = message["op"]
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "stats":
+                stats = self.service.stats()
+                return {
+                    "ok": True, "op": "stats",
+                    "live_sessions": stats.live_sessions,
+                    "samples_pushed": stats.samples_pushed,
+                    "samples_scored": stats.samples_scored,
+                    "samples_dropped": stats.samples_dropped,
+                    "flushes": stats.flushes,
+                    "mean_batch_size": stats.mean_batch_size,
+                    "queue_delay_p99_s": _json_float(stats.queue_delay_p99_s),
+                }
+            if op == "open":
+                stream_id = _required_stream(message)
+                session = await self.service.open_session(
+                    stream_id, max_samples=message.get("max_samples"))
+                owned.append(stream_id)
+                ever_owned.add(stream_id)
+                threshold = session.threshold
+                return {"ok": True, "op": "open", "stream": stream_id,
+                        "window": self.service.detector.window,
+                        "threshold": None if threshold is None
+                        else threshold.threshold}
+            if op == "push":
+                stream_id = _required_stream(message)
+                values = message.get("values")
+                if not isinstance(values, list) or not values:
+                    raise ValueError("push needs a non-empty 'values' array")
+                if stream_id not in self.service.sessions:
+                    owned.append(stream_id)   # auto-open path
+                    ever_owned.add(stream_id)
+                await self.service.push(stream_id, np.asarray(values,
+                                                              dtype=np.float64))
+                return {"ok": True, "op": "push"}
+            if op == "close":
+                stream_id = _required_stream(message)
+                session = await self.service.close_session(stream_id)
+                if stream_id in owned:
+                    owned.remove(stream_id)
+                return {"ok": True, "op": "close", "stream": stream_id,
+                        "samples_pushed": session.samples_pushed,
+                        "samples_scored": session.samples_scored,
+                        "samples_dropped": session.samples_dropped,
+                        "adaptation_events": len(session.adaptation_events)}
+            if op == "shutdown":
+                if not self.allow_shutdown:
+                    raise ValueError("shutdown is disabled on this server")
+                self.request_stop()
+                return {"ok": True, "op": "shutdown"}
+            raise ValueError(f"unknown op {op!r}")
+        except (ValueError, TypeError, KeyError, RuntimeError) as error:
+            # TypeError covers malformed client payloads (e.g. a string
+            # max_samples) -- one error reply, never a dropped connection.
+            return {"ok": False, "op": op, "error": str(error)}
+
+
+def _required_stream(message: Dict[str, Any]) -> str:
+    stream = message.get("stream")
+    if not isinstance(stream, str) or not stream:
+        raise ValueError(f"op {message['op']!r} needs a 'stream' string")
+    return stream
+
+
+def _json_float(value: float) -> Optional[float]:
+    """NaN is not valid JSON; report it as null."""
+    return float(value) if np.isfinite(value) else None
+
+
+class TCPClient:
+    """Blocking line-JSON client for :class:`AnomalyTCPServer`.
+
+    Replies are matched to requests in order; unsolicited alarm events that
+    arrive in between are collected on :attr:`alarms`.  The client is the
+    CLI/smoke-flow producer -- it favours simplicity over throughput (one
+    round trip per push; for high-rate ingestion use
+    :class:`~repro.serve.AnomalyService` in process).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7007,
+                 timeout_s: float = 30.0) -> None:
+        self._socket = socket.create_connection((host, port),
+                                                timeout=timeout_s)
+        self._file = self._socket.makefile("rwb")
+        #: alarm event payloads received so far (dicts, in arrival order)
+        self.alarms: List[Dict[str, Any]] = []
+
+    # -- plumbing ----------------------------------------------------------- #
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request line; absorb events until its reply arrives."""
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            message = json.loads(line.decode("utf-8"))
+            if "event" in message:
+                self.alarms.append(message)
+                continue
+            return message
+
+    def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        reply = self.request(payload)
+        if not reply.get("ok"):
+            raise RuntimeError(
+                f"server rejected {payload.get('op')!r}: {reply.get('error')}"
+            )
+        return reply
+
+    # -- the protocol, one method per op ------------------------------------ #
+    def ping(self) -> Dict[str, Any]:
+        return self._checked({"op": "ping"})
+
+    def open(self, stream_id: str,
+             max_samples: Optional[int] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "open", "stream": stream_id}
+        if max_samples is not None:
+            payload["max_samples"] = max_samples
+        return self._checked(payload)
+
+    def push(self, stream_id: str, values) -> Dict[str, Any]:
+        return self._checked({
+            "op": "push", "stream": stream_id,
+            "values": [float(v) for v in np.asarray(values).ravel()],
+        })
+
+    def push_stream(self, stream_id: str, stream) -> int:
+        """Push a whole ``(T, channels)`` recording; returns rows pushed."""
+        stream = np.asarray(stream, dtype=np.float64)
+        for row in stream:
+            self.push(stream_id, row)
+        return int(stream.shape[0])
+
+    def close_stream(self, stream_id: str) -> Dict[str, Any]:
+        return self._checked({"op": "close", "stream": stream_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._checked({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "TCPClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -167,6 +167,49 @@ class TestFleetRuntime:
             fleet[0].scores, sequential.scores, rtol=0.0, atol=1e-10, equal_nan=True,
         )
 
+    def test_mid_run_exhaustion_drains_and_others_continue(self, detectors):
+        """Lockstep-exhaustion regression: streams ending mid-run (including
+        one shorter than the context window) drain and close while every
+        surviving stream keeps scoring to full sequential parity."""
+        detector = detectors["VARADE"]
+        lengths = (WINDOW - 2, WINDOW, 2 * WINDOW + 1, 45)
+        exhaust_readers = [
+            StreamReader(_make_stream(length, seed=80 + index)[0])
+            for index, length in enumerate(lengths)
+        ]
+        fleet = MultiStreamRuntime(detector).run(exhaust_readers)
+        for reader, fleet_result in zip(exhaust_readers, fleet):
+            sequential = StreamingRuntime(detector).run(reader)
+            np.testing.assert_allclose(
+                fleet_result.scores, sequential.scores,
+                rtol=0.0, atol=0.0, equal_nan=True,
+            )
+            assert fleet_result.samples_scored == sequential.samples_scored
+        # The sub-window stream never scored, but did not stall the fleet:
+        # the longest stream scored through its final tick.
+        assert fleet[0].samples_scored == 0
+        assert np.isfinite(fleet[3].scores[-1])
+        assert fleet.stats.ticks == max(lengths)
+        assert fleet.stats.batch_sizes[-1] == 1
+
+    def test_stats_histograms_summarise_without_trace_retention(
+            self, detectors, readers):
+        """FleetStats carries streaming latency/occupancy histograms whose
+        summaries agree with the retained per-batch arrays."""
+        fleet = MultiStreamRuntime(detectors["VARADE"]).run(readers)
+        stats = fleet.stats
+        assert stats.latency_histogram is not None
+        assert stats.latency_histogram.count == stats.samples_scored
+        assert stats.occupancy_histogram.count == len(stats.batch_sizes)
+        # Quantiles are exact to one bin; the histogram median of the batch
+        # occupancy must straddle the retained exact values.
+        assert stats.batch_sizes.min() <= stats.occupancy_p50 \
+            <= stats.batch_sizes.max()
+        assert 0.0 < stats.latency_p99_s <= stats.latency_histogram.max * (1 + 1e-12)
+        summary = stats.latency_histogram.summary()
+        assert summary["count"] == stats.samples_scored
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
 
 @pytest.mark.slow
 def test_fleet_is_not_slower_than_sequential(detectors):

@@ -128,3 +128,74 @@ class TestBoardMonitor:
             BoardMonitor(JETSON_XAVIER_NX, poll_rate_hz=0.0)
         with pytest.raises(ValueError):
             BoardMonitor(JETSON_XAVIER_NX, relative_noise=-1.0)
+
+
+class TestStreamingHistogram:
+    def _hist(self):
+        from repro.edge import StreamingHistogram
+
+        return StreamingHistogram
+
+    def test_quantiles_track_exact_within_a_bin(self):
+        hist = self._hist().log_spaced(1e-6, 10.0)
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=-7.0, sigma=1.0, size=5000)
+        for value in values:
+            hist.add(value)
+        assert hist.count == values.size
+        assert hist.mean == pytest.approx(values.mean())
+        assert hist.min == values.min()
+        assert hist.max == values.max()
+        for q in (0.5, 0.95, 0.99):
+            exact = np.quantile(values, q)
+            # log-spaced bins: estimate exact to within one log step
+            assert hist.quantile(q) == pytest.approx(exact, rel=0.2)
+        assert hist.p50 <= hist.p95 <= hist.p99
+
+    def test_single_value_reports_itself_everywhere(self):
+        hist = self._hist().log_spaced()
+        hist.add(3.3e-4)
+        assert hist.p50 == pytest.approx(3.3e-4)
+        assert hist.p99 == pytest.approx(3.3e-4)
+        assert hist.min == hist.max == pytest.approx(3.3e-4)
+
+    def test_empty_histogram_is_all_nan(self):
+        hist = self._hist().linear(0.0, 10.0, 5)
+        assert np.isnan(hist.p50) and np.isnan(hist.mean)
+        assert np.isnan(hist.min) and np.isnan(hist.max)
+
+    def test_out_of_range_values_clamp_to_overflow_bins(self):
+        hist = self._hist().linear(0.0, 10.0, 5)
+        hist.add(-5.0)
+        hist.add(50.0)
+        assert hist.count == 2
+        assert hist.min == -5.0 and hist.max == 50.0
+        assert -5.0 <= hist.p50 <= 50.0
+
+    def test_non_finite_values_are_ignored(self):
+        hist = self._hist().linear(0.0, 1.0, 4)
+        hist.extend([np.nan, np.inf, -np.inf, 0.5])
+        assert hist.count == 1
+
+    def test_merge_requires_matching_edges(self):
+        a = self._hist().linear(0.0, 1.0, 4)
+        b = self._hist().linear(0.0, 1.0, 4)
+        a.extend([0.1, 0.2])
+        b.extend([0.8, 0.9])
+        a.merge(b)
+        assert a.count == 4
+        with pytest.raises(ValueError, match="different edges"):
+            a.merge(self._hist().linear(0.0, 2.0, 4))
+
+    def test_rejects_bad_construction(self):
+        cls = self._hist()
+        with pytest.raises(ValueError):
+            cls([1.0])
+        with pytest.raises(ValueError):
+            cls([1.0, 1.0])
+        with pytest.raises(ValueError):
+            cls.log_spaced(low=0.0)
+        with pytest.raises(ValueError):
+            cls.linear(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            cls([0.0, 1.0]).quantile(1.5)

@@ -208,6 +208,45 @@ def test_deploy_fleet_matches_raw_fleet_runtime(dataset):
         pipeline.deploy_fleet(streams, labels=[None])
 
 
+def test_deploy_service_from_spec_matches_deploy_stream(dataset):
+    """deploy_service wires the serving detector + spec.service settings and
+    scores bit-identically to the sequential deploy_stream path."""
+    import asyncio
+
+    from repro.pipeline import ServiceSpec
+
+    spec = _varade_spec(service=ServiceSpec(max_batch=8, max_delay_ms=2.0,
+                                            backpressure="drop_oldest"))
+    pipeline = Pipeline.from_spec(spec).fit(dataset.train).calibrate()
+    service = pipeline.deploy_service(record_sessions=True)
+    assert service.detector is pipeline.serving_detector
+    assert service.config.max_batch == 8
+    assert service.config.backpressure == "drop_oldest"
+    stream = dataset.test[:120]
+
+    async def main():
+        async with service:
+            for row in stream:
+                await service.push("s0", row)
+            session = service.session("s0")
+            await service.close_session("s0")
+            return session
+
+    session = asyncio.run(main())
+    reference = pipeline.deploy_stream(stream)
+    np.testing.assert_allclose(session.result().scores, reference.scores,
+                               rtol=0.0, atol=0.0, equal_nan=True)
+    np.testing.assert_array_equal(session.result().alarms, reference.alarms)
+
+
+def test_deploy_service_without_service_spec_uses_defaults(dataset):
+    pipeline = Pipeline.from_spec(_varade_spec()).fit(dataset.train).calibrate()
+    service = pipeline.deploy_service()
+    assert service.config.max_batch == 32
+    assert service.config.backpressure == "block"
+    assert service.adaptation is None
+
+
 def test_deploy_stream_wires_adaptation_from_spec(dataset):
     spec = _varade_spec(adaptation=AdaptationSpec(min_reservoir=50,
                                                   confirm_samples=16))

@@ -4,7 +4,7 @@ import pytest
 
 from repro.pipeline import (AdaptationSpec, CalibrationSpec, DataSpec,
                             DeploymentSpec, DetectorSpec, QuantizationSpec,
-                            RuntimeSpec, SpecError)
+                            RuntimeSpec, ServiceSpec, SpecError)
 
 #: representative params per spec-buildable kind (all six study detectors).
 KIND_PARAMS = {
@@ -35,6 +35,8 @@ def _full_spec(kind: str) -> DeploymentSpec:
                                   detector_params={"reference_size": 64,
                                                    "current_size": 16},
                                   cooldown=200, reservoir_guard=None),
+        service=ServiceSpec(max_batch=16, max_delay_ms=2.5, max_queue=64,
+                            backpressure="drop_oldest", port=7100),
         runtime=RuntimeSpec(sample_rate_hz=100.0, max_samples=500,
                             devices=("Jetson Xavier NX",)),
         seed=42,
@@ -86,7 +88,8 @@ def test_unknown_top_level_key_rejected():
 
 
 @pytest.mark.parametrize("section", ["detector", "calibration", "quantization",
-                                     "adaptation", "runtime", "data"])
+                                     "adaptation", "service", "runtime",
+                                     "data"])
 def test_unknown_nested_key_rejected(section):
     payload = _full_spec("varade").to_dict()
     payload[section]["bogus_knob"] = 1
@@ -124,6 +127,25 @@ def test_invalid_sub_config_values_rejected():
         DataSpec(source="csv")
     with pytest.raises(SpecError, match="kind"):
         DetectorSpec(kind="")
+    with pytest.raises(SpecError, match=r"service.*backpressure"):
+        ServiceSpec(backpressure="panic")
+    with pytest.raises(SpecError, match=r"service.*max_batch"):
+        ServiceSpec(max_batch=0)
+    with pytest.raises(SpecError, match=r"service.*max_delay_ms"):
+        ServiceSpec(max_delay_ms=-1.0)
+    with pytest.raises(SpecError, match="service.port"):
+        ServiceSpec(port=70000)
+
+
+def test_service_spec_builds_matching_runtime_config():
+    spec = ServiceSpec(max_batch=16, max_delay_ms=2.5, max_queue=64,
+                       backpressure="drop_oldest", apply_scaler=False)
+    config = spec.config(record_sessions=True)
+    assert config.max_batch == 16
+    assert config.max_delay_ms == 2.5
+    assert config.max_queue == 64
+    assert config.backpressure == "drop_oldest"
+    assert config.record_sessions is True
 
 
 def test_detector_params_unknown_hyperparameter_fails_at_build():

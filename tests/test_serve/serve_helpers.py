@@ -1,0 +1,47 @@
+"""Stream/schedule helpers shared by the serving-API test modules."""
+
+import numpy as np
+
+N_CHANNELS = 3
+WINDOW = 8
+STREAM_LENGTHS = (60, 50, 40, 25)
+
+
+def make_stream(n_samples, seed, anomaly=False):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_samples) / 20.0
+    data = np.stack(
+        [np.sin(2 * np.pi * (0.4 + 0.2 * c) * t + c) + 0.05 * rng.normal(size=n_samples)
+         for c in range(N_CHANNELS)],
+        axis=1,
+    )
+    labels = np.zeros(n_samples, dtype=np.int64)
+    if anomaly:
+        start = n_samples // 2
+        data[start:start + 6] += rng.normal(0.0, 2.0, size=(6, N_CHANNELS))
+        labels[start:start + 6] = 1
+    return data, labels
+
+
+def unaligned_schedule(lengths, seed):
+    """A bursty, unaligned arrival order over per-stream sample indices.
+
+    Returns ``(stream, index)`` pairs covering every sample of every stream
+    exactly once, with per-stream order preserved -- the ingestion pattern a
+    real fleet produces and the lockstep runtime cannot model.
+    """
+    rng = np.random.default_rng(seed)
+    cursors = [0] * len(lengths)
+    remaining = list(lengths)
+    schedule = []
+    while any(remaining):
+        live = [s for s, left in enumerate(remaining) if left]
+        stream = int(rng.choice(live))
+        # Bursts: a stream delivers 1-4 consecutive samples at once.
+        for _ in range(int(rng.integers(1, 5))):
+            if not remaining[stream]:
+                break
+            schedule.append((stream, cursors[stream]))
+            cursors[stream] += 1
+            remaining[stream] -= 1
+    return schedule

@@ -1,0 +1,249 @@
+"""Bit-identity parity: AnomalyService vs the sequential StreamingRuntime.
+
+The serving contract: scores, alarms, NaN warm-up prefixes and adaptation
+events from the micro-batched service must match running
+:class:`repro.edge.StreamingRuntime` once per stream -- for every detector
+kind in the study, the int8 drop-in included, drift lanes included, under
+unaligned bursty arrival.  This is the suite that lets the service replace
+the sequential path everywhere.
+
+Bit-identity note: VARADE (float and int8), GBRF, AE and Isolation Forest
+are *exactly* batch-invariant, so the service is held to ``atol=0.0`` for
+them.  kNN and AR-LSTM score through large BLAS matmuls whose per-row
+rounding depends on the batch size (1-row vs N-row kernels), so -- exactly
+as in ``tests/test_edge/test_fleet_parity.py`` since PR 1 -- they are held
+to the repo's established ``rtol=0, atol=1e-10`` parity bar instead.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import DETECTOR_NAMES
+from repro.core import ThresholdCalibrator
+from repro.data import StreamReader
+from repro.drift import AdaptationPolicy
+from repro.edge import MultiStreamRuntime, StreamingRuntime
+from repro.serve import AnomalyService, ServiceConfig
+
+from serve_helpers import unaligned_schedule
+
+#: detectors whose batched scoring is exactly batch-invariant (held to
+#: atol=0); the BLAS-batched pair keeps the repo's 1e-10 parity bar.
+EXACTLY_INVARIANT = {"VARADE", "GBRF", "AE", "Isolation Forest"}
+
+
+def _parity_atol(name: str) -> float:
+    return 0.0 if name in EXACTLY_INVARIANT else 1e-10
+
+
+def _run_service(detector, streams, *, config=None, adaptation=None,
+                 threshold=None, seed=99):
+    """Push every stream through one service, unaligned; return sessions."""
+    schedule = unaligned_schedule([len(data) for data, _ in streams],
+                                  seed=seed)
+    if config is None:
+        config = ServiceConfig(max_batch=8, max_delay_ms=2.0,
+                               record_sessions=True)
+
+    async def main():
+        service = AnomalyService(detector, config=config,
+                                 threshold=threshold, adaptation=adaptation)
+        await service.start()
+        handles = {}
+        for stream, index in schedule:
+            stream_id = f"s{stream}"
+            await service.push(stream_id, streams[stream][0][index])
+            handles[stream_id] = service.session(stream_id)
+        for stream_id in list(service.sessions):
+            await service.close_session(stream_id)
+        await service.stop()
+        return handles
+
+    return asyncio.run(main())
+
+
+class TestServiceScoreParity:
+    @pytest.mark.parametrize("name", DETECTOR_NAMES)
+    def test_unaligned_service_matches_sequential(self, detectors, streams,
+                                                  readers, name):
+        detector = detectors[name]
+        handles = _run_service(detector, streams)
+        for stream, reader in enumerate(readers):
+            sequential = StreamingRuntime(detector).run(reader)
+            result = handles[f"s{stream}"].result(labels=reader.labels)
+            # Identical NaN prefix (and any other unscored samples) ...
+            np.testing.assert_array_equal(
+                np.isnan(result.scores), np.isnan(sequential.scores)
+            )
+            # ... and (bit-)identical scores everywhere else.
+            np.testing.assert_allclose(
+                result.scores, sequential.scores,
+                rtol=0.0, atol=_parity_atol(name), equal_nan=True,
+            )
+            assert result.samples_scored == sequential.samples_scored
+
+    def test_quantized_detector_parity(self, detectors, streams, readers,
+                                       train_stream):
+        """The int8 drop-in serves through the same contract."""
+        quantized = detectors["VARADE"].quantize(train_stream)
+        handles = _run_service(quantized, streams)
+        for stream, reader in enumerate(readers):
+            sequential = StreamingRuntime(quantized).run(reader)
+            result = handles[f"s{stream}"].result()
+            np.testing.assert_allclose(
+                result.scores, sequential.scores,
+                rtol=0.0, atol=0.0, equal_nan=True,
+            )
+
+    def test_alarm_parity_with_threshold(self, detectors, streams, readers,
+                                         train_stream):
+        detector = detectors["kNN"]
+        scores = detector.score_stream(train_stream).valid_scores()
+        threshold = ThresholdCalibrator(quantile=0.9).calibrate(scores)
+        handles = _run_service(detector, streams, threshold=threshold)
+        for stream, reader in enumerate(readers):
+            sequential = StreamingRuntime(detector, threshold=threshold).run(reader)
+            result = handles[f"s{stream}"].result()
+            np.testing.assert_array_equal(result.alarms, sequential.alarms)
+            assert result.alarms.sum() > 0 or stream != 0  # burst stream alarms
+            np.testing.assert_allclose(result.threshold_trace,
+                                       sequential.threshold_trace,
+                                       rtol=0.0, atol=0.0, equal_nan=True)
+            assert result.alarms[np.asarray(reader.labels) == 1].sum() > 0 \
+                or stream != 0
+
+
+class TestDriftLaneParity:
+    def _policy(self):
+        return AdaptationPolicy(reservoir_size=64, min_reservoir=16,
+                                confirm_samples=16, cooldown=32)
+
+    # GBRF/AE exercise the exactly-invariant path, kNN the BLAS-batched
+    # one.  (The *tiny* test VARADE's barely-trained variance head produces
+    # a drift response too heavy-tailed for the confirmation median to
+    # move, so it never adapts here in either path; its event-free lane
+    # parity is covered by the score-parity suite above.)
+    @pytest.mark.parametrize("name", ["GBRF", "AE", "kNN"])
+    def test_adaptation_lane_matches_sequential(self, detectors, name,
+                                                train_stream):
+        """Drift lanes stay per-session and bit-identical under batching."""
+        detector = detectors[name]
+        scores = detector.score_stream(train_stream).valid_scores()
+        threshold = ThresholdCalibrator(quantile=0.95).calibrate(scores)
+        rng = np.random.default_rng(17)
+        # Long streams with a sustained gain+offset shift so drift confirms.
+        drift_streams = []
+        for stream in range(3):
+            t = np.arange(400) / 20.0
+            data = np.stack(
+                [np.sin(2 * np.pi * (0.4 + 0.2 * c) * t + c)
+                 + 0.05 * rng.normal(size=t.size) for c in range(3)], axis=1)
+            if stream == 0:   # drift only in stream 0
+                data[150:] = data[150:] * 2.0 + 0.8 \
+                    + 0.3 * rng.normal(size=(250, 3))
+            drift_streams.append((data, np.zeros(t.size, dtype=np.int64)))
+        handles = _run_service(detector, drift_streams, threshold=threshold,
+                               adaptation=self._policy())
+        adapted = []
+        for stream, (data, labels) in enumerate(drift_streams):
+            sequential = StreamingRuntime(
+                detector, threshold=threshold,
+                adaptation=self._policy()).run(StreamReader(data, labels=labels))
+            result = handles[f"s{stream}"].result()
+            atol = _parity_atol(name)
+            np.testing.assert_allclose(result.scores, sequential.scores,
+                                       rtol=0.0, atol=atol, equal_nan=True)
+            np.testing.assert_array_equal(result.alarms, sequential.alarms)
+            np.testing.assert_allclose(result.threshold_trace,
+                                       sequential.threshold_trace,
+                                       rtol=0.0, atol=max(atol, 0.0),
+                                       equal_nan=True)
+            assert len(result.adaptation_events) == \
+                len(sequential.adaptation_events)
+            for ours, theirs in zip(result.adaptation_events,
+                                    sequential.adaptation_events):
+                assert ours.flagged_at == theirs.flagged_at
+                assert ours.adapted_at == theirs.adapted_at
+                assert ours.new_threshold == pytest.approx(
+                    theirs.new_threshold, rel=0.0, abs=max(atol, 0.0))
+            adapted.append(len(result.adaptation_events))
+        # The drifting stream adapted; its neighbours' lanes stayed frozen.
+        assert adapted[0] >= 1
+        assert adapted[1] == adapted[2] == 0
+
+
+class TestFleetShimParity:
+    def test_reimplemented_fleet_matches_service_and_sequential(
+            self, detectors, readers):
+        """The MultiStreamRuntime shim and the service share one scoring
+        path -- all three surfaces agree bit for bit."""
+        detector = detectors["VARADE"]
+        fleet = MultiStreamRuntime(detector).run(readers)
+        handles = _run_service(
+            detector, [(reader.data, reader.labels) for reader in readers])
+        for stream, reader in enumerate(readers):
+            sequential = StreamingRuntime(detector).run(reader)
+            service_result = handles[f"s{stream}"].result()
+            np.testing.assert_allclose(fleet[stream].scores, sequential.scores,
+                                       rtol=0.0, atol=0.0, equal_nan=True)
+            np.testing.assert_allclose(service_result.scores,
+                                       sequential.scores,
+                                       rtol=0.0, atol=0.0, equal_nan=True)
+
+
+class TestDynamicSessions:
+    def test_mid_run_close_drains_while_others_continue(self, detectors,
+                                                        streams):
+        """The lockstep-exhaustion fix at the service level: a session that
+        finishes mid-run drains and closes; live sessions keep scoring."""
+        detector = detectors["VARADE"]
+
+        async def main():
+            service = AnomalyService(
+                detector, config=ServiceConfig(max_batch=16, max_delay_ms=50.0,
+                                               record_sessions=True))
+            await service.start()
+            short, long_ = streams[3][0], streams[0][0]
+            for index in range(len(short)):
+                await service.push("short", short[index])
+                await service.push("long", long_[index])
+            closed = await service.close_session("short")   # drains pending
+            assert closed.outstanding == 0
+            assert "short" not in service.sessions
+            for index in range(len(short), len(long_)):
+                await service.push("long", long_[index])
+            long_session = service.session("long")
+            await service.stop()
+            return closed, long_session
+
+        closed, long_session = asyncio.run(main())
+        short_ref = StreamingRuntime(detector).run(
+            StreamReader(streams[3][0]))
+        long_ref = StreamingRuntime(detector).run(StreamReader(streams[0][0]))
+        np.testing.assert_allclose(closed.result().scores, short_ref.scores,
+                                   rtol=0.0, atol=0.0, equal_nan=True)
+        np.testing.assert_allclose(long_session.result().scores,
+                                   long_ref.scores,
+                                   rtol=0.0, atol=0.0, equal_nan=True)
+
+    def test_sessions_open_and_close_dynamically(self, detectors, streams):
+        detector = detectors["VARADE"]
+
+        async def main():
+            async with AnomalyService(detector) as service:
+                await service.open_session("a")
+                with pytest.raises(ValueError, match="already open"):
+                    await service.open_session("a")
+                await service.push("b", streams[0][0][0])   # auto-open
+                assert set(service.sessions) == {"a", "b"}
+                await service.close_session("a")
+                assert set(service.sessions) == {"b"}
+                with pytest.raises(KeyError):
+                    service.session("a")
+                stats = service.stats()
+                assert stats.sessions_opened == 2
+                assert stats.sessions_closed == 1
+
+        asyncio.run(main())

@@ -1,0 +1,243 @@
+"""TCP serving layer: protocol round trips, alarms over the wire, shutdown."""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import ThresholdCalibrator
+from repro.serve import (AnomalyService, AnomalyTCPServer, ServiceConfig,
+                         TCPClient)
+
+from serve_helpers import make_stream
+
+
+class ServerThread:
+    """Run an AnomalyTCPServer on an ephemeral port in a background thread."""
+
+    def __init__(self, detector, *, threshold=None, config=None,
+                 allow_shutdown=True):
+        service = AnomalyService(
+            detector, threshold=threshold,
+            config=config if config is not None
+            else ServiceConfig(max_batch=8, max_delay_ms=1.0))
+        self.server = AnomalyTCPServer(service, port=0,
+                                       allow_shutdown=allow_shutdown)
+        self._port_ready = threading.Event()
+        self.port = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.create_task(self.server.serve_forever(ready=ready))
+            await ready.wait()
+            self.port = self.server.bound_port
+            self._port_ready.set()
+            await task
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self.thread.start()
+        assert self._port_ready.wait(10.0), "server did not come up"
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.thread.is_alive():
+            # Ask politely from a throwaway connection, then join.
+            try:
+                with TCPClient(port=self.port, timeout_s=5.0) as client:
+                    client.shutdown()
+            except (OSError, RuntimeError):
+                pass
+        self.thread.join(10.0)
+        assert not self.thread.is_alive(), "server thread did not exit"
+
+
+@pytest.fixture(scope="module")
+def alarm_setup(detectors, train_stream):
+    detector = detectors["kNN"]
+    scores = detector.score_stream(train_stream).valid_scores()
+    threshold = ThresholdCalibrator(quantile=0.9).calibrate(scores)
+    return detector, threshold
+
+
+class TestProtocol:
+    def test_full_session_lifecycle_with_alarms(self, alarm_setup):
+        detector, threshold = alarm_setup
+        data, _ = make_stream(60, seed=40)
+        data[30:34] += 25.0    # unmistakable anomaly burst
+
+        with ServerThread(detector, threshold=threshold) as server:
+            with TCPClient(port=server.port) as client:
+                assert client.ping()["ok"]
+                opened = client.open("cell-1")
+                assert opened["window"] == detector.window
+                assert opened["threshold"] == pytest.approx(threshold.threshold)
+                client.push_stream("cell-1", data)
+                stats = client.stats()
+                summary = client.close_stream("cell-1")
+                for _ in range(100):     # absorb in-flight event lines
+                    if client.alarms:
+                        break
+                    client.ping()
+                    time.sleep(0.01)
+                assert summary["samples_pushed"] == len(data)
+                assert summary["samples_scored"] > 0
+                assert summary["samples_dropped"] == 0
+                assert stats["samples_pushed"] <= len(data)
+                # The burst alarmed, and events carry scores + thresholds.
+                assert client.alarms, "expected alarm events over the wire"
+                alarmed_indices = {alarm["index"] for alarm in client.alarms}
+                assert alarmed_indices & {30, 31, 32, 33}
+                for alarm in client.alarms:
+                    assert alarm["event"] == "alarm"
+                    assert alarm["stream"] == "cell-1"
+                    assert alarm["score"] > alarm["threshold"]
+                assert client.shutdown()["ok"]
+
+    def test_alarms_from_close_drain_still_reach_the_client(self, alarm_setup):
+        """Windows still pending at close are drained by close_session; the
+        alarms they raise must be forwarded even though the close handler
+        has already pruned the stream from the connection's live set."""
+        detector, threshold = alarm_setup
+        data, _ = make_stream(30, seed=45)
+        data[20:] += 25.0     # the tail -- scored only by the close drain
+        # A huge latency budget and batch bound: nothing flushes until close.
+        config = ServiceConfig(max_batch=1024, max_delay_ms=600_000.0,
+                               max_queue=1024)
+        with ServerThread(detector, threshold=threshold,
+                          config=config) as server:
+            with TCPClient(port=server.port) as client:
+                client.open("cell")
+                client.push_stream("cell", data)
+                summary = client.close_stream("cell")
+                assert summary["samples_scored"] > 0
+                for _ in range(100):
+                    if client.alarms:
+                        break
+                    client.ping()
+                    time.sleep(0.01)
+                assert client.alarms, \
+                    "close-drain alarms were dropped on the floor"
+                assert {alarm["index"] for alarm in client.alarms} \
+                    & set(range(20, 30))
+                client.shutdown()
+
+    def test_two_clients_two_streams(self, alarm_setup):
+        """Sessions from different connections share the batcher but not
+        their alarms: each connection sees only its own streams."""
+        detector, threshold = alarm_setup
+        calm, _ = make_stream(40, seed=41)
+        noisy, _ = make_stream(40, seed=42)
+        noisy[20:24] += 25.0
+
+        with ServerThread(detector, threshold=threshold) as server:
+            with TCPClient(port=server.port) as one, \
+                    TCPClient(port=server.port) as two:
+                one.open("calm")
+                two.open("noisy")
+                one.push_stream("calm", calm)
+                two.push_stream("noisy", noisy)
+                one.close_stream("calm")
+                two.close_stream("noisy")
+                # The alarm forwarder writes from its own task; nudge both
+                # connections until the event lines have been read.
+                for _ in range(100):
+                    one.ping()
+                    two.ping()
+                    if two.alarms:
+                        break
+                    time.sleep(0.01)
+                # Each connection sees only its own streams' alarms.
+                assert two.alarms
+                assert all(alarm["stream"] == "noisy"
+                           for alarm in two.alarms)
+                assert all(alarm["stream"] == "calm"
+                           for alarm in one.alarms)
+                # The injected burst dominates the noisy stream's alarms.
+                assert {20, 21, 22, 23} & {alarm["index"]
+                                           for alarm in two.alarms}
+
+    def test_errors_are_replies_not_disconnects(self, detectors):
+        detector = detectors["VARADE"]
+        with ServerThread(detector) as server:
+            with TCPClient(port=server.port) as client:
+                # unknown op
+                reply = client.request({"op": "warp"})
+                assert not reply["ok"] and "unknown op" in reply["error"]
+                # open without a stream id
+                reply = client.request({"op": "open"})
+                assert not reply["ok"] and "'stream'" in reply["error"]
+                # push without values
+                reply = client.request({"op": "push", "stream": "x"})
+                assert not reply["ok"] and "values" in reply["error"]
+                # close of a never-opened stream
+                reply = client.request({"op": "close", "stream": "ghost"})
+                assert not reply["ok"]
+                # malformed payload types reply, not disconnect
+                reply = client.request({"op": "open", "stream": "typed",
+                                        "max_samples": "ten"})
+                assert not reply["ok"]
+                # double open
+                assert client.open("cell")["ok"]
+                reply = client.request({"op": "open", "stream": "cell"})
+                assert not reply["ok"] and "already open" in reply["error"]
+                # ... and the connection still works afterwards
+                assert client.ping()["ok"]
+
+    def test_bad_json_line_gets_error_reply(self, detectors):
+        detector = detectors["VARADE"]
+        with ServerThread(detector) as server:
+            with socket.create_connection(("127.0.0.1", server.port),
+                                          timeout=5.0) as raw:
+                raw.sendall(b"this is not json\n")
+                reply = json.loads(raw.makefile().readline())
+                assert not reply["ok"]
+                assert "bad JSON line" in reply["error"]
+
+    def test_disconnect_closes_owned_sessions(self, detectors):
+        detector = detectors["VARADE"]
+        data, _ = make_stream(20, seed=43)
+        with ServerThread(detector) as server:
+            client = TCPClient(port=server.port)
+            client.open("orphan")
+            client.push_stream("orphan", data[:10])
+            client.close()     # drop the connection without closing the stream
+            with TCPClient(port=server.port) as probe:
+                for _ in range(100):
+                    if probe.stats()["live_sessions"] == 0:
+                        break
+                    time.sleep(0.01)
+                assert probe.stats()["live_sessions"] == 0
+
+    def test_shutdown_can_be_disabled(self, detectors):
+        detector = detectors["VARADE"]
+        with ServerThread(detector, allow_shutdown=False) as server:
+            with TCPClient(port=server.port) as client:
+                reply = client.request({"op": "shutdown"})
+                assert not reply["ok"] and "disabled" in reply["error"]
+                assert client.ping()["ok"]
+            # __exit__'s polite shutdown will fail; stop from in-process.
+            server.server.request_stop()
+
+    def test_reject_backpressure_surfaces_as_error_reply(self, detectors):
+        detector = detectors["VARADE"]
+        data, _ = make_stream(30, seed=44)
+        config = ServiceConfig(max_batch=64, max_delay_ms=10_000.0,
+                               max_queue=1, backpressure="reject")
+        with ServerThread(detector, config=config) as server:
+            with TCPClient(port=server.port) as client:
+                client.open("s0")
+                replies = [client.request({
+                    "op": "push", "stream": "s0",
+                    "values": [float(v) for v in row],
+                }) for row in data]
+                rejected = [r for r in replies if not r["ok"]]
+                assert rejected
+                assert all("pending windows" in r["error"] for r in rejected)
+                client.shutdown()
