@@ -50,7 +50,11 @@ def test_fleet_throughput_scaling(benchmark, fleet_varade, fleet_stream_factory)
         readers = _make_readers(fleet_stream_factory, n_streams)
 
         def run_sequential():
-            return [StreamingRuntime(detector).run(reader) for reader in readers]
+            # Pin the incremental lane off: this benchmark isolates what
+            # cross-stream micro-batching buys over one-window batch calls
+            # (bench_incremental_scoring.py gates the incremental lane).
+            return [StreamingRuntime(detector, incremental=False).run(reader)
+                    for reader in readers]
 
         def run_fleet():
             return MultiStreamRuntime(detector).run(readers)

@@ -76,8 +76,14 @@ def _best_of(repeats, run):
 
 
 def _run_sequential(detector, streams, schedule):
-    """Per-stream sequential scoring: every arriving window scored inline."""
-    sessions = [ScoringSession(detector, f"s{stream}")
+    """Per-stream sequential scoring: every arriving window scored inline.
+
+    Pinned ``incremental=False`` on every path: this benchmark measures the
+    micro-batching amortization of one-row-per-call scoring, so the
+    incremental O(1) lane would collapse all three paths to the same cost.
+    The incremental lane has its own gate in bench_incremental_scoring.py.
+    """
+    sessions = [ScoringSession(detector, f"s{stream}", incremental=False)
                 for stream in range(len(streams))]
     for stream, index in schedule:
         sessions[stream].push(streams[stream][index])
@@ -86,7 +92,7 @@ def _run_sequential(detector, streams, schedule):
 
 def _run_batched(detector, streams, schedule):
     """The service's scoring path, driven synchronously at full rate."""
-    sessions = [ScoringSession(detector, f"s{stream}")
+    sessions = [ScoringSession(detector, f"s{stream}", incremental=False)
                 for stream in range(len(streams))]
     batcher = MicroBatcher(detector, max_batch=MAX_BATCH,
                            max_delay_ms=MAX_DELAY_MS, max_queue=MAX_QUEUE,
@@ -104,7 +110,7 @@ def _run_service(detector, streams, schedule):
     """The full asyncio front door, pushes awaited one by one."""
     config = ServiceConfig(max_batch=MAX_BATCH, max_delay_ms=MAX_DELAY_MS,
                            max_queue=MAX_QUEUE, backpressure="block",
-                           record_sessions=True)
+                           record_sessions=True, incremental=False)
 
     async def main():
         service = AnomalyService(detector, config=config)

@@ -85,6 +85,8 @@ def main() -> int:
             opened = client.open("smoke-1")
             assert opened["threshold"] is not None, \
                 "packaged artifact should carry a calibrated threshold"
+            assert opened["incremental"], \
+                "VARADE sessions should engage the incremental scoring lane"
             client.push_stream("smoke-1", stream)
             summary = client.close_stream("smoke-1")
             print(f"serve-smoke: pushed {summary['samples_pushed']}, "

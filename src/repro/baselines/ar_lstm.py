@@ -125,9 +125,17 @@ class ARLSTMDetector(AnomalyDetector):
         windows = np.asarray(windows, dtype=np.float64)
         if windows.ndim == 2:
             windows = windows[None, ...]
+        # BLAS dispatches 1-row matmuls (here: every LSTM/FC layer) to a
+        # gemv-class kernel whose rounding differs from the >=2-row gemm
+        # kernels, which are row-count invariant.  Duplicating a lone window
+        # keeps sequential scoring bit-identical to batched scoring.
+        padded = windows.shape[0] == 1
+        if padded:
+            windows = np.concatenate([windows, windows])
         with nn.no_grad():
             prediction = self.network(nn.Tensor(windows))
-        return prediction.numpy()
+        result = prediction.numpy()
+        return result[:1] if padded else result
 
     def score_window(self, window: np.ndarray, target: np.ndarray) -> float:
         """One-step scoring via :meth:`score_windows_batch` (one shared path)."""

@@ -298,6 +298,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
+    if args.no_incremental:
+        overrides["incremental"] = False
     if service_spec is not None:
         config = service_spec.config(**overrides)
     else:
@@ -314,7 +316,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"serve: {detector.name} (window {detector.window}, threshold "
           f"{'none' if threshold is None else format(threshold.threshold, '.6g')}) "
           f"batch<= {config.max_batch}, delay<= {config.max_delay_ms}ms, "
-          f"queue<= {config.max_queue} [{config.backpressure}]")
+          f"queue<= {config.max_queue} [{config.backpressure}]"
+          f"{', incremental' if config.incremental else ''}")
 
     async def _serve() -> None:
         ready: "asyncio.Event" = asyncio.Event()
@@ -443,6 +446,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backpressure", default=None,
                        choices=("block", "drop_oldest", "reject"),
                        help="full-queue policy (default: spec's, else block)")
+    serve.add_argument("--no-incremental", action="store_true",
+                       help="disable the O(1)-per-sample incremental scoring "
+                            "lane; sessions use batched scoring only")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="stop the server after this long (smoke flows)")
     serve.set_defaults(func=_cmd_serve)

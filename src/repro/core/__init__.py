@@ -7,7 +7,8 @@ and threshold calibration utilities.
 
 from .calibration import CalibratedThreshold, ThresholdCalibrator
 from .config import TrainingConfig, VaradeConfig
-from .detector import AnomalyDetector, InferenceCost, ScoreResult, VaradeDetector
+from .detector import (AnomalyDetector, InferenceCost, ScoreResult,
+                       VaradeDetector, VaradeIncrementalScorer)
 from .quantized import QuantizedVaradeDetector
 from .varade import VaradeNetwork
 
@@ -21,5 +22,6 @@ __all__ = [
     "ScoreResult",
     "QuantizedVaradeDetector",
     "VaradeDetector",
+    "VaradeIncrementalScorer",
     "VaradeNetwork",
 ]

@@ -41,7 +41,8 @@ from .calibration import CalibratedThreshold, ThresholdCalibrator
 from .config import TrainingConfig, VaradeConfig
 from .varade import VaradeNetwork
 
-__all__ = ["InferenceCost", "ScoreResult", "AnomalyDetector", "VaradeDetector"]
+__all__ = ["InferenceCost", "ScoreResult", "AnomalyDetector", "VaradeDetector",
+           "VaradeIncrementalScorer"]
 
 
 @dataclass(frozen=True)
@@ -225,6 +226,20 @@ class AnomalyDetector(abc.ABC):
             )
         return output
 
+    def incremental_scorer(self) -> Optional["VaradeIncrementalScorer"]:
+        """Return a fresh per-stream incremental scorer, or ``None``.
+
+        An incremental scorer advances one sample at a time in O(layers)
+        work per sample and must produce **bit-identical** scores to
+        :meth:`score_windows_batch` on the same windows -- it is a hot-path
+        optimisation, never a different model.  The default is ``None``
+        (no incremental path); detectors whose compute graph supports
+        causal reuse (VARADE's strided conv stack, float and int8)
+        override this.  Each call returns an independent scorer holding
+        its own stream state, so every session gets its own.
+        """
+        return None
+
     # -- deployment state ------------------------------------------------ #
     def set_threshold(self, threshold: Optional[CalibratedThreshold]) -> "AnomalyDetector":
         """Attach (or clear) the calibrated decision threshold."""
@@ -294,6 +309,57 @@ class AnomalyDetector(abc.ABC):
 
     def _mark_fitted(self) -> None:
         self._fitted = True
+
+
+class VaradeIncrementalScorer:
+    """O(1)-per-sample VARADE scoring around an incremental forward plan.
+
+    Wraps either a float :class:`repro.nn.IncrementalForwardPlan` or an int8
+    :class:`repro.nn.IncrementalQuantizedPlan` (both expose the same
+    ``push`` / ``push_many`` / ``reset`` surface) and maps the ``log_var``
+    head to the paper's anomaly score -- the mean predicted variance --
+    with exactly the clipping and reduction the batch path applies, so an
+    incremental score is bit-identical to the ``score_windows_batch`` score
+    of the same window.
+    """
+
+    def __init__(self, plan) -> None:
+        self._plan = plan
+
+    @property
+    def samples_seen(self) -> int:
+        return self._plan.samples_seen
+
+    @property
+    def warm(self) -> bool:
+        """Whether the next push falls past the warm-up prefix."""
+        return self._plan.warm
+
+    def reset(self) -> None:
+        """Forget all stream state (call on any gap in the stream)."""
+        self._plan.reset()
+
+    def push(self, values: np.ndarray) -> Optional[float]:
+        """Advance by one sample; return its score, ``None`` while warming."""
+        heads = self._plan.push(values)
+        if heads is None:
+            return None
+        return float(self._score_rows(heads["log_var"])[0])
+
+    def push_many(self, samples: np.ndarray) -> np.ndarray:
+        """Advance by a chunk of samples; NaN rows mark the warm-up prefix."""
+        heads = self._plan.push_many(samples)
+        return self._score_rows(heads["log_var"])
+
+    @staticmethod
+    def _score_rows(log_var: np.ndarray) -> np.ndarray:
+        # Same ops as VaradeDetector/QuantizedVaradeDetector scoring: cast,
+        # clip to the trained range, exponentiate, per-row mean.  The
+        # reduction runs along contiguous rows, so its summation order --
+        # and therefore its bits -- is batch-size independent; NaN warm-up
+        # rows propagate to NaN scores.
+        log_var = np.clip(np.asarray(log_var, dtype=np.float64), -10.0, 10.0)
+        return np.exp(log_var).mean(axis=1)
 
 
 class VaradeDetector(AnomalyDetector):
@@ -403,6 +469,23 @@ class VaradeDetector(AnomalyDetector):
         windows, _ = self._validate_batch(windows, targets)
         _, log_var = self.network.predict_distribution(windows)
         return np.exp(log_var).mean(axis=1)
+
+    def incremental_scorer(self) -> Optional[VaradeIncrementalScorer]:
+        """Per-stream O(1)-per-sample scorer, bit-identical to the batch path.
+
+        Only the ``log_var`` head is evaluated (the score never uses the
+        mean).  Returns ``None`` when the network's conv stack cannot be
+        updated causally (padded or non-right-anchored convs) or when the
+        BLAS width-class probe rejects the incremental call shapes --
+        callers fall back to :meth:`score_windows_batch`.
+        """
+        self._check_fitted()
+        try:
+            plan = nn.IncrementalForwardPlan(self.network._fast_plan,
+                                             heads=("log_var",))
+        except (TypeError, ValueError):
+            return None
+        return VaradeIncrementalScorer(plan)
 
     def forecast(self, window: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Return (mean, variance) of the next-sample distribution for one window."""

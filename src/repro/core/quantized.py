@@ -22,9 +22,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..nn.quant import QuantizedForwardPlan
+from ..nn.quant import IncrementalQuantizedPlan, QuantizedForwardPlan
 from .config import VaradeConfig
-from .detector import AnomalyDetector, InferenceCost, TrainingHistory, VaradeDetector
+from .detector import (AnomalyDetector, InferenceCost, TrainingHistory,
+                       VaradeDetector, VaradeIncrementalScorer)
 
 __all__ = ["QuantizedVaradeDetector", "coerce_calibration_windows"]
 
@@ -178,6 +179,20 @@ class QuantizedVaradeDetector(AnomalyDetector):
         windows, _ = self._validate_batch(windows, targets)
         _, log_var = self.predict_distribution(windows)
         return np.exp(log_var).mean(axis=1)
+
+    def incremental_scorer(self) -> Optional[VaradeIncrementalScorer]:
+        """Int8 per-stream O(1)-per-sample scorer (bit-identical to batch).
+
+        The int8 plan needs no BLAS probe -- its staged GEMMs are exact
+        integers by construction -- but a non-right-anchored conv still
+        rules the causal update out, in which case ``None`` is returned
+        and callers fall back to :meth:`score_windows_batch`.
+        """
+        try:
+            plan = IncrementalQuantizedPlan(self.plan, heads=["log_var"])
+        except (TypeError, ValueError):
+            return None
+        return VaradeIncrementalScorer(plan)
 
     # ------------------------------------------------------------------ #
     # Cost

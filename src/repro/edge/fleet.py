@@ -87,16 +87,16 @@ class FleetStats:
 
     @property
     def latency_p99_s(self) -> float:
-        """p99 enqueue-to-score latency (nan when nothing was scored)."""
+        """p99 enqueue-to-score latency (0.0 when nothing was scored)."""
         if self.latency_histogram is None:
-            return float("nan")
+            return 0.0
         return self.latency_histogram.p99
 
     @property
     def occupancy_p50(self) -> float:
-        """Median rows per batched scoring call (nan without flushes)."""
+        """Median rows per batched scoring call (0.0 without flushes)."""
         if self.occupancy_histogram is None:
-            return float("nan")
+            return 0.0
         return self.occupancy_histogram.p50
 
 
@@ -195,6 +195,9 @@ class MultiStreamRuntime:
                 adaptation=self.adaptation,
                 max_samples=max_samples,
                 record=True,
+                # The fleet's whole point is the one-gemm-per-tick batched
+                # call; per-sample incremental pushes would serialise it.
+                incremental=False,
             )
             for stream in range(n_streams)
         ]

@@ -44,6 +44,12 @@ class StreamingHistogram:
 
     Use :meth:`log_spaced` for latencies (relative resolution across six
     decades) and :meth:`linear` for bounded counts such as batch occupancy.
+
+    A histogram with zero samples reports ``0.0`` for every statistic
+    (mean/min/max/quantiles): the summaries feed JSON stats replies, where
+    an ``inf``/``nan`` sentinel would serialise to a non-compliant token.
+    The internal min/max sentinels stay ``+/-inf`` so merging an empty
+    histogram into a populated one (or vice versa) remains exact.
     """
 
     def __init__(self, edges: Sequence[float]) -> None:
@@ -113,15 +119,15 @@ class StreamingHistogram:
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else float("nan")
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
-        return self._min if self._count else float("nan")
+        return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return self._max if self._count else float("nan")
+        return self._max if self._count else 0.0
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q`` quantile by interpolating inside the hit bin.
@@ -133,7 +139,7 @@ class StreamingHistogram:
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if self._count == 0:
-            return float("nan")
+            return 0.0
         rank = q * self._count
         cumulative = np.cumsum(self._counts)
         bin_index = int(np.searchsorted(cumulative, rank, side="left"))

@@ -108,13 +108,19 @@ class StreamingRuntime:
 
     def __init__(self, detector: AnomalyDetector,
                  threshold: Optional[CalibratedThreshold] = None,
-                 adaptation: Optional[AdaptationPolicy] = None) -> None:
+                 adaptation: Optional[AdaptationPolicy] = None,
+                 incremental: bool = True) -> None:
         self.detector = detector
         #: explicit override; ``None`` defers to the detector's threshold.
         self.threshold = threshold
         #: optional online drift adaptation policy; ``None`` keeps the
         #: threshold frozen for the whole run.
         self.adaptation = adaptation
+        #: score via the detector's O(1)-per-sample incremental scorer when
+        #: it offers one (bit-identical to the batch path; detectors
+        #: without one ignore this).  Benchmarks pin it off to compare the
+        #: per-window batch call in isolation.
+        self.incremental = incremental
 
     def _resolve_threshold(self) -> Optional[CalibratedThreshold]:
         return resolve_threshold(self.threshold, self.detector)
@@ -141,6 +147,7 @@ class StreamingRuntime:
             adaptation=self.adaptation,
             max_samples=max_samples,
             record=True,
+            incremental=self.incremental,
         )
         for sample in reader:
             session.push(sample.values)

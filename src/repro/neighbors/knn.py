@@ -64,7 +64,14 @@ class KNNAnomalyScorer:
             )
         # Squared euclidean distances via the expansion ||a-b||^2 = ||a||^2 - 2ab + ||b||^2.
         query_sq = (queries ** 2).sum(axis=1, keepdims=True)
-        cross = queries @ self.reference_.T
+        if queries.shape[0] == 1:
+            # BLAS dispatches 1-row matmuls to a gemv-class kernel whose
+            # per-element rounding differs from the >=2-row gemm kernels
+            # (which are row-count invariant); duplicating the row keeps
+            # sequential scoring bit-identical to batched scoring.
+            cross = (np.concatenate([queries, queries]) @ self.reference_.T)[:1]
+        else:
+            cross = queries @ self.reference_.T
         squared = np.maximum(query_sq - 2.0 * cross + self._reference_sq_norms, 0.0)
         k = self.n_neighbors
         nearest = np.partition(squared, kth=k - 1, axis=1)[:, :k]

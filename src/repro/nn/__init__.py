@@ -28,8 +28,9 @@ from .layers import (
 from .recurrent import LSTM, LSTMCell
 from .optim import Adam, Optimizer, RMSprop, SGD, clip_grad_norm
 from .losses import elbo_loss, gaussian_nll, kl_standard_normal, mae_loss, mse_loss
-from .fastpath import FastForwardPlan, fast_conv1d
+from .fastpath import FastForwardPlan, IncrementalForwardPlan, fast_conv1d
 from .quant import (
+    IncrementalQuantizedPlan,
     QuantizedConv1d,
     QuantizedForwardPlan,
     QuantizedLinear,
@@ -73,7 +74,9 @@ __all__ = [
     "kl_standard_normal",
     "elbo_loss",
     "FastForwardPlan",
+    "IncrementalForwardPlan",
     "fast_conv1d",
+    "IncrementalQuantizedPlan",
     "QuantizedConv1d",
     "QuantizedForwardPlan",
     "QuantizedLinear",

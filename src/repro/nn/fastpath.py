@@ -19,18 +19,53 @@ This module is the vectorized fast path used by
   Buffers are allocated once per batch size and reused, so steady-state
   streaming inference allocates almost nothing.
 
+* :class:`IncrementalForwardPlan` is the single-stream streaming twin: it
+  keeps a ring buffer of every layer's per-sample activation columns so that
+  :meth:`~IncrementalForwardPlan.push` of one new sample computes only the
+  newest timestep's column per layer -- O(layers) work per sample instead of
+  the batch plan's O(window x layers) -- while staying bit-identical to
+  :meth:`FastForwardPlan.forward` on the same window.
+
 Numerical contract: for a fixed input row the outputs are bit-identical no
 matter which batch the row is scored in.  The convolution contracts every
 batch slice with the same ``(O, C*K) x (C*K, L)`` matmul, and the heads use
 ``np.einsum`` whose reduction order does not depend on the batch size.  The
 score-parity suite (``tests/test_edge/test_fleet_parity.py``) relies on this
 to compare batched multi-stream scores against the sequential runtime.
+
+The incremental plan extends the contract to single-column updates.  BLAS
+gemm kernels round differently depending on the output width class, so a
+naive one-column matmul would drift from the batch result by ~1 ULP.  The
+plan therefore picks, per conv layer and verified by a construction-time
+probe against the real batch call, an update call shape that is
+bit-identical to the batch matmul:
+
+* ``pad8`` -- batch output widths that are a multiple of 8 place every
+  column in a full width-8 kernel chunk, whose rounding any other
+  multiple-of-8 call reproduces; new columns are computed zero-padded
+  inside a width-8 (single push) or width-8k (chunked) call;
+* ``padL`` -- other layers compute new columns at the exact batch call
+  width ``L_out``: a fixed gemm shape rounds each column the same way
+  regardless of its position or its neighbours' values (both probed), so
+  a zero-padded call of that width reproduces the batch bits column for
+  column.
+
+:meth:`IncrementalForwardPlan.push_many` amortises the per-call Python
+overhead by advancing whole blocks of samples at once -- each layer
+computes all of a block's new columns in one (``pad8``) or a few
+(``padL``) gemm calls of the probed width class, which is where the
+single-stream throughput win over the batch plan comes from.
+
+When a layer shape is not causally updatable (padding, or a stride that is
+not right-anchored on the window) or the probe finds a BLAS build violating
+the width-class assumption, construction raises and callers fall back to
+the batch plan -- the fallback path, never silent drift.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
@@ -38,7 +73,7 @@ from numpy.lib.stride_tricks import as_strided
 from .layers import Conv1d, Linear, ReLU, Sequential
 from .module import Module
 
-__all__ = ["fast_conv1d", "FastForwardPlan"]
+__all__ = ["fast_conv1d", "FastForwardPlan", "IncrementalForwardPlan"]
 
 #: how many distinct batch sizes a plan keeps buffers for before evicting the
 #: least recently used set (a fleet whose streams end at different times asks
@@ -65,6 +100,28 @@ def _im2col_view(x: np.ndarray, kernel: int, stride: int) -> Tuple[np.ndarray, i
     return view, out_length
 
 
+def _check_scratch(buf: np.ndarray, shape: Tuple[int, ...], name: str) -> np.ndarray:
+    """Validate a caller-provided scratch buffer before it feeds ``np.matmul``.
+
+    ``np.matmul(..., out=...)`` (and the reshape the im2col copy relies on)
+    silently produce garbage for mis-shaped, wrongly-typed or
+    non-C-contiguous buffers, so reject anything that is not exactly the
+    array the internal allocation would have produced.
+    """
+    buf = np.asarray(buf)
+    if buf.shape != shape:
+        raise ValueError(
+            f"fast_conv1d {name} buffer has shape {buf.shape}, expected {shape}"
+        )
+    if buf.dtype != np.float64:
+        raise ValueError(
+            f"fast_conv1d {name} buffer must be float64, got {buf.dtype}"
+        )
+    if not buf.flags.c_contiguous:
+        raise ValueError(f"fast_conv1d {name} buffer must be C-contiguous")
+    return buf
+
+
 def fast_conv1d(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None,
                 stride: int = 1, padding: int = 0,
                 cols_buf: Optional[np.ndarray] = None,
@@ -75,7 +132,8 @@ def fast_conv1d(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = 
     the result is ``(N, C_out, L_out)`` and matches
     :meth:`repro.nn.tensor.Tensor.conv1d` numerically.  ``cols_buf`` of shape
     ``(N, C_in * K, L_out)`` and ``out`` of shape ``(N, C_out, L_out)`` let
-    the caller reuse scratch memory across calls.
+    the caller reuse scratch memory across calls; both must be C-contiguous
+    float64 of exactly that shape (anything else raises ``ValueError``).
     """
     x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
     if x.ndim != 3 or weight.ndim != 3:
@@ -92,9 +150,14 @@ def fast_conv1d(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = 
     batch = x.shape[0]
     if cols_buf is None:
         cols_buf = np.empty((batch, in_channels * kernel, out_length))
+    else:
+        cols_buf = _check_scratch(
+            cols_buf, (batch, in_channels * kernel, out_length), "cols_buf")
     np.copyto(cols_buf.reshape(batch, in_channels, kernel, out_length), view)
     if out is None:
         out = np.empty((batch, out_channels, out_length))
+    else:
+        out = _check_scratch(out, (batch, out_channels, out_length), "out")
     np.matmul(weight.reshape(out_channels, in_channels * kernel), cols_buf, out=out)
     if bias is not None:
         out += bias.reshape(-1, 1)
@@ -224,6 +287,411 @@ class FastForwardPlan:
             # einsum keeps the reduction order independent of the batch size,
             # which the batched-vs-sequential score parity guarantee needs.
             np.einsum("nf,of->no", flat, head.weight.data, out=out)
+            if head.bias is not None:
+                out += head.bias.data
+            results[name] = out
+        return results
+
+
+#: gemm output-width chunk: columns inside full width-8 chunks share their
+#: rounding across every call whose width is a multiple of the chunk.
+_GEMM_CHUNK = 8
+
+#: how many samples a chunked advance processes per block (also the slack the
+#: sliding layer buffers keep beyond the window before compacting).
+_BLOCK = 256
+
+
+def _probe_update_scheme(w2d: np.ndarray, depth: int, out_length: int,
+                         width: int) -> bool:
+    """Check, with the real layer weight, that zero-padded update calls of
+    ``width`` columns reproduce the bits of the batch
+    ``(O, depth) x (1, depth, L)`` matmul on random data.
+
+    ``width`` is either ``_GEMM_CHUNK`` (requires ``out_length % 8 == 0``)
+    or ``out_length`` itself (the ``padL`` scheme).
+    """
+    rng = np.random.default_rng(0x1C4)
+    for _ in range(2):
+        cols = np.ascontiguousarray(
+            rng.standard_normal((1, depth, out_length)))
+        reference = np.matmul(w2d, cols)[0]
+        # (a) the plain 2-D call at the batch width matches the batch bits
+        #     (chunked padL groups run at exactly this call shape).
+        if not np.array_equal(w2d @ cols[0], reference):
+            return False
+        # (b) a zero-padded single column at position 0 of a width-`width`
+        #     call matches the batch bits of a column at any position.
+        for j in {0, out_length // 2, out_length - 1}:
+            padded = np.zeros((depth, width))
+            padded[:, 0] = cols[0][:, j]
+            if not np.array_equal((w2d @ padded)[:, :1],
+                                  reference[:, j:j + 1]):
+                return False
+        # (c) a column's bits do not depend on its neighbours' values.
+        if out_length > 1:
+            alt = np.array(cols[0])
+            alt[:, 1:] = rng.standard_normal((depth, out_length - 1))
+            if not np.array_equal((w2d @ alt)[:, :1], reference[:, :1]):
+                return False
+        # (d) full-chunk columns agree across multiple-of-8 widths (the
+        #     chunked pad8 advance uses widths 8, 16, ... per block).
+        if width == _GEMM_CHUNK:
+            wide = rng.standard_normal((depth, 2 * _GEMM_CHUNK))
+            halves = np.hstack([w2d @ np.ascontiguousarray(wide[:, :_GEMM_CHUNK]),
+                                w2d @ np.ascontiguousarray(wide[:, _GEMM_CHUNK:])])
+            if not np.array_equal(w2d @ wide, halves):
+                return False
+    return True
+
+
+class _IncrementalConv:
+    """Static per-layer recipe of an incremental plan (no stream state)."""
+
+    __slots__ = ("layer", "relu_after", "in_channels", "out_channels",
+                 "depth", "kernel", "stride", "out_length", "d_in", "d_out",
+                 "first_t", "mode", "width", "w2d", "bias_col")
+
+    def __init__(self, layer: Conv1d, in_channels: int, out_length: int,
+                 d_in: int) -> None:
+        self.layer = layer
+        self.relu_after = False
+        self.in_channels = in_channels
+        self.out_channels = layer.out_channels
+        self.kernel = layer.kernel_size
+        self.stride = layer.stride
+        self.depth = in_channels * layer.kernel_size
+        self.out_length = out_length
+        self.d_in = d_in
+        self.d_out = d_in * layer.stride
+        self.first_t = 0     # assigned once the update mode is known
+        self.mode = ""
+        self.width = 0
+        # Views into the live parameter memory (reshape of a contiguous
+        # array): in-place weight updates stay visible, rebinding
+        # ``weight.data`` requires building a new incremental plan.
+        self.w2d = np.ascontiguousarray(
+            layer.weight.data).reshape(self.out_channels, self.depth)
+        self.bias_col = None if layer.bias is None \
+            else layer.bias.data.reshape(-1, 1)
+
+
+class IncrementalForwardPlan:
+    """O(layers)-per-sample streaming twin of :class:`FastForwardPlan`.
+
+    One instance carries the per-stream state of a single session: a sliding
+    buffer per layer holding that layer's activation column for each recent
+    push.  :meth:`push` appends one sample, computes exactly one new column
+    per conv layer (reusing every other column from the buffers) and, once
+    enough samples have accumulated to cover the window, returns the head
+    outputs for the window ending at that sample -- bit-identical to
+    ``FastForwardPlan.forward`` on the same window (the module docstring
+    describes the per-layer update call shapes and the construction-time
+    BLAS probe backing that guarantee).  :meth:`push_many` advances whole
+    blocks of samples with the same bit guarantee while amortising the
+    per-push Python overhead, which is what makes single-stream replay
+    several times faster than re-running the batch plan per window.
+
+    Construction raises ``ValueError`` for backbones the scheme cannot
+    update causally -- any padded conv, or a strided conv that is not
+    right-anchored on the window (``(L_in - kernel) % stride != 0``) -- and
+    when the BLAS probe fails; use :meth:`supports` to test first.  Callers
+    fall back to the batch plan in that case.  A reset (or any gap in the
+    stream) requires :meth:`reset`, after which the plan warms up again
+    from scratch.
+
+    ``heads`` optionally restricts which heads are evaluated per push (the
+    serving hot path only needs ``log_var``); restricting heads does not
+    change the bits of the ones kept.
+    """
+
+    def __init__(self, plan: FastForwardPlan,
+                 heads: Optional[Sequence[str]] = None) -> None:
+        self._plan = plan
+        self._in_channels = plan._in_channels
+        self._in_length = plan._in_length
+        if heads is None:
+            head_names = list(plan._heads)
+        else:
+            unknown = [name for name in heads if name not in plan._heads]
+            if unknown:
+                raise ValueError(f"unknown heads {unknown!r}")
+            head_names = list(heads)
+        self._heads = {name: plan._heads[name] for name in head_names}
+
+        # -- layer walk: conv recipes + ReLU placement --------------------- #
+        self._leading_relu = False
+        convs: List[_IncrementalConv] = []
+        channels, length, d = self._in_channels, self._in_length, 1
+        for step, layer in plan._steps:
+            if step != "conv":
+                if convs:
+                    convs[-1].relu_after = True
+                else:
+                    self._leading_relu = True
+                continue
+            if layer.padding != 0:
+                raise ValueError(
+                    "incremental plan needs unpadded (causal) convolutions, "
+                    f"conv {len(convs)} has padding={layer.padding}"
+                )
+            if (length - layer.kernel_size) % layer.stride != 0:
+                raise ValueError(
+                    f"conv {len(convs)} is not right-anchored on the window: "
+                    f"(L_in={length} - kernel={layer.kernel_size}) is not a "
+                    f"multiple of stride={layer.stride}"
+                )
+            out_channels, out_length = plan._shapes[len(convs)]
+            convs.append(_IncrementalConv(layer, channels, out_length, d))
+            channels, length, d = out_channels, out_length, convs[-1].d_out
+        self._convs = convs
+        self._final_channels = channels
+        self._final_length = length
+        self._final_d = d
+
+        # -- per-layer update modes (probed against the batch call) -------- #
+        cached = getattr(plan, "_incremental_modes", None)
+        modes: List[Tuple[str, int]] = []
+        first_t = 0
+        for index, conv in enumerate(convs):
+            if cached is not None:
+                conv.mode, conv.width = cached[index]
+            else:
+                conv.mode, conv.width = self._choose_mode(conv)
+            modes.append((conv.mode, conv.width))
+            # A layer's newest column first becomes computable once its taps
+            # reach back only onto columns the previous layer has produced.
+            first_t += (conv.kernel - 1) * conv.d_in
+            conv.first_t = first_t
+        plan._incremental_modes = tuple(modes)
+        # Right-anchored layers satisfy L_in - 1 = (L_out - 1)s + k - 1, so
+        # this telescopes to exactly in_length - 1: the first window fill.
+        self._warm_t = first_t + (self._final_length - 1) * self._final_d
+
+        # -- sliding buffers and scratch ----------------------------------- #
+        # Buffer i holds one activation column of layer i per push, written
+        # left to right; when the slack runs out the newest `in_length`
+        # columns (every tap reaches back at most in_length - 1 pushes) are
+        # compacted to the front.
+        capacity = self._in_length + _BLOCK
+        self._bufs: List[np.ndarray] = [
+            np.zeros((self._in_channels, capacity))]
+        self._pos: List[int] = [0]
+        self._gathers: List[np.ndarray] = []
+        self._gather_views: List[np.ndarray] = []
+        self._outs: List[np.ndarray] = []
+        for conv in convs:
+            self._bufs.append(np.zeros((conv.out_channels, capacity)))
+            self._pos.append(0)
+            gather = np.zeros((conv.depth, conv.width))
+            self._gathers.append(gather)
+            self._gather_views.append(
+                gather.reshape(conv.in_channels, conv.kernel, conv.width))
+            self._outs.append(np.empty((conv.out_channels, conv.width)))
+        self._final_buf = np.empty((self._final_channels, self._final_length))
+        self._head_bufs = {name: np.empty((1, head.out_features))
+                           for name, head in self._heads.items()}
+        self._t = 0
+
+    @staticmethod
+    def _choose_mode(conv: "_IncrementalConv") -> Tuple[str, int]:
+        candidates: List[Tuple[str, int]] = []
+        if conv.out_length % _GEMM_CHUNK == 0:
+            candidates.append(("pad8", _GEMM_CHUNK))
+        candidates.append(("padL", conv.out_length))
+        for mode, width in candidates:
+            if _probe_update_scheme(conv.w2d, conv.depth, conv.out_length,
+                                    width):
+                return mode, width
+        raise ValueError(
+            "incremental plan disabled: this BLAS build reproduces none of "
+            "the padded update call shapes bit for bit"
+        )
+
+    @classmethod
+    def supports(cls, plan: FastForwardPlan) -> bool:
+        """Whether ``plan``'s shapes (and the BLAS build) allow incremental
+        updates; ``False`` means callers must stay on the batch plan."""
+        try:
+            cls(plan)
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def samples_seen(self) -> int:
+        """Pushes since construction or the last :meth:`reset`."""
+        return self._t
+
+    @property
+    def warm(self) -> bool:
+        """Whether the buffers cover a full window (push returns outputs)."""
+        return self._t > self._warm_t
+
+    def reset(self) -> None:
+        """Forget all stream state (call on any gap in the sample stream)."""
+        self._t = 0
+        self._pos = [0] * len(self._pos)
+
+    def _room(self, index: int, n: int) -> int:
+        """Write position for ``n`` new columns in layer ``index``'s buffer,
+        compacting the newest window of columns to the front when full."""
+        buf = self._bufs[index]
+        pos = self._pos[index]
+        if pos + n <= buf.shape[1]:
+            return pos
+        keep = min(pos, self._in_length)
+        buf[:, :keep] = buf[:, pos - keep:pos].copy()
+        self._pos[index] = keep
+        return keep
+
+    # ------------------------------------------------------------------ #
+    def push(self, sample: np.ndarray) -> Optional[Dict[str, np.ndarray]]:
+        """Advance the stream by one sample of shape ``(in_channels,)``.
+
+        Returns the head outputs (mapping name -> ``(1, out_features)``
+        buffer, overwritten by the next push) for the window ending at this
+        sample, or ``None`` while warming up.  The outputs are bit-identical
+        to ``FastForwardPlan.forward`` on the same window.
+        """
+        sample = np.asarray(sample, dtype=np.float64).ravel()
+        if sample.shape[0] != self._in_channels:
+            raise ValueError(
+                f"expected a sample of {self._in_channels} channels, "
+                f"got {sample.shape[0]}"
+            )
+        t = self._t
+        self._t = t + 1
+        pos = self._room(0, 1)
+        column = self._bufs[0][:, pos]
+        if self._leading_relu:
+            np.maximum(sample, 0.0, out=column)
+        else:
+            column[:] = sample
+        self._pos[0] = pos + 1
+        for index, conv in enumerate(self._convs):
+            if t < conv.first_t:
+                break       # deeper layers start strictly later
+            previous = self._bufs[index]
+            newest = self._pos[index] - 1        # column of push t
+            gather = self._gather_views[index]
+            kernel, d_in = conv.kernel, conv.d_in
+            for tap in range(kernel):
+                gather[:, tap, 0] = previous[
+                    :, newest - (kernel - 1 - tap) * d_in]
+            out = self._outs[index]
+            np.matmul(conv.w2d, self._gathers[index], out=out)
+            if conv.bias_col is not None:
+                out += conv.bias_col
+            if conv.relu_after:
+                np.maximum(out, 0.0, out=out)
+            pos = self._room(index + 1, 1)
+            self._bufs[index + 1][:, pos] = out[:, 0]
+            self._pos[index + 1] = pos + 1
+        if t < self._warm_t:
+            return None
+        final = self._final_buf
+        buf = self._bufs[-1]
+        newest = self._pos[-1] - 1
+        length, d = self._final_length, self._final_d
+        for j in range(length):
+            final[:, j] = buf[:, newest - (length - 1 - j) * d]
+        flat = final.reshape(1, -1)
+        results: Dict[str, np.ndarray] = {}
+        for name, head in self._heads.items():
+            out = self._head_bufs[name]
+            # same einsum as the batch plan: its reduction order is
+            # batch-size independent, so n=1 here matches any batch there.
+            np.einsum("nf,of->no", flat, head.weight.data, out=out)
+            if head.bias is not None:
+                out += head.bias.data
+            results[name] = out
+        return results
+
+    # ------------------------------------------------------------------ #
+    def push_many(self, samples: np.ndarray) -> Dict[str, np.ndarray]:
+        """Advance the stream by ``samples`` of shape ``(S, in_channels)``.
+
+        Returns a mapping from head name to a fresh ``(S, out_features)``
+        array whose row ``i`` holds the outputs for the window ending at
+        sample ``i`` -- bit-identical to :meth:`push` one sample at a time
+        (and therefore to the batch plan) -- with rows pushed during warm-up
+        left as NaN.  Each layer advances a whole block per gemm call, so
+        this is the high-throughput path for replay and bursty ingestion.
+        """
+        samples = np.ascontiguousarray(np.asarray(samples, dtype=np.float64))
+        if samples.ndim != 2 or samples.shape[1] != self._in_channels:
+            raise ValueError(
+                f"expected samples of shape (S, {self._in_channels}), "
+                f"got {samples.shape}"
+            )
+        total = samples.shape[0]
+        outs = {name: np.full((total, head.out_features), np.nan)
+                for name, head in self._heads.items()}
+        i = 0
+        # Warm-up pushes produce no outputs; run them one by one so the
+        # chunked path below never has to gate layers on first_t.
+        while i < total and self._t < self._warm_t:
+            self.push(samples[i])
+            i += 1
+        while i < total:
+            block = samples[i:i + _BLOCK]
+            for name, arr in self._advance_block(block).items():
+                outs[name][i:i + block.shape[0]] = arr
+            i += block.shape[0]
+        return outs
+
+    def _advance_block(self, block: np.ndarray) -> Dict[str, np.ndarray]:
+        """Advance every layer by one block of pushes (requires ``t`` past
+        every layer's ``first_t``, i.e. the plan is warm)."""
+        count = block.shape[0]
+        self._t += count
+        pos = self._room(0, count)
+        target = self._bufs[0][:, pos:pos + count]
+        np.copyto(target, block.T)
+        if self._leading_relu:
+            np.maximum(target, 0.0, out=target)
+        self._pos[0] = pos + count
+        for index, conv in enumerate(self._convs):
+            previous = self._bufs[index]
+            base = self._pos[index] - count      # column of the block start
+            kernel, d_in = conv.kernel, conv.d_in
+            group = _GEMM_CHUNK if conv.mode == "pad8" else conv.width
+            padded = -(-count // group) * group
+            gather = np.zeros((conv.depth, padded))
+            g3 = gather.reshape(conv.in_channels, kernel, padded)
+            for tap in range(kernel):
+                start = base - (kernel - 1 - tap) * d_in
+                g3[:, tap, :count] = previous[:, start:start + count]
+            if conv.mode == "pad8":
+                # one call at a multiple-of-8 width: every column sits in a
+                # full width-8 chunk, the probed batch width class
+                out = conv.w2d @ gather
+            else:
+                # padL: groups at exactly the batch call width
+                out = np.empty((conv.out_channels, padded))
+                for g in range(0, padded, group):
+                    out[:, g:g + group] = conv.w2d @ np.ascontiguousarray(
+                        gather[:, g:g + group])
+            if conv.bias_col is not None:
+                out += conv.bias_col
+            if conv.relu_after:
+                np.maximum(out, 0.0, out=out)
+            pos = self._room(index + 1, count)
+            self._bufs[index + 1][:, pos:pos + count] = out[:, :count]
+            self._pos[index + 1] = pos + count
+        buf = self._bufs[-1]
+        base = self._pos[-1] - count
+        length, d = self._final_length, self._final_d
+        flat = np.empty((count, self._final_channels, length))
+        for j in range(length):
+            start = base - (length - 1 - j) * d
+            flat[:, :, j] = buf[:, start:start + count].T
+        flat2 = np.ascontiguousarray(flat.reshape(count, -1))
+        results: Dict[str, np.ndarray] = {}
+        for name, head in self._heads.items():
+            out = np.einsum("nf,of->no", flat2, head.weight.data)
             if head.bias is not None:
                 out += head.bias.data
             results[name] = out

@@ -64,6 +64,7 @@ __all__ = [
     "QuantizedConv1d",
     "QuantizedLinear",
     "QuantizedForwardPlan",
+    "IncrementalQuantizedPlan",
 ]
 
 #: largest int8 code used by the symmetric scheme (the -128 code is unused so
@@ -597,3 +598,250 @@ class QuantizedForwardPlan:
                 out += self._head_bias_f32[name]
             results[name] = out
         return results
+
+
+class IncrementalQuantizedPlan:
+    """Int8 twin of :class:`repro.nn.fastpath.IncrementalForwardPlan`.
+
+    Carries per-stream int8 state so that one new sample (or a chunk of
+    samples, via :meth:`push_many`) advances every layer by computing only
+    the new activation columns, bit-identical to
+    :meth:`QuantizedForwardPlan.forward` on the same windows.
+
+    Unlike the float plan this needs no BLAS width-class probe: the plan
+    construction already guarantees every reduction depth keeps the integer
+    accumulator below ``2**24`` (see the module docstring), so the staged
+    int8 GEMMs are *exact* under any call shape -- the update calls use
+    plain single-column (or single-block) widths.  The elementwise
+    quantize/requantize passes replicate the batch plan's ufunc sequence
+    operand for operand, which keeps them bit-identical too.
+
+    Construction raises ``ValueError`` when a conv is not right-anchored on
+    the window (``(L_in - kernel) % stride != 0``); use :meth:`supports` to
+    test first and fall back to the batch plan.  Call :meth:`reset` on any
+    gap in the stream.
+    """
+
+    def __init__(self, plan: QuantizedForwardPlan,
+                 heads: Optional[List[str]] = None) -> None:
+        self._plan = plan
+        self._in_channels = plan._in_channels
+        self._in_length = plan._in_length
+        if heads is None:
+            head_names = list(plan._heads)
+        else:
+            unknown = [name for name in heads if name not in plan._heads]
+            if unknown:
+                raise ValueError(f"unknown heads {unknown!r}")
+            head_names = list(heads)
+        self._heads = {name: plan._heads[name] for name in head_names}
+        if not plan._convs:
+            raise ValueError(
+                "incremental quantized plans need a conv backbone")
+        length, d = self._in_length, 1
+        self._d_in: List[int] = []
+        first_t = 0
+        self._first_t: List[int] = []
+        for conv in plan._convs:
+            if (length - conv.kernel_size) % conv.stride != 0:
+                raise ValueError(
+                    "conv is not right-anchored on the window: "
+                    f"(L_in={length} - kernel={conv.kernel_size}) is not a "
+                    f"multiple of stride={conv.stride}"
+                )
+            self._d_in.append(d)
+            first_t += (conv.kernel_size - 1) * d
+            self._first_t.append(first_t)
+            length = conv.output_length(length)
+            d *= conv.stride
+        self._final_channels, self._final_length = plan._final_shape
+        self._final_d = d
+        self._warm_t = first_t + (self._final_length - 1) * d
+
+        from .fastpath import _BLOCK
+        self._block = _BLOCK
+        capacity = self._in_length + self._block
+        self._bufs: List[np.ndarray] = [
+            np.zeros((self._in_channels, capacity), dtype=np.float32)]
+        self._pos: List[int] = [0]
+        for conv in plan._convs:
+            self._bufs.append(
+                np.zeros((conv.out_channels, capacity), dtype=np.float32))
+            self._pos.append(0)
+        self._gathers = [
+            np.empty((conv.in_channels * conv.kernel_size, 1),
+                     dtype=np.float32)
+            for conv in plan._convs
+        ]
+        self._final_buf = np.empty(
+            (1, self._final_channels * self._final_length), dtype=np.float32)
+        self._t = 0
+
+    @classmethod
+    def supports(cls, plan: QuantizedForwardPlan) -> bool:
+        """Whether ``plan``'s shapes allow incremental updates; ``False``
+        means callers must stay on the batch plan."""
+        try:
+            cls(plan)
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def samples_seen(self) -> int:
+        """Pushes since construction or the last :meth:`reset`."""
+        return self._t
+
+    @property
+    def warm(self) -> bool:
+        """Whether the buffers cover a full window (push returns outputs)."""
+        return self._t > self._warm_t
+
+    def reset(self) -> None:
+        """Forget all stream state (call on any gap in the sample stream)."""
+        self._t = 0
+        self._pos = [0] * len(self._pos)
+
+    def _room(self, index: int, n: int) -> int:
+        buf = self._bufs[index]
+        pos = self._pos[index]
+        if pos + n <= buf.shape[1]:
+            return pos
+        keep = min(pos, self._in_length)
+        buf[:, :keep] = buf[:, pos - keep:pos].copy()
+        self._pos[index] = keep
+        return keep
+
+    def _stage_input(self, values: np.ndarray, out: np.ndarray) -> None:
+        """Replicate the batch plan's input quantization ufunc for ufunc."""
+        plan = self._plan
+        np.multiply(values, plan._input_inv_scale, out=out)
+        if plan._leading_relu:
+            np.maximum(out, 0.0, out=out)
+        np.rint(out, out=out)
+        np.clip(out, -QMAX, QMAX, out=out)
+
+    def _requantize(self, out: np.ndarray, conv_index: int) -> None:
+        """The batch plan's fused requantization on a (O, width) column."""
+        plan = self._plan
+        out *= plan._requant_mult[conv_index][:, :, 0]
+        bias = plan._requant_bias[conv_index]
+        if bias is not None:
+            out += bias[:, :, 0]
+        np.rint(out, out=out)
+        np.clip(out, plan._requant_low[conv_index], QMAX, out=out)
+
+    def _head_outputs(self, flat: np.ndarray) -> Dict[str, np.ndarray]:
+        results: Dict[str, np.ndarray] = {}
+        for name, head in self._heads.items():
+            out = flat @ head._weight_f32_t
+            out *= head._dequant
+            bias = self._plan._head_bias_f32[name]
+            if bias is not None:
+                out += bias
+            results[name] = out
+        return results
+
+    # ------------------------------------------------------------------ #
+    def push(self, sample: np.ndarray) -> Optional[Dict[str, np.ndarray]]:
+        """Advance the stream by one sample of shape ``(in_channels,)``.
+
+        Returns the head outputs (name -> fresh ``(1, out_features)``
+        float32 array) for the window ending at this sample, or ``None``
+        while warming up -- bit-identical to
+        ``QuantizedForwardPlan.forward`` on the same window.
+        """
+        sample = np.asarray(sample, dtype=np.float64).ravel()
+        if sample.shape[0] != self._in_channels:
+            raise ValueError(
+                f"expected a sample of {self._in_channels} channels, "
+                f"got {sample.shape[0]}"
+            )
+        t = self._t
+        self._t = t + 1
+        pos = self._room(0, 1)
+        self._stage_input(sample, self._bufs[0][:, pos])
+        self._pos[0] = pos + 1
+        for index, conv in enumerate(self._plan._convs):
+            if t < self._first_t[index]:
+                break
+            previous = self._bufs[index]
+            newest = self._pos[index] - 1
+            kernel, d_in = conv.kernel_size, self._d_in[index]
+            gather = self._gathers[index]
+            g3 = gather.reshape(conv.in_channels, kernel)
+            for tap in range(kernel):
+                g3[:, tap] = previous[:, newest - (kernel - 1 - tap) * d_in]
+            out = conv._weight_f32 @ gather
+            self._requantize(out, index)
+            pos = self._room(index + 1, 1)
+            self._bufs[index + 1][:, pos] = out[:, 0]
+            self._pos[index + 1] = pos + 1
+        if t < self._warm_t:
+            return None
+        buf = self._bufs[-1]
+        newest = self._pos[-1] - 1
+        length, d = self._final_length, self._final_d
+        final = self._final_buf.reshape(self._final_channels, length)
+        for j in range(length):
+            final[:, j] = buf[:, newest - (length - 1 - j) * d]
+        return self._head_outputs(self._final_buf)
+
+    def push_many(self, samples: np.ndarray) -> Dict[str, np.ndarray]:
+        """Advance by ``(S, in_channels)`` samples; returns per-head
+        ``(S, out_features)`` float32 arrays with NaN warm-up rows --
+        bit-identical to :meth:`push` one sample at a time."""
+        samples = np.ascontiguousarray(np.asarray(samples, dtype=np.float64))
+        if samples.ndim != 2 or samples.shape[1] != self._in_channels:
+            raise ValueError(
+                f"expected samples of shape (S, {self._in_channels}), "
+                f"got {samples.shape}"
+            )
+        total = samples.shape[0]
+        outs = {name: np.full((total, head.out_features), np.nan,
+                              dtype=np.float32)
+                for name, head in self._heads.items()}
+        i = 0
+        while i < total and self._t < self._warm_t:
+            self.push(samples[i])
+            i += 1
+        while i < total:
+            block = samples[i:i + self._block]
+            for name, arr in self._advance_block(block).items():
+                outs[name][i:i + block.shape[0]] = arr
+            i += block.shape[0]
+        return outs
+
+    def _advance_block(self, block: np.ndarray) -> Dict[str, np.ndarray]:
+        count = block.shape[0]
+        self._t += count
+        pos = self._room(0, count)
+        self._stage_input(block.T, self._bufs[0][:, pos:pos + count])
+        self._pos[0] = pos + count
+        for index, conv in enumerate(self._plan._convs):
+            previous = self._bufs[index]
+            base = self._pos[index] - count
+            kernel, d_in = conv.kernel_size, self._d_in[index]
+            gather = np.empty(
+                (conv.in_channels * conv.kernel_size, count),
+                dtype=np.float32)
+            g3 = gather.reshape(conv.in_channels, kernel, count)
+            for tap in range(kernel):
+                start = base - (kernel - 1 - tap) * d_in
+                g3[:, tap] = previous[:, start:start + count]
+            out = conv._weight_f32 @ gather
+            self._requantize(out, index)
+            pos = self._room(index + 1, count)
+            self._bufs[index + 1][:, pos:pos + count] = out
+            self._pos[index + 1] = pos + count
+        buf = self._bufs[-1]
+        base = self._pos[-1] - count
+        length, d = self._final_length, self._final_d
+        flat = np.empty((count, self._final_channels, length),
+                        dtype=np.float32)
+        for j in range(length):
+            start = base - (length - 1 - j) * d
+            flat[:, :, j] = buf[:, start:start + count].T
+        return self._head_outputs(
+            np.ascontiguousarray(flat.reshape(count, -1)))

@@ -266,7 +266,10 @@ class ServiceSpec:
     policy, and the TCP endpoint (``host``/``port``; port ``0`` binds an
     ephemeral port) the ``repro serve`` CLI listens on.  ``apply_scaler``
     makes sessions normalise raw pushed samples with the artifact's
-    training scaler.
+    training scaler.  ``incremental`` (default on) lets sessions score
+    each sample with the detector's O(1)-per-sample incremental scorer
+    where the model supports it -- bit-identical scores, lower hot-path
+    latency; detectors without an incremental path ignore it.
     """
 
     max_batch: int = 32
@@ -274,6 +277,7 @@ class ServiceSpec:
     max_queue: int = 256
     backpressure: str = "block"
     apply_scaler: bool = False
+    incremental: bool = True
     host: str = "127.0.0.1"
     port: int = 7007
 
@@ -306,6 +310,7 @@ class ServiceSpec:
             "max_queue": self.max_queue,
             "backpressure": self.backpressure,
             "apply_scaler": self.apply_scaler,
+            "incremental": self.incremental,
         }
         kwargs.update(overrides)
         return ServiceConfig(**kwargs)

@@ -16,7 +16,9 @@ once per lockstep tick, and the Hypothesis property suite drives it with a
 fake clock.  Scoring order inside a flush is FIFO across sessions, which
 preserves per-session order; detectors' batched scoring is batch-invariant
 (bit-identical per row regardless of batch composition -- the PR-1 parity
-contract), so micro-batching never changes a score.
+contract), so micro-batching never changes a score.  Requests pre-scored by
+a session's incremental lane (:mod:`repro.serve.session`) ride through the
+same queue for ordering and backpressure but skip the batched call.
 
 Backpressure
 ------------
@@ -221,7 +223,15 @@ class MicroBatcher:
 
     # -- flushing ----------------------------------------------------------- #
     def flush(self) -> List[ScoredSample]:
-        """Score up to ``max_batch`` pending requests in one batched call."""
+        """Score up to ``max_batch`` pending requests in one batched call.
+
+        Requests that arrive pre-scored by their session's incremental lane
+        (:attr:`~repro.serve.session.WindowRequest.score`) are completed
+        without entering the batched call -- the gemm covers only the rows
+        that still need scoring, and is skipped entirely when none do.
+        Completion stays in FIFO pop order across both kinds, so
+        per-session ordering is unchanged.
+        """
         if not self._pending:
             return []
         take = min(len(self._pending), self.max_batch)
@@ -230,36 +240,54 @@ class MicroBatcher:
             request = self._pending.popleft()
             self._release_slot(request.session)
             batch.append(request)
-        windows = np.stack([request.context for request in batch])
-        targets = np.stack([request.target for request in batch])
+        if any(request.score is not None for request in batch):
+            unscored = [request for request in batch if request.score is None]
+            prescored = {id(request) for request in batch
+                         if request.score is not None}
+        else:
+            # All-batch flush (the fleet/lockstep hot path): no extra passes.
+            unscored = batch
+            prescored = frozenset()
         start = self.clock()
-        try:
-            scores = self.detector.score_windows_batch(windows, targets)
-        except Exception:
-            # A poisoned batch (e.g. a mis-shaped sample) must not wedge its
-            # sessions: the popped requests are discarded so completion
-            # order stays consistent, then the error propagates.
-            for request in batch:
-                request.session.discard(request)
-                self.dropped += 1
-            raise
+        if unscored:
+            windows = np.stack([request.context for request in unscored])
+            targets = np.stack([request.target for request in unscored])
+            try:
+                scores = self.detector.score_windows_batch(windows, targets)
+            except Exception:
+                # A poisoned batch (e.g. a mis-shaped sample) must not wedge
+                # its sessions: the popped requests are discarded so
+                # completion order stays consistent, then the error
+                # propagates.
+                for request in batch:
+                    request.session.discard(request)
+                    self.dropped += 1
+                raise
+            for row, request in enumerate(unscored):
+                request.score = float(scores[row])
         end = self.clock()
         elapsed = end - start
-        per_row = elapsed / take
+        # Pre-scored rows paid their scoring cost at submit time; account it
+        # here so scoring_time_s keeps meaning "time spent producing scores".
+        inline_time = sum(request.score_latency_s for request in batch
+                          if id(request) in prescored) if prescored else 0.0
+        per_row = elapsed / len(unscored) if unscored else 0.0
         self.flushes += 1
         self.scored += take
-        self.scoring_time_s += elapsed
+        self.scoring_time_s += elapsed + inline_time
         self.occupancy_histogram.add(take)
         if self.record_batches:
             self.batch_sizes.append(take)
-            self.batch_latencies_s.append(elapsed)
+            self.batch_latencies_s.append(elapsed + inline_time)
         results: List[ScoredSample] = []
-        for row, request in enumerate(batch):
+        for request in batch:
             delay = end - request.enqueued_at
             self.queue_delay_histogram.add(delay)
+            latency = request.score_latency_s if id(request) in prescored \
+                else per_row
             results.append(request.session.complete(
-                request, float(scores[row]),
-                latency_s=per_row, queue_delay_s=delay,
+                request, request.score,
+                latency_s=latency, queue_delay_s=delay,
             ))
         return results
 

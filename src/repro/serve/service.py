@@ -48,7 +48,11 @@ class ServiceConfig:
     traces on every session (parity tests and bounded replays); leave it
     off for unbounded serving.  ``apply_scaler`` normalises pushed samples
     with the detector's carried training scaler, for producers that push
-    raw sensor values.
+    raw sensor values.  ``incremental`` lets sessions score each sample
+    with the detector's O(1)-per-sample incremental scorer as it arrives
+    (bit-identical to the batched call, so purely a latency/throughput
+    knob); detectors without an incremental path fall back to batch
+    scoring regardless.
     """
 
     max_batch: int = 32
@@ -58,6 +62,7 @@ class ServiceConfig:
     event_buffer: int = 1024
     record_sessions: bool = False
     apply_scaler: bool = False
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         validate_batcher_knobs(self.max_batch, self.max_delay_ms,
@@ -264,6 +269,7 @@ class AnomalyService:
             scaler=scaler,
             max_samples=max_samples,
             record=self.config.record_sessions if record is None else record,
+            incremental=self.config.incremental,
         )
         self._sessions[stream_id] = session
         self._opened += 1

@@ -27,6 +27,17 @@ one-row batch immediately, complete -- one shared code path either way.
 Requests must be completed in submission order per session (enforced), so
 threshold adaptation always observes scores in stream order regardless of
 how the scheduler interleaves sessions.
+
+Sessions additionally carry an *incremental lane*: when the detector offers
+an O(1)-per-sample incremental scorer
+(:meth:`~repro.core.detector.AnomalyDetector.incremental_scorer` -- VARADE,
+float and int8), :meth:`ScoringSession.submit` scores each sample eagerly as
+it arrives and stashes the result on the emitted
+:class:`WindowRequest.score`.  Schedulers (the inline :meth:`push` and the
+micro-batcher alike) complete such requests without re-scoring them.
+Incremental scores are bit-identical to ``score_windows_batch`` by the
+:mod:`repro.nn.fastpath` parity contract, so the lane changes the serving
+hot path's cost, never its results.
 """
 
 from __future__ import annotations
@@ -88,6 +99,11 @@ class WindowRequest:
     context: np.ndarray      #: (window, channels), oldest first
     target: np.ndarray       #: (channels,) -- the sample being scored
     enqueued_at: float = 0.0  #: batcher clock stamp (0 until enqueued)
+    #: score already computed by the session's incremental scorer (bit-
+    #: identical to the batch path); schedulers must not re-score it.
+    score: Optional[float] = None
+    #: wall clock the incremental scorer spent on this sample's push
+    score_latency_s: float = 0.0
 
     @property
     def stream_id(self) -> str:
@@ -122,6 +138,15 @@ class ScoringSession:
         Keep per-sample scores/alarms/latencies so :meth:`result` can build
         a :class:`~repro.edge.StreamingResult`.  Long-running services turn
         this off and rely on the event stream + histograms instead.
+    incremental:
+        Score each sample with the detector's O(1)-per-sample incremental
+        scorer (:meth:`~repro.core.detector.AnomalyDetector.
+        incremental_scorer`) at submit time, stashing the result on the
+        emitted :class:`WindowRequest` so schedulers skip the batched
+        call for it.  Incremental scores are bit-identical to the batch
+        path, so this changes latency, never results.  Silently falls back
+        to batch scoring when the detector has no incremental path (most
+        baselines) or its first push rejects the stream's shape.
     """
 
     def __init__(self, detector: AnomalyDetector, stream_id: str = "stream-0",
@@ -129,7 +154,8 @@ class ScoringSession:
                  adaptation: Optional[AdaptationPolicy] = None,
                  scaler: Optional[object] = None,
                  max_samples: Optional[int] = None,
-                 record: bool = True) -> None:
+                 record: bool = True,
+                 incremental: bool = True) -> None:
         from ..edge.runtime import resolve_threshold
 
         if max_samples is not None and max_samples < 1:
@@ -147,6 +173,12 @@ class ScoringSession:
         self._cursor = 0                             # next write slot
         self._filled = 0                             # total samples written
         self._resolved = resolve_threshold(threshold, detector)
+        # Incremental hot path: window-state detectors with a causal conv
+        # stack score each sample in O(layers) as it arrives; everything
+        # else keeps batch scoring (incremental_scorer() returns None).
+        self._scorer = None
+        if incremental and detector.scores_current_sample:
+            self._scorer = detector.incremental_scorer()
         self._adapter: Optional[AdaptationState] = None
         if adaptation is not None:
             self._adapter = adaptation.start(self._resolved)
@@ -201,6 +233,11 @@ class ScoringSession:
     def adaptation_state(self) -> Optional[AdaptationState]:
         return self._adapter
 
+    @property
+    def incremental_active(self) -> bool:
+        """Whether the O(1)-per-sample incremental lane scores this stream."""
+        return self._scorer is not None
+
     # -- the submit/complete state machine -------------------------------- #
     def submit(self, values: Union[np.ndarray, list]) -> Optional[WindowRequest]:
         """Ingest one sample; return a scorable request once the window fills.
@@ -241,6 +278,22 @@ class ScoringSession:
             # Window-state detectors (VARADE, AE) include the newest sample
             # in the context they score.
             self._push_ring(values)
+        score: Optional[float] = None
+        score_latency = 0.0
+        if self._scorer is not None:
+            # The incremental scorer sees every sample (it mirrors the ring's
+            # state), whether or not a request is emitted for it.
+            start = time.perf_counter()
+            try:
+                score = self._scorer.push(values)
+            except ValueError:
+                # A shape the plan cannot ingest: disable the incremental
+                # lane and let the batch path report the problem on its own
+                # terms (identical behaviour to a non-incremental session).
+                self._scorer = None
+                score = None
+            else:
+                score_latency = time.perf_counter() - start
         request = None
         if self._filled >= self._ring.shape[0] and \
                 (self.max_samples is None
@@ -252,6 +305,9 @@ class ScoringSession:
                 context=self._window_array(),
                 target=values,
             )
+            if score is not None:
+                request.score = float(score)
+                request.score_latency_s = score_latency
             self._submitted += 1
         if not scores_current:
             self._push_ring(values)
@@ -342,16 +398,23 @@ class ScoringSession:
     def push(self, values: Union[np.ndarray, list]) -> Optional[Alarm]:
         """Ingest and score one sample inline; return the alarm it raised.
 
-        The inline path scores a one-row batch through the same
-        ``score_windows_batch`` contract the micro-batcher uses, so inline
-        and batched serving are bit-identical.  Returns the
-        :class:`Alarm` (a :class:`ScoredSample` with ``alarm=True``) when
-        this sample crossed the threshold, ``None`` otherwise -- including
-        the warm-up prefix and thresholdless sessions.
+        When the session's incremental scorer already scored the sample at
+        submit time, that score is used directly (it is bit-identical to
+        the batch path); otherwise the inline path scores a one-row batch
+        through the same ``score_windows_batch`` contract the micro-batcher
+        uses, so inline and batched serving are bit-identical either way.
+        Returns the :class:`Alarm` (a :class:`ScoredSample` with
+        ``alarm=True``) when this sample crossed the threshold, ``None``
+        otherwise -- including the warm-up prefix and thresholdless
+        sessions.
         """
         request = self.submit(values)
         if request is None:
             return None
+        if request.score is not None:
+            sample = self.complete(request, request.score,
+                                   latency_s=request.score_latency_s)
+            return sample if sample.alarm else None
         start = time.perf_counter()
         score = self.detector.score_windows_batch(
             request.context[None, ...], request.target[None, :]

@@ -207,6 +207,7 @@ class AnomalyTCPServer:
                 threshold = session.threshold
                 return {"ok": True, "op": "open", "stream": stream_id,
                         "window": self.service.detector.window,
+                        "incremental": session.incremental_active,
                         "threshold": None if threshold is None
                         else threshold.threshold}
             if op == "push":

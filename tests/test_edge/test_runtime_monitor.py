@@ -1,5 +1,7 @@
 """Tests for the streaming runtime and the board monitor."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -159,10 +161,33 @@ class TestStreamingHistogram:
         assert hist.p99 == pytest.approx(3.3e-4)
         assert hist.min == hist.max == pytest.approx(3.3e-4)
 
-    def test_empty_histogram_is_all_nan(self):
+    def test_empty_histogram_reports_zero_everywhere(self):
+        """Zero-sample summaries must be finite: they feed JSON stats
+        replies, where inf/nan would serialise to non-compliant tokens."""
         hist = self._hist().linear(0.0, 10.0, 5)
-        assert np.isnan(hist.p50) and np.isnan(hist.mean)
-        assert np.isnan(hist.min) and np.isnan(hist.max)
+        assert hist.p50 == 0.0 and hist.mean == 0.0
+        assert hist.min == 0.0 and hist.max == 0.0
+        summary = hist.summary()
+        assert all(math.isfinite(value) for value in summary.values())
+        assert summary == {"count": 0.0, "mean": 0.0, "min": 0.0, "p50": 0.0,
+                           "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_merge_with_empty_operands_stays_exact(self):
+        """merge() keeps exact extrema whichever side is empty."""
+        empty = self._hist().linear(0.0, 1.0, 4)
+        full = self._hist().linear(0.0, 1.0, 4)
+        full.extend([0.2, 0.8])
+        merged = self._hist().linear(0.0, 1.0, 4)
+        merged.merge(full)
+        merged.merge(empty)
+        assert merged.count == 2
+        assert merged.min == 0.2 and merged.max == 0.8
+        into_empty = self._hist().linear(0.0, 1.0, 4)
+        into_empty.merge(empty)
+        assert into_empty.count == 0
+        assert into_empty.min == 0.0 and into_empty.max == 0.0
+        into_empty.merge(full)
+        assert into_empty.min == 0.2 and into_empty.max == 0.8
 
     def test_out_of_range_values_clamp_to_overflow_bins(self):
         hist = self._hist().linear(0.0, 10.0, 5)

@@ -40,6 +40,46 @@ class TestFastConv1d:
         with pytest.raises(ValueError, match="channel mismatch"):
             fast_conv1d(rng.normal(size=(1, 3, 8)), rng.normal(size=(4, 2, 2)))
 
+    def test_rejects_misshaped_scratch_buffers(self, rng):
+        """Regression: np.matmul(out=...) silently writes garbage into a
+        wrong buffer, so every bad scratch must be rejected loudly."""
+        x = rng.normal(size=(2, 3, 8))
+        weight = rng.normal(size=(4, 3, 2))
+        with pytest.raises(ValueError, match="cols_buf.*shape"):
+            fast_conv1d(x, weight, stride=2, cols_buf=np.empty((2, 6, 3)))
+        with pytest.raises(ValueError, match="out.*shape"):
+            fast_conv1d(x, weight, stride=2, out=np.empty((2, 4, 5)))
+
+    def test_rejects_wrong_dtype_scratch_buffers(self, rng):
+        x = rng.normal(size=(2, 3, 8))
+        weight = rng.normal(size=(4, 3, 2))
+        with pytest.raises(ValueError, match="float64"):
+            fast_conv1d(x, weight, stride=2,
+                        cols_buf=np.empty((2, 6, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="float64"):
+            fast_conv1d(x, weight, stride=2,
+                        out=np.empty((2, 4, 4), dtype=np.float32))
+
+    def test_rejects_non_contiguous_scratch_buffers(self, rng):
+        x = rng.normal(size=(2, 3, 8))
+        weight = rng.normal(size=(4, 3, 2))
+        strided_cols = np.empty((2, 6, 8))[:, :, ::2]   # right shape, strided
+        with pytest.raises(ValueError, match="C-contiguous"):
+            fast_conv1d(x, weight, stride=2, cols_buf=strided_cols)
+        strided_out = np.empty((2, 4, 8))[:, :, ::2]
+        with pytest.raises(ValueError, match="C-contiguous"):
+            fast_conv1d(x, weight, stride=2, out=strided_out)
+
+    def test_valid_scratch_buffers_produce_exact_results(self, rng):
+        x = rng.normal(size=(2, 3, 8))
+        weight = rng.normal(size=(4, 3, 2))
+        bias = rng.normal(size=4)
+        plain = fast_conv1d(x, weight, bias, stride=2)
+        buffered = fast_conv1d(x, weight, bias, stride=2,
+                               cols_buf=np.empty((2, 6, 4)),
+                               out=np.empty((2, 4, 4)))
+        np.testing.assert_array_equal(plain, buffered)
+
     def test_rejects_too_short_input(self, rng):
         with pytest.raises(ValueError, match="output length"):
             fast_conv1d(rng.normal(size=(1, 3, 2)), rng.normal(size=(4, 3, 5)))

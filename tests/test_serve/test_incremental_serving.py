@@ -1,0 +1,205 @@
+"""Incremental-lane serving tests: eager per-sample scoring end to end.
+
+Sessions score each sample with the detector's O(1)-per-sample incremental
+scorer at submit time and stash the result on the emitted request; the
+micro-batcher completes such requests without re-scoring them.  These tests
+hold the lane to its contract: bit-identical scores/alarms/adaptation to the
+batch path, correct FIFO completion when pre-scored and batch-scored
+requests share a flush, a skipped gemm when everything is pre-scored, and a
+silent fallback to batch scoring wherever the lane cannot engage.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdCalibrator
+from repro.drift import AdaptationPolicy
+from repro.serve import AnomalyService, MicroBatcher, ServiceConfig
+from repro.serve.session import ScoringSession
+
+from serve_helpers import make_stream
+
+
+@pytest.fixture(scope="module")
+def varade_int8(detectors, train_stream):
+    return detectors["VARADE"].quantize(train_stream)
+
+
+def _run_session(detector, data, *, incremental, **kwargs):
+    session = ScoringSession(detector, incremental=incremental, **kwargs)
+    for row in data:
+        session.push(row)
+    session.close()
+    return session
+
+
+class TestSessionLane:
+    def test_lane_engages_only_where_supported(self, detectors, varade_int8):
+        assert ScoringSession(detectors["VARADE"]).incremental_active
+        assert ScoringSession(varade_int8).incremental_active
+        # Baselines have no incremental path; the toggle turns it off.
+        assert not ScoringSession(detectors["kNN"]).incremental_active
+        assert not ScoringSession(detectors["VARADE"],
+                                  incremental=False).incremental_active
+
+    @pytest.mark.parametrize("kind", ["float", "int8"])
+    def test_inline_push_parity_with_batch_lane(self, detectors, varade_int8,
+                                                kind):
+        detector = detectors["VARADE"] if kind == "float" else varade_int8
+        data, _ = make_stream(50, seed=70)
+        inc = _run_session(detector, data, incremental=True)
+        bat = _run_session(detector, data, incremental=False)
+        assert inc.incremental_active and not bat.incremental_active
+        np.testing.assert_array_equal(inc.result().scores, bat.result().scores)
+        assert inc.samples_scored == bat.samples_scored
+        # Scored-sample latencies are recorded on the incremental lane too.
+        assert len(inc.result().latencies_s) == inc.samples_scored
+        assert inc.result().latencies_s.min() > 0.0
+
+    def test_close_and_reopen_stream_stays_exact(self, detectors):
+        """A reopened stream (new session) warms up from scratch -- its
+        scores match a batch-lane session fed the same tail."""
+        detector = detectors["VARADE"]
+        data, _ = make_stream(60, seed=71)
+        _run_session(detector, data[:25], incremental=True)   # closed session
+        reopened = _run_session(detector, data[25:], incremental=True)
+        fresh_batch = _run_session(detector, data[25:], incremental=False)
+        np.testing.assert_array_equal(reopened.result().scores,
+                                      fresh_batch.result().scores)
+
+    def test_adaptation_lane_swaps_thresholds_identically(self, detectors,
+                                                          train_stream):
+        """Drift adaptation sees identical score streams, so its threshold
+        swaps land on identical samples in both lanes."""
+        detector = detectors["VARADE"]
+        scores = detector.score_stream(train_stream).valid_scores()
+        threshold = ThresholdCalibrator(quantile=0.75).calibrate(scores)
+        policy = AdaptationPolicy(reservoir_size=32, min_reservoir=8,
+                                  confirm_samples=8, cooldown=16)
+        data, _ = make_stream(120, seed=72)
+        data[60:] *= 3.0       # sustained shift: scores move, lanes adapt
+        inc = _run_session(detector, data, incremental=True,
+                           threshold=threshold, adaptation=policy)
+        bat = _run_session(detector, data, incremental=False,
+                           threshold=threshold, adaptation=policy)
+        inc_result, bat_result = inc.result(), bat.result()
+        np.testing.assert_array_equal(inc_result.scores, bat_result.scores)
+        np.testing.assert_array_equal(inc_result.alarms, bat_result.alarms)
+        np.testing.assert_array_equal(inc_result.threshold_trace,
+                                      bat_result.threshold_trace)
+        assert len(inc_result.adaptation_events) \
+            == len(bat_result.adaptation_events)
+
+    def test_misshaped_stream_disables_lane_and_batch_error_wins(self,
+                                                                 detectors):
+        """A stream the plan cannot ingest must fail exactly like a
+        non-incremental session: the lane bows out silently and the batch
+        call raises its own error."""
+        detector = detectors["VARADE"]       # trained on 3 channels
+        session = ScoringSession(detector)
+        assert session.incremental_active
+        with pytest.raises(ValueError):
+            for index in range(detector.window + 1):
+                session.push(np.full(5, float(index)))
+        assert not session.incremental_active
+
+
+class TestBatcherWithPrescoredRequests:
+    def _batcher(self, detector, **kwargs):
+        kwargs.setdefault("max_batch", 64)
+        kwargs.setdefault("max_delay_ms", 10_000.0)
+        return MicroBatcher(detector, **kwargs)
+
+    def test_mixed_flush_preserves_order_and_bits(self, detectors):
+        """One incremental and one batch-lane session sharing a flush: FIFO
+        completion order holds and every score matches the batch path."""
+        detector = detectors["VARADE"]
+        data_a, _ = make_stream(30, seed=73)
+        data_b, _ = make_stream(30, seed=74)
+        batcher = self._batcher(detector)
+        inc = ScoringSession(detector, "inc", incremental=True)
+        bat = ScoringSession(detector, "bat", incremental=False)
+        for row_a, row_b in zip(data_a, data_b):
+            for session, row in ((inc, row_a), (bat, row_b)):
+                request = session.submit(row)
+                if request is not None:
+                    batcher.enqueue(request)
+        results = batcher.drain()
+        # FIFO pop order: the two sessions alternate request for request.
+        assert [r.stream_id for r in results[:4]] == ["inc", "bat"] * 2
+        reference_a = _run_session(detector, data_a, incremental=False,
+                                   stream_id="ref")
+        reference_b = _run_session(detector, data_b, incremental=False,
+                                   stream_id="ref")
+        np.testing.assert_array_equal(inc.result().scores,
+                                      reference_a.result().scores)
+        np.testing.assert_array_equal(bat.result().scores,
+                                      reference_b.result().scores)
+        assert batcher.scored == inc.samples_scored + bat.samples_scored
+
+    def test_all_prescored_flush_skips_the_batched_call(self, detectors,
+                                                        monkeypatch):
+        detector = detectors["VARADE"]
+        data, _ = make_stream(30, seed=75)
+        batcher = self._batcher(detector)
+        session = ScoringSession(detector, incremental=True)
+        requests = [session.submit(row) for row in data]
+        for request in filter(None, requests):
+            batcher.enqueue(request)
+        calls = []
+        original = detector.score_windows_batch
+        monkeypatch.setattr(
+            detector, "score_windows_batch",
+            lambda *args, **kwargs: calls.append(1) or original(*args,
+                                                                **kwargs))
+        results = batcher.drain()
+        assert not calls, "pre-scored requests must not re-enter the gemm"
+        assert len(results) == len(data) - detector.window + 1
+        assert batcher.scored == len(results)
+        reference = _run_session(detector, data, incremental=False)
+        np.testing.assert_array_equal(session.result().scores,
+                                      reference.result().scores)
+
+    def test_drop_oldest_semantics_unchanged_by_prescoring(self, detectors):
+        detector = detectors["VARADE"]
+        data, _ = make_stream(30, seed=76)
+        batcher = self._batcher(detector, max_queue=2,
+                                backpressure="drop_oldest")
+        session = ScoringSession(detector, incremental=True)
+        for row in data:
+            request = session.submit(row)
+            if request is not None:
+                batcher.enqueue(request)
+        batcher.drain()
+        submitted = len(data) - detector.window + 1
+        assert session.samples_scored == 2
+        assert session.samples_dropped == submitted - 2
+        scores = session.result().scores
+        assert np.isfinite(scores[-2:]).all()
+
+
+class TestServiceToggle:
+    def _serve(self, detector, data, config):
+        async def main():
+            async with AnomalyService(detector, config=config) as service:
+                for row in data:
+                    await service.push("s0", row)
+                session = service.session("s0")
+                await service.close_session("s0")
+                return session
+
+        return asyncio.run(main())
+
+    def test_service_incremental_parity_and_default_on(self, detectors):
+        detector = detectors["VARADE"]
+        data, _ = make_stream(50, seed=77)
+        on = self._serve(detector, data, ServiceConfig(
+            max_batch=4, max_delay_ms=1.0, record_sessions=True))
+        off = self._serve(detector, data, ServiceConfig(
+            max_batch=4, max_delay_ms=1.0, record_sessions=True,
+            incremental=False))
+        assert on.incremental_active and not off.incremental_active
+        np.testing.assert_array_equal(on.result().scores, off.result().scores)
+        assert on.samples_scored == off.samples_scored > 0

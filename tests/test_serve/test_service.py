@@ -300,3 +300,22 @@ class TestServiceGuards:
         assert stats.occupancy_histogram.count == stats.flushes
         assert np.isfinite(stats.queue_delay_p99_s)
         assert 1.0 <= stats.mean_batch_size <= 16.0
+
+    def test_fresh_service_stats_are_finite_zeros(self, detectors):
+        """Regression: zero-sample histograms used to report nan, which
+        leaked into ServiceStats (and from there into the JSON TCP stats
+        reply as a non-compliant token)."""
+        detector = detectors["VARADE"]
+
+        async def main():
+            async with AnomalyService(detector) as service:
+                return service.stats()
+
+        stats = asyncio.run(main())
+        assert stats.samples_pushed == 0
+        assert stats.queue_delay_p99_s == 0.0
+        assert stats.mean_batch_size == 0.0
+        assert stats.queue_delay_histogram.summary() == {
+            "count": 0.0, "mean": 0.0, "min": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }

@@ -7,12 +7,13 @@ kind in the study, the int8 drop-in included, drift lanes included, under
 unaligned bursty arrival.  This is the suite that lets the service replace
 the sequential path everywhere.
 
-Bit-identity note: VARADE (float and int8), GBRF, AE and Isolation Forest
-are *exactly* batch-invariant, so the service is held to ``atol=0.0`` for
-them.  kNN and AR-LSTM score through large BLAS matmuls whose per-row
-rounding depends on the batch size (1-row vs N-row kernels), so -- exactly
-as in ``tests/test_edge/test_fleet_parity.py`` since PR 1 -- they are held
-to the repo's established ``rtol=0, atol=1e-10`` parity bar instead.
+Bit-identity note: every detector kind is held to exact equality
+(``rtol=0, atol=0``).  kNN and AR-LSTM score through BLAS matmuls whose
+1-row calls used to hit a gemv-class kernel with different rounding than
+the (row-count invariant) >=2-row gemm kernels; since PR 6 their
+single-window calls pad to two rows, which removed the historical
+``atol=1e-10`` carve-out here and in
+``tests/test_edge/test_fleet_parity.py``.
 """
 
 import asyncio
@@ -28,15 +29,6 @@ from repro.edge import MultiStreamRuntime, StreamingRuntime
 from repro.serve import AnomalyService, ServiceConfig
 
 from serve_helpers import unaligned_schedule
-
-#: detectors whose batched scoring is exactly batch-invariant (held to
-#: atol=0); the BLAS-batched pair keeps the repo's 1e-10 parity bar.
-EXACTLY_INVARIANT = {"VARADE", "GBRF", "AE", "Isolation Forest"}
-
-
-def _parity_atol(name: str) -> float:
-    return 0.0 if name in EXACTLY_INVARIANT else 1e-10
-
 
 def _run_service(detector, streams, *, config=None, adaptation=None,
                  threshold=None, seed=99):
@@ -80,7 +72,7 @@ class TestServiceScoreParity:
             # ... and (bit-)identical scores everywhere else.
             np.testing.assert_allclose(
                 result.scores, sequential.scores,
-                rtol=0.0, atol=_parity_atol(name), equal_nan=True,
+                rtol=0.0, atol=0.0, equal_nan=True,
             )
             assert result.samples_scored == sequential.samples_scored
 
@@ -152,13 +144,12 @@ class TestDriftLaneParity:
                 detector, threshold=threshold,
                 adaptation=self._policy()).run(StreamReader(data, labels=labels))
             result = handles[f"s{stream}"].result()
-            atol = _parity_atol(name)
             np.testing.assert_allclose(result.scores, sequential.scores,
-                                       rtol=0.0, atol=atol, equal_nan=True)
+                                       rtol=0.0, atol=0.0, equal_nan=True)
             np.testing.assert_array_equal(result.alarms, sequential.alarms)
             np.testing.assert_allclose(result.threshold_trace,
                                        sequential.threshold_trace,
-                                       rtol=0.0, atol=max(atol, 0.0),
+                                       rtol=0.0, atol=0.0,
                                        equal_nan=True)
             assert len(result.adaptation_events) == \
                 len(sequential.adaptation_events)
@@ -166,8 +157,7 @@ class TestDriftLaneParity:
                                     sequential.adaptation_events):
                 assert ours.flagged_at == theirs.flagged_at
                 assert ours.adapted_at == theirs.adapted_at
-                assert ours.new_threshold == pytest.approx(
-                    theirs.new_threshold, rel=0.0, abs=max(atol, 0.0))
+                assert ours.new_threshold == theirs.new_threshold
             adapted.append(len(result.adaptation_events))
         # The drifting stream adapted; its neighbours' lanes stayed frozen.
         assert adapted[0] >= 1

@@ -200,6 +200,27 @@ class TestProtocol:
                 assert not reply["ok"]
                 assert "bad JSON line" in reply["error"]
 
+    def test_fresh_server_stats_reply_is_strict_json(self, detectors):
+        """Regression: with zero scored samples the stats histograms used to
+        report nan, which ``json.dumps`` emits as the non-compliant ``NaN``
+        token.  Parse the raw reply line rejecting every non-standard
+        constant."""
+        def reject_constant(token):
+            raise AssertionError(
+                f"non-compliant JSON token {token!r} in stats reply")
+
+        detector = detectors["VARADE"]
+        with ServerThread(detector) as server:
+            with socket.create_connection(("127.0.0.1", server.port),
+                                          timeout=5.0) as raw:
+                raw.sendall(b'{"op": "stats"}\n')
+                reply = json.loads(raw.makefile().readline(),
+                                   parse_constant=reject_constant)
+                assert reply["ok"]
+                assert reply["samples_pushed"] == 0
+                assert reply["mean_batch_size"] == 0.0
+                assert reply["queue_delay_p99_s"] == 0.0
+
     def test_disconnect_closes_owned_sessions(self, detectors):
         detector = detectors["VARADE"]
         data, _ = make_stream(20, seed=43)
