@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""End-to-end serving smoke: package an artifact, serve it, alarm over TCP.
+"""End-to-end serving smoke: package an artifact, serve it, alarm over the wire.
 
 The flow CI's ``serve-smoke`` job runs on every push (and ``scripts/
-verify.sh`` runs locally):
+verify.sh`` runs locally), once per (transport, protocol) combination --
+JSON over TCP, binary over TCP, and binary over a Unix-domain socket where
+the platform offers one:
 
 1. ``repro train --fast`` + ``repro package`` build a tiny deployable
-   artifact in a scratch workdir;
-2. ``repro serve`` starts the line-JSON TCP server on an ephemeral port
-   (the bound port lands in a port file -- a race-free handshake);
-3. a :class:`repro.serve.TCPClient` opens a session, replays the spec's
+   artifact in a scratch workdir (once);
+2. ``repro serve`` starts the wire server on an ephemeral endpoint with the
+   combination's ``--transport``/``--protocol`` knobs (the bound endpoint
+   lands in a port file -- a race-free handshake);
+3. the matching client (:class:`repro.serve.TCPClient` or
+   :class:`repro.serve.BinaryClient`) opens a session, replays the spec's
    own synthetic test split (which contains seeded anomalies), and asserts
    that at least one alarm comes back over the wire;
 4. the client asks the server to shut down and the script asserts a clean
@@ -47,22 +51,35 @@ def run_cli(*args: str) -> None:
                    cwd=REPO, env=_env())
 
 
-def main() -> int:
-    sys.path.insert(0, str(REPO / "src"))
-    from repro.cli import fast_spec
-    from repro.serve import TCPClient
+def _combinations(workdir: Path):
+    """(label, extra serve args, client factory) per smoke leg."""
+    from repro.serve import HAS_UNIX_SOCKETS, BinaryClient, TCPClient
 
-    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 \
-        else Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
-    print(f"serve-smoke: workdir {workdir}")
-    run_cli("train", "--fast", "--workdir", str(workdir))
-    run_cli("package", "--workdir", str(workdir))
+    combos = [
+        ("tcp/json", [], lambda endpoint: TCPClient(port=int(endpoint))),
+        ("tcp/binary", ["--protocol", "binary"],
+         lambda endpoint: BinaryClient(port=int(endpoint))),
+    ]
+    if HAS_UNIX_SOCKETS:
+        uds = workdir / "serve.sock"
+        combos.append(
+            ("uds/binary",
+             ["--transport", "uds", "--uds-path", str(uds),
+              "--protocol", "binary"],
+             lambda endpoint: BinaryClient(uds_path=endpoint)))
+    else:
+        print("serve-smoke: no AF_UNIX on this platform; skipping uds leg")
+    return combos
 
-    port_file = workdir / "port"
+
+def _smoke_one(workdir: Path, label: str, serve_args, make_client,
+               stream: np.ndarray) -> None:
+    port_file = workdir / f"endpoint-{label.replace('/', '-')}"
+    port_file.unlink(missing_ok=True)
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--workdir", str(workdir),
          "--port", "0", "--port-file", str(port_file),
-         "--max-delay-ms", "2", "--max-seconds", "120"],
+         "--max-delay-ms", "2", "--max-seconds", "120", *serve_args],
         cwd=REPO, env=_env(),
     )
     try:
@@ -70,17 +87,15 @@ def main() -> int:
         while not port_file.is_file():
             if server.poll() is not None:
                 raise RuntimeError(
-                    f"server exited early with code {server.returncode}")
+                    f"[{label}] server exited early with code "
+                    f"{server.returncode}")
             if time.monotonic() > deadline:
-                raise RuntimeError("server did not come up in time")
+                raise RuntimeError(f"[{label}] server did not come up in time")
             time.sleep(0.2)
-        port = int(port_file.read_text().strip())
-        print(f"serve-smoke: server listening on port {port}")
+        endpoint = port_file.read_text().strip()
+        print(f"serve-smoke: [{label}] server listening on {endpoint}")
 
-        spec = fast_spec()
-        dataset = spec.data.build(spec.seed)
-        stream = np.asarray(dataset.test)[:250]
-        with TCPClient(port=port) as client:
+        with make_client(endpoint) as client:
             assert client.ping()["ok"]
             opened = client.open("smoke-1")
             assert opened["threshold"] is not None, \
@@ -89,9 +104,10 @@ def main() -> int:
                 "VARADE sessions should engage the incremental scoring lane"
             client.push_stream("smoke-1", stream)
             summary = client.close_stream("smoke-1")
-            print(f"serve-smoke: pushed {summary['samples_pushed']}, "
+            print(f"serve-smoke: [{label}] pushed {summary['samples_pushed']}, "
                   f"scored {summary['samples_scored']}, "
                   f"{len(client.alarms)} alarms")
+            assert summary["samples_pushed"] == stream.shape[0]
             assert summary["samples_scored"] > 0, "nothing was scored"
             assert summary["samples_dropped"] == 0, "windows were dropped"
             assert client.alarms, \
@@ -101,9 +117,8 @@ def main() -> int:
             assert client.shutdown()["ok"]
 
         code = server.wait(timeout=SERVER_EXIT_TIMEOUT_S)
-        assert code == 0, f"server exited with {code}"
-        print("serve-smoke: clean shutdown, OK")
-        return 0
+        assert code == 0, f"[{label}] server exited with {code}"
+        print(f"serve-smoke: [{label}] clean shutdown, OK")
     finally:
         if server.poll() is None:
             server.terminate()
@@ -111,6 +126,25 @@ def main() -> int:
                 server.wait(timeout=10.0)
             except subprocess.TimeoutExpired:
                 server.kill()
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cli import fast_spec
+
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    print(f"serve-smoke: workdir {workdir}")
+    run_cli("train", "--fast", "--workdir", str(workdir))
+    run_cli("package", "--workdir", str(workdir))
+
+    spec = fast_spec()
+    dataset = spec.data.build(spec.seed)
+    stream = np.asarray(dataset.test)[:250]
+    for label, serve_args, make_client in _combinations(workdir):
+        _smoke_one(workdir, label, serve_args, make_client, stream)
+    print("serve-smoke: all transport/protocol combinations OK")
+    return 0
 
 
 if __name__ == "__main__":

@@ -43,7 +43,7 @@ if [[ "$mode" != "--benchmarks-only" ]]; then
     echo "CLI smoke: OK"
 
     echo
-    echo "== serve smoke: package -> repro serve -> TCP alarm -> shutdown =="
+    echo "== serve smoke: package -> repro serve -> alarm over each transport/protocol =="
     python scripts/serve_smoke.py >/dev/null
     echo "serve smoke: OK"
 fi

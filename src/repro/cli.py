@@ -285,10 +285,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Serve the packaged artifact over line-JSON TCP (``repro serve``)."""
+    """Serve the packaged artifact over the wire layer (``repro serve``)."""
     import asyncio
 
-    from .serve import AnomalyTCPServer, ServiceConfig
+    from .serve import (PROTOCOLS, AnomalyWireServer, ServiceConfig,
+                        make_transport)
 
     workdir: Path = args.workdir
     pipeline = _load_serving_pipeline(workdir)
@@ -304,13 +305,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config = service_spec.config(**overrides)
     else:
         config = ServiceConfig(**overrides)
-    host = args.host if args.host is not None else \
-        (service_spec.host if service_spec is not None else "127.0.0.1")
-    port = args.port if args.port is not None else \
-        (service_spec.port if service_spec is not None else 7007)
+
+    def knob(flag, spec_value, default):
+        if flag is not None:
+            return flag
+        if service_spec is not None:
+            return spec_value
+        return default
+
+    host = knob(args.host, getattr(service_spec, "host", None), "127.0.0.1")
+    port = knob(args.port, getattr(service_spec, "port", None), 7007)
+    transport_kind = knob(args.transport,
+                          getattr(service_spec, "transport", None), "tcp")
+    uds_path = knob(args.uds_path,
+                    getattr(service_spec, "uds_path", None), None)
+    protocol = knob(args.protocol,
+                    getattr(service_spec, "protocol", None), "auto")
+    protocols = PROTOCOLS if protocol == "auto" else (protocol,)
+    try:
+        transport = make_transport(transport_kind, host=host, port=port,
+                                   uds_path=uds_path)
+    except (ValueError, RuntimeError) as error:
+        raise CLIUsageError(str(error)) from error
 
     service = pipeline.deploy_service(config=config)
-    server = AnomalyTCPServer(service, host=host, port=port)
+    server = AnomalyWireServer(service, transport, protocols=protocols)
     detector = pipeline.serving_detector
     threshold = getattr(detector, "threshold", None)
     print(f"serve: {detector.name} (window {detector.window}, threshold "
@@ -334,8 +353,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if task.done():
             await task        # propagate the startup failure
             return
-        print(f"serve: listening on {host}:{server.bound_port} "
-              f"(line-delimited JSON; ops: open/push/close/stats/ping/shutdown)",
+        print(f"serve: listening on "
+              f"{transport.describe() if transport_kind == 'uds' else f'{host}:{server.bound_port}'} "
+              f"(protocols: {'/'.join(protocols)}; "
+              f"ops: open/push/close/stats/ping/shutdown)",
               flush=True)
         if args.max_seconds is not None:
             async def _deadline() -> None:
@@ -349,7 +370,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     except OSError as error:
-        raise CLIUsageError(f"cannot serve on {host}:{port}: {error}") from error
+        raise CLIUsageError(
+            f"cannot serve on {transport.describe()}: {error}") from error
     print("serve: stopped")
     return 0
 
@@ -425,7 +447,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser("serve", help="serve the packaged detector over "
-                                         "line-JSON TCP (repro.serve)")
+                                         "the wire layer (repro.serve)")
     add_workdir(serve)
     serve.add_argument("--host", default=None,
                        help="bind address (default: spec's service.host, "
@@ -433,8 +455,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=None,
                        help="TCP port, 0 = ephemeral (default: spec's "
                             "service.port, else 7007)")
+    serve.add_argument("--transport", default=None, choices=("tcp", "uds"),
+                       help="listener transport: TCP or a Unix-domain socket "
+                            "(default: spec's service.transport, else tcp)")
+    serve.add_argument("--uds-path", type=Path, default=None,
+                       help="Unix socket path (required with --transport uds)")
+    serve.add_argument("--protocol", default=None,
+                       choices=("auto", "json", "binary"),
+                       help="accepted wire protocol(s); auto negotiates "
+                            "JSON vs binary per connection from its first "
+                            "byte (default: spec's service.protocol, else auto)")
     serve.add_argument("--port-file", type=Path, default=None,
-                       help="write the bound port to this file once listening")
+                       help="write the bound endpoint (TCP port or UDS path) "
+                            "to this file once listening")
     serve.add_argument("--max-batch", type=int, default=None,
                        help="micro-batch size bound (default: spec's, else 32)")
     serve.add_argument("--max-delay-ms", type=float, default=None,

@@ -263,13 +263,18 @@ class ServiceSpec:
     Mirrors :class:`repro.serve.ServiceConfig` -- micro-batcher sizing
     (``max_batch`` windows per flush, ``max_delay_ms`` latency budget),
     per-session queue bound (``max_queue``) with its ``backpressure``
-    policy, and the TCP endpoint (``host``/``port``; port ``0`` binds an
-    ephemeral port) the ``repro serve`` CLI listens on.  ``apply_scaler``
-    makes sessions normalise raw pushed samples with the artifact's
-    training scaler.  ``incremental`` (default on) lets sessions score
-    each sample with the detector's O(1)-per-sample incremental scorer
-    where the model supports it -- bit-identical scores, lower hot-path
-    latency; detectors without an incremental path ignore it.
+    policy, and the wire endpoint the ``repro serve`` CLI listens on:
+    ``transport`` picks TCP (``host``/``port``; port ``0`` binds an
+    ephemeral port) or a Unix-domain socket (``"uds"`` + ``uds_path``)
+    for co-located producers.  ``protocol`` restricts what connections
+    may speak -- ``"auto"`` (default) negotiates JSON vs binary from each
+    connection's first byte, ``"json"``/``"binary"`` accept only that
+    protocol.  ``apply_scaler`` makes sessions normalise raw pushed
+    samples with the artifact's training scaler.  ``incremental``
+    (default on) lets sessions score each sample with the detector's
+    O(1)-per-sample incremental scorer where the model supports it --
+    bit-identical scores, lower hot-path latency; detectors without an
+    incremental path ignore it.
     """
 
     max_batch: int = 32
@@ -280,6 +285,9 @@ class ServiceSpec:
     incremental: bool = True
     host: str = "127.0.0.1"
     port: int = 7007
+    transport: str = "tcp"
+    protocol: str = "auto"
+    uds_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Run ServiceConfig's own validation (one source of truth for the
@@ -299,6 +307,23 @@ class ServiceSpec:
         if not isinstance(self.port, int) or isinstance(self.port, bool) \
                 or not 0 <= self.port <= 65535:
             raise SpecError("service.port must be an integer in [0, 65535]")
+        if self.transport not in ("tcp", "uds"):
+            raise SpecError(
+                f"service.transport must be 'tcp' or 'uds', "
+                f"got {self.transport!r}"
+            )
+        if self.protocol not in ("auto", "json", "binary"):
+            raise SpecError(
+                f"service.protocol must be 'auto', 'json' or 'binary', "
+                f"got {self.protocol!r}"
+            )
+        if self.uds_path is not None and \
+                (not isinstance(self.uds_path, str) or not self.uds_path):
+            raise SpecError(
+                "service.uds_path must be a non-empty string (or null)")
+        if self.transport == "uds" and self.uds_path is None:
+            raise SpecError(
+                "service.transport 'uds' needs a service.uds_path")
 
     def config(self, **overrides: Any) -> "ServiceConfig":
         """Build the runtime :class:`repro.serve.ServiceConfig`."""
@@ -314,6 +339,12 @@ class ServiceSpec:
         }
         kwargs.update(overrides)
         return ServiceConfig(**kwargs)
+
+    def accepted_protocols(self) -> Tuple[str, ...]:
+        """Wire protocols the server should accept (``"auto"`` = all)."""
+        from ..serve import PROTOCOLS
+
+        return PROTOCOLS if self.protocol == "auto" else (self.protocol,)
 
 
 @dataclass(frozen=True)

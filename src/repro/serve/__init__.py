@@ -21,11 +21,34 @@ pieces that compose:
   ``"drop_oldest"`` / ``"reject"``).
 * :class:`AnomalyService` -- the asyncio front door
   (``await service.push(stream_id, sample)``,
-  ``async for alarm in service.alarms()``), plus a line-delimited JSON
-  TCP server/client pair (:class:`AnomalyTCPServer`, :class:`TCPClient`)
+  ``async for alarm in service.alarms()``), plus the networked wire layer
   so out-of-process producers can stream samples in.  Wired into the
   pipeline as :meth:`repro.pipeline.Pipeline.deploy_service` and the CLI
   as ``repro serve``.
+
+The wire layer itself is pluggable along two orthogonal axes:
+
+* **Protocol** -- every connection's *first byte* negotiates it, no
+  handshake round trip.  Line-delimited JSON (any byte but ``0xAB``) is
+  the debuggability path: one object per line, usable from ``nc``.  The
+  binary protocol (:mod:`repro.serve.wire`; first byte ``0xAB``) is the
+  compact ingest path: struct-packed frames, float32 sample blocks,
+  many samples per PUSH frame -- at edge sample rates JSON serialization
+  otherwise dominates scoring (``benchmarks/bench_wire_protocol.py``
+  gates >= 4x ingest throughput binary vs JSON).
+* **Transport** -- :class:`AnomalyWireServer` listens on any
+  :class:`~repro.serve.transport.Transport`: TCP
+  (:class:`AnomalyTCPServer`, reachable off-host) or a Unix-domain
+  socket (:class:`~repro.serve.transport.UnixSocketTransport`, for
+  co-located producers -- no TCP/IP stack in the path, filesystem
+  permissions gate access).  ``ServiceSpec``/``repro serve`` select via
+  ``transport``/``protocol``/``uds_path`` knobs.
+
+:class:`TCPClient` (JSON) and :class:`BinaryClient` (binary, batched
+pushes) share one blocking request core, surface identical reply dicts,
+both accept ``uds_path=`` to connect over a Unix socket, and both raise a
+descriptive :class:`ServerTimeoutError` instead of hanging on a stalled or
+half-closed server (``timeout_s``, default 30s).
 
 Everything downstream of a session is bit-identical to the sequential
 :class:`repro.edge.StreamingRuntime` path -- scores, alarms, NaN warm-up
@@ -75,11 +98,15 @@ work one flush does; at 32 small-model windows per call the per-call
 Python overhead is already well amortised.
 """
 
+from . import wire
 from .batcher import BACKPRESSURE_POLICIES, MicroBatcher, QueueFullError
 from .service import AnomalyService, ServiceConfig, ServiceStats
 from .session import (Alarm, ScoredSample, ScoringSession, SessionClosedError,
                       WindowRequest)
-from .tcp import AnomalyTCPServer, TCPClient
+from .tcp import (PROTOCOLS, AnomalyTCPServer, AnomalyWireServer,
+                  BinaryClient, ServerTimeoutError, TCPClient)
+from .transport import (HAS_UNIX_SOCKETS, TCPTransport, Transport,
+                        UnixSocketTransport, make_transport)
 
 __all__ = [
     "Alarm",
@@ -93,6 +120,16 @@ __all__ = [
     "AnomalyService",
     "ServiceConfig",
     "ServiceStats",
+    "AnomalyWireServer",
     "AnomalyTCPServer",
     "TCPClient",
+    "BinaryClient",
+    "ServerTimeoutError",
+    "PROTOCOLS",
+    "Transport",
+    "TCPTransport",
+    "UnixSocketTransport",
+    "make_transport",
+    "HAS_UNIX_SOCKETS",
+    "wire",
 ]

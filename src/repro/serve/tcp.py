@@ -1,10 +1,19 @@
-"""Line-delimited JSON TCP transport for :class:`AnomalyService`.
+"""Networked front door for :class:`AnomalyService`: one dispatch core,
+pluggable protocols and transports.
 
-A deliberately small wire protocol so any producer -- a robot cell's data
-logger, a shell script, ``nc`` -- can stream samples into a running
-service.  Every line is one JSON object, UTF-8, ``\\n``-terminated.
+Every connection speaks one of two *protocols*, decided by its first byte
+(no handshake round trip):
 
-Requests (client -> server)::
+* **line-delimited JSON** -- first byte is anything but ``0xAB``.  Every
+  line is one JSON object, UTF-8, ``\\n``-terminated; any producer -- a
+  shell script, ``nc``, a robot cell's data logger -- can use it, which is
+  exactly why it stays the debuggability path.
+* **binary** -- first byte ``0xAB`` (the :data:`repro.serve.wire.MAGIC`
+  prefix).  Struct-packed frames with float32 sample blocks, many samples
+  per PUSH frame; the compact ingest path for high sample rates (see
+  :mod:`repro.serve.wire` for the frame layout).
+
+JSON requests (client -> server)::
 
     {"op": "open",  "stream": "cell-7"}            optional: "max_samples"
     {"op": "push",  "stream": "cell-7", "values": [0.1, 0.2, ...]}
@@ -15,27 +24,38 @@ Requests (client -> server)::
 
 Every request gets exactly one reply, in request order::
 
-    {"ok": true, "op": "push"}                     (+ op-specific fields)
+    {"ok": true, "op": "push", "accepted": 1}      (+ op-specific fields)
     {"ok": false, "op": "push", "error": "..."}
 
-Between replies the server interleaves unsolicited *event* lines for every
-alarm raised by any stream of this connection (a line is an event iff it
-carries an ``"event"`` key)::
+Between replies the server interleaves unsolicited *event* lines (JSON: a
+line with an ``"event"`` key; binary: an ALARM_EVENT frame) for every alarm
+raised by any stream of this connection::
 
     {"event": "alarm", "stream": "cell-7", "index": 412,
      "score": 3.1, "threshold": 1.9}
 
+The binary protocol mirrors the same six ops frame-for-frame; its PUSH
+frames batch ``(n_samples, n_channels)`` float32 blocks and are acked once
+per frame.  Malformed JSON gets an error *reply* and the connection
+continues; malformed binary framing gets an ERROR frame and the connection
+closes (a corrupted byte stream cannot be resynchronised).  Either way the
+service itself never crashes and the connection's sessions are cleaned up.
+
 ``close`` replies with the session summary (samples pushed/scored/dropped,
 adaptation event count), so a producer gets its end-of-stream accounting
 without a second channel.  Backpressure under the ``"reject"`` policy
-surfaces as an ``ok: false`` push reply with ``"error": "queue full ..."``;
-under ``"block"`` the reply is simply delayed -- TCP's own flow control
-propagates the slowdown to the producer.
+surfaces as an error reply; under ``"block"`` the reply is simply delayed
+-- the transport's own flow control propagates the slowdown.
 
-The server is :class:`AnomalyTCPServer` (asyncio, one task per connection);
-:class:`TCPClient` is the blocking client used by the CLI smoke flow and
-the tests.  Streams opened by a connection are closed (and drained) when
-that connection drops, so a crashed producer cannot leak sessions.
+*Transports* are pluggable too (:mod:`repro.serve.transport`):
+:class:`AnomalyWireServer` serves over any :class:`~repro.serve.transport.
+Transport`; :class:`AnomalyTCPServer` is the TCP spelling, and a
+:class:`~repro.serve.transport.UnixSocketTransport` serves co-located
+producers with no TCP/IP stack in the path.  Clients mirror the split:
+:class:`TCPClient` (JSON) and :class:`BinaryClient` share one blocking
+request core and both accept ``uds_path=`` to connect over a Unix socket.
+Streams opened by a connection are closed (and drained) when that
+connection drops, so a crashed producer cannot leak sessions.
 """
 
 from __future__ import annotations
@@ -44,65 +64,269 @@ import asyncio
 import json
 import socket
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
+from . import wire
 from .service import AnomalyService
 from .session import ScoredSample
+from .transport import (TCPTransport, Transport, UnixSocketTransport,
+                        bound_port)
 
-__all__ = ["AnomalyTCPServer", "TCPClient"]
+__all__ = ["AnomalyWireServer", "AnomalyTCPServer", "TCPClient",
+           "BinaryClient", "ServerTimeoutError", "PROTOCOLS"]
+
+#: The protocols a server may accept; ``AnomalyWireServer(protocols=...)``
+#: restricts them (e.g. binary-only for a production ingest socket).
+PROTOCOLS = ("json", "binary")
+
+_OP_CODES = {"open": wire.OP_OPEN, "push": wire.OP_PUSH,
+             "close": wire.OP_CLOSE, "stats": wire.OP_STATS,
+             "ping": wire.OP_PING, "shutdown": wire.OP_SHUTDOWN}
+_OP_NAMES = {code: name for name, code in _OP_CODES.items()}
 
 
-def _event_line(sample: ScoredSample) -> bytes:
-    payload = {
+class ServerTimeoutError(ConnectionError):
+    """No reply arrived within the client's timeout (stalled/half-closed)."""
+
+
+class _MalformedRequest(Exception):
+    """A request the codec could not parse.
+
+    ``fatal`` distinguishes recoverable malformations (a bad JSON line --
+    the framing is still line-synchronised, reply and continue) from
+    unrecoverable ones (corrupt binary framing -- reply once, then close).
+    """
+
+    def __init__(self, message: str, *, request_op: Optional[str] = None,
+                 fatal: bool = False) -> None:
+        super().__init__(message)
+        self.message = message
+        self.request_op = request_op
+        self.fatal = fatal
+
+
+def _event_payload(sample: ScoredSample) -> Dict[str, Any]:
+    return {
         "event": "alarm",
         "stream": sample.stream_id,
         "index": sample.index,
         "score": sample.score,
         "threshold": sample.threshold,
     }
+
+
+def _json_line(payload: Dict[str, Any]) -> bytes:
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
-class AnomalyTCPServer:
-    """Serve an :class:`AnomalyService` over line-delimited JSON TCP."""
+# --------------------------------------------------------------------------- #
+# Server-side protocol codecs
+# --------------------------------------------------------------------------- #
+class _JSONServerConnection:
+    """Line-delimited JSON framing for one server connection."""
 
-    def __init__(self, service: AnomalyService, host: str = "127.0.0.1",
-                 port: int = 7007, *, allow_shutdown: bool = True) -> None:
+    protocol = "json"
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, first_byte: bytes) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._first = first_byte
+
+    async def read_request(self) -> Optional[Dict[str, Any]]:
+        line = await self._reader.readline()
+        if self._first:
+            line, self._first = self._first + line, b""
+        if not line:
+            return None
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _MalformedRequest(f"bad JSON line: {error}") from error
+        if not isinstance(message, dict) or "op" not in message:
+            raise _MalformedRequest(
+                "each line must be an object with an 'op' key")
+        return message
+
+    def write_reply(self, reply: Dict[str, Any]) -> None:
+        self._writer.write(_json_line(reply))
+
+    def write_error(self, error: _MalformedRequest) -> None:
+        self.write_reply({"ok": False, "op": error.request_op,
+                          "error": error.message})
+
+    def write_event(self, sample: ScoredSample) -> None:
+        self._writer.write(_json_line(_event_payload(sample)))
+
+
+class _BinaryServerConnection:
+    """Binary wire framing for one server connection."""
+
+    protocol = "binary"
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, first_byte: bytes) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = wire.FrameDecoder()
+        self._decoder.feed(first_byte)
+        self._pending: List[wire.Frame] = []
+
+    async def read_request(self) -> Optional[Dict[str, Any]]:
+        while not self._pending:
+            try:
+                self._pending.extend(self._decoder.frames())
+            except wire.WireProtocolError as error:
+                raise _MalformedRequest(str(error), fatal=True) from error
+            if self._pending:
+                break
+            chunk = await self._reader.read(1 << 16)
+            if not chunk:
+                if self._decoder.pending_bytes:
+                    # EOF mid-frame: nothing to reply to; the connection
+                    # handler's cleanup path closes the sessions.
+                    raise _MalformedRequest(
+                        "connection dropped mid-frame", fatal=True)
+                return None
+            self._decoder.feed(chunk)
+        return self._to_message(self._pending.pop(0))
+
+    @staticmethod
+    def _to_message(frame: wire.Frame) -> Dict[str, Any]:
+        if isinstance(frame, wire.Open):
+            message: Dict[str, Any] = {"op": "open", "stream": frame.stream}
+            if frame.max_samples is not None:
+                message["max_samples"] = frame.max_samples
+            return message
+        if isinstance(frame, wire.Push):
+            return {"op": "push", "stream": frame.stream,
+                    "values": np.asarray(frame.samples, dtype=np.float64)}
+        if isinstance(frame, wire.Close):
+            return {"op": "close", "stream": frame.stream}
+        for frame_type, op in ((wire.Stats, "stats"), (wire.Ping, "ping"),
+                               (wire.Shutdown, "shutdown")):
+            if isinstance(frame, frame_type):
+                return {"op": op}
+        # A structurally valid frame that is not a request (a client echoing
+        # server reply ops): framing is still synchronised, so answer with a
+        # structured error and keep the connection.
+        raise _MalformedRequest(
+            f"frame op 0x{frame.op:02X} is not a request op")
+
+    def write_reply(self, reply: Dict[str, Any]) -> None:
+        self._writer.write(wire.encode(self._to_frame(reply)))
+
+    def write_error(self, error: _MalformedRequest) -> None:
+        request_op = _OP_CODES.get(error.request_op, 0)
+        self._writer.write(wire.encode(
+            wire.ErrorReply(request_op=request_op, message=error.message)))
+
+    def write_event(self, sample: ScoredSample) -> None:
+        self._writer.write(wire.encode(wire.AlarmEvent(
+            stream=sample.stream_id, index=sample.index,
+            score=sample.score, threshold=sample.threshold)))
+
+    @staticmethod
+    def _to_frame(reply: Dict[str, Any]) -> wire.Frame:
+        op = reply.get("op")
+        if not reply.get("ok"):
+            return wire.ErrorReply(request_op=_OP_CODES.get(op, 0),
+                                   message=str(reply.get("error")))
+        if op == "open":
+            return wire.OpenAck(stream=reply["stream"],
+                                window=reply["window"],
+                                incremental=reply["incremental"],
+                                threshold=reply["threshold"])
+        if op == "push":
+            return wire.PushAck(accepted=reply["accepted"])
+        if op == "close":
+            return wire.CloseAck(
+                stream=reply["stream"],
+                samples_pushed=reply["samples_pushed"],
+                samples_scored=reply["samples_scored"],
+                samples_dropped=reply["samples_dropped"],
+                adaptation_events=reply["adaptation_events"])
+        if op == "stats":
+            p99 = reply["queue_delay_p99_s"]
+            return wire.StatsAck(
+                live_sessions=reply["live_sessions"],
+                samples_pushed=reply["samples_pushed"],
+                samples_scored=reply["samples_scored"],
+                samples_dropped=reply["samples_dropped"],
+                flushes=reply["flushes"],
+                mean_batch_size=reply["mean_batch_size"],
+                queue_delay_p99_s=float("nan") if p99 is None else p99)
+        if op == "ping":
+            return wire.PingAck()
+        if op == "shutdown":
+            return wire.ShutdownAck()
+        raise RuntimeError(f"no binary encoding for reply op {op!r}")
+
+
+class AnomalyWireServer:
+    """Serve an :class:`AnomalyService` over a pluggable transport.
+
+    One dispatch core handles every connection; each connection's first
+    byte selects its protocol codec (``0xAB`` = binary, else line JSON).
+    ``protocols`` restricts what this listener accepts -- a connection
+    speaking a disabled protocol gets one structured error and is closed.
+    """
+
+    def __init__(self, service: AnomalyService, transport: Transport, *,
+                 allow_shutdown: bool = True,
+                 protocols: Iterable[str] = PROTOCOLS) -> None:
         self.service = service
-        self.host = host
-        self.port = port
+        self.transport = transport
         #: honour the ``shutdown`` op (the smoke flow's clean-exit path);
         #: disable for servers that must only stop from their own host.
         self.allow_shutdown = allow_shutdown
-        self._server: Optional[asyncio.base_events.Server] = None
+        self.protocols = tuple(protocols)
+        unknown = set(self.protocols) - set(PROTOCOLS)
+        if unknown or not self.protocols:
+            raise ValueError(
+                f"protocols must be a non-empty subset of {PROTOCOLS}, "
+                f"got {tuple(protocols)!r}"
+            )
+        self._server: Optional[asyncio.AbstractServer] = None
         self._stopping: Optional[asyncio.Event] = None
 
     @property
     def bound_port(self) -> int:
-        """The actual port (useful with ``port=0`` ephemeral binding)."""
+        """The actual TCP port (useful with ``port=0`` ephemeral binding)."""
         if self._server is None:
             raise RuntimeError("server is not running")
-        return self._server.sockets[0].getsockname()[1]
+        if not isinstance(self.transport, TCPTransport):
+            raise RuntimeError(
+                f"the {self.transport.kind!r} transport has no TCP port"
+            )
+        return bound_port(self._server)
+
+    @property
+    def bound_address(self) -> str:
+        """Endpoint text once listening (port number for TCP, path for UDS)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self.transport.address_text(self._server)
 
     async def serve_forever(self,
                             port_file: Optional[Union[str, Path]] = None,
                             ready: Optional[asyncio.Event] = None) -> None:
         """Run service + listener until ``shutdown`` (or cancellation).
 
-        ``port_file``, when given, receives the bound port as text once
-        the listener is up -- a race-free handshake for scripted clients.
-        ``ready`` is set at the same moment (for in-process callers).
+        ``port_file``, when given, receives the bound endpoint as text once
+        the listener is up (the TCP port number, or the UDS path) -- a
+        race-free handshake for scripted clients.  ``ready`` is set at the
+        same moment (for in-process callers).
         """
         self._stopping = asyncio.Event()
         await self.service.start()
         try:
-            self._server = await asyncio.start_server(
-                self._handle_connection, self.host, self.port)
+            self._server = await self.transport.listen(self._handle_connection)
             try:
                 if port_file is not None:
-                    Path(port_file).write_text(str(self.bound_port) + "\n",
+                    Path(port_file).write_text(self.bound_address + "\n",
                                                encoding="utf-8")
                 if ready is not None:
                     ready.set()
@@ -129,26 +353,23 @@ class AnomalyTCPServer:
         # end-of-stream alarms must still reach the client.  (Consequence:
         # do not reuse a closed stream id from a different connection.)
         ever_owned: set = set()
-        alarm_task = asyncio.create_task(
-            self._forward_alarms(writer, ever_owned))
+        alarm_task: Optional[asyncio.Task] = None
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                reply = await self._dispatch(line, owned, ever_owned)
-                writer.write((json.dumps(reply) + "\n").encode("utf-8"))
-                await writer.drain()
-                if reply.get("op") == "shutdown" and reply.get("ok"):
-                    break
+            first = await reader.read(1)
+            if first:
+                codec = self._negotiate(reader, writer, first)
+                alarm_task = asyncio.create_task(
+                    self._forward_alarms(codec, writer, ever_owned))
+                await self._connection_loop(codec, writer, owned, ever_owned)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
-            alarm_task.cancel()
-            try:
-                await alarm_task
-            except asyncio.CancelledError:
-                pass
+            if alarm_task is not None:
+                alarm_task.cancel()
+                try:
+                    await alarm_task
+                except asyncio.CancelledError:
+                    pass
             # A dropped producer must not leak its sessions.
             for stream_id in owned:
                 if stream_id in self.service.sessions:
@@ -159,29 +380,59 @@ class AnomalyTCPServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _forward_alarms(self, writer: asyncio.StreamWriter,
+    def _negotiate(self, reader: asyncio.StreamReader,
+                   writer: asyncio.StreamWriter, first: bytes):
+        """First byte decides the protocol: 0xAB = binary, else line JSON."""
+        if first == wire.MAGIC[:1]:
+            codec = _BinaryServerConnection(reader, writer, first)
+        else:
+            codec = _JSONServerConnection(reader, writer, first)
+        return codec
+
+    async def _connection_loop(self, codec, writer: asyncio.StreamWriter,
+                               owned: List[str], ever_owned: set) -> None:
+        if codec.protocol not in self.protocols:
+            codec.write_error(_MalformedRequest(
+                f"the {codec.protocol} protocol is disabled on this server "
+                f"(accepted: {', '.join(self.protocols)})", fatal=True))
+            await writer.drain()
+            return
+        while True:
+            try:
+                message = await codec.read_request()
+            except _MalformedRequest as error:
+                codec.write_error(error)
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+                if error.fatal:
+                    return
+                continue
+            if message is None:
+                return
+            reply = await self._dispatch(message, owned, ever_owned)
+            codec.write_reply(reply)
+            await writer.drain()
+            if reply.get("op") == "shutdown" and reply.get("ok"):
+                return
+
+    async def _forward_alarms(self, codec, writer: asyncio.StreamWriter,
                               ever_owned: set) -> None:
         async for alarm in self.service.alarms():
             if alarm.stream_id not in ever_owned:
                 continue
             try:
-                writer.write(_event_line(alarm))
+                codec.write_event(alarm)
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
                 return
 
-    async def _dispatch(self, line: bytes, owned: List[str],
+    async def _dispatch(self, message: Dict[str, Any], owned: List[str],
                         ever_owned: set) -> Dict[str, Any]:
-        try:
-            message = json.loads(line.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            return {"ok": False, "op": None, "error": f"bad JSON line: {error}"}
-        if not isinstance(message, dict) or "op" not in message:
-            return {"ok": False, "op": None,
-                    "error": "each line must be an object with an 'op' key"}
         op = message["op"]
         try:
             if op == "ping":
@@ -212,15 +463,14 @@ class AnomalyTCPServer:
                         else threshold.threshold}
             if op == "push":
                 stream_id = _required_stream(message)
-                values = message.get("values")
-                if not isinstance(values, list) or not values:
-                    raise ValueError("push needs a non-empty 'values' array")
+                block = _push_block(message)
                 if stream_id not in self.service.sessions:
                     owned.append(stream_id)   # auto-open path
                     ever_owned.add(stream_id)
-                await self.service.push(stream_id, np.asarray(values,
-                                                              dtype=np.float64))
-                return {"ok": True, "op": "push"}
+                for row in block:
+                    await self.service.push(stream_id, row)
+                return {"ok": True, "op": "push",
+                        "accepted": int(block.shape[0])}
             if op == "close":
                 stream_id = _required_stream(message)
                 session = await self.service.close_session(stream_id)
@@ -240,7 +490,20 @@ class AnomalyTCPServer:
         except (ValueError, TypeError, KeyError, RuntimeError) as error:
             # TypeError covers malformed client payloads (e.g. a string
             # max_samples) -- one error reply, never a dropped connection.
-            return {"ok": False, "op": op, "error": str(error)}
+            return {"ok": False, "op": op if isinstance(op, str) else None,
+                    "error": str(error)}
+
+
+class AnomalyTCPServer(AnomalyWireServer):
+    """The TCP spelling of :class:`AnomalyWireServer` (the default)."""
+
+    def __init__(self, service: AnomalyService, host: str = "127.0.0.1",
+                 port: int = 7007, *, allow_shutdown: bool = True,
+                 protocols: Iterable[str] = PROTOCOLS) -> None:
+        super().__init__(service, TCPTransport(host, port),
+                         allow_shutdown=allow_shutdown, protocols=protocols)
+        self.host = host
+        self.port = port
 
 
 def _required_stream(message: Dict[str, Any]) -> str:
@@ -250,43 +513,85 @@ def _required_stream(message: Dict[str, Any]) -> str:
     return stream
 
 
+def _push_block(message: Dict[str, Any]) -> np.ndarray:
+    """Normalise a push payload to a ``(n_samples, n_channels)`` block.
+
+    JSON pushes carry one sample as a flat ``values`` list; binary pushes
+    arrive as an already-decoded 2-D float64 array (many samples).
+    """
+    values = message.get("values")
+    if isinstance(values, np.ndarray):
+        if values.ndim != 2 or values.size == 0:
+            raise ValueError("push needs a non-empty sample block")
+        return values
+    if not isinstance(values, list) or not values:
+        raise ValueError("push needs a non-empty 'values' array")
+    return np.asarray(values, dtype=np.float64)[None, :]
+
+
 def _json_float(value: float) -> Optional[float]:
     """NaN is not valid JSON; report it as null."""
     return float(value) if np.isfinite(value) else None
 
 
-class TCPClient:
-    """Blocking line-JSON client for :class:`AnomalyTCPServer`.
+# --------------------------------------------------------------------------- #
+# Blocking clients
+# --------------------------------------------------------------------------- #
+class _ClientCore:
+    """Shared blocking request core of :class:`TCPClient`/:class:`BinaryClient`.
 
     Replies are matched to requests in order; unsolicited alarm events that
-    arrive in between are collected on :attr:`alarms`.  The client is the
-    CLI/smoke-flow producer -- it favours simplicity over throughput (one
-    round trip per push; for high-rate ingestion use
-    :class:`~repro.serve.AnomalyService` in process).
+    arrive in between are collected on :attr:`alarms` (as JSON-shaped
+    dicts, whichever protocol carried them).  Reads respect ``timeout_s``:
+    a stalled or half-closed server raises :class:`ServerTimeoutError`
+    instead of hanging forever.  Subclasses provide the wire framing via
+    ``_send`` / ``_read_message``.
     """
 
+    protocol = ""
+
     def __init__(self, host: str = "127.0.0.1", port: int = 7007,
-                 timeout_s: float = 30.0) -> None:
-        self._socket = socket.create_connection((host, port),
-                                                timeout=timeout_s)
-        self._file = self._socket.makefile("rwb")
+                 timeout_s: Optional[float] = 30.0, *,
+                 uds_path: Optional[Union[str, Path]] = None) -> None:
+        transport: Transport = TCPTransport(host, port) if uds_path is None \
+            else UnixSocketTransport(uds_path)
+        self.timeout_s = timeout_s
+        self.endpoint = transport.describe()
+        try:
+            self._socket = transport.connect(timeout_s)
+        except socket.timeout as error:
+            raise ServerTimeoutError(
+                f"could not connect to {self.endpoint} within "
+                f"{timeout_s}s"
+            ) from error
         #: alarm event payloads received so far (dicts, in arrival order)
         self.alarms: List[Dict[str, Any]] = []
 
     # -- plumbing ----------------------------------------------------------- #
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request line; absorb events until its reply arrives."""
-        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
-        self._file.flush()
+        """Send one request; absorb events until its reply arrives."""
+        self._send(payload)
         while True:
-            line = self._file.readline()
-            if not line:
+            try:
+                message = self._read_message()
+            except socket.timeout as error:
+                raise ServerTimeoutError(
+                    f"no reply to op {payload.get('op')!r} from the server "
+                    f"at {self.endpoint} within {self.timeout_s}s; the "
+                    f"server may be stalled or the connection half-closed"
+                ) from error
+            if message is None:
                 raise ConnectionError("server closed the connection")
-            message = json.loads(line.decode("utf-8"))
             if "event" in message:
                 self.alarms.append(message)
                 continue
             return message
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _read_message(self) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
 
     def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         reply = self.request(payload)
@@ -330,13 +635,162 @@ class TCPClient:
         return self._checked({"op": "shutdown"})
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._socket.close()
+        self._socket.close()
 
-    def __enter__(self) -> "TCPClient":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class TCPClient(_ClientCore):
+    """Blocking line-JSON client for :class:`AnomalyWireServer`.
+
+    The CLI/smoke-flow producer -- it favours debuggability over
+    throughput (one text round trip per sample).  For high-rate ingestion
+    use :class:`BinaryClient` (batched float32 frames) or
+    :class:`~repro.serve.AnomalyService` in process.  Despite the name it
+    also connects over a Unix socket via ``uds_path=``.
+    """
+
+    protocol = "json"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7007,
+                 timeout_s: Optional[float] = 30.0, *,
+                 uds_path: Optional[Union[str, Path]] = None) -> None:
+        super().__init__(host, port, timeout_s, uds_path=uds_path)
+        self._file = self._socket.makefile("rwb")
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self._file.write(_json_line(payload))
+        self._file.flush()
+
+    def _read_message(self) -> Optional[Dict[str, Any]]:
+        line = self._file.readline()
+        if not line:
+            return None
+        return json.loads(line.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._socket.close()
+
+
+class BinaryClient(_ClientCore):
+    """Blocking binary-protocol client (the compact ingest path).
+
+    Speaks :mod:`repro.serve.wire` frames: samples travel as float32
+    blocks, and :meth:`push_stream` batches ``chunk`` samples per PUSH
+    frame -- one syscall and one ack per burst instead of per sample.
+    Replies and alarm events are surfaced as the same dicts
+    :class:`TCPClient` produces, so the two clients are drop-in
+    interchangeable above the wire.
+    """
+
+    protocol = "binary"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7007,
+                 timeout_s: Optional[float] = 30.0, *,
+                 uds_path: Optional[Union[str, Path]] = None,
+                 chunk: int = 64) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be at least 1")
+        super().__init__(host, port, timeout_s, uds_path=uds_path)
+        self.chunk = chunk
+        self._decoder = wire.FrameDecoder()
+        self._frames: List[wire.Frame] = []
+
+    # -- framing ------------------------------------------------------------ #
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self._socket.sendall(wire.encode(self._to_frame(payload)))
+
+    @staticmethod
+    def _to_frame(payload: Dict[str, Any]) -> wire.Frame:
+        op = payload["op"]
+        if op == "open":
+            return wire.Open(payload["stream"], payload.get("max_samples"))
+        if op == "push":
+            return wire.Push(payload["stream"], payload["values"])
+        if op == "close":
+            return wire.Close(payload["stream"])
+        if op == "stats":
+            return wire.Stats()
+        if op == "ping":
+            return wire.Ping()
+        if op == "shutdown":
+            return wire.Shutdown()
+        raise ValueError(f"unknown op {op!r}")
+
+    def _read_message(self) -> Optional[Dict[str, Any]]:
+        while not self._frames:
+            self._frames.extend(self._decoder.frames())
+            if self._frames:
+                break
+            chunk = self._socket.recv(1 << 16)
+            if not chunk:
+                return None
+            self._decoder.feed(chunk)
+        return self._from_frame(self._frames.pop(0))
+
+    @staticmethod
+    def _from_frame(frame: wire.Frame) -> Dict[str, Any]:
+        """Normalise a reply/event frame to its JSON-protocol dict shape."""
+        if isinstance(frame, wire.AlarmEvent):
+            return {"event": "alarm", "stream": frame.stream,
+                    "index": frame.index, "score": frame.score,
+                    "threshold": frame.threshold}
+        if isinstance(frame, wire.OpenAck):
+            return {"ok": True, "op": "open", "stream": frame.stream,
+                    "window": frame.window, "incremental": frame.incremental,
+                    "threshold": frame.threshold}
+        if isinstance(frame, wire.PushAck):
+            return {"ok": True, "op": "push", "accepted": frame.accepted}
+        if isinstance(frame, wire.CloseAck):
+            return {"ok": True, "op": "close", "stream": frame.stream,
+                    "samples_pushed": frame.samples_pushed,
+                    "samples_scored": frame.samples_scored,
+                    "samples_dropped": frame.samples_dropped,
+                    "adaptation_events": frame.adaptation_events}
+        if isinstance(frame, wire.StatsAck):
+            p99 = frame.queue_delay_p99_s
+            return {"ok": True, "op": "stats",
+                    "live_sessions": frame.live_sessions,
+                    "samples_pushed": frame.samples_pushed,
+                    "samples_scored": frame.samples_scored,
+                    "samples_dropped": frame.samples_dropped,
+                    "flushes": frame.flushes,
+                    "mean_batch_size": frame.mean_batch_size,
+                    "queue_delay_p99_s": None if np.isnan(p99) else p99}
+        if isinstance(frame, wire.PingAck):
+            return {"ok": True, "op": "ping"}
+        if isinstance(frame, wire.ShutdownAck):
+            return {"ok": True, "op": "shutdown"}
+        if isinstance(frame, wire.ErrorReply):
+            return {"ok": False,
+                    "op": _OP_NAMES.get(frame.request_op),
+                    "error": frame.message}
+        raise ConnectionError(
+            f"unexpected frame op 0x{frame.op:02X} from the server")
+
+    # -- ops whose wire shape differs from JSON ----------------------------- #
+    def push(self, stream_id: str, values) -> Dict[str, Any]:
+        """Push one sample (or a ready-made ``(n, channels)`` block)."""
+        block = np.asarray(values, dtype=np.float64)
+        if block.ndim == 1:
+            block = block[None, :]
+        return self._checked({"op": "push", "stream": stream_id,
+                              "values": block})
+
+    def push_stream(self, stream_id: str, stream) -> int:
+        """Push a whole recording, ``chunk`` samples per binary frame."""
+        stream = np.asarray(stream, dtype=np.float64)
+        if stream.ndim == 1:
+            stream = stream[:, None]
+        for start in range(0, stream.shape[0], self.chunk):
+            self.push(stream_id, stream[start:start + self.chunk])
+        return int(stream.shape[0])

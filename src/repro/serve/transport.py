@@ -1,0 +1,153 @@
+"""Pluggable connection transports for the serving front door.
+
+The dispatch core in :mod:`repro.serve.tcp` is transport-agnostic: it
+speaks to an ``asyncio`` stream pair on the server side and a connected
+``socket`` on the client side.  A :class:`Transport` supplies both halves
+for one address family:
+
+* :class:`TCPTransport` -- the default; reachable from other hosts, one
+  listener per ``(host, port)``.
+* :class:`UnixSocketTransport` -- a Unix-domain socket for co-located
+  producers (the robot cell's own data logger pushing into the detector on
+  the same board).  No TCP/IP stack in the path, no port allocation, and
+  filesystem permissions gate who may connect.  Unavailable on platforms
+  without ``AF_UNIX`` (construction raises).
+
+Transport choice is orthogonal to protocol choice: every connection still
+negotiates JSON vs binary from its first byte (see :mod:`repro.serve.wire`).
+Pick UDS + binary for the high-rate co-located ingest path, TCP + JSON for
+remote debugging with ``nc``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["HAS_UNIX_SOCKETS", "Transport", "TCPTransport",
+           "UnixSocketTransport", "make_transport"]
+
+#: Whether this platform offers ``AF_UNIX`` sockets at all.
+HAS_UNIX_SOCKETS = hasattr(socket, "AF_UNIX")
+
+
+class Transport:
+    """One address family's listener + connector pair.
+
+    Subclasses implement :meth:`listen` (server side, returns the asyncio
+    server object) and :meth:`connect` (client side, returns a connected
+    blocking socket with its timeout already applied).
+    """
+
+    #: short name used in specs/CLI flags (``"tcp"`` / ``"uds"``)
+    kind: str = ""
+
+    async def listen(self, client_connected_cb) -> asyncio.AbstractServer:
+        raise NotImplementedError
+
+    def connect(self, timeout_s: Optional[float]) -> socket.socket:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable endpoint (log lines, error messages)."""
+        raise NotImplementedError
+
+    def address_text(self, server: asyncio.AbstractServer) -> str:
+        """The text a ``--port-file`` handshake should carry once bound."""
+        raise NotImplementedError
+
+
+class TCPTransport(Transport):
+    """TCP listener/connector on ``(host, port)``; port 0 binds ephemeral."""
+
+    kind = "tcp"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7007) -> None:
+        self.host = host
+        self.port = port
+
+    async def listen(self, client_connected_cb) -> asyncio.AbstractServer:
+        return await asyncio.start_server(client_connected_cb,
+                                          self.host, self.port)
+
+    def connect(self, timeout_s: Optional[float]) -> socket.socket:
+        # create_connection applies the timeout to the connect itself and
+        # leaves it installed on the returned socket, so reads inherit it.
+        return socket.create_connection((self.host, self.port),
+                                        timeout=timeout_s)
+
+    def describe(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def address_text(self, server: asyncio.AbstractServer) -> str:
+        return str(bound_port(server))
+
+
+class UnixSocketTransport(Transport):
+    """Unix-domain-socket listener/connector at a filesystem path."""
+
+    kind = "uds"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        if not HAS_UNIX_SOCKETS:
+            raise RuntimeError(
+                "Unix-domain sockets are not available on this platform; "
+                "use the TCP transport"
+            )
+        self.path = str(path)
+
+    async def listen(self, client_connected_cb) -> asyncio.AbstractServer:
+        # A previous server that crashed leaves its socket file behind;
+        # rebinding over a *live* listener is refused by checking it first.
+        if os.path.exists(self.path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(0.25)
+                probe.connect(self.path)
+            except OSError:
+                os.unlink(self.path)     # stale leftover: safe to reclaim
+            else:
+                probe.close()
+                raise OSError(
+                    f"another server is already listening on {self.path}"
+                )
+            finally:
+                probe.close()
+        return await asyncio.start_unix_server(client_connected_cb, self.path)
+
+    def connect(self, timeout_s: Optional[float]) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout_s)
+        try:
+            sock.connect(self.path)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def describe(self) -> str:
+        return f"uds:{self.path}"
+
+    def address_text(self, server: asyncio.AbstractServer) -> str:
+        return self.path
+
+
+def bound_port(server: asyncio.AbstractServer) -> int:
+    """The actual TCP port of a running listener (ephemeral binds)."""
+    return server.sockets[0].getsockname()[1]
+
+
+def make_transport(kind: str, *, host: str = "127.0.0.1", port: int = 7007,
+                   uds_path: Optional[Union[str, Path]] = None) -> Transport:
+    """Build a transport from spec/CLI-level knobs."""
+    if kind == "tcp":
+        return TCPTransport(host, port)
+    if kind == "uds":
+        if uds_path is None:
+            raise ValueError("the 'uds' transport needs a socket path "
+                             "(--uds-path / service.uds_path)")
+        return UnixSocketTransport(uds_path)
+    raise ValueError(f"unknown transport {kind!r} (choose 'tcp' or 'uds')")

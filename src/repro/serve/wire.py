@@ -1,0 +1,569 @@
+"""Compact binary framing for the serving wire (``repro.serve.wire``).
+
+At edge sample rates the line-JSON protocol spends more time boxing floats
+and scanning for newlines than the model spends scoring -- serialization
+dominates the ingest path.  This module defines the binary alternative: a
+fixed 10-byte header followed by a struct-packed, op-specific payload, with
+pushed samples travelling as raw little-endian float32 blocks (many samples
+per frame, so one syscall and one ack amortise over a whole burst).
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic     0xAB 'V' 'R' 'D'  (first byte is not valid JSON,
+                            so the first byte of a connection negotiates the
+                            protocol: 0xAB means binary, anything else means
+                            line-delimited JSON)
+    4       1     version   currently 1
+    5       1     op        frame type (below)
+    6       4     length    payload byte count (<= MAX_PAYLOAD)
+    10      ...   payload   op-specific
+
+Request ops (client -> server) mirror the JSON protocol one to one::
+
+    0x01 OPEN      stream id + optional max_samples
+    0x02 PUSH      stream id + (n_samples, n_channels) float32 block
+    0x03 CLOSE     stream id
+    0x04 STATS     empty
+    0x05 PING      empty
+    0x06 SHUTDOWN  empty
+
+Reply ops (server -> client; one reply per request, in request order)::
+
+    0x81 OPEN_ACK      window, incremental flag, optional threshold
+    0x82 PUSH_ACK      samples accepted
+    0x83 CLOSE_ACK     session summary counters
+    0x84 STATS_ACK     service counters + queue-delay p99
+    0x85 PING_ACK      empty
+    0x86 SHUTDOWN_ACK  empty
+    0xE1 ALARM_EVENT   unsolicited: stream id, index, score, threshold
+    0xEE ERROR         echoed request op + UTF-8 message
+
+Strings (stream ids, error messages) are ``<H``-length-prefixed UTF-8.
+Sample blocks are C-ordered ``<f4``; the codec round-trips them
+*bit-identically* (NaN payload bits, infinities and subnormals included --
+the property suite in ``tests/test_serve/test_wire_properties.py`` holds it
+to that).  Note the serving data model is float64: producers that need
+exact float64 parity with the JSON protocol must push values that are
+exactly representable in float32 (the wire is explicitly a compact,
+reduced-precision ingest path).
+
+:class:`FrameDecoder` is the streaming decoder: feed it bytes in whatever
+chunks the transport delivers (frames may be coalesced or split
+arbitrarily) and iterate complete frames out.  Malformed input raises a
+:class:`WireProtocolError` subclass; framing corruption is not resyncable,
+so servers answer with one ERROR frame and close the connection.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "MAGIC", "VERSION", "HEADER", "MAX_PAYLOAD",
+    "OP_OPEN", "OP_PUSH", "OP_CLOSE", "OP_STATS", "OP_PING", "OP_SHUTDOWN",
+    "OP_OPEN_ACK", "OP_PUSH_ACK", "OP_CLOSE_ACK", "OP_STATS_ACK",
+    "OP_PING_ACK", "OP_SHUTDOWN_ACK", "OP_ALARM_EVENT", "OP_ERROR",
+    "WireProtocolError", "BadMagicError", "BadVersionError", "BadOpError",
+    "FrameTooLargeError", "CorruptPayloadError",
+    "Open", "Push", "Close", "Stats", "Ping", "Shutdown",
+    "OpenAck", "PushAck", "CloseAck", "StatsAck", "PingAck", "ShutdownAck",
+    "AlarmEvent", "ErrorReply",
+    "Frame", "encode", "decode_frame", "FrameDecoder",
+]
+
+#: First byte 0xAB cannot start a JSON document, so one peeked byte decides
+#: the protocol of a fresh connection.
+MAGIC = b"\xabVRD"
+VERSION = 1
+HEADER = struct.Struct("<4sBBI")          # magic, version, op, payload length
+#: Payload byte cap -- bounds both decoder buffering on hostile length
+#: prefixes and the largest sample block one PUSH frame may carry.
+MAX_PAYLOAD = 1 << 20
+
+OP_OPEN = 0x01
+OP_PUSH = 0x02
+OP_CLOSE = 0x03
+OP_STATS = 0x04
+OP_PING = 0x05
+OP_SHUTDOWN = 0x06
+OP_OPEN_ACK = 0x81
+OP_PUSH_ACK = 0x82
+OP_CLOSE_ACK = 0x83
+OP_STATS_ACK = 0x84
+OP_PING_ACK = 0x85
+OP_SHUTDOWN_ACK = 0x86
+OP_ALARM_EVENT = 0xE1
+OP_ERROR = 0xEE
+
+_STR_LEN = struct.Struct("<H")
+_OPEN_TAIL = struct.Struct("<q")          # max_samples, -1 = None
+_PUSH_HEAD = struct.Struct("<IH")         # n_samples, n_channels
+_OPEN_ACK = struct.Struct("<IBBd")        # window, incremental, has_thr, thr
+_PUSH_ACK = struct.Struct("<I")           # samples accepted
+_CLOSE_ACK = struct.Struct("<4Q")         # pushed, scored, dropped, adaptation
+_STATS_ACK = struct.Struct("<5Qdd")       # counters + mean batch + p99 delay
+_ALARM = struct.Struct("<QdBd")           # index, score, has_thr, thr
+_ERROR_HEAD = struct.Struct("<B")         # echoed request op (0 = unknown)
+
+
+class WireProtocolError(ValueError):
+    """Malformed binary wire input (framing or payload structure)."""
+
+
+class BadMagicError(WireProtocolError):
+    """The frame does not start with the protocol magic."""
+
+
+class BadVersionError(WireProtocolError):
+    """The frame carries an unsupported protocol version."""
+
+
+class BadOpError(WireProtocolError):
+    """The frame carries an unknown op code."""
+
+
+class FrameTooLargeError(WireProtocolError):
+    """The length prefix exceeds :data:`MAX_PAYLOAD`."""
+
+
+class CorruptPayloadError(WireProtocolError):
+    """The payload does not parse as its op's declared structure."""
+
+
+# --------------------------------------------------------------------------- #
+# String / float-block helpers
+# --------------------------------------------------------------------------- #
+def _pack_str(text: str) -> bytes:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ValueError(f"string too long for the wire ({len(data)} bytes)")
+    return _STR_LEN.pack(len(data)) + data
+
+
+def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
+    if offset + _STR_LEN.size > len(payload):
+        raise CorruptPayloadError("truncated string length prefix")
+    (length,) = _STR_LEN.unpack_from(payload, offset)
+    offset += _STR_LEN.size
+    if offset + length > len(payload):
+        raise CorruptPayloadError(
+            f"string length {length} exceeds the remaining payload"
+        )
+    try:
+        text = payload[offset:offset + length].decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise CorruptPayloadError(f"string is not valid UTF-8: {error}") \
+            from error
+    return text, offset + length
+
+
+def _as_float32_block(samples) -> np.ndarray:
+    block = np.asarray(samples)
+    if block.ndim == 1:
+        block = block[None, :]
+    if block.ndim != 2:
+        raise ValueError(
+            f"sample blocks must be (n_samples, n_channels), "
+            f"got ndim={block.ndim}"
+        )
+    return np.ascontiguousarray(block, dtype="<f4")
+
+
+# --------------------------------------------------------------------------- #
+# Frame types
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Open:
+    """Open a scoring session (``max_samples=None`` = unbounded)."""
+
+    stream: str
+    max_samples: Optional[int] = None
+
+    op = OP_OPEN
+
+    def encode_payload(self) -> bytes:
+        max_samples = -1 if self.max_samples is None else int(self.max_samples)
+        return _pack_str(self.stream) + _OPEN_TAIL.pack(max_samples)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "Open":
+        stream, offset = _unpack_str(payload, 0)
+        if offset + _OPEN_TAIL.size != len(payload):
+            raise CorruptPayloadError("OPEN payload has the wrong size")
+        (max_samples,) = _OPEN_TAIL.unpack_from(payload, offset)
+        return cls(stream, None if max_samples < 0 else max_samples)
+
+
+class Push:
+    """A batched sample block: ``samples`` is ``(n_samples, n_channels)``.
+
+    Not a frozen dataclass because ndarray equality needs bitwise
+    semantics: two pushes are equal iff their ids match and their float32
+    blocks are byte-identical (NaN payloads included).
+    """
+
+    op = OP_PUSH
+    __slots__ = ("stream", "samples")
+
+    def __init__(self, stream: str, samples) -> None:
+        self.stream = stream
+        self.samples = _as_float32_block(samples)
+
+    def __repr__(self) -> str:
+        return (f"Push(stream={self.stream!r}, "
+                f"samples=<{self.samples.shape[0]}x{self.samples.shape[1]} f4>)")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Push):
+            return NotImplemented
+        return (self.stream == other.stream
+                and self.samples.shape == other.samples.shape
+                and self.samples.tobytes() == other.samples.tobytes())
+
+    def encode_payload(self) -> bytes:
+        n_samples, n_channels = self.samples.shape
+        return (_pack_str(self.stream)
+                + _PUSH_HEAD.pack(n_samples, n_channels)
+                + self.samples.tobytes())
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "Push":
+        stream, offset = _unpack_str(payload, 0)
+        if offset + _PUSH_HEAD.size > len(payload):
+            raise CorruptPayloadError("truncated PUSH block header")
+        n_samples, n_channels = _PUSH_HEAD.unpack_from(payload, offset)
+        offset += _PUSH_HEAD.size
+        expected = n_samples * n_channels * 4
+        if len(payload) - offset != expected:
+            raise CorruptPayloadError(
+                f"PUSH declares {n_samples}x{n_channels} float32 samples "
+                f"({expected} bytes) but carries {len(payload) - offset}"
+            )
+        block = np.frombuffer(payload, dtype="<f4", count=n_samples * n_channels,
+                              offset=offset).reshape(n_samples, n_channels)
+        push = cls.__new__(cls)
+        push.stream = stream
+        push.samples = block
+        return push
+
+
+@dataclass(frozen=True)
+class Close:
+    stream: str
+
+    op = OP_CLOSE
+
+    def encode_payload(self) -> bytes:
+        return _pack_str(self.stream)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "Close":
+        stream, offset = _unpack_str(payload, 0)
+        if offset != len(payload):
+            raise CorruptPayloadError("CLOSE payload has trailing bytes")
+        return cls(stream)
+
+
+def _payloadless(name: str, op_code: int):
+    """Build a frame type whose payload is empty (STATS/PING/SHUTDOWN...)."""
+
+    @classmethod
+    def decode_payload(cls, payload: bytes):
+        if payload:
+            raise CorruptPayloadError(
+                f"{name} frames carry no payload, got {len(payload)} bytes"
+            )
+        return cls()
+
+    return dataclass(frozen=True)(type(name, (), {
+        "op": op_code,
+        "encode_payload": lambda self: b"",
+        "decode_payload": decode_payload,
+        "__annotations__": {},
+    }))
+
+
+Stats = _payloadless("Stats", OP_STATS)
+Ping = _payloadless("Ping", OP_PING)
+Shutdown = _payloadless("Shutdown", OP_SHUTDOWN)
+PingAck = _payloadless("PingAck", OP_PING_ACK)
+ShutdownAck = _payloadless("ShutdownAck", OP_SHUTDOWN_ACK)
+
+
+@dataclass(frozen=True)
+class OpenAck:
+    stream: str
+    window: int
+    incremental: bool
+    threshold: Optional[float]
+
+    op = OP_OPEN_ACK
+
+    def encode_payload(self) -> bytes:
+        has_threshold = self.threshold is not None
+        return _pack_str(self.stream) + _OPEN_ACK.pack(
+            self.window, int(self.incremental), int(has_threshold),
+            self.threshold if has_threshold else 0.0)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "OpenAck":
+        stream, offset = _unpack_str(payload, 0)
+        if offset + _OPEN_ACK.size != len(payload):
+            raise CorruptPayloadError("OPEN_ACK payload has the wrong size")
+        window, incremental, has_threshold, threshold = \
+            _OPEN_ACK.unpack_from(payload, offset)
+        return cls(stream, window, bool(incremental),
+                   threshold if has_threshold else None)
+
+
+@dataclass(frozen=True)
+class PushAck:
+    accepted: int
+
+    op = OP_PUSH_ACK
+
+    def encode_payload(self) -> bytes:
+        return _PUSH_ACK.pack(self.accepted)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "PushAck":
+        if len(payload) != _PUSH_ACK.size:
+            raise CorruptPayloadError("PUSH_ACK payload has the wrong size")
+        return cls(*_PUSH_ACK.unpack(payload))
+
+
+@dataclass(frozen=True)
+class CloseAck:
+    stream: str
+    samples_pushed: int
+    samples_scored: int
+    samples_dropped: int
+    adaptation_events: int
+
+    op = OP_CLOSE_ACK
+
+    def encode_payload(self) -> bytes:
+        return _pack_str(self.stream) + _CLOSE_ACK.pack(
+            self.samples_pushed, self.samples_scored, self.samples_dropped,
+            self.adaptation_events)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "CloseAck":
+        stream, offset = _unpack_str(payload, 0)
+        if offset + _CLOSE_ACK.size != len(payload):
+            raise CorruptPayloadError("CLOSE_ACK payload has the wrong size")
+        return cls(stream, *_CLOSE_ACK.unpack_from(payload, offset))
+
+
+@dataclass(frozen=True)
+class StatsAck:
+    live_sessions: int
+    samples_pushed: int
+    samples_scored: int
+    samples_dropped: int
+    flushes: int
+    mean_batch_size: float
+    queue_delay_p99_s: float     #: NaN when nothing has been scored yet
+
+    op = OP_STATS_ACK
+
+    def encode_payload(self) -> bytes:
+        return _STATS_ACK.pack(
+            self.live_sessions, self.samples_pushed, self.samples_scored,
+            self.samples_dropped, self.flushes, self.mean_batch_size,
+            self.queue_delay_p99_s)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "StatsAck":
+        if len(payload) != _STATS_ACK.size:
+            raise CorruptPayloadError("STATS_ACK payload has the wrong size")
+        return cls(*_STATS_ACK.unpack(payload))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatsAck):
+            return NotImplemented
+        # NaN-tolerant equality so decode(encode(x)) == x holds for the
+        # zero-samples p99 sentinel too.
+        def same(a: float, b: float) -> bool:
+            return a == b or (np.isnan(a) and np.isnan(b))
+
+        return (
+            (self.live_sessions, self.samples_pushed, self.samples_scored,
+             self.samples_dropped, self.flushes)
+            == (other.live_sessions, other.samples_pushed,
+                other.samples_scored, other.samples_dropped, other.flushes)
+            and same(self.mean_batch_size, other.mean_batch_size)
+            and same(self.queue_delay_p99_s, other.queue_delay_p99_s)
+        )
+
+    __hash__ = None
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    stream: str
+    index: int
+    score: float
+    threshold: Optional[float]
+
+    op = OP_ALARM_EVENT
+
+    def encode_payload(self) -> bytes:
+        has_threshold = self.threshold is not None
+        return _pack_str(self.stream) + _ALARM.pack(
+            self.index, self.score, int(has_threshold),
+            self.threshold if has_threshold else 0.0)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "AlarmEvent":
+        stream, offset = _unpack_str(payload, 0)
+        if offset + _ALARM.size != len(payload):
+            raise CorruptPayloadError("ALARM_EVENT payload has the wrong size")
+        index, score, has_threshold, threshold = \
+            _ALARM.unpack_from(payload, offset)
+        return cls(stream, index, score, threshold if has_threshold else None)
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """Structured error: ``request_op`` echoes the offending frame's op.
+
+    ``request_op`` 0 means the op could not be determined (framing-level
+    corruption); after such an error the server closes the connection
+    because the byte stream cannot be resynchronised.
+    """
+
+    request_op: int
+    message: str
+
+    op = OP_ERROR
+
+    def encode_payload(self) -> bytes:
+        data = self.message.encode("utf-8")[:0xFFFF]
+        return _ERROR_HEAD.pack(self.request_op) + _STR_LEN.pack(len(data)) \
+            + data
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "ErrorReply":
+        if len(payload) < _ERROR_HEAD.size:
+            raise CorruptPayloadError("truncated ERROR payload")
+        (request_op,) = _ERROR_HEAD.unpack_from(payload, 0)
+        message, offset = _unpack_str(payload, _ERROR_HEAD.size)
+        if offset != len(payload):
+            raise CorruptPayloadError("ERROR payload has trailing bytes")
+        return cls(request_op, message)
+
+
+Frame = Union[Open, Push, Close, Stats, Ping, Shutdown, OpenAck, PushAck,
+              CloseAck, StatsAck, PingAck, ShutdownAck, AlarmEvent, ErrorReply]
+
+_FRAME_TYPES: Tuple[Type, ...] = (
+    Open, Push, Close, Stats, Ping, Shutdown,
+    OpenAck, PushAck, CloseAck, StatsAck, PingAck, ShutdownAck,
+    AlarmEvent, ErrorReply,
+)
+_DECODERS = {frame_type.op: frame_type for frame_type in _FRAME_TYPES}
+
+
+# --------------------------------------------------------------------------- #
+# Encode / decode
+# --------------------------------------------------------------------------- #
+def encode(frame: Frame) -> bytes:
+    """Serialise one frame (header + payload) to bytes."""
+    payload = frame.encode_payload()
+    if len(payload) > MAX_PAYLOAD:
+        raise FrameTooLargeError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD "
+            f"({MAX_PAYLOAD}); split the sample block into smaller frames"
+        )
+    return HEADER.pack(MAGIC, VERSION, frame.op, len(payload)) + payload
+
+
+def decode_frame(buffer: Union[bytes, bytearray, memoryview],
+                 offset: int = 0) -> Tuple[Optional[Frame], int]:
+    """Decode one frame at ``offset``; return ``(frame, next_offset)``.
+
+    Returns ``(None, offset)`` when the buffer holds only part of the
+    frame (read more bytes and retry); raises a :class:`WireProtocolError`
+    subclass when what *is* there is malformed.  The oversized-length check
+    runs as soon as the header is complete, so a hostile length prefix can
+    never make the caller buffer gigabytes.
+    """
+    buffer = memoryview(buffer)
+    available = len(buffer) - offset
+    if available < 1:
+        return None, offset
+    # Validate the magic byte-by-byte as it arrives: corruption is
+    # detectable from the very first byte, before a full header is read.
+    prefix = bytes(buffer[offset:offset + min(available, len(MAGIC))])
+    if prefix != MAGIC[:len(prefix)]:
+        raise BadMagicError(
+            f"bad frame magic {prefix!r} (expected {MAGIC!r}); "
+            f"this does not look like the repro binary wire protocol"
+        )
+    if available < HEADER.size:
+        return None, offset
+    magic, version, op, length = HEADER.unpack_from(buffer, offset)
+    if version != VERSION:
+        raise BadVersionError(
+            f"unsupported wire protocol version {version} "
+            f"(this server speaks version {VERSION})"
+        )
+    if op not in _DECODERS:
+        raise BadOpError(f"unknown op code 0x{op:02X}")
+    if length > MAX_PAYLOAD:
+        raise FrameTooLargeError(
+            f"declared payload of {length} bytes exceeds MAX_PAYLOAD "
+            f"({MAX_PAYLOAD})"
+        )
+    end = offset + HEADER.size + length
+    if len(buffer) < end:
+        return None, offset
+    payload = bytes(buffer[offset + HEADER.size:end])
+    return _DECODERS[op].decode_payload(payload), end
+
+
+class FrameDecoder:
+    """Streaming decoder: feed arbitrary chunks, iterate complete frames.
+
+    Transports deliver bytes with no respect for frame boundaries -- one
+    read may carry half a frame or twenty coalesced ones.  The decoder
+    buffers exactly the unconsumed tail and compacts it after each drain,
+    so memory stays bounded by one frame (enforced by ``MAX_PAYLOAD``) plus
+    one read chunk.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._offset = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet decoded into a complete frame."""
+        return len(self._buffer) - self._offset
+
+    def feed(self, data: Union[bytes, bytearray, memoryview]) -> None:
+        self._buffer.extend(data)
+
+    def frames(self) -> Iterator[Frame]:
+        """Yield every complete frame currently buffered (may be none)."""
+        while True:
+            frame, self._offset = decode_frame(self._buffer, self._offset)
+            if frame is None:
+                break
+            yield frame
+        if self._offset:
+            del self._buffer[:self._offset]
+            self._offset = 0
+
+    def drain(self, data: Union[bytes, bytearray, memoryview] = b"") \
+            -> List[Frame]:
+        """``feed`` + collect all complete frames, as a list."""
+        if data:
+            self.feed(data)
+        return list(self.frames())

@@ -9,8 +9,8 @@ import time
 import pytest
 
 from repro.core import ThresholdCalibrator
-from repro.serve import (AnomalyService, AnomalyTCPServer, ServiceConfig,
-                         TCPClient)
+from repro.serve import (AnomalyService, AnomalyTCPServer, BinaryClient,
+                         ServerTimeoutError, ServiceConfig, TCPClient)
 
 from serve_helpers import make_stream
 
@@ -262,3 +262,101 @@ class TestProtocol:
                 assert rejected
                 assert all("pending windows" in r["error"] for r in rejected)
                 client.shutdown()
+
+
+class _SilentServer:
+    """Accepts connections, reads requests, never replies (a stalled peer)."""
+
+    def __init__(self):
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self._listener.settimeout(0.1)
+        peers = []
+        while not self._stop.is_set():
+            try:
+                peer, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            peer.settimeout(0.1)
+            peers.append(peer)
+            # Keep draining so the client's send never blocks, but never
+            # write a byte back.
+            try:
+                while not self._stop.is_set():
+                    try:
+                        if not peer.recv(4096):
+                            break
+                    except socket.timeout:
+                        continue
+            except OSError:
+                pass
+        for peer in peers:
+            peer.close()
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stop.set()
+        self._thread.join(5.0)
+        self._listener.close()
+
+
+class TestClientTimeouts:
+    """Regression: a stalled or half-closed server must raise a descriptive
+    ServerTimeoutError, not hang the client forever -- on both protocols."""
+
+    @pytest.mark.parametrize("client_type", [TCPClient, BinaryClient],
+                             ids=["json", "binary"])
+    def test_stalled_server_raises_descriptive_timeout(self, client_type):
+        with _SilentServer() as server:
+            client = client_type(port=server.port, timeout_s=0.3)
+            try:
+                with pytest.raises(ServerTimeoutError) as excinfo:
+                    client.ping()
+            finally:
+                client.close()
+            message = str(excinfo.value)
+            assert "'ping'" in message, "the error must name the stalled op"
+            assert f"127.0.0.1:{server.port}" in message, \
+                "the error must name the endpoint"
+            assert "0.3" in message, "the error must name the timeout"
+            assert "stalled" in message
+
+    @pytest.mark.parametrize("client_type", [TCPClient, BinaryClient],
+                             ids=["json", "binary"])
+    def test_half_closed_server_raises_instead_of_hanging(self, client_type,
+                                                          detectors):
+        """A server that drops the connection mid-session must surface as a
+        ConnectionError on the next request, never a silent hang."""
+        with ServerThread(detectors["VARADE"]) as server:
+            client = client_type(port=server.port, timeout_s=2.0)
+            try:
+                assert client.ping()["ok"]
+                with TCPClient(port=server.port, timeout_s=5.0) as other:
+                    other.shutdown()           # server goes away mid-session
+                with pytest.raises(ConnectionError):
+                    for _ in range(50):        # first request may still win
+                        client.ping()
+                        time.sleep(0.05)
+            finally:
+                client.close()
+
+    def test_timeout_is_configurable_and_bounds_the_wait(self):
+        with _SilentServer() as server:
+            client = TCPClient(port=server.port, timeout_s=0.2)
+            try:
+                start = time.perf_counter()
+                with pytest.raises(ServerTimeoutError):
+                    client.ping()
+                elapsed = time.perf_counter() - start
+            finally:
+                client.close()
+            assert elapsed < 5.0, "timeout did not bound the wait"

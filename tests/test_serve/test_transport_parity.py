@@ -1,0 +1,230 @@
+"""Transport/protocol parity matrix: every wire path scores identically.
+
+The serving contract must not depend on how bytes reach the service:
+JSON-over-TCP, binary-over-TCP and binary-over-UDS connections feeding
+the same bursty unaligned arrival must produce *identical* scores, alarm
+sets, close summaries and service counters -- for VARADE, its int8
+drop-in, and a non-incremental baseline (kNN) -- and all of them must
+match the sequential :class:`repro.edge.StreamingRuntime` reference bit
+for bit.
+
+Float32 note: the binary wire carries samples as float32 (an explicit,
+reduced-precision ingest format), so the matrix pushes streams
+pre-rounded through float32 (``.astype(np.float32).astype(np.float64)``)
+-- every leg, and the sequential reference, then sees the exact same
+float64 values and the bit-identity contract applies unchanged.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdCalibrator
+from repro.data import StreamReader
+from repro.edge import StreamingRuntime
+from repro.serve import (HAS_UNIX_SOCKETS, AnomalyService, AnomalyWireServer,
+                         BinaryClient, ServiceConfig, TCPClient, TCPTransport,
+                         UnixSocketTransport)
+
+from serve_helpers import STREAM_LENGTHS, make_stream, unaligned_schedule
+
+_LEGS = ["tcp-json", "tcp-binary"] + (
+    ["uds-binary"] if HAS_UNIX_SOCKETS else [])
+
+
+class WireServerThread:
+    """An AnomalyWireServer on any transport, in a background thread."""
+
+    def __init__(self, detector, transport, *, threshold=None):
+        service = AnomalyService(
+            detector, threshold=threshold,
+            config=ServiceConfig(max_batch=8, max_delay_ms=2.0,
+                                 record_sessions=True))
+        self.server = AnomalyWireServer(service, transport)
+        self._ready = threading.Event()
+        self.loop = None
+        self.endpoint = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            self.loop = asyncio.get_running_loop()
+            ready = asyncio.Event()
+            task = asyncio.create_task(self.server.serve_forever(ready=ready))
+            await ready.wait()
+            self.endpoint = self.server.bound_address
+            self._ready.set()
+            await task
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self.thread.start()
+        assert self._ready.wait(10.0), "server did not come up"
+        return self
+
+    def __exit__(self, *exc_info):
+        self.loop.call_soon_threadsafe(self.server.request_stop)
+        self.thread.join(10.0)
+        assert not self.thread.is_alive(), "server thread did not exit"
+
+
+def _leg_setup(leg, tmp_path):
+    """(transport, client factory) for one matrix leg."""
+    if leg == "tcp-json":
+        return (TCPTransport("127.0.0.1", 0),
+                lambda server: TCPClient(port=int(server.endpoint),
+                                         timeout_s=10.0))
+    if leg == "tcp-binary":
+        return (TCPTransport("127.0.0.1", 0),
+                lambda server: BinaryClient(port=int(server.endpoint),
+                                            timeout_s=10.0))
+    if leg == "uds-binary":
+        path = tmp_path / f"parity-{leg}.sock"
+        return (UnixSocketTransport(path),
+                lambda server: BinaryClient(uds_path=server.endpoint,
+                                            timeout_s=10.0))
+    raise AssertionError(leg)
+
+
+def _grouped(schedule):
+    """Coalesce consecutive same-stream schedule entries into runs.
+
+    JSON pushes one sample per request either way; the binary client turns
+    each run into one block PUSH frame -- the batched framing is part of
+    what the matrix must prove equivalent.
+    """
+    runs = []
+    for stream, index in schedule:
+        if runs and runs[-1][0] == stream and runs[-1][2] == index:
+            runs[-1][2] += 1
+        else:
+            runs.append([stream, index, index + 1])
+    return runs
+
+
+def _run_leg(leg, detector, threshold, streams, schedule, tmp_path):
+    """Drive one (transport, protocol) leg; return everything observable."""
+    transport, make_client = _leg_setup(leg, tmp_path)
+    with WireServerThread(detector, transport, threshold=threshold) as server:
+        with make_client(server) as client:
+            handles = {}
+            for stream in range(len(streams)):
+                client.open(f"s{stream}")
+                handles[stream] = server.server.service.session(f"s{stream}")
+            for stream, start, stop in _grouped(schedule):
+                if isinstance(client, BinaryClient):
+                    client.push(f"s{stream}", streams[stream][start:stop])
+                else:
+                    for index in range(start, stop):
+                        client.push(f"s{stream}", streams[stream][index])
+            summaries = {stream: client.close_stream(f"s{stream}")
+                         for stream in range(len(streams))}
+            results = {stream: handles[stream].result()
+                       for stream in range(len(streams))}
+            expected_alarms = sum(int(result.alarms.sum())
+                                  for result in results.values())
+            for _ in range(300):
+                if len(client.alarms) >= expected_alarms:
+                    break
+                client.ping()      # absorb in-flight event frames
+                time.sleep(0.01)
+            stats = client.stats()
+    return {
+        "scores": {stream: results[stream].scores
+                   for stream in results},
+        "alarm_flags": {stream: results[stream].alarms
+                        for stream in results},
+        "wire_alarms": {(alarm["stream"], alarm["index"])
+                        for alarm in client.alarms},
+        "summaries": {
+            stream: {key: summary[key]
+                     for key in ("samples_pushed", "samples_scored",
+                                 "samples_dropped")}
+            for stream, summary in summaries.items()},
+        "scored_total": stats["samples_scored"],
+    }
+
+
+def _rounded_streams(seed0=70):
+    """Anomaly-bearing streams pre-rounded through the float32 wire format."""
+    streams = []
+    for stream, length in enumerate(STREAM_LENGTHS):
+        data, _ = make_stream(length, seed=seed0 + stream, anomaly=True)
+        data[length // 2:length // 2 + 4] += 20.0   # unmistakable burst
+        streams.append(data.astype(np.float32).astype(np.float64))
+    return streams
+
+
+@pytest.fixture(scope="module")
+def parity_streams():
+    return _rounded_streams()
+
+
+@pytest.fixture(scope="module")
+def parity_schedule():
+    return unaligned_schedule(list(STREAM_LENGTHS), seed=71)
+
+
+def _detector_and_threshold(name, detectors, train_stream):
+    if name == "VARADE-int8":
+        detector = detectors["VARADE"].quantize(train_stream)
+    else:
+        detector = detectors[name]
+    scores = detector.score_stream(train_stream).valid_scores()
+    return detector, ThresholdCalibrator(quantile=0.9).calibrate(scores)
+
+
+@pytest.mark.parametrize("name", ["VARADE", "VARADE-int8", "kNN"])
+def test_matrix_legs_are_identical_and_match_sequential(
+        name, detectors, train_stream, parity_streams, parity_schedule,
+        tmp_path):
+    detector, threshold = _detector_and_threshold(name, detectors,
+                                                  train_stream)
+    legs = {leg: _run_leg(leg, detector, threshold, parity_streams,
+                          parity_schedule, tmp_path)
+            for leg in _LEGS}
+
+    # Sequential reference over the exact same (float32-rounded) values.
+    for stream, data in enumerate(parity_streams):
+        reference = StreamingRuntime(detector, threshold=threshold).run(
+            StreamReader(data))
+        for leg, observed in legs.items():
+            np.testing.assert_allclose(
+                observed["scores"][stream], reference.scores,
+                rtol=0.0, atol=0.0, equal_nan=True,
+                err_msg=f"{name}/{leg}: scores diverge from sequential")
+            np.testing.assert_array_equal(
+                observed["alarm_flags"][stream], reference.alarms,
+                err_msg=f"{name}/{leg}: alarms diverge from sequential")
+
+    # And the legs agree with each other on everything the wire reports.
+    baseline = legs[_LEGS[0]]
+    for leg in _LEGS[1:]:
+        assert legs[leg]["summaries"] == baseline["summaries"], \
+            f"{name}: {leg} close summaries diverge"
+        assert legs[leg]["wire_alarms"] == baseline["wire_alarms"], \
+            f"{name}: {leg} alarm events diverge"
+        assert legs[leg]["scored_total"] == baseline["scored_total"], \
+            f"{name}: {leg} service counters diverge"
+    # The injected bursts alarmed, and the wire carried every alarm.
+    assert baseline["wire_alarms"], "expected alarms over the wire"
+    expected = {(f"s{stream}", int(index))
+                for stream in range(len(parity_streams))
+                for index in np.flatnonzero(
+                    baseline["alarm_flags"][stream])}
+    assert baseline["wire_alarms"] == expected
+
+
+@pytest.mark.skipif(not HAS_UNIX_SOCKETS, reason="platform has no AF_UNIX")
+def test_uds_endpoint_is_a_path(detectors, tmp_path):
+    """The UDS leg really is a Unix socket, not TCP in disguise."""
+    path = tmp_path / "probe.sock"
+    with WireServerThread(detectors["VARADE"],
+                          UnixSocketTransport(path)) as server:
+        assert server.endpoint == str(path)
+        with BinaryClient(uds_path=server.endpoint, timeout_s=10.0) as client:
+            assert client.ping()["ok"]

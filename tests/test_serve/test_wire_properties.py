@@ -1,0 +1,201 @@
+"""Property tests: the binary wire codec round-trips every frame exactly.
+
+``decode(encode(x)) == x`` for every op, with float32 sample blocks
+*bit-identical* (NaN payload bits, infinities, subnormals and signed zeros
+included), from the empty batch up to the exact ``MAX_PAYLOAD`` boundary,
+and through a :class:`~repro.serve.wire.FrameDecoder` fed arbitrarily
+chunked / coalesced reads.  Re-encoding a decoded frame must also
+reproduce the original bytes, so the wire format itself (not just the
+Python objects) is canonical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.serve import wire
+
+# Any unicode except surrogates (unencodable in UTF-8); ids and messages
+# on the wire are <H-length-prefixed UTF-8.
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=48)
+_u32 = st.integers(0, 2**32 - 1)
+_u64 = st.integers(0, 2**64 - 1)
+_finite = st.floats(allow_nan=False, allow_infinity=False)
+_any_double = st.floats(allow_nan=True, allow_infinity=True)
+_maybe_threshold = st.none() | _finite
+
+
+@st.composite
+def _sample_blocks(draw, min_samples=0, max_samples=16, max_channels=4):
+    """float32 blocks built from raw bit patterns.
+
+    Drawing uint32 bits and reinterpreting as float32 covers the entire
+    value space uniformly at the *bit* level: quiet and signalling NaNs
+    with arbitrary payloads, both infinities, subnormals and both zeros --
+    exactly the values a round-trip must not canonicalise.
+    """
+    n = draw(st.integers(min_samples, max_samples))
+    c = draw(st.integers(1, max_channels))
+    bits = draw(hnp.arrays(dtype=np.uint32, shape=(n, c),
+                           elements=st.integers(0, 2**32 - 1)))
+    return bits.view(np.float32)
+
+
+_frames = st.one_of(
+    st.builds(wire.Open, _text, st.none() | st.integers(0, 2**62)),
+    st.builds(wire.Push, _text, _sample_blocks()),
+    st.builds(wire.Close, _text),
+    st.builds(wire.Stats),
+    st.builds(wire.Ping),
+    st.builds(wire.Shutdown),
+    st.builds(wire.OpenAck, _text, _u32, st.booleans(), _maybe_threshold),
+    st.builds(wire.PushAck, _u32),
+    st.builds(wire.CloseAck, _text, _u64, _u64, _u64, _u64),
+    st.builds(wire.StatsAck, _u64, _u64, _u64, _u64, _u64,
+              _any_double, _any_double),
+    st.builds(wire.PingAck),
+    st.builds(wire.ShutdownAck),
+    st.builds(wire.AlarmEvent, _text, _u64, _finite, _maybe_threshold),
+    st.builds(wire.ErrorReply, st.integers(0, 255), _text),
+)
+
+_EXAMPLE_OF_EVERY_OP = [
+    wire.Open("press-3", max_samples=None),
+    wire.Open("press-3", max_samples=0),
+    wire.Push("press-3", np.zeros((2, 3), dtype=np.float32)),
+    wire.Close("press-3"),
+    wire.Stats(),
+    wire.Ping(),
+    wire.Shutdown(),
+    wire.OpenAck("press-3", window=32, incremental=True, threshold=None),
+    wire.OpenAck("press-3", window=32, incremental=False, threshold=1.5),
+    wire.PushAck(accepted=64),
+    wire.CloseAck("press-3", 200, 169, 0, 2),
+    wire.StatsAck(3, 600, 500, 0, 12, 41.7, float("nan")),
+    wire.PingAck(),
+    wire.ShutdownAck(),
+    wire.AlarmEvent("press-3", 57, 9.25, threshold=1.5),
+    wire.AlarmEvent("press-3", 57, 9.25, threshold=None),
+    wire.ErrorReply(wire.OP_PUSH, "push needs a non-empty sample block"),
+    wire.ErrorReply(0, "bad frame magic"),
+]
+
+
+def _assert_roundtrip(frame):
+    data = wire.encode(frame)
+    decoded, consumed = wire.decode_frame(data)
+    assert consumed == len(data), "decoder must consume the whole frame"
+    assert decoded == frame
+    # The wire form is canonical: re-encoding reproduces the exact bytes.
+    assert wire.encode(decoded) == data
+
+
+@settings(deadline=None)
+@given(_frames)
+def test_roundtrip_any_frame(frame):
+    _assert_roundtrip(frame)
+
+
+@pytest.mark.parametrize(
+    "frame", _EXAMPLE_OF_EVERY_OP,
+    ids=lambda frame: f"0x{frame.op:02X}-{type(frame).__name__}")
+def test_roundtrip_every_op(frame):
+    # Deterministic floor under the property test: every one of the 14 ops
+    # round-trips even if a hypothesis run draws a skewed op mix.
+    _assert_roundtrip(frame)
+
+
+def test_op_table_is_complete():
+    ops = {frame.op for frame in _EXAMPLE_OF_EVERY_OP}
+    assert ops == {
+        wire.OP_OPEN, wire.OP_PUSH, wire.OP_CLOSE, wire.OP_STATS,
+        wire.OP_PING, wire.OP_SHUTDOWN, wire.OP_OPEN_ACK, wire.OP_PUSH_ACK,
+        wire.OP_CLOSE_ACK, wire.OP_STATS_ACK, wire.OP_PING_ACK,
+        wire.OP_SHUTDOWN_ACK, wire.OP_ALARM_EVENT, wire.OP_ERROR,
+    }
+
+
+def test_push_preserves_every_special_float_bit_pattern():
+    bits = np.array([
+        0x00000000,  # +0.0
+        0x80000000,  # -0.0
+        0x00000001,  # smallest positive subnormal
+        0x807FFFFF,  # largest negative subnormal
+        0x7F800000,  # +inf
+        0xFF800000,  # -inf
+        0x7FC00000,  # canonical quiet NaN
+        0x7F800001,  # signalling NaN
+        0xFFC00123,  # negative NaN with payload bits
+        0x7F7FFFFF,  # float32 max
+    ], dtype=np.uint32).reshape(5, 2)
+    frame = wire.Push("special", bits.view(np.float32))
+    decoded, _ = wire.decode_frame(wire.encode(frame))
+    assert decoded.samples.tobytes() == bits.view(np.float32).tobytes()
+    assert decoded == frame
+
+
+def test_empty_batch_roundtrips():
+    frame = wire.Push("idle", np.empty((0, 3), dtype=np.float32))
+    decoded, _ = wire.decode_frame(wire.encode(frame))
+    assert decoded.samples.shape == (0, 3)
+    assert decoded == frame
+
+
+def test_max_size_batch_is_exactly_representable():
+    # id "smax" (4 bytes) -> payload = 2 + 4 + 6 + 4 * n; n chosen so the
+    # payload lands exactly on MAX_PAYLOAD.
+    n = (wire.MAX_PAYLOAD - 12) // 4
+    block = np.arange(n, dtype=np.float32).reshape(n, 1)
+    frame = wire.Push("smax", block)
+    data = wire.encode(frame)
+    assert len(data) == wire.HEADER.size + wire.MAX_PAYLOAD
+    decoded, consumed = wire.decode_frame(data)
+    assert consumed == len(data)
+    assert decoded == frame
+
+    over = wire.Push("smax", np.zeros((n + 1, 1), dtype=np.float32))
+    with pytest.raises(wire.FrameTooLargeError):
+        wire.encode(over)
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.lists(_frames, max_size=8), st.data())
+def test_streaming_decoder_survives_arbitrary_chunking(frames, data):
+    blob = b"".join(wire.encode(frame) for frame in frames)
+    cuts = sorted(data.draw(
+        st.lists(st.integers(0, len(blob)), max_size=8), label="cuts"))
+    decoder = wire.FrameDecoder()
+    decoded = []
+    previous = 0
+    for cut in [*cuts, len(blob)]:
+        decoded.extend(decoder.drain(blob[previous:cut]))
+        previous = cut
+    assert decoded == frames
+    assert decoder.pending_bytes == 0
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.lists(_frames, min_size=1, max_size=6))
+def test_coalesced_single_read(frames):
+    # The opposite extreme of chunking: every frame in one read.
+    decoder = wire.FrameDecoder()
+    decoded = decoder.drain(b"".join(wire.encode(frame) for frame in frames))
+    assert decoded == frames
+    assert decoder.pending_bytes == 0
+
+
+@settings(deadline=None, max_examples=40)
+@given(_frames)
+def test_byte_at_a_time_decode(frame):
+    data = wire.encode(frame)
+    decoder = wire.FrameDecoder()
+    decoded = []
+    for index in range(len(data)):
+        decoded.extend(decoder.drain(data[index:index + 1]))
+        if index < len(data) - 1:
+            assert not decoded, "no frame may surface before its last byte"
+    assert decoded == [frame]
+    assert decoder.pending_bytes == 0
