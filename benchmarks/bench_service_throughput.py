@@ -14,7 +14,9 @@ Acceptance (the PR gate):
 * p99 enqueue-to-score latency within the configured ``max_delay_ms``
   budget (reported from the constant-memory streaming histograms);
 * scores bit-identical to the sequential path (VARADE's batched scoring is
-  exactly batch-invariant).
+  exactly batch-invariant);
+* observability enabled costs at most a few percent of service throughput
+  (read-through metrics + O(1) trace appends) and perturbs no score bit.
 
 Run with::
 
@@ -34,6 +36,9 @@ MAX_BATCH = 32
 MAX_DELAY_MS = 25.0
 MAX_QUEUE = 8
 TIMING_REPEATS = 2
+OBS_TIMING_REPEATS = 3
+OBS_OVERHEAD_BUDGET = 0.03
+OBS_NOISE_FLOOR_S = 0.05
 
 
 def _stream_lengths(seed=0):
@@ -106,11 +111,12 @@ def _run_batched(detector, streams, schedule):
     return sessions, batcher
 
 
-def _run_service(detector, streams, schedule):
+def _run_service(detector, streams, schedule, observability=False):
     """The full asyncio front door, pushes awaited one by one."""
     config = ServiceConfig(max_batch=MAX_BATCH, max_delay_ms=MAX_DELAY_MS,
                            max_queue=MAX_QUEUE, backpressure="block",
-                           record_sessions=True, incremental=False)
+                           record_sessions=True, incremental=False,
+                           observability=observability)
 
     async def main():
         service = AnomalyService(detector, config=config)
@@ -119,7 +125,8 @@ def _run_service(detector, streams, schedule):
             await service.push(f"s{stream}", streams[stream][index])
         handles = dict(service.sessions)
         await service.stop()     # drains everything still pending
-        return handles, service.stats()
+        page = service.metrics_text() if observability else None
+        return handles, service.stats(), page
 
     return asyncio.run(main())
 
@@ -136,7 +143,7 @@ def test_service_throughput_32_unaligned_streams(fleet_varade,
         TIMING_REPEATS, lambda: _run_sequential(detector, streams, schedule))
     batch_time, (batch_sessions, batcher) = _best_of(
         TIMING_REPEATS, lambda: _run_batched(detector, streams, schedule))
-    service_time, (service_handles, service_stats) = _best_of(
+    service_time, (service_handles, service_stats, _) = _best_of(
         TIMING_REPEATS, lambda: _run_service(detector, streams, schedule))
 
     scored = sum(session.samples_scored for session in seq_sessions)
@@ -194,3 +201,56 @@ def test_service_throughput_32_unaligned_streams(fleet_varade,
         f"{MAX_DELAY_MS}ms budget"
     # the micro-batcher actually batched (not a degenerate 1-row loop)
     assert occupancy.mean >= 4.0
+
+
+def test_observability_overhead_and_score_parity(fleet_varade,
+                                                 fleet_stream_factory):
+    """Experiment S1b -- the observability tax on the serving hot path.
+
+    Metrics are read-through (the scrape reads counters the hot path
+    already maintains) and tracing is an O(1) tuple append, so enabling
+    observability must cost at most ``OBS_OVERHEAD_BUDGET`` of service
+    throughput -- and must not perturb a single score bit.  The two paths
+    are timed interleaved (off, on, off, on, ...) so machine noise hits
+    both equally; best-of-``OBS_TIMING_REPEATS`` plus a small absolute
+    floor absorbs the remaining timer jitter.
+    """
+    detector = fleet_varade
+    lengths = _stream_lengths()
+    streams = _make_streams(fleet_stream_factory, lengths)
+    schedule = _unaligned_schedule(lengths)
+
+    best = {False: float("inf"), True: float("inf")}
+    runs = {}
+    for _ in range(OBS_TIMING_REPEATS):
+        for observability in (False, True):
+            start = time.perf_counter()
+            runs[observability] = _run_service(
+                detector, streams, schedule, observability=observability)
+            best[observability] = min(best[observability],
+                                      time.perf_counter() - start)
+
+    overhead = best[True] / best[False] - 1.0
+    print()
+    print(f"observability tax -- {len(schedule)} samples, "
+          f"best of {OBS_TIMING_REPEATS}: "
+          f"disabled {best[False]:.3f}s, enabled {best[True]:.3f}s "
+          f"({overhead * 100.0:+.1f}%)")
+
+    # -- acceptance ------------------------------------------------------- #
+    # bit-identical scores with observability on
+    off_handles = runs[False][0]
+    on_handles = runs[True][0]
+    for stream in range(N_STREAMS):
+        np.testing.assert_allclose(
+            on_handles[f"s{stream}"].result().scores,
+            off_handles[f"s{stream}"].result().scores,
+            rtol=0.0, atol=0.0, equal_nan=True)
+    # the instrumented run really recorded (not a silently-disabled path)
+    page = runs[True][2]
+    assert f"repro_service_samples_pushed_total {len(schedule)}" in page
+    # within the overhead budget
+    assert best[True] <= best[False] * (1.0 + OBS_OVERHEAD_BUDGET) \
+        + OBS_NOISE_FLOOR_S, \
+        f"observability costs {overhead * 100.0:.1f}% " \
+        f"(budget {OBS_OVERHEAD_BUDGET * 100.0:.0f}%)"

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Check Markdown links in README.md and docs/ (stdlib only; CI `docs` job).
+
+Validates, for every ``*.md`` file under the repo root and ``docs/``:
+
+* relative links and images resolve to an existing file or directory
+  (anchors are stripped; a ``#heading`` anchor into another file checks
+  the file only);
+* in-page ``#anchor`` links match a heading in the same file (GitHub
+  slugification: lowercase, spaces to dashes, punctuation dropped);
+* reference-style links (``[text][ref]``) have a matching
+  ``[ref]: target`` definition.
+
+External ``http(s)://`` and ``mailto:`` links are *not* fetched — CI must
+not flake on third-party outages — but a malformed scheme (``htp://``)
+still fails.  Exits non-zero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: markdown files checked: the repo-root pages and everything under docs/
+MD_FILES = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("**/*.md"))
+
+_INLINE_LINK = re.compile(r"!?\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE_USE = re.compile(r"\[([^\]]+)\]\[([^\]]*)\]")
+_REFERENCE_DEF = re.compile(r"^\s{0,3}\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_KNOWN_SCHEME = re.compile(r"^(https?|mailto):")
+_SCHEME_LIKE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced and inline code spans: links inside them are examples."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: inline markup stripped, punctuation dropped."""
+    heading = re.sub(r"[*_`]|\[|\]|\(([^)]*)\)", "", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(text: str) -> set:
+    return {_slugify(match.group(1)) for match in _HEADING.finditer(text)}
+
+
+def check_file(path: Path) -> list:
+    raw = path.read_text(encoding="utf-8")
+    text = _strip_code(raw)
+    errors = []
+
+    targets = [match.group(2) for match in _INLINE_LINK.finditer(text)]
+    definitions = {name.lower(): target
+                   for name, target in _REFERENCE_DEF.findall(text)}
+    targets.extend(definitions.values())
+    for match in _REFERENCE_USE.finditer(text):
+        reference = (match.group(2) or match.group(1)).lower()
+        if reference not in definitions:
+            errors.append(f"undefined reference [{reference}]")
+
+    own_anchors = _anchors(raw)
+    for target in targets:
+        if _KNOWN_SCHEME.match(target):
+            continue
+        if _SCHEME_LIKE.match(target):
+            errors.append(f"unknown URL scheme: {target}")
+            continue
+        if target.startswith("#"):
+            if _slugify(target[1:]) not in own_anchors:
+                errors.append(f"broken in-page anchor: {target}")
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"broken relative link: {target}")
+    return errors
+
+
+def main() -> int:
+    broken = 0
+    for path in MD_FILES:
+        for error in check_file(path):
+            print(f"{path.relative_to(REPO)}: {error}")
+            broken += 1
+    if broken:
+        print(f"check-links: {broken} broken link(s) "
+              f"in {len(MD_FILES)} file(s)")
+        return 1
+    print(f"check-links: {len(MD_FILES)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,9 @@ the platform offers one:
    :class:`repro.serve.BinaryClient`) opens a session, replays the spec's
    own synthetic test split (which contains seeded anomalies), and asserts
    that at least one alarm comes back over the wire;
-4. the client asks the server to shut down and the script asserts a clean
+4. the ``--metrics-port`` scrape endpoint is polled over plain HTTP and the
+   Prometheus page must agree with the wire-level session summary;
+5. the client asks the server to shut down and the script asserts a clean
    exit.
 
 Run directly::
@@ -28,6 +30,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -72,13 +75,38 @@ def _combinations(workdir: Path):
     return combos
 
 
+def _scrape_metrics(metrics_port_file: Path) -> str:
+    """Fetch the Prometheus page once the ephemeral port is handshaken."""
+    deadline = time.monotonic() + SERVER_STARTUP_TIMEOUT_S
+    while not metrics_port_file.is_file():
+        if time.monotonic() > deadline:
+            raise RuntimeError("metrics port file never appeared")
+        time.sleep(0.1)
+    port = int(metrics_port_file.read_text().strip())
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics",
+                                timeout=10.0) as response:
+        return response.read().decode("utf-8")
+
+
+def _metric_value(page: str, name: str) -> float:
+    """The value of an unlabelled series on a Prometheus text page."""
+    for line in page.splitlines():
+        if line.startswith(f"{name} "):
+            return float(line.split()[1])
+    raise AssertionError(f"metric {name} missing from scrape page")
+
+
 def _smoke_one(workdir: Path, label: str, serve_args, make_client,
                stream: np.ndarray) -> None:
     port_file = workdir / f"endpoint-{label.replace('/', '-')}"
     port_file.unlink(missing_ok=True)
+    metrics_port_file = workdir / f"metrics-{label.replace('/', '-')}"
+    metrics_port_file.unlink(missing_ok=True)
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--workdir", str(workdir),
          "--port", "0", "--port-file", str(port_file),
+         "--metrics-port", "0",
+         "--metrics-port-file", str(metrics_port_file),
          "--max-delay-ms", "2", "--max-seconds", "120", *serve_args],
         cwd=REPO, env=_env(),
     )
@@ -114,6 +142,15 @@ def _smoke_one(workdir: Path, label: str, serve_args, make_client,
                 "expected at least one alarm from the seeded anomalies"
             stats = client.stats()
             assert stats["live_sessions"] == 0
+            page = _scrape_metrics(metrics_port_file)
+            pushed = _metric_value(page, "repro_service_samples_pushed_total")
+            assert pushed == summary["samples_pushed"], \
+                f"scrape page says {pushed} pushed, wire says " \
+                f"{summary['samples_pushed']}"
+            # wire alarm frames race the op acks, so only a floor is exact
+            assert _metric_value(page, "repro_service_alarms_total") >= 1
+            print(f"serve-smoke: [{label}] metrics scrape reconciles "
+                  f"({summary['samples_pushed']} pushed)")
             assert client.shutdown()["ok"]
 
         code = server.wait(timeout=SERVER_EXIT_TIMEOUT_S)

@@ -7,7 +7,9 @@
 #   scripts/verify.sh --benchmarks-only fast benchmark tier only (CI runs this
 #                                       after the tier-1 matrix has gated)
 #
-# Tier 1 is the full default pytest run (the bar every PR must keep green).
+# Tier 1 is the full default pytest run (the bar every PR must keep green),
+# followed by the CLI/serve smokes and the docs leg (runnable docstring
+# examples via --doctest-modules, plus the Markdown link checker).
 # The benchmark tier regenerates the paper's tables at reproduction scale
 # and takes a few minutes; the "slow" marker gates the long scaling sweeps.
 #
@@ -46,6 +48,11 @@ if [[ "$mode" != "--benchmarks-only" ]]; then
     echo "== serve smoke: package -> repro serve -> alarm over each transport/protocol =="
     python scripts/serve_smoke.py >/dev/null
     echo "serve smoke: OK"
+
+    echo
+    echo "== docs: runnable docstring examples + Markdown links =="
+    python -m pytest --doctest-modules src/repro/obs src/repro/serve -q
+    python scripts/check_links.py
 fi
 
 if [[ "$mode" != "--tier1-only" && "$mode" != "--fast" ]]; then

@@ -295,16 +295,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pipeline = _load_serving_pipeline(workdir)
     service_spec = pipeline.spec.service
     overrides = {}
-    for name in ("max_batch", "max_delay_ms", "max_queue", "backpressure"):
+    for name in ("max_batch", "max_delay_ms", "max_queue", "backpressure",
+                 "trace_events"):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
     if args.no_incremental:
         overrides["incremental"] = False
-    if service_spec is not None:
-        config = service_spec.config(**overrides)
-    else:
-        config = ServiceConfig(**overrides)
 
     def knob(flag, spec_value, default):
         if flag is not None:
@@ -312,6 +309,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if service_spec is not None:
             return spec_value
         return default
+
+    metrics_port = knob(args.metrics_port,
+                        getattr(service_spec, "metrics_port", None), None)
+    alarm_log = knob(args.alarm_log,
+                     getattr(service_spec, "alarm_log", None), None)
+    # A scrape port or a trace dump needs the registry/ring behind it.
+    if args.observability or metrics_port is not None \
+            or args.trace_out is not None:
+        overrides["observability"] = True
+    if service_spec is not None:
+        config = service_spec.config(**overrides)
+    else:
+        config = ServiceConfig(**overrides)
 
     host = knob(args.host, getattr(service_spec, "host", None), "127.0.0.1")
     port = knob(args.port, getattr(service_spec, "port", None), 7007)
@@ -328,7 +338,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (ValueError, RuntimeError) as error:
         raise CLIUsageError(str(error)) from error
 
-    service = pipeline.deploy_service(config=config)
+    alarm_sinks = []
+    if alarm_log is not None:
+        from .obs import JsonlAlarmSink
+
+        alarm_sinks.append(JsonlAlarmSink(alarm_log))
+    service = pipeline.deploy_service(config=config, alarm_sinks=alarm_sinks)
     server = AnomalyWireServer(service, transport, protocols=protocols)
     detector = pipeline.serving_detector
     threshold = getattr(detector, "threshold", None)
@@ -356,14 +371,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: listening on "
               f"{transport.describe() if transport_kind == 'uds' else f'{host}:{server.bound_port}'} "
               f"(protocols: {'/'.join(protocols)}; "
-              f"ops: open/push/close/stats/ping/shutdown)",
+              f"ops: open/push/close/stats/ping/metrics/trace/shutdown)",
               flush=True)
+        httpd = None
+        if metrics_port is not None:
+            from .obs import ObservabilityHTTPServer
+
+            httpd = ObservabilityHTTPServer(
+                metrics=service.metrics_text,
+                trace=(service.trace_export_json
+                       if config.trace_events > 0 else None),
+                host=host, port=metrics_port)
+            bound = await httpd.start()
+            if args.metrics_port_file is not None:
+                args.metrics_port_file.write_text(f"{bound}\n")
+            print(f"serve: metrics on http://{host}:{bound}/metrics",
+                  flush=True)
         if args.max_seconds is not None:
             async def _deadline() -> None:
                 await asyncio.sleep(args.max_seconds)
                 server.request_stop()
             asyncio.create_task(_deadline())
-        await task
+        try:
+            await task
+        finally:
+            if httpd is not None:
+                await httpd.stop()
 
     try:
         asyncio.run(_serve())
@@ -372,6 +405,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except OSError as error:
         raise CLIUsageError(
             f"cannot serve on {transport.describe()}: {error}") from error
+    finally:
+        # Dump whatever the bounded trace ring holds, even on ^C, then
+        # release the CLI-owned alarm sinks.
+        if args.trace_out is not None and service.observability is not None \
+                and service.observability.tracer is not None:
+            service.observability.tracer.write(args.trace_out)
+            print(f"serve: trace written to {args.trace_out}")
+        for sink in alarm_sinks:
+            sink.close()
     print("serve: stopped")
     return 0
 
@@ -484,6 +526,29 @@ def _build_parser() -> argparse.ArgumentParser:
                             "lane; sessions use batched scoring only")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="stop the server after this long (smoke flows)")
+    serve.add_argument("--observability", action="store_true",
+                       help="enable the repro.obs metrics registry and trace "
+                            "ring (also implied by --metrics-port and "
+                            "--trace-out); adds the metrics/trace wire ops")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve GET /metrics (Prometheus text format), "
+                            "/trace and /healthz on this plain-HTTP port; "
+                            "0 = ephemeral (default: spec's "
+                            "service.metrics_port, else off)")
+    serve.add_argument("--metrics-port-file", type=Path, default=None,
+                       help="write the bound metrics port to this file once "
+                            "scrapeable (for --metrics-port 0)")
+    serve.add_argument("--trace-events", type=int, default=None,
+                       help="bound the Chrome-trace event ring; 0 disables "
+                            "tracing (default: spec's, else 4096)")
+    serve.add_argument("--trace-out", type=Path, default=None,
+                       help="write the Chrome/Perfetto trace JSON here on "
+                            "shutdown (implies --observability; open at "
+                            "https://ui.perfetto.dev)")
+    serve.add_argument("--alarm-log", type=Path, default=None,
+                       help="append every alarm as one JSON line to this "
+                            "file (default: spec's service.alarm_log, "
+                            "else off)")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

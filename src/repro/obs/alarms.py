@@ -1,0 +1,155 @@
+"""Structured alarm sinks: where confirmed anomalies go besides the wire.
+
+The serving layer already pushes ``AlarmEvent`` frames to connected TCP
+subscribers, but a fleet needs alarms that outlive connections: an
+append-only audit file, a callback into the embedding application, or
+several of those at once.  Sinks receive the same
+:class:`~repro.serve.session.ScoredSample` objects the wire layer
+broadcasts (only the ``alarm=True`` ones) and must never block the
+scoring path for long — the service wraps every ``emit`` in a guard that
+counts, rather than propagates, sink failures.
+
+Three composable sinks:
+
+``JsonlAlarmSink``
+    One JSON object per line, flushed per alarm by default.
+``CallbackAlarmSink``
+    Invokes ``fn(sample)`` — the embedding-application hook.
+``FanOutAlarmSink``
+    Emits to every child sink in order.
+
+Example — fan a callback and a JSONL file out from one alarm:
+
+>>> import json, types
+>>> sample = types.SimpleNamespace(stream_id="press-3", index=57,
+...     score=9.25, threshold=1.5, alarm=True, latency_s=0.004,
+...     queue_delay_s=0.002)
+>>> seen = []
+>>> sink = FanOutAlarmSink([CallbackAlarmSink(seen.append)])
+>>> sink.emit(sample)
+>>> seen[0].index
+57
+>>> json.loads(alarm_record(sample))["stream"]
+'press-3'
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Callable, Iterable, List, Optional
+
+__all__ = [
+    "AlarmSink",
+    "JsonlAlarmSink",
+    "CallbackAlarmSink",
+    "FanOutAlarmSink",
+    "alarm_record",
+]
+
+
+def _finite(value: Optional[float]) -> Optional[float]:
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def alarm_record(sample, *, wall_clock: Callable[[], float] = time.time) -> str:
+    """Serialise one alarm sample as a single JSON line (no newline).
+
+    Non-finite floats become ``null`` so every line is strict JSON, and
+    ``time_unix_s`` stamps the wall-clock emission time for correlation
+    with external logs.
+    """
+    return json.dumps({
+        "stream": sample.stream_id,
+        "index": sample.index,
+        "score": _finite(sample.score),
+        "threshold": _finite(sample.threshold),
+        "latency_s": _finite(sample.latency_s),
+        "queue_delay_s": _finite(sample.queue_delay_s),
+        "time_unix_s": wall_clock(),
+    }, separators=(",", ":"))
+
+
+class AlarmSink:
+    """Base interface: ``emit(sample)`` per alarm, ``close()`` at shutdown."""
+
+    def emit(self, sample) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; emitting after close is an error."""
+
+
+class JsonlAlarmSink(AlarmSink):
+    """Append alarms to a file, one JSON object per line.
+
+    ``flush_every=1`` (the default) fsync-free flushes after every alarm
+    so a crash loses at most the in-flight line; raise it for
+    high-alarm-rate deployments where write batching matters.
+    """
+
+    def __init__(self, path, *, flush_every: int = 1,
+                 wall_clock: Callable[[], float] = time.time) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = path
+        self.flush_every = flush_every
+        self._wall_clock = wall_clock
+        self._handle = open(path, "a", encoding="utf-8")
+        self._pending = 0
+        self.emitted = 0
+
+    def emit(self, sample) -> None:
+        self._handle.write(alarm_record(sample,
+                                        wall_clock=self._wall_clock) + "\n")
+        self.emitted += 1
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self._handle.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+class CallbackAlarmSink(AlarmSink):
+    """Invoke an arbitrary callable per alarm — the in-process hook."""
+
+    def __init__(self, fn: Callable[[object], None]) -> None:
+        self.fn = fn
+
+    def emit(self, sample) -> None:
+        self.fn(sample)
+
+
+class FanOutAlarmSink(AlarmSink):
+    """Emit each alarm to every child sink, in registration order.
+
+    A child raising stops neither its siblings nor the caller's
+    accounting: the first exception is re-raised *after* all children
+    ran, so the service-level guard still counts one failure.
+    """
+
+    def __init__(self, sinks: Iterable[AlarmSink]) -> None:
+        self.sinks: List[AlarmSink] = list(sinks)
+
+    def emit(self, sample) -> None:
+        first_error: Optional[Exception] = None
+        for sink in self.sinks:
+            try:
+                sink.emit(sample)
+            except Exception as exc:  # noqa: BLE001 - isolate child sinks
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

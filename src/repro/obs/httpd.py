@@ -1,0 +1,131 @@
+"""Minimal asyncio HTTP endpoint for Prometheus scrapes and trace dumps.
+
+A deliberately tiny single-purpose server — GET only, one response per
+connection, no keep-alive, no dependencies — because a scrape endpoint
+that needs a web framework defeats the point of an edge deployment.
+
+Routes:
+
+``GET /metrics``
+    Prometheus text exposition (``text/plain; version=0.0.4``).
+``GET /trace``
+    Chrome trace JSON of the bounded ring (``application/json``),
+    loadable directly at https://ui.perfetto.dev.
+``GET /healthz``
+    ``200 ok`` liveness probe.
+
+The server is handed *callables* rather than a service object, so it has
+no dependency on ``repro.serve`` and anything that can render text can
+be scraped::
+
+    httpd = ObservabilityHTTPServer(metrics=service.metrics_text,
+                                    trace=service.trace_export_json)
+    port = await httpd.start()
+    ...
+    await httpd.stop()
+
+Port 0 binds an ephemeral port; read :attr:`bound_port` after
+:meth:`start`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+__all__ = ["ObservabilityHTTPServer"]
+
+_MAX_REQUEST_LINE = 4096
+_MAX_HEADER_LINES = 100
+
+
+class ObservabilityHTTPServer:
+    """Serve ``/metrics`` (Prometheus text) and ``/trace`` (Chrome JSON)."""
+
+    def __init__(self, *, metrics: Callable[[], str],
+                 trace: Optional[Callable[[], str]] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._metrics = metrics
+        self._trace = trace
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual listening port (resolves ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> int:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        return self.bound_port
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_LINE:
+                return
+            for _ in range(_MAX_HEADER_LINES):
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1].split("?", 1)[0]
+            status, content_type, body = self._route(method, path)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(head + (b"" if method == "HEAD" else payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(self, method: str, path: str):
+        if method not in ("GET", "HEAD"):
+            return "405 Method Not Allowed", "text/plain", "GET only\n"
+        if path == "/metrics":
+            try:
+                return ("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                        self._metrics())
+            except Exception as exc:  # pragma: no cover - defensive
+                return "500 Internal Server Error", "text/plain", f"{exc}\n"
+        if path == "/trace":
+            if self._trace is None:
+                return ("404 Not Found", "text/plain",
+                        "tracing is not enabled\n")
+            try:
+                return "200 OK", "application/json", self._trace()
+            except Exception as exc:  # pragma: no cover - defensive
+                return "500 Internal Server Error", "text/plain", f"{exc}\n"
+        if path == "/healthz":
+            return "200 OK", "text/plain", "ok\n"
+        return ("404 Not Found", "text/plain",
+                "routes: /metrics /trace /healthz\n")

@@ -1,0 +1,157 @@
+"""Bounded-ring trace recorder with Chrome/Perfetto JSON export.
+
+Records spans (``ph: "X"`` complete events) and instants (``ph: "i"``)
+into a fixed-capacity ring: recording is an O(1) tuple append, memory is
+bounded regardless of uptime, and when the ring is full the *oldest*
+events are dropped (``dropped`` counts them) so a dump always shows the
+most recent window of activity — the part an operator debugging a stall
+actually wants.
+
+Timestamps are taken from an injectable monotonic ``clock`` (the same
+``time.perf_counter`` the micro-batcher uses, so span edges line up) and
+exported in microseconds relative to the recorder's creation, which is
+what the Chrome trace format expects.  Track ids (``tid``) are arbitrary
+strings — one per stream, plus ``"batcher"`` — and are mapped to integer
+tids with ``thread_name`` metadata at export time so Perfetto shows one
+named lane per stream.
+
+Example — record with a fake clock and export:
+
+>>> t = iter([0.0, 1.0, 1.5, 2.0])
+>>> recorder = TraceRecorder(capacity=8, clock=lambda: next(t))
+>>> recorder.span("flush", "batcher", start_s=1.0, end_s=1.5, batch=4)
+>>> recorder.instant("alarm", "press-3", ts_s=2.0, index=57)
+>>> trace = recorder.to_chrome()
+>>> [e["name"] for e in trace["traceEvents"] if e["ph"] != "M"]
+['flush', 'alarm']
+>>> trace["traceEvents"][-1]["args"]["index"]
+57
+>>> import json; _ = json.dumps(trace)  # valid Chrome trace JSON
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+__all__ = ["TraceRecorder"]
+
+
+def _json_safe(value):
+    """Replace non-finite floats with None so the export is strict JSON."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+# Ring entries: (phase, name, track, ts_seconds, dur_seconds, args)
+_Event = Tuple[str, str, str, float, float, Optional[dict]]
+
+
+class TraceRecorder:
+    """Fixed-capacity recorder emitting Chrome trace event JSON.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; the oldest are evicted beyond that
+        (see :attr:`dropped`).
+    clock:
+        Monotonic time source.  Inject the clock used by the code being
+        traced so span boundaries share one timebase.
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 clock=time.perf_counter) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.clock = clock
+        self.origin = clock()
+        self.dropped = 0
+        self._events: Deque[_Event] = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- recording (hot path: one tuple append) ----------------------------
+
+    def _append(self, event: _Event) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def span(self, name: str, track: str,
+             start_s: float, end_s: float, **args) -> None:
+        """Record a complete span from ``start_s`` to ``end_s`` (clock units)."""
+        self._append(("X", name, track, start_s, end_s - start_s,
+                      args or None))
+
+    def instant(self, name: str, track: str,
+                ts_s: Optional[float] = None, **args) -> None:
+        """Record a point event (at ``clock()`` now unless ``ts_s`` given)."""
+        ts = self.clock() if ts_s is None else ts_s
+        self._append(("i", name, track, ts, 0.0, args or None))
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """Export as a Chrome trace object (``{"traceEvents": [...]}``).
+
+        Loadable directly in Perfetto (ui.perfetto.dev) or
+        ``chrome://tracing``.  The snapshot also reports ring occupancy
+        and drop count under ``otherData``.
+        """
+        tids: Dict[str, int] = {}
+        events = []
+        for phase, name, track, ts, dur, args in self._events:
+            tid = tids.get(track)
+            if tid is None:
+                tid = tids[track] = len(tids) + 1
+            event = {
+                "name": name,
+                "ph": phase,
+                "ts": round((ts - self.origin) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+            }
+            if phase == "X":
+                event["dur"] = round(dur * 1e6, 3)
+            else:
+                event["s"] = "t"  # instant scoped to its track
+            if args:
+                event["args"] = _json_safe(args)
+            events.append(event)
+        metadata = [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "repro.serve"}},
+        ]
+        metadata.extend(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": track}}
+            for track, tid in sorted(tids.items(), key=lambda kv: kv[1]))
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "recorded": len(self._events),
+                "dropped": self.dropped,
+                "capacity": self.capacity,
+            },
+        }
+
+    def dumps(self) -> str:
+        """JSON-encode :meth:`to_chrome` (NaN-free, compact)."""
+        return json.dumps(self.to_chrome(), allow_nan=False,
+                          separators=(",", ":"))
+
+    def write(self, path) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())

@@ -318,17 +318,22 @@ class Pipeline:
         return runtime.run(readers, max_samples=max_samples)
 
     def deploy_service(self, config: Optional[Any] = None,
-                       record_sessions: bool = False):
+                       record_sessions: bool = False,
+                       alarm_sinks: Any = ()):
         """Build the :class:`repro.serve.AnomalyService` for this deployment.
 
         The serving detector (int8 when one exists), its calibrated
         threshold, ``spec.adaptation`` (one independent lane per session)
         and ``spec.service`` (micro-batcher sizing, backpressure policy,
-        scaler application) configure the service; an explicit ``config``
-        (:class:`repro.serve.ServiceConfig`) overrides the spec section.
-        The service is returned un-started -- ``await service.start()`` (or
-        use it as an async context manager) from the hosting event loop.
-        ``repro serve`` wraps it in the line-JSON TCP server.
+        scaler application, observability switches) configure the service;
+        an explicit ``config`` (:class:`repro.serve.ServiceConfig`)
+        overrides the spec section.  ``alarm_sinks`` is forwarded to the
+        service (a sequence of :class:`repro.obs.AlarmSink`; the caller
+        owns their lifecycle -- ``spec.service.alarm_log`` is applied by
+        the CLI, not here, so library callers stay in charge of file
+        handles).  The service is returned un-started -- ``await
+        service.start()`` (or use it as an async context manager) from the
+        hosting event loop.  ``repro serve`` wraps it in the wire server.
         """
         from ..serve import AnomalyService, ServiceConfig
 
@@ -341,7 +346,8 @@ class Pipeline:
         adaptation = None if self.spec.adaptation is None \
             else self.spec.adaptation.policy()
         return AnomalyService(self.serving_detector, config=config,
-                              adaptation=adaptation)
+                              adaptation=adaptation,
+                              alarm_sinks=alarm_sinks)
 
     def edge_estimates(self) -> Dict[str, Any]:
         """Analytical edge-board metrics for ``spec.runtime.devices``."""

@@ -275,6 +275,14 @@ class ServiceSpec:
     O(1)-per-sample incremental scorer where the model supports it --
     bit-identical scores, lower hot-path latency; detectors without an
     incremental path ignore it.
+
+    Observability (see :mod:`repro.obs` and ``docs/OPERATIONS.md``):
+    ``observability`` turns on the metrics registry and trace recorder;
+    ``trace_events`` bounds the trace ring (``0`` = metrics only);
+    ``metrics_port`` additionally serves ``GET /metrics`` (Prometheus
+    text format) and ``GET /trace`` on a plain-HTTP scrape port --
+    setting it implies ``observability``, port ``0`` binds ephemerally;
+    ``alarm_log`` appends every alarm as one JSON line to that file.
     """
 
     max_batch: int = 32
@@ -288,6 +296,10 @@ class ServiceSpec:
     transport: str = "tcp"
     protocol: str = "auto"
     uds_path: Optional[str] = None
+    observability: bool = False
+    trace_events: int = 4096
+    metrics_port: Optional[int] = None
+    alarm_log: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Run ServiceConfig's own validation (one source of truth for the
@@ -296,7 +308,7 @@ class ServiceSpec:
         # spec-section prefix.
         try:
             self.config()
-        except ValueError as error:
+        except (TypeError, ValueError) as error:
             raise SpecError(f"invalid service entry: {error}") from error
         if not isinstance(self.max_batch, int) \
                 or not isinstance(self.max_queue, int):
@@ -324,6 +336,19 @@ class ServiceSpec:
         if self.transport == "uds" and self.uds_path is None:
             raise SpecError(
                 "service.transport 'uds' needs a service.uds_path")
+        if not isinstance(self.trace_events, int) \
+                or isinstance(self.trace_events, bool):
+            raise SpecError("service.trace_events must be an integer")
+        if self.metrics_port is not None and (
+                not isinstance(self.metrics_port, int)
+                or isinstance(self.metrics_port, bool)
+                or not 0 <= self.metrics_port <= 65535):
+            raise SpecError("service.metrics_port must be an integer in "
+                            "[0, 65535] (or null)")
+        if self.alarm_log is not None and \
+                (not isinstance(self.alarm_log, str) or not self.alarm_log):
+            raise SpecError(
+                "service.alarm_log must be a non-empty string (or null)")
 
     def config(self, **overrides: Any) -> "ServiceConfig":
         """Build the runtime :class:`repro.serve.ServiceConfig`."""
@@ -336,6 +361,9 @@ class ServiceSpec:
             "backpressure": self.backpressure,
             "apply_scaler": self.apply_scaler,
             "incremental": self.incremental,
+            # A scrape port is only useful with a registry behind it.
+            "observability": self.observability or self.metrics_port is not None,
+            "trace_events": self.trace_events,
         }
         kwargs.update(overrides)
         return ServiceConfig(**kwargs)

@@ -58,44 +58,19 @@ order.  ``tests/test_serve/`` holds the whole stack to that;
 ``benchmarks/bench_service_throughput.py`` measures the micro-batching
 win at 32 unaligned streams.
 
-Migrating from ``MultiStreamRuntime``
--------------------------------------
+The stack is observable in production via :mod:`repro.obs`: with
+``ServiceConfig(observability=True)`` the service exposes a Prometheus
+text page (``metrics`` op on both protocols, or ``repro serve
+--metrics-port``), a Chrome/Perfetto trace of flush spans and
+enqueue-to-score latencies (``trace`` op / ``--trace-out``), and
+structured alarm sinks (``AnomalyService(alarm_sinks=...)``).  The
+default-off path stays bit-identical and within noise of the
+uninstrumented build.
 
-:class:`repro.edge.MultiStreamRuntime` is now a thin synchronous driver
-over sessions + batcher and is kept as a deprecated replay shim.  New
-serving code should target the service API:
-
-==============================================  =============================================
-``MultiStreamRuntime`` (lockstep replay)         :class:`AnomalyService` (push-based serving)
-==============================================  =============================================
-fixed fleet: all readers at ``run(...)``         ``open_session`` / ``close_session`` any time
-every stream ticks together                      each stream pushes at its own rate
-one batch per lockstep tick                      micro-batch per ``max_batch``/``max_delay_ms``
-stream end stalls nothing, but fleet must        finished sessions drain and close while
-be re-run to add a stream                        the rest keep scoring
-results after the whole replay                   ``async for alarm in service.alarms()``
-``threshold=`` / ``adaptation=`` per run         same knobs, per service (lane per session)
-``FleetStats`` arrays after the run              ``service.stats()`` histograms, live
-==============================================  =============================================
-
-Choosing a backpressure policy
-------------------------------
-
-* ``"block"`` (default) -- never lose a sample; producers slow down to the
-  scoring rate.  Right for replay/ETL ingestion and anywhere completeness
-  beats freshness.
-* ``"drop_oldest"`` -- bounded staleness; the newest window always gets
-  scored.  Right for live dashboards and alerting on the *current* state,
-  where scoring a sample from three seconds ago is worthless.
-* ``"reject"`` -- push back explicitly (:class:`QueueFullError`; the TCP
-  server replies ``ok: false``).  Right when the producer can buffer or
-  downsample itself and needs to know it should.
-
-``max_delay_ms`` is the latency budget: the oldest pending window is never
-older than that when its batch is scored (the service benchmark asserts
-p99 enqueue-to-score latency stays under it).  ``max_batch`` caps how much
-work one flush does; at 32 small-model windows per call the per-call
-Python overhead is already well amortised.
+Operational guidance -- backpressure-policy selection, latency-budget
+tuning, the ``MultiStreamRuntime`` migration table, and every exported
+metric -- lives in ``docs/OPERATIONS.md``; the package-by-package data
+flow is mapped in ``docs/ARCHITECTURE.md``.
 """
 
 from . import wire

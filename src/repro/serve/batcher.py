@@ -108,13 +108,22 @@ class MicroBatcher:
         Keep per-flush sizes and wall-clock latencies (the bounded-run
         :class:`~repro.edge.FleetStats` consumes them).  Off by default:
         an unbounded service keeps only the streaming histograms.
+    tracer:
+        Optional :class:`repro.obs.TraceRecorder`.  When set, every flush
+        records one ``"flush"`` span on the ``"batcher"`` track plus one
+        ``"enqueue_to_score"`` span per request on that request's stream
+        track.  ``None`` (the default) records nothing and adds no work
+        to the flush path beyond two ``is None`` checks -- scores are
+        bit-identical either way.  Construct the tracer with this same
+        ``clock`` so span edges share the batcher's timebase.
     """
 
     def __init__(self, detector: AnomalyDetector, *, max_batch: int = 32,
                  max_delay_ms: float = 5.0, max_queue: int = 256,
                  backpressure: str = "block",
                  clock: Callable[[], float] = time.perf_counter,
-                 record_batches: bool = False) -> None:
+                 record_batches: bool = False,
+                 tracer=None) -> None:
         validate_batcher_knobs(max_batch, max_delay_ms, max_queue, backpressure)
         self.detector = detector
         self.max_batch = max_batch
@@ -123,6 +132,7 @@ class MicroBatcher:
         self.backpressure = backpressure
         self.clock = clock
         self.record_batches = record_batches
+        self.tracer = tracer
         self._pending: Deque[WindowRequest] = deque()
         self._per_session: Dict[int, int] = {}   # id(session) -> pending count
         # Telemetry: constant-memory tail-latency + occupancy histograms.
@@ -279,12 +289,21 @@ class MicroBatcher:
         if self.record_batches:
             self.batch_sizes.append(take)
             self.batch_latencies_s.append(elapsed + inline_time)
+        if self.tracer is not None:
+            self.tracer.span("flush", "batcher", start, end,
+                             batch=take, prescored=take - len(unscored),
+                             pending=len(self._pending))
         results: List[ScoredSample] = []
         for request in batch:
             delay = end - request.enqueued_at
             self.queue_delay_histogram.add(delay)
             latency = request.score_latency_s if id(request) in prescored \
                 else per_row
+            if self.tracer is not None:
+                self.tracer.span("enqueue_to_score",
+                                 request.session.stream_id,
+                                 request.enqueued_at, end,
+                                 index=request.index)
             results.append(request.session.complete(
                 request, request.score,
                 latency_s=latency, queue_delay_s=delay,

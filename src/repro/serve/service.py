@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import AsyncIterator, Dict, List, Optional
+from typing import AsyncIterator, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from ..core.calibration import CalibratedThreshold
 from ..core.detector import AnomalyDetector
 from ..drift.policy import AdaptationPolicy
 from ..edge.monitor import StreamingHistogram
+from ..obs import Observability
 from .batcher import MicroBatcher, validate_batcher_knobs
 from .session import Alarm, ScoredSample, ScoringSession
 
@@ -53,6 +54,25 @@ class ServiceConfig:
     (bit-identical to the batched call, so purely a latency/throughput
     knob); detectors without an incremental path fall back to batch
     scoring regardless.
+
+    ``observability`` builds a :class:`repro.obs.Observability` for the
+    service: a Prometheus-renderable metrics registry (the ``metrics``
+    wire op, :meth:`AnomalyService.metrics_text`) plus, when
+    ``trace_events > 0``, a bounded ring of Chrome-trace events capturing
+    flush spans, enqueue-to-score latencies, incremental-lane engagement
+    and drift adaptations (the ``trace`` op,
+    :meth:`AnomalyService.trace_export`).  Off by default: the disabled
+    path runs the exact pre-observability instructions, scores
+    bit-identical.  ``trace_events`` is the ring capacity -- the *oldest*
+    events are evicted beyond it, so a dump always shows the most recent
+    activity window.
+
+    >>> ServiceConfig(observability=True, trace_events=1024).trace_events
+    1024
+    >>> ServiceConfig(trace_events=-1)
+    Traceback (most recent call last):
+        ...
+    ValueError: trace_events must be non-negative
     """
 
     max_batch: int = 32
@@ -63,12 +83,16 @@ class ServiceConfig:
     record_sessions: bool = False
     apply_scaler: bool = False
     incremental: bool = True
+    observability: bool = False
+    trace_events: int = 4096
 
     def __post_init__(self) -> None:
         validate_batcher_knobs(self.max_batch, self.max_delay_ms,
                                self.max_queue, self.backpressure)
         if self.event_buffer < 1:
             raise ValueError("event_buffer must be at least 1")
+        if self.trace_events < 0:
+            raise ValueError("trace_events must be non-negative")
 
 
 @dataclass
@@ -156,12 +180,18 @@ class AnomalyService:
                  config: Optional[ServiceConfig] = None,
                  threshold: Optional[CalibratedThreshold] = None,
                  adaptation: Optional[AdaptationPolicy] = None,
-                 auto_open: bool = True) -> None:
+                 auto_open: bool = True,
+                 alarm_sinks: Sequence = ()) -> None:
         self.detector = detector
         self.config = config if config is not None else ServiceConfig()
         self.threshold = threshold
         self.adaptation = adaptation
         self.auto_open = auto_open
+        #: structured alarm destinations (:mod:`repro.obs.alarms`), fed
+        #: every alarming sample beside the wire subscribers.  The caller
+        #: owns their lifecycle (``close()`` them after :meth:`stop`); a
+        #: sink that raises is counted, not propagated.
+        self.alarm_sinks = list(alarm_sinks)
         self._sessions: Dict[str, ScoringSession] = {}
         self._batcher: Optional[MicroBatcher] = None
         self._scheduler: Optional[asyncio.Task] = None
@@ -176,6 +206,17 @@ class AnomalyService:
         self._closed_count = 0
         self._blocked_pushers = 0
         self._n_channels: Optional[int] = None
+        self._alarms_total = 0
+        self._sink_errors = 0
+        self._adaptation_folded = 0   # events of already-closed sessions
+        #: the service's :class:`repro.obs.Observability` (``None`` unless
+        #: ``config.observability`` -- the no-op default).
+        self.observability: Optional[Observability] = None
+        if self.config.observability:
+            self.observability = Observability(
+                trace_capacity=self.config.trace_events,
+                clock=time.perf_counter)
+            self._register_metrics(self.observability)
 
     # -- lifecycle --------------------------------------------------------- #
     async def start(self) -> "AnomalyService":
@@ -192,6 +233,7 @@ class AnomalyService:
             max_delay_ms=self.config.max_delay_ms,
             max_queue=self.config.max_queue,
             backpressure=self.config.backpressure,
+            tracer=self._tracer,
         )
         self._work = asyncio.Event()
         self._batch_full = asyncio.Event()
@@ -270,9 +312,12 @@ class AnomalyService:
             max_samples=max_samples,
             record=self.config.record_sessions if record is None else record,
             incremental=self.config.incremental,
+            tracer=self._tracer,
         )
         self._sessions[stream_id] = session
         self._opened += 1
+        if self._tracer is not None:
+            self._tracer.instant("session_open", stream_id)
         return session
 
     async def close_session(self, stream_id: str,
@@ -286,6 +331,10 @@ class AnomalyService:
             self._signal_space()
         del self._sessions[stream_id]
         self._closed_count += 1
+        self._adaptation_folded += len(session.adaptation_events)
+        if self._tracer is not None:
+            self._tracer.instant("session_close", stream_id,
+                                 scored=session.samples_scored)
         return session
 
     # -- ingestion ---------------------------------------------------------- #
@@ -393,6 +442,135 @@ class AnomalyService:
             occupancy_histogram=batcher.occupancy_histogram,
         )
 
+    # -- observability -------------------------------------------------------- #
+    @property
+    def _tracer(self):
+        return self.observability.tracer \
+            if self.observability is not None else None
+
+    def _register_metrics(self, obs: Observability) -> None:
+        """Register the service's metric families (all read-through).
+
+        Every value is read at scrape time from the counters the hot path
+        already maintains, so a scrape reconciles with :meth:`stats` by
+        construction and an un-scraped service pays nothing.
+        """
+        registry = obs.registry
+
+        def batcher_field(name: str, default: float = 0.0):
+            return lambda: getattr(self._batcher, name, default) \
+                if self._batcher is not None else default
+
+        registry.counter(
+            "repro_service_sessions_opened_total",
+            "Sessions opened since service start.", fn=lambda: self._opened)
+        registry.counter(
+            "repro_service_sessions_closed_total",
+            "Sessions closed since service start.",
+            fn=lambda: self._closed_count)
+        registry.gauge(
+            "repro_service_sessions_live",
+            "Currently open sessions.", fn=lambda: len(self._sessions))
+        registry.gauge(
+            "repro_service_sessions_incremental",
+            "Open sessions scoring through the O(1) incremental lane.",
+            fn=lambda: sum(1 for s in self._sessions.values()
+                           if s.incremental_active))
+        registry.counter(
+            "repro_service_samples_pushed_total",
+            "Samples ingested across all sessions.",
+            fn=lambda: self._pushed)
+        registry.counter(
+            "repro_service_samples_scored_total",
+            "Windows scored (batched + incremental).",
+            fn=batcher_field("scored"))
+        registry.counter(
+            "repro_service_samples_dropped_total",
+            "Windows shed by backpressure (drop_oldest / reject).",
+            fn=batcher_field("dropped"))
+        registry.counter(
+            "repro_service_alarms_total",
+            "Scored samples that crossed their session's threshold.",
+            fn=lambda: self._alarms_total)
+        registry.counter(
+            "repro_service_adaptation_events_total",
+            "Drift adaptations (recalibrations + refinements) across "
+            "all sessions, live and closed.",
+            fn=lambda: self._adaptation_folded + sum(
+                len(s.adaptation_events) for s in self._sessions.values()))
+        registry.counter(
+            "repro_service_alarm_sink_errors_total",
+            "Alarm-sink emit() calls that raised (and were swallowed).",
+            fn=lambda: self._sink_errors)
+        registry.gauge(
+            "repro_service_blocked_pushers",
+            "push() coroutines currently waiting on backpressure.",
+            fn=lambda: self._blocked_pushers)
+        registry.counter(
+            "repro_batcher_flushes_total",
+            "Micro-batch scoring calls issued.", fn=batcher_field("flushes"))
+        registry.counter(
+            "repro_batcher_scoring_seconds_total",
+            "Wall-clock seconds spent producing scores.",
+            fn=batcher_field("scoring_time_s"))
+        registry.gauge(
+            "repro_batcher_pending_windows",
+            "Windows queued and not yet scored.",
+            fn=lambda: self._batcher.pending_count()
+            if self._batcher is not None else 0)
+        registry.summary(
+            "repro_batcher_queue_delay_seconds",
+            "Enqueue-to-score latency per scored window.",
+            histogram=lambda: self._batcher.queue_delay_histogram
+            if self._batcher is not None
+            else StreamingHistogram.log_spaced(1e-6, 60.0))
+        registry.summary(
+            "repro_batcher_batch_occupancy",
+            "Requests coalesced per flush.",
+            histogram=lambda: self._batcher.occupancy_histogram
+            if self._batcher is not None
+            else StreamingHistogram.linear(0.5, 1.5, 1))
+        if obs.tracer is not None:
+            registry.gauge(
+                "repro_trace_events_recorded",
+                "Trace events currently held in the bounded ring.",
+                fn=lambda: len(obs.tracer))
+            registry.counter(
+                "repro_trace_events_dropped_total",
+                "Trace events evicted from the full ring (oldest first).",
+                fn=lambda: obs.tracer.dropped)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the service's metrics registry.
+
+        Raises ``RuntimeError`` when observability is disabled -- the wire
+        servers turn that into a structured error reply.
+        """
+        if self.observability is None:
+            raise RuntimeError(
+                "observability is disabled "
+                "(enable with ServiceConfig(observability=True))"
+            )
+        return self.observability.registry.render()
+
+    def trace_export(self) -> dict:
+        """The bounded trace ring as a Chrome/Perfetto trace object."""
+        if self.observability is None or self.observability.tracer is None:
+            raise RuntimeError(
+                "tracing is disabled (enable with "
+                "ServiceConfig(observability=True, trace_events=N))"
+            )
+        return self.observability.tracer.to_chrome()
+
+    def trace_export_json(self) -> str:
+        """:meth:`trace_export` serialised as strict JSON text."""
+        if self.observability is None or self.observability.tracer is None:
+            raise RuntimeError(
+                "tracing is disabled (enable with "
+                "ServiceConfig(observability=True, trace_events=N))"
+            )
+        return self.observability.tracer.dumps()
+
     # -- internals ------------------------------------------------------------ #
     def _require_running(self) -> None:
         if self._failure is not None:
@@ -424,6 +602,15 @@ class AnomalyService:
         if not samples:
             return
         for sample in samples:
+            if sample.alarm:
+                self._alarms_total += 1
+                for sink in self.alarm_sinks:
+                    try:
+                        sink.emit(sample)
+                    except Exception:
+                        # A broken sink (full disk, dead callback) must not
+                        # take scoring down; the error counter surfaces it.
+                        self._sink_errors += 1
             for subscriber in self._subscribers:
                 subscriber.offer(sample)
 

@@ -147,6 +147,14 @@ class ScoringSession:
         path, so this changes latency, never results.  Silently falls back
         to batch scoring when the detector has no incremental path (most
         baselines) or its first push rejects the stream's shape.
+    tracer:
+        Optional :class:`repro.obs.TraceRecorder`.  When set, the session
+        records incremental-lane engagement (an ``"incremental_lane"``
+        instant at open, ``"incremental_lane_disabled"`` if the lane falls
+        back) and one ``"adaptation"`` instant per drift-adaptation event,
+        all on the stream's own track.  ``None`` (the default) records
+        nothing; scores, alarms and adaptation are bit-identical either
+        way.
     """
 
     def __init__(self, detector: AnomalyDetector, stream_id: str = "stream-0",
@@ -155,7 +163,8 @@ class ScoringSession:
                  scaler: Optional[object] = None,
                  max_samples: Optional[int] = None,
                  record: bool = True,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 tracer=None) -> None:
         from ..edge.runtime import resolve_threshold
 
         if max_samples is not None and max_samples < 1:
@@ -177,8 +186,12 @@ class ScoringSession:
         # stack score each sample in O(layers) as it arrives; everything
         # else keeps batch scoring (incremental_scorer() returns None).
         self._scorer = None
+        self._tracer = tracer
         if incremental and detector.scores_current_sample:
             self._scorer = detector.incremental_scorer()
+        if self._tracer is not None and self._scorer is not None:
+            self._tracer.instant("incremental_lane", self.stream_id,
+                                 engaged=True)
         self._adapter: Optional[AdaptationState] = None
         if adaptation is not None:
             self._adapter = adaptation.start(self._resolved)
@@ -292,6 +305,9 @@ class ScoringSession:
                 # terms (identical behaviour to a non-incremental session).
                 self._scorer = None
                 score = None
+                if self._tracer is not None:
+                    self._tracer.instant("incremental_lane_disabled",
+                                         self.stream_id, index=index)
             else:
                 score_latency = time.perf_counter() - start
         request = None
@@ -348,7 +364,20 @@ class ScoringSession:
         if self._adapter is not None:
             threshold_value = self._adapter.threshold.threshold
             alarm = score > threshold_value
-            self._adapter.observe(request.index, score, raw=request.target)
+            if self._tracer is not None:
+                known = len(self._adapter.events)
+                self._adapter.observe(request.index, score,
+                                      raw=request.target)
+                for event in self._adapter.events[known:]:
+                    self._tracer.instant(
+                        "adaptation", self.stream_id,
+                        index=request.index, kind=event.kind,
+                        trigger=event.trigger,
+                        old_threshold=event.old_threshold,
+                        new_threshold=event.new_threshold)
+            else:
+                self._adapter.observe(request.index, score,
+                                      raw=request.target)
         elif self._resolved is not None:
             threshold_value = self._resolved.threshold
             alarm = score > threshold_value

@@ -20,7 +20,13 @@ JSON requests (client -> server)::
     {"op": "close", "stream": "cell-7"}
     {"op": "stats"}
     {"op": "ping"}
+    {"op": "metrics"}                              Prometheus text snapshot
+    {"op": "trace"}                                Chrome trace JSON snapshot
     {"op": "shutdown"}                             stops the whole server
+
+(``metrics`` and ``trace`` answer only when the service was built with
+``ServiceConfig(observability=True)``; otherwise they get a structured
+error reply, like any other rejected op.)
 
 Every request gets exactly one reply, in request order::
 
@@ -83,7 +89,8 @@ PROTOCOLS = ("json", "binary")
 
 _OP_CODES = {"open": wire.OP_OPEN, "push": wire.OP_PUSH,
              "close": wire.OP_CLOSE, "stats": wire.OP_STATS,
-             "ping": wire.OP_PING, "shutdown": wire.OP_SHUTDOWN}
+             "ping": wire.OP_PING, "shutdown": wire.OP_SHUTDOWN,
+             "metrics": wire.OP_METRICS, "trace": wire.OP_TRACE}
 _OP_NAMES = {code: name for name, code in _OP_CODES.items()}
 
 
@@ -206,7 +213,9 @@ class _BinaryServerConnection:
         if isinstance(frame, wire.Close):
             return {"op": "close", "stream": frame.stream}
         for frame_type, op in ((wire.Stats, "stats"), (wire.Ping, "ping"),
-                               (wire.Shutdown, "shutdown")):
+                               (wire.Shutdown, "shutdown"),
+                               (wire.Metrics, "metrics"),
+                               (wire.Trace, "trace")):
             if isinstance(frame, frame_type):
                 return {"op": op}
         # A structurally valid frame that is not a request (a client echoing
@@ -262,6 +271,11 @@ class _BinaryServerConnection:
             return wire.PingAck()
         if op == "shutdown":
             return wire.ShutdownAck()
+        if op == "metrics":
+            return wire.MetricsAck(text=reply["text"])
+        if op == "trace":
+            return wire.TraceAck(json_text=json.dumps(
+                reply["trace"], allow_nan=False, separators=(",", ":")))
         raise RuntimeError(f"no binary encoding for reply op {op!r}")
 
 
@@ -291,6 +305,30 @@ class AnomalyWireServer:
             )
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping: Optional[asyncio.Event] = None
+        # Wire-level metric families, registered into the service's
+        # registry when observability is on (None family = no-op).
+        self._connections_total = None
+        self._requests_total = None
+        self._wire_errors_total = None
+        self._alarm_events_total = None
+        if service.observability is not None:
+            registry = service.observability.registry
+            self._connections_total = registry.counter(
+                "repro_wire_connections_total",
+                "Connections accepted, by negotiated protocol.",
+                labels=("protocol",))
+            self._requests_total = registry.counter(
+                "repro_wire_requests_total",
+                "Requests dispatched, by protocol and op.",
+                labels=("protocol", "op"))
+            self._wire_errors_total = registry.counter(
+                "repro_wire_errors_total",
+                "Error replies sent (malformed frames + rejected ops).",
+                labels=("protocol",))
+            self._alarm_events_total = registry.counter(
+                "repro_wire_alarm_events_total",
+                "Unsolicited alarm events forwarded to clients.",
+                labels=("protocol",))
 
     @property
     def bound_port(self) -> int:
@@ -400,10 +438,15 @@ class AnomalyWireServer:
                 f"(accepted: {', '.join(self.protocols)})", fatal=True))
             await writer.drain()
             return
+        if self._connections_total is not None:
+            self._connections_total.labels(protocol=codec.protocol).inc()
         while True:
             try:
                 message = await codec.read_request()
             except _MalformedRequest as error:
+                if self._wire_errors_total is not None:
+                    self._wire_errors_total.labels(
+                        protocol=codec.protocol).inc()
                 codec.write_error(error)
                 try:
                     await writer.drain()
@@ -414,7 +457,14 @@ class AnomalyWireServer:
                 continue
             if message is None:
                 return
+            if self._requests_total is not None:
+                op = message.get("op")
+                self._requests_total.labels(
+                    protocol=codec.protocol,
+                    op=op if op in _OP_CODES else "unknown").inc()
             reply = await self._dispatch(message, owned, ever_owned)
+            if not reply.get("ok") and self._wire_errors_total is not None:
+                self._wire_errors_total.labels(protocol=codec.protocol).inc()
             codec.write_reply(reply)
             await writer.drain()
             if reply.get("op") == "shutdown" and reply.get("ok"):
@@ -430,6 +480,9 @@ class AnomalyWireServer:
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
                 return
+            if self._alarm_events_total is not None:
+                self._alarm_events_total.labels(
+                    protocol=codec.protocol).inc()
 
     async def _dispatch(self, message: Dict[str, Any], owned: List[str],
                         ever_owned: set) -> Dict[str, Any]:
@@ -481,6 +534,12 @@ class AnomalyWireServer:
                         "samples_scored": session.samples_scored,
                         "samples_dropped": session.samples_dropped,
                         "adaptation_events": len(session.adaptation_events)}
+            if op == "metrics":
+                return {"ok": True, "op": "metrics",
+                        "text": self.service.metrics_text()}
+            if op == "trace":
+                return {"ok": True, "op": "trace",
+                        "trace": self.service.trace_export()}
             if op == "shutdown":
                 if not self.allow_shutdown:
                     raise ValueError("shutdown is disabled on this server")
@@ -631,6 +690,24 @@ class _ClientCore:
     def stats(self) -> Dict[str, Any]:
         return self._checked({"op": "stats"})
 
+    def metrics(self) -> str:
+        """Scrape the server's Prometheus text exposition page.
+
+        Requires the served service to run with
+        ``ServiceConfig(observability=True)``; otherwise the server
+        rejects the op and this raises ``RuntimeError``.
+        """
+        return self._checked({"op": "metrics"})["text"]
+
+    def trace(self) -> Dict[str, Any]:
+        """Fetch the server's Chrome trace snapshot (as the parsed object).
+
+        Save it with ``json.dump`` to a ``.json`` file and open it at
+        https://ui.perfetto.dev.  Requires observability *and* tracing
+        (``trace_events > 0``) on the served service.
+        """
+        return self._checked({"op": "trace"})["trace"]
+
     def shutdown(self) -> Dict[str, Any]:
         return self._checked({"op": "shutdown"})
 
@@ -722,6 +799,10 @@ class BinaryClient(_ClientCore):
             return wire.Stats()
         if op == "ping":
             return wire.Ping()
+        if op == "metrics":
+            return wire.Metrics()
+        if op == "trace":
+            return wire.Trace()
         if op == "shutdown":
             return wire.Shutdown()
         raise ValueError(f"unknown op {op!r}")
@@ -770,6 +851,11 @@ class BinaryClient(_ClientCore):
             return {"ok": True, "op": "ping"}
         if isinstance(frame, wire.ShutdownAck):
             return {"ok": True, "op": "shutdown"}
+        if isinstance(frame, wire.MetricsAck):
+            return {"ok": True, "op": "metrics", "text": frame.text}
+        if isinstance(frame, wire.TraceAck):
+            return {"ok": True, "op": "trace",
+                    "trace": json.loads(frame.json_text)}
         if isinstance(frame, wire.ErrorReply):
             return {"ok": False,
                     "op": _OP_NAMES.get(frame.request_op),

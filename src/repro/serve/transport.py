@@ -17,6 +17,16 @@ Transport choice is orthogonal to protocol choice: every connection still
 negotiates JSON vs binary from its first byte (see :mod:`repro.serve.wire`).
 Pick UDS + binary for the high-rate co-located ingest path, TCP + JSON for
 remote debugging with ``nc``.
+
+Example -- :func:`make_transport` resolves spec/CLI knobs to a transport:
+
+>>> transport = make_transport("tcp", host="127.0.0.1", port=7007)
+>>> transport.kind, transport.describe()
+('tcp', '127.0.0.1:7007')
+>>> make_transport("carrier-pigeon")
+Traceback (most recent call last):
+    ...
+ValueError: unknown transport 'carrier-pigeon' (choose 'tcp' or 'uds')
 """
 
 from __future__ import annotations

@@ -27,6 +27,8 @@ Request ops (client -> server) mirror the JSON protocol one to one::
     0x04 STATS     empty
     0x05 PING      empty
     0x06 SHUTDOWN  empty
+    0x07 METRICS   empty (Prometheus text exposition snapshot)
+    0x08 TRACE     empty (Chrome trace JSON snapshot)
 
 Reply ops (server -> client; one reply per request, in request order)::
 
@@ -36,6 +38,8 @@ Reply ops (server -> client; one reply per request, in request order)::
     0x84 STATS_ACK     service counters + queue-delay p99
     0x85 PING_ACK      empty
     0x86 SHUTDOWN_ACK  empty
+    0x87 METRICS_ACK   <I-length-prefixed UTF-8 Prometheus text
+    0x88 TRACE_ACK     <I-length-prefixed UTF-8 Chrome trace JSON
     0xE1 ALARM_EVENT   unsolicited: stream id, index, score, threshold
     0xEE ERROR         echoed request op + UTF-8 message
 
@@ -53,6 +57,23 @@ chunks the transport delivers (frames may be coalesced or split
 arbitrarily) and iterate complete frames out.  Malformed input raises a
 :class:`WireProtocolError` subclass; framing corruption is not resyncable,
 so servers answer with one ERROR frame and close the connection.
+
+Example -- encode, then round-trip through an arbitrarily chunked stream:
+
+>>> import numpy as np
+>>> frame = Push("press-3", np.ones((2, 3), dtype=np.float32))
+>>> data = encode(frame)
+>>> data[:4] == MAGIC and data[5] == OP_PUSH
+True
+>>> decoded, consumed = decode_frame(data)
+>>> decoded == frame and consumed == len(data)
+True
+>>> decoder = FrameDecoder()
+>>> blob = encode(Open("press-3")) + encode(Ping())
+>>> [type(f).__name__ for f in decoder.drain(blob[:7])]   # header split
+[]
+>>> [type(f).__name__ for f in decoder.drain(blob[7:])]
+['Open', 'Ping']
 """
 
 from __future__ import annotations
@@ -66,13 +87,15 @@ import numpy as np
 __all__ = [
     "MAGIC", "VERSION", "HEADER", "MAX_PAYLOAD",
     "OP_OPEN", "OP_PUSH", "OP_CLOSE", "OP_STATS", "OP_PING", "OP_SHUTDOWN",
+    "OP_METRICS", "OP_TRACE",
     "OP_OPEN_ACK", "OP_PUSH_ACK", "OP_CLOSE_ACK", "OP_STATS_ACK",
-    "OP_PING_ACK", "OP_SHUTDOWN_ACK", "OP_ALARM_EVENT", "OP_ERROR",
+    "OP_PING_ACK", "OP_SHUTDOWN_ACK", "OP_METRICS_ACK", "OP_TRACE_ACK",
+    "OP_ALARM_EVENT", "OP_ERROR",
     "WireProtocolError", "BadMagicError", "BadVersionError", "BadOpError",
     "FrameTooLargeError", "CorruptPayloadError",
-    "Open", "Push", "Close", "Stats", "Ping", "Shutdown",
+    "Open", "Push", "Close", "Stats", "Ping", "Shutdown", "Metrics", "Trace",
     "OpenAck", "PushAck", "CloseAck", "StatsAck", "PingAck", "ShutdownAck",
-    "AlarmEvent", "ErrorReply",
+    "MetricsAck", "TraceAck", "AlarmEvent", "ErrorReply",
     "Frame", "encode", "decode_frame", "FrameDecoder",
 ]
 
@@ -91,16 +114,21 @@ OP_CLOSE = 0x03
 OP_STATS = 0x04
 OP_PING = 0x05
 OP_SHUTDOWN = 0x06
+OP_METRICS = 0x07
+OP_TRACE = 0x08
 OP_OPEN_ACK = 0x81
 OP_PUSH_ACK = 0x82
 OP_CLOSE_ACK = 0x83
 OP_STATS_ACK = 0x84
 OP_PING_ACK = 0x85
 OP_SHUTDOWN_ACK = 0x86
+OP_METRICS_ACK = 0x87
+OP_TRACE_ACK = 0x88
 OP_ALARM_EVENT = 0xE1
 OP_ERROR = 0xEE
 
 _STR_LEN = struct.Struct("<H")
+_TEXT_LEN = struct.Struct("<I")           # long UTF-8 text (metrics/trace)
 _OPEN_TAIL = struct.Struct("<q")          # max_samples, -1 = None
 _PUSH_HEAD = struct.Struct("<IH")         # n_samples, n_channels
 _OPEN_ACK = struct.Struct("<IBBd")        # window, incremental, has_thr, thr
@@ -158,6 +186,33 @@ def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
         text = payload[offset:offset + length].decode("utf-8")
     except UnicodeDecodeError as error:
         raise CorruptPayloadError(f"string is not valid UTF-8: {error}") \
+            from error
+    return text, offset + length
+
+
+def _pack_text(text: str) -> bytes:
+    """``<I``-length-prefixed UTF-8 for long documents (metrics, traces).
+
+    The frame-level :data:`MAX_PAYLOAD` cap still applies at encode time,
+    so the 32-bit prefix never admits unbounded buffering.
+    """
+    data = text.encode("utf-8")
+    return _TEXT_LEN.pack(len(data)) + data
+
+
+def _unpack_text(payload: bytes, offset: int) -> Tuple[str, int]:
+    if offset + _TEXT_LEN.size > len(payload):
+        raise CorruptPayloadError("truncated text length prefix")
+    (length,) = _TEXT_LEN.unpack_from(payload, offset)
+    offset += _TEXT_LEN.size
+    if offset + length > len(payload):
+        raise CorruptPayloadError(
+            f"text length {length} exceeds the remaining payload"
+        )
+    try:
+        text = payload[offset:offset + length].decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise CorruptPayloadError(f"text is not valid UTF-8: {error}") \
             from error
     return text, offset + length
 
@@ -291,8 +346,55 @@ def _payloadless(name: str, op_code: int):
 Stats = _payloadless("Stats", OP_STATS)
 Ping = _payloadless("Ping", OP_PING)
 Shutdown = _payloadless("Shutdown", OP_SHUTDOWN)
+Metrics = _payloadless("Metrics", OP_METRICS)
+Trace = _payloadless("Trace", OP_TRACE)
 PingAck = _payloadless("PingAck", OP_PING_ACK)
 ShutdownAck = _payloadless("ShutdownAck", OP_SHUTDOWN_ACK)
+
+
+@dataclass(frozen=True)
+class MetricsAck:
+    """Prometheus text exposition snapshot (UTF-8, format 0.0.4)."""
+
+    text: str
+
+    op = OP_METRICS_ACK
+
+    def encode_payload(self) -> bytes:
+        return _pack_text(self.text)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "MetricsAck":
+        text, offset = _unpack_text(payload, 0)
+        if offset != len(payload):
+            raise CorruptPayloadError("METRICS_ACK payload has trailing bytes")
+        return cls(text)
+
+
+@dataclass(frozen=True)
+class TraceAck:
+    """Chrome trace snapshot, carried as its strict-JSON text.
+
+    Kept as text (not re-parsed) so the frame round-trips byte-exactly
+    and a dump can be written straight to a ``.json`` file for Perfetto.
+    A full default ring (4096 events) serialises well under
+    :data:`MAX_PAYLOAD`; far larger rings should be dumped through
+    ``--trace-out`` or ``GET /trace`` instead, which have no frame cap.
+    """
+
+    json_text: str
+
+    op = OP_TRACE_ACK
+
+    def encode_payload(self) -> bytes:
+        return _pack_text(self.json_text)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "TraceAck":
+        text, offset = _unpack_text(payload, 0)
+        if offset != len(payload):
+            raise CorruptPayloadError("TRACE_ACK payload has trailing bytes")
+        return cls(text)
 
 
 @dataclass(frozen=True)
@@ -459,13 +561,14 @@ class ErrorReply:
         return cls(request_op, message)
 
 
-Frame = Union[Open, Push, Close, Stats, Ping, Shutdown, OpenAck, PushAck,
-              CloseAck, StatsAck, PingAck, ShutdownAck, AlarmEvent, ErrorReply]
+Frame = Union[Open, Push, Close, Stats, Ping, Shutdown, Metrics, Trace,
+              OpenAck, PushAck, CloseAck, StatsAck, PingAck, ShutdownAck,
+              MetricsAck, TraceAck, AlarmEvent, ErrorReply]
 
 _FRAME_TYPES: Tuple[Type, ...] = (
-    Open, Push, Close, Stats, Ping, Shutdown,
+    Open, Push, Close, Stats, Ping, Shutdown, Metrics, Trace,
     OpenAck, PushAck, CloseAck, StatsAck, PingAck, ShutdownAck,
-    AlarmEvent, ErrorReply,
+    MetricsAck, TraceAck, AlarmEvent, ErrorReply,
 )
 _DECODERS = {frame_type.op: frame_type for frame_type in _FRAME_TYPES}
 

@@ -1,0 +1,110 @@
+"""Unit tests for the structured alarm sinks."""
+
+import json
+import types
+
+import pytest
+
+from repro.obs import (AlarmSink, CallbackAlarmSink, FanOutAlarmSink,
+                       JsonlAlarmSink, alarm_record)
+
+
+def _sample(**overrides):
+    base = dict(stream_id="press-3", index=57, score=9.25, threshold=1.5,
+                alarm=True, latency_s=0.004, queue_delay_s=0.002)
+    base.update(overrides)
+    return types.SimpleNamespace(**base)
+
+
+class TestAlarmRecord:
+    def test_fields(self):
+        record = json.loads(alarm_record(_sample(), wall_clock=lambda: 12.0))
+        assert record == {"stream": "press-3", "index": 57, "score": 9.25,
+                          "threshold": 1.5, "latency_s": 0.004,
+                          "queue_delay_s": 0.002, "time_unix_s": 12.0}
+
+    def test_non_finite_fields_become_null(self):
+        record = json.loads(alarm_record(
+            _sample(score=float("nan"), threshold=float("inf")),
+            wall_clock=lambda: 0.0))
+        assert record["score"] is None
+        assert record["threshold"] is None
+
+
+class TestJsonlSink:
+    def test_appends_one_line_per_alarm(self, tmp_path):
+        path = tmp_path / "alarms.jsonl"
+        sink = JsonlAlarmSink(path, wall_clock=lambda: 1.0)
+        sink.emit(_sample(index=1))
+        sink.emit(_sample(index=2))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["index"] for line in lines] == [1, 2]
+        assert sink.emitted == 2
+
+    def test_append_mode_preserves_existing_lines(self, tmp_path):
+        path = tmp_path / "alarms.jsonl"
+        path.write_text('{"existing": true}\n')
+        sink = JsonlAlarmSink(path)
+        sink.emit(_sample())
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "alarms.jsonl"
+        sink = JsonlAlarmSink(path, flush_every=3)
+        sink.emit(_sample(index=1))
+        sink.emit(_sample(index=2))
+        # Not yet flushed: a same-moment reader may see nothing.
+        sink.emit(_sample(index=3))
+        assert len(path.read_text().splitlines()) == 3
+        sink.close()
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlAlarmSink(tmp_path / "x.jsonl", flush_every=0)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlAlarmSink(tmp_path / "alarms.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestCallbackSink:
+    def test_invokes_with_sample(self):
+        seen = []
+        CallbackAlarmSink(seen.append).emit(_sample(index=9))
+        assert seen[0].index == 9
+
+
+class TestFanOutSink:
+    def test_emits_to_all_children_in_order(self):
+        order = []
+        sink = FanOutAlarmSink([
+            CallbackAlarmSink(lambda s: order.append(("a", s.index))),
+            CallbackAlarmSink(lambda s: order.append(("b", s.index))),
+        ])
+        sink.emit(_sample(index=4))
+        assert order == [("a", 4), ("b", 4)]
+
+    def test_failing_child_does_not_stop_siblings(self):
+        seen = []
+
+        def boom(sample):
+            raise RuntimeError("sink down")
+
+        sink = FanOutAlarmSink([CallbackAlarmSink(boom),
+                                CallbackAlarmSink(seen.append)])
+        with pytest.raises(RuntimeError, match="sink down"):
+            sink.emit(_sample())
+        assert len(seen) == 1  # sibling still ran
+
+    def test_close_closes_children(self, tmp_path):
+        child = JsonlAlarmSink(tmp_path / "alarms.jsonl")
+        FanOutAlarmSink([child]).close()
+        child.emit = None  # closed handles must not be written again
+        assert child._handle.closed
+
+    def test_base_sink_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            AlarmSink().emit(_sample())

@@ -1,0 +1,122 @@
+"""In-process tests for the plain-HTTP observability scrape endpoint."""
+
+import asyncio
+
+import pytest
+
+from repro.obs import ObservabilityHTTPServer
+
+
+async def _request(port, target, method="GET"):
+    """One HTTP/1.0-style request; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"{method} {target} HTTP/1.1\r\n"
+                 f"Host: localhost\r\nConnection: close\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+def _serve(test, *, trace=None):
+    """Run ``await test(port)`` against a live server, then stop it."""
+    async def main():
+        server = ObservabilityHTTPServer(
+            metrics=lambda: "demo_total 1\n", trace=trace)
+        port = await server.start()
+        try:
+            await test(port)
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+class TestRoutes:
+    def test_metrics_page(self):
+        async def check(port):
+            status, headers, body = await _request(port, "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            assert "version=0.0.4" in headers["content-type"]
+            assert int(headers["content-length"]) == len(body)
+            assert body == b"demo_total 1\n"
+
+        _serve(check)
+
+    def test_healthz(self):
+        async def check(port):
+            status, _, body = await _request(port, "/healthz")
+            assert (status, body) == (200, b"ok\n")
+
+        _serve(check)
+
+    def test_trace_served_when_wired(self):
+        async def check(port):
+            status, headers, body = await _request(port, "/trace")
+            assert status == 200
+            assert headers["content-type"].startswith("application/json")
+            assert body == b'{"traceEvents":[]}'
+
+        _serve(check, trace=lambda: '{"traceEvents":[]}')
+
+    def test_trace_404_when_disabled(self):
+        async def check(port):
+            status, _, _ = await _request(port, "/trace")
+            assert status == 404
+
+        _serve(check)
+
+    def test_unknown_path_404(self):
+        async def check(port):
+            status, _, _ = await _request(port, "/nope")
+            assert status == 404
+
+        _serve(check)
+
+    def test_post_rejected(self):
+        async def check(port):
+            status, _, _ = await _request(port, "/metrics", method="POST")
+            assert status == 405
+
+        _serve(check)
+
+    def test_head_omits_body(self):
+        async def check(port):
+            status, headers, body = await _request(port, "/metrics",
+                                                   method="HEAD")
+            assert status == 200
+            assert int(headers["content-length"]) > 0
+            assert body == b""
+
+        _serve(check)
+
+
+class TestLifecycle:
+    def test_bound_port_requires_start(self):
+        server = ObservabilityHTTPServer(metrics=lambda: "")
+        with pytest.raises(RuntimeError):
+            server.bound_port
+
+    def test_metrics_callback_failure_yields_500(self):
+        def boom():
+            raise RuntimeError("registry gone")
+
+        async def main():
+            server = ObservabilityHTTPServer(metrics=boom)
+            port = await server.start()
+            try:
+                status, _, _ = await _request(port, "/metrics")
+                assert status == 500
+            finally:
+                await server.stop()
+
+        asyncio.run(main())

@@ -1,0 +1,189 @@
+"""Unit tests for the metrics registry and its Prometheus exposition."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.edge.monitor import StreamingHistogram
+from repro.obs import Counter, Gauge, MetricsRegistry, Summary
+
+GOLDEN = Path(__file__).parent / "golden_metrics.txt"
+
+
+def _golden_registry() -> MetricsRegistry:
+    """A deterministic registry covering every render path."""
+    registry = MetricsRegistry()
+    scored = registry.counter("demo_scored_total", "Samples scored.")
+    scored.inc(42)
+    backing = 7
+    registry.counter("demo_readthrough_total", "Read-through counter.",
+                     fn=lambda: backing)
+    lag = registry.gauge("demo_lag", "Windows pending.")
+    lag.set(2.5)
+    special = registry.gauge("demo_special", "Non-finite rendering.")
+    special.set(float("inf"))
+    requests = registry.counter("demo_requests_total", "Requests by op.",
+                                labels=("protocol", "op"))
+    requests.labels(protocol="json", op="push").inc(3)
+    requests.labels(protocol="binary", op="push").inc(5)
+    requests.labels(protocol="json", op='we"ird\n').inc()
+    latency = registry.summary("demo_latency_seconds", "Request latency.")
+    for value in (0.001, 0.002, 0.004, 0.008):
+        latency.observe(value)
+    return registry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_read_through_rejects_inc(self):
+        counter = Counter(fn=lambda: 9)
+        assert counter.value() == 9
+        with pytest.raises(TypeError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set(self):
+        gauge = Gauge()
+        gauge.set(1.5)
+        assert gauge.value() == 1.5
+        gauge.set(-2)
+        assert gauge.value() == -2
+
+    def test_read_through_rejects_set(self):
+        with pytest.raises(TypeError):
+            Gauge(fn=lambda: 1).set(2)
+
+
+class TestSummary:
+    def test_owned_histogram_observes(self):
+        summary = Summary(histogram=StreamingHistogram.log_spaced())
+        for value in (0.1, 0.2, 0.4):
+            summary.observe(value)
+        assert summary.histogram().count == 3
+
+    def test_read_through_rejects_observe(self):
+        hist = StreamingHistogram.log_spaced()
+        summary = Summary(fn=lambda: hist)
+        with pytest.raises(TypeError):
+            summary.observe(1.0)
+
+    def test_exactly_one_source_required(self):
+        with pytest.raises(TypeError):
+            Summary()
+        with pytest.raises(TypeError):
+            Summary(histogram=StreamingHistogram.log_spaced(),
+                    fn=lambda: StreamingHistogram.log_spaced())
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "X.")
+        first.inc(3)
+        again = registry.counter("x_total", "X.")
+        assert again is first
+        assert again.value() == 3
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "X.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total", "X.")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "X.", labels=("op",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", "X.", labels=("protocol",))
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("1bad", "X.")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("x_total", "X.", labels=("bad-label",))
+
+    def test_labelled_family_vends_cached_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "X.", labels=("op",))
+        child = family.labels(op="push")
+        child.inc()
+        assert family.labels(op="push") is child
+        assert family.labels(op="open") is not child
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(wrong="push")
+        with pytest.raises(ValueError, match="use .labels"):
+            family.default
+
+    def test_summary_renders_quantiles_sum_count(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("lat_seconds", "Latency.")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            summary.observe(value)
+        page = registry.render()
+        assert 'lat_seconds{quantile="0.5"}' in page
+        assert 'lat_seconds{quantile="0.95"}' in page
+        assert 'lat_seconds{quantile="0.99"}' in page
+        count = [line for line in page.splitlines()
+                 if line.startswith("lat_seconds_count")]
+        assert count == ["lat_seconds_count 4"]
+        total = [line for line in page.splitlines()
+                 if line.startswith("lat_seconds_sum")]
+        assert float(total[0].split()[1]) == pytest.approx(10.0, rel=1e-6)
+
+    def test_empty_summary_renders_without_samples(self):
+        registry = MetricsRegistry()
+        registry.summary("lat_seconds", "Latency.")
+        page = registry.render()
+        assert "lat_seconds_count 0" in page
+        # StreamingHistogram reports 0 for an empty quantile.
+        assert 'lat_seconds{quantile="0.5"} 0' in page
+
+    def test_non_finite_values_render_as_literals(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "G.")
+        for value, literal in ((float("nan"), "NaN"),
+                               (float("inf"), "+Inf"),
+                               (float("-inf"), "-Inf")):
+            gauge.set(value)
+            assert f"g {literal}" in registry.render()
+
+    def test_page_ends_with_newline(self):
+        assert MetricsRegistry().render() == "\n"
+        assert _golden_registry().render().endswith("\n")
+
+
+class TestGoldenSnapshot:
+    """The exposition format is a wire contract: hold it to a golden page.
+
+    Regenerate (after an intentional format change) with::
+
+        PYTHONPATH=src:tests/test_obs python -c \
+            "from test_obs_metrics import _golden_registry; \
+             open('tests/test_obs/golden_metrics.txt', 'w')\
+             .write(_golden_registry().render())"
+    """
+
+    def test_rendered_page_matches_golden(self):
+        assert _golden_registry().render() == GOLDEN.read_text()
+
+    def test_golden_page_parses_as_prometheus_text(self):
+        """Every non-comment line: name{labels} value, value a float."""
+        for line in GOLDEN.read_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            assert name_part, line
+            float(value_part)  # NaN/+Inf/-Inf all parse
+            series = name_part.split("{", 1)[0]
+            assert series.replace("_", "").isalnum(), line

@@ -1,0 +1,100 @@
+"""Unit tests for the bounded trace ring and its Chrome JSON export."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceRecorder
+
+
+def _fake_clock(values):
+    iterator = iter(values)
+    return lambda: next(iterator)
+
+
+def _events(trace):
+    """Non-metadata events of an exported trace."""
+    return [event for event in trace["traceEvents"] if event["ph"] != "M"]
+
+
+class TestRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_oldest_events_evicted_and_counted(self):
+        recorder = TraceRecorder(capacity=3, clock=_fake_clock([0.0]))
+        for index in range(5):
+            recorder.instant(f"e{index}", "track", ts_s=float(index))
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        names = [event["name"] for event in _events(recorder.to_chrome())]
+        assert names == ["e2", "e3", "e4"]
+        other = recorder.to_chrome()["otherData"]
+        assert other == {"recorded": 3, "dropped": 2, "capacity": 3}
+
+    def test_instant_stamps_clock_when_ts_omitted(self):
+        recorder = TraceRecorder(capacity=4, clock=_fake_clock([1.0, 3.5]))
+        recorder.instant("now", "track")
+        (event,) = _events(recorder.to_chrome())
+        assert event["ts"] == pytest.approx((3.5 - 1.0) * 1e6)
+
+
+class TestChromeExport:
+    def test_span_shape(self):
+        recorder = TraceRecorder(capacity=8, clock=_fake_clock([10.0]))
+        recorder.span("flush", "batcher", start_s=11.0, end_s=11.5, batch=4)
+        (event,) = _events(recorder.to_chrome())
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(1e6)
+        assert event["dur"] == pytest.approx(0.5e6)
+        assert event["args"] == {"batch": 4}
+        assert "s" not in event
+
+    def test_instant_shape(self):
+        recorder = TraceRecorder(capacity=8, clock=_fake_clock([0.0]))
+        recorder.instant("alarm", "press-3", ts_s=2.0, index=57)
+        (event,) = _events(recorder.to_chrome())
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert "dur" not in event
+        assert event["args"] == {"index": 57}
+
+    def test_tracks_become_named_thread_lanes(self):
+        recorder = TraceRecorder(capacity=8, clock=_fake_clock([0.0]))
+        recorder.instant("a", "batcher", ts_s=0.1)
+        recorder.instant("b", "press-3", ts_s=0.2)
+        recorder.instant("c", "batcher", ts_s=0.3)
+        trace = recorder.to_chrome()
+        threads = {event["args"]["name"]: event["tid"]
+                   for event in trace["traceEvents"]
+                   if event["ph"] == "M" and event["name"] == "thread_name"}
+        assert set(threads) == {"batcher", "press-3"}
+        by_name = {event["name"]: event for event in _events(trace)}
+        assert by_name["a"]["tid"] == threads["batcher"]
+        assert by_name["c"]["tid"] == threads["batcher"]
+        assert by_name["b"]["tid"] == threads["press-3"]
+        process = [event for event in trace["traceEvents"]
+                   if event["name"] == "process_name"]
+        assert process and process[0]["args"]["name"] == "repro.serve"
+
+    def test_non_finite_args_become_null(self):
+        recorder = TraceRecorder(capacity=8, clock=_fake_clock([0.0]))
+        recorder.instant("adapt", "s", ts_s=0.1,
+                         old_threshold=float("nan"),
+                         nested={"v": float("inf")},
+                         listed=[1.0, float("-inf")])
+        text = recorder.dumps()  # would raise on NaN/Inf (allow_nan=False)
+        (event,) = _events(json.loads(text))
+        assert event["args"] == {"old_threshold": None,
+                                 "nested": {"v": None},
+                                 "listed": [1.0, None]}
+
+    def test_round_trip_through_file(self, tmp_path):
+        recorder = TraceRecorder(capacity=8, clock=_fake_clock([0.0]))
+        recorder.span("flush", "batcher", start_s=0.1, end_s=0.2)
+        path = tmp_path / "trace.json"
+        recorder.write(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == recorder.to_chrome()
+        assert loaded["displayTimeUnit"] == "ms"

@@ -26,6 +26,10 @@ _u64 = st.integers(0, 2**64 - 1)
 _finite = st.floats(allow_nan=False, allow_infinity=False)
 _any_double = st.floats(allow_nan=True, allow_infinity=True)
 _maybe_threshold = st.none() | _finite
+# Metrics pages / trace JSON ride in <I-length-prefixed text fields that
+# may span many lines; exercise well past the <H boundary used elsewhere.
+_long_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=90_000)
 
 
 @st.composite
@@ -60,6 +64,10 @@ _frames = st.one_of(
     st.builds(wire.ShutdownAck),
     st.builds(wire.AlarmEvent, _text, _u64, _finite, _maybe_threshold),
     st.builds(wire.ErrorReply, st.integers(0, 255), _text),
+    st.builds(wire.Metrics),
+    st.builds(wire.Trace),
+    st.builds(wire.MetricsAck, _long_text),
+    st.builds(wire.TraceAck, _long_text),
 )
 
 _EXAMPLE_OF_EVERY_OP = [
@@ -81,6 +89,12 @@ _EXAMPLE_OF_EVERY_OP = [
     wire.AlarmEvent("press-3", 57, 9.25, threshold=None),
     wire.ErrorReply(wire.OP_PUSH, "push needs a non-empty sample block"),
     wire.ErrorReply(0, "bad frame magic"),
+    wire.Metrics(),
+    wire.Trace(),
+    wire.MetricsAck("# HELP x_total X.\n# TYPE x_total counter\n"
+                    "x_total 3\n"),
+    wire.MetricsAck(""),
+    wire.TraceAck('{"traceEvents":[],"otherData":{"dropped":0}}'),
 ]
 
 
@@ -103,7 +117,7 @@ def test_roundtrip_any_frame(frame):
     "frame", _EXAMPLE_OF_EVERY_OP,
     ids=lambda frame: f"0x{frame.op:02X}-{type(frame).__name__}")
 def test_roundtrip_every_op(frame):
-    # Deterministic floor under the property test: every one of the 14 ops
+    # Deterministic floor under the property test: every one of the 18 ops
     # round-trips even if a hypothesis run draws a skewed op mix.
     _assert_roundtrip(frame)
 
@@ -115,6 +129,8 @@ def test_op_table_is_complete():
         wire.OP_PING, wire.OP_SHUTDOWN, wire.OP_OPEN_ACK, wire.OP_PUSH_ACK,
         wire.OP_CLOSE_ACK, wire.OP_STATS_ACK, wire.OP_PING_ACK,
         wire.OP_SHUTDOWN_ACK, wire.OP_ALARM_EVENT, wire.OP_ERROR,
+        wire.OP_METRICS, wire.OP_TRACE, wire.OP_METRICS_ACK,
+        wire.OP_TRACE_ACK,
     }
 
 
