@@ -50,8 +50,13 @@ if [[ "$mode" != "--benchmarks-only" ]]; then
     echo "serve smoke: OK"
 
     echo
+    echo "== cluster smoke: repro serve --workers 2, two tenants, worker kill =="
+    python scripts/cluster_smoke.py >/dev/null
+    echo "cluster smoke: OK"
+
+    echo
     echo "== docs: runnable docstring examples + Markdown links =="
-    python -m pytest --doctest-modules src/repro/obs src/repro/serve -q
+    python -m pytest --doctest-modules src/repro/obs src/repro/serve src/repro/cluster -q
     python scripts/check_links.py
 fi
 

@@ -289,11 +289,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serve import (PROTOCOLS, AnomalyWireServer, ServiceConfig,
-                        make_transport)
+                        make_transport, write_endpoint_file)
 
     workdir: Path = args.workdir
     pipeline = _load_serving_pipeline(workdir)
     service_spec = pipeline.spec.service
+    cluster_spec = None if service_spec is None else service_spec.cluster
+    workers = args.workers
+    if workers is None and cluster_spec is not None:
+        workers = cluster_spec.workers
+    if (workers is not None and workers > 1) or args.tenant:
+        return _cmd_serve_cluster(args, workdir, pipeline,
+                                  workers if workers is not None else 2)
     overrides = {}
     for name in ("max_batch", "max_delay_ms", "max_queue", "backpressure",
                  "trace_events"):
@@ -384,7 +391,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 host=host, port=metrics_port)
             bound = await httpd.start()
             if args.metrics_port_file is not None:
-                args.metrics_port_file.write_text(f"{bound}\n")
+                # Atomic write-then-rename: a poller never reads a
+                # half-written port number.
+                write_endpoint_file(args.metrics_port_file, f"{bound}\n")
             print(f"serve: metrics on http://{host}:{bound}/metrics",
                   flush=True)
         if args.max_seconds is not None:
@@ -414,6 +423,146 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"serve: trace written to {args.trace_out}")
         for sink in alarm_sinks:
             sink.close()
+    print("serve: stopped")
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace, workdir: Path,
+                       pipeline: Pipeline, workers: int) -> int:
+    """``repro serve --workers N``: shard router + worker fleet.
+
+    Each worker is a full serving stack in its own subprocess; the router
+    consistent-hash-partitions ``stream_id`` across them and proxies the
+    unchanged single-server wire protocol, so clients connect to one
+    endpoint exactly as before.
+    """
+    import asyncio
+
+    from .cluster import (RouterConfig, ShardRouter, WorkerConfig,
+                          WorkerSupervisor)
+    from .serve import make_transport, write_endpoint_file
+
+    if args.trace_out is not None or args.trace_events is not None:
+        raise CLIUsageError(
+            "tracing is per-worker state; --trace-out/--trace-events are "
+            "not supported with --workers (use the trace op against an "
+            "individual worker endpoint)")
+    if args.alarm_log is not None:
+        raise CLIUsageError(
+            "--alarm-log runs inside a single service process and is not "
+            "supported with --workers; alarm events still stream to every "
+            "subscribed client connection")
+    service_spec = pipeline.spec.service
+    cluster_spec = None if service_spec is None else service_spec.cluster
+
+    artifacts = {"default": _serving_artifact(workdir, prefer_package=True)}
+    for entry in args.tenant or []:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            raise CLIUsageError(
+                f"--tenant wants NAME=ARTIFACT_DIR, got {entry!r}")
+        if name in artifacts:
+            raise CLIUsageError(f"duplicate tenant {name!r}")
+        tenant_dir = Path(path)
+        if not (tenant_dir / MANIFEST_NAME).is_file():
+            raise CLIUsageError(
+                f"tenant {name!r}: no artifact manifest under {tenant_dir}")
+        artifacts[name] = tenant_dir
+
+    def knob(flag, spec_value, default):
+        if flag is not None:
+            return flag
+        if service_spec is not None and spec_value is not None:
+            return spec_value
+        return default
+
+    host = knob(args.host, getattr(service_spec, "host", None), "127.0.0.1")
+    port = knob(args.port, getattr(service_spec, "port", None), 7007)
+    transport_kind = knob(args.transport,
+                          getattr(service_spec, "transport", None), "tcp")
+    uds_path = knob(args.uds_path,
+                    getattr(service_spec, "uds_path", None), None)
+    metrics_port = knob(args.metrics_port,
+                        getattr(service_spec, "metrics_port", None), None)
+    try:
+        transport = make_transport(transport_kind, host=host, port=port,
+                                   uds_path=uds_path)
+    except (ValueError, RuntimeError) as error:
+        raise CLIUsageError(str(error)) from error
+
+    worker_transport = "tcp" if cluster_spec is None \
+        else cluster_spec.worker_transport
+    configs = []
+    for index in range(workers):
+        configs.append(WorkerConfig(
+            name=f"w{index}", artifacts=dict(artifacts),
+            default_tenant="default", transport=worker_transport,
+            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+            max_queue=args.max_queue, backpressure=args.backpressure,
+            incremental=False if args.no_incremental else None))
+    router_config = RouterConfig() if cluster_spec is None \
+        else cluster_spec.router_config()
+
+    supervisor = WorkerSupervisor()
+    detector = pipeline.serving_detector
+    print(f"serve: {detector.name} x {workers} workers "
+          f"(tenants: {'/'.join(sorted(artifacts))}; "
+          f"worker transport: {worker_transport})")
+
+    async def _serve(router: ShardRouter) -> None:
+        ready: "asyncio.Event" = asyncio.Event()
+        task = asyncio.create_task(
+            router.serve_forever(port_file=args.port_file, ready=ready))
+        ready_task = asyncio.create_task(ready.wait())
+        try:
+            await asyncio.wait({task, ready_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            ready_task.cancel()
+        if task.done():
+            await task          # propagate the startup failure
+            return
+        print(f"serve: cluster listening on "
+              f"{transport.describe() if transport_kind == 'uds' else f'{host}:{router.bound_port}'} "
+              f"(1 router -> {len(supervisor.workers)} workers; ops: "
+              f"open/push/close/stats/snapshot/ping/metrics/shutdown)",
+              flush=True)
+        httpd = None
+        if metrics_port is not None:
+            from .obs import ObservabilityHTTPServer
+
+            httpd = ObservabilityHTTPServer(metrics=router.metrics_text,
+                                            host=host, port=metrics_port)
+            bound = await httpd.start()
+            if args.metrics_port_file is not None:
+                write_endpoint_file(args.metrics_port_file, f"{bound}\n")
+            print(f"serve: fleet metrics on http://{host}:{bound}/metrics",
+                  flush=True)
+        if args.max_seconds is not None:
+            async def _deadline() -> None:
+                await asyncio.sleep(args.max_seconds)
+                router.request_stop()
+            asyncio.create_task(_deadline())
+        try:
+            await task
+        finally:
+            if httpd is not None:
+                await httpd.stop()
+
+    try:
+        for config in configs:
+            handle = supervisor.spawn(config)
+            print(f"serve: worker {handle.name} pid {handle.pid} "
+                  f"on {handle.endpoint}", flush=True)
+        router = ShardRouter(supervisor, transport, config=router_config)
+        asyncio.run(_serve(router))
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        raise CLIUsageError(
+            f"cannot serve on {transport.describe()}: {error}") from error
+    finally:
+        supervisor.stop_all()
     print("serve: stopped")
     return 0
 
@@ -524,6 +673,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-incremental", action="store_true",
                        help="disable the O(1)-per-sample incremental scoring "
                             "lane; sessions use batched scoring only")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="shard across N worker subprocesses behind a "
+                            "consistent-hash router (one endpoint, "
+                            "unchanged protocol); default 1, or "
+                            "spec.service.cluster.workers when set")
+    serve.add_argument("--tenant", action="append", metavar="NAME=DIR",
+                       help="serve an extra packaged artifact under tenant "
+                            "NAME on every worker (repeatable; implies "
+                            "cluster mode; `open` frames pick the tenant "
+                            "by name or artifact fingerprint)")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="stop the server after this long (smoke flows)")
     serve.add_argument("--observability", action="store_true",

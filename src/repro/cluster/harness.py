@@ -1,0 +1,142 @@
+"""In-process cluster runner: supervisor + router on a background thread.
+
+Tests, benchmarks, and embedding code need a whole cluster -- worker
+subprocesses, the shard router, its event loop -- stood up and torn down
+as one context manager from synchronous code:
+
+```python
+with ClusterHarness([worker_config("w0"), worker_config("w1")]) as cluster:
+    with BinaryClient(port=cluster.port) as client:
+        client.open("stream-1")
+    cluster.add_worker(worker_config("w2"))     # live rebalance
+```
+
+The harness owns one thread running ``asyncio`` with the
+:class:`~repro.cluster.ShardRouter`; fleet reshapes are submitted onto
+that loop thread-safely.  Workers are real ``python -m
+repro.cluster.worker`` subprocesses, so what the harness exercises is
+exactly what ``repro serve --workers N`` deploys.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Coroutine, List, Optional
+
+from ..serve.transport import TCPTransport
+from .router import RouterConfig, ShardRouter
+from .supervisor import WorkerSupervisor
+from .worker import WorkerConfig
+
+__all__ = ["ClusterHarness"]
+
+#: generous bound on full-cluster startup (N worker spawns + router bind)
+STARTUP_TIMEOUT_S = 120.0
+
+
+class ClusterHarness:
+    """Run a worker fleet + shard router from synchronous code."""
+
+    def __init__(self, worker_configs: List[WorkerConfig], *,
+                 router_config: Optional[RouterConfig] = None,
+                 host: str = "127.0.0.1",
+                 run_dir: Optional[Path] = None) -> None:
+        if not worker_configs:
+            raise ValueError("need at least one worker config")
+        self.worker_configs = list(worker_configs)
+        self.router_config = router_config or RouterConfig()
+        self.host = host
+        self.run_dir = run_dir
+        self.supervisor: Optional[WorkerSupervisor] = None
+        self.router: Optional[ShardRouter] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------- #
+    def start(self) -> "ClusterHarness":
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="cluster-harness", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(STARTUP_TIMEOUT_S):
+            self.stop()
+            raise RuntimeError("cluster did not come up in time")
+        if self._startup_error is not None:
+            self.stop()
+            raise RuntimeError(
+                "cluster startup failed") from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self.router is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_stop)
+            except RuntimeError:
+                pass   # loop already closed
+        if self._thread is not None:
+            self._thread.join(STARTUP_TIMEOUT_S)
+            self._thread = None
+
+    def __enter__(self) -> "ClusterHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- thread body --------------------------------------------------------- #
+    def _thread_main(self) -> None:
+        self.supervisor = WorkerSupervisor(run_dir=self.run_dir)
+        try:
+            for config in self.worker_configs:
+                self.supervisor.spawn(config)
+            asyncio.run(self._serve())
+        except BaseException as error:   # surface to start()
+            self._startup_error = error
+        finally:
+            self.supervisor.stop_all()
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.router = ShardRouter(self.supervisor,
+                                  TCPTransport(self.host, 0),
+                                  config=self.router_config)
+        ready: asyncio.Event = asyncio.Event()
+        task = asyncio.create_task(self.router.serve_forever(ready=ready))
+        ready_task = asyncio.create_task(ready.wait())
+        try:
+            await asyncio.wait({task, ready_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            ready_task.cancel()
+        if task.done():
+            await task      # propagate the bind/startup failure
+            return
+        self.port = self.router.bound_port
+        self._ready.set()
+        await task
+
+    # -- thread-safe fleet control ------------------------------------------- #
+    def submit(self, coroutine: Coroutine,
+               timeout_s: float = STARTUP_TIMEOUT_S):
+        """Run a coroutine on the router loop; return its result."""
+        if self._loop is None:
+            raise RuntimeError("the cluster is not running")
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout_s)
+
+    def add_worker(self, config: WorkerConfig) -> None:
+        """Live-join a worker (re-slices the ring, re-homes streams)."""
+        self.submit(self.router.add_worker(config))
+
+    def remove_worker(self, name: str) -> None:
+        """Live-drain a worker off the ring and stop its process."""
+        self.submit(self.router.remove_worker(name))
+
+    def worker_pids(self) -> dict:
+        return {name: handle.pid
+                for name, handle in self.supervisor.workers.items()}

@@ -103,14 +103,68 @@ class StreamingHistogram:
             self.add(value)
 
     def merge(self, other: "StreamingHistogram") -> None:
-        """Fold another histogram with identical edges into this one."""
+        """Fold another histogram with identical edges into this one.
+
+        Raises a descriptive :class:`ValueError` -- before touching any
+        state -- when the bin layouts differ, since a blind ``+=`` on
+        mismatched count arrays would corrupt this histogram.  Merging is
+        the fleet-aggregation primitive (:class:`repro.cluster.ClusterStats`
+        folds per-worker histograms), so the message names both layouts.
+        """
+        if self.edges.size != other.edges.size:
+            raise ValueError(
+                f"cannot merge histograms with different bin counts: "
+                f"this one has {self.edges.size - 1} bins over "
+                f"[{self.edges[0]:g}, {self.edges[-1]:g}], the other has "
+                f"{other.edges.size - 1} bins over "
+                f"[{other.edges[0]:g}, {other.edges[-1]:g}]")
         if not np.array_equal(self.edges, other.edges):
-            raise ValueError("cannot merge histograms with different edges")
+            divergent = int(np.flatnonzero(self.edges != other.edges)[0])
+            raise ValueError(
+                f"cannot merge histograms with different edges: both have "
+                f"{self.edges.size - 1} bins but the edges first diverge at "
+                f"index {divergent} ({self.edges[divergent]:g} vs "
+                f"{other.edges[divergent]:g})")
         self._counts += other._counts
         self._count += other._count
         self._sum += other._sum
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
+
+    # -- serialization ---------------------------------------------------- #
+    def to_state(self) -> Dict[str, object]:
+        """A JSON-safe snapshot that :meth:`from_state` restores exactly.
+
+        The ``+/-inf`` min/max sentinels of an empty histogram are mapped
+        to ``None`` so the state survives strict-JSON transport (the
+        cluster ``snapshot`` wire op ships these between processes).
+        """
+        return {
+            "edges": [float(edge) for edge in self.edges],
+            "counts": [int(count) for count in self._counts],
+            "sum": self._sum,
+            "min": None if math.isinf(self._min) else self._min,
+            "max": None if math.isinf(self._max) else self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StreamingHistogram":
+        """Rebuild a histogram from :meth:`to_state` output (bit-exact)."""
+        histogram = cls(state["edges"])
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != histogram._counts.shape:
+            raise ValueError(
+                f"histogram state has {counts.size} counts for "
+                f"{histogram.edges.size} edges (need edges + 1)")
+        if np.any(counts < 0):
+            raise ValueError("histogram state has negative bin counts")
+        histogram._counts = counts
+        histogram._count = int(counts.sum())
+        histogram._sum = float(state["sum"])
+        low, high = state["min"], state["max"]
+        histogram._min = math.inf if low is None else float(low)
+        histogram._max = -math.inf if high is None else float(high)
+        return histogram
 
     # -- statistics ------------------------------------------------------- #
     @property

@@ -48,9 +48,9 @@ from .builders import DETECTOR_KINDS
 from .pipeline import (DetectorReport, Pipeline, PipelineReport,
                        PipelineStageError, run_pipeline)
 from .registry import DETECTORS, DetectorRegistry, RegisteredDetector
-from .spec import (AdaptationSpec, CalibrationSpec, DataSpec, DeploymentSpec,
-                   DetectorSpec, QuantizationSpec, RuntimeSpec, ServiceSpec,
-                   SpecError)
+from .spec import (AdaptationSpec, CalibrationSpec, ClusterSpec, DataSpec,
+                   DeploymentSpec, DetectorSpec, QuantizationSpec, RuntimeSpec,
+                   ServiceSpec, SpecError)
 
 __all__ = [
     "DETECTOR_KINDS",
@@ -63,6 +63,7 @@ __all__ = [
     "CalibrationSpec",
     "QuantizationSpec",
     "AdaptationSpec",
+    "ClusterSpec",
     "ServiceSpec",
     "RuntimeSpec",
     "DeploymentSpec",

@@ -349,6 +349,54 @@ class Pipeline:
                               adaptation=adaptation,
                               alarm_sinks=alarm_sinks)
 
+    def deploy_cluster(self, artifact: Union[str, Path], *,
+                       tenants: Optional[Dict[str, Union[str, Path]]] = None,
+                       workers: Optional[int] = None,
+                       host: str = "127.0.0.1",
+                       run_dir: Optional[Path] = None):
+        """Build a sharded serving cluster for a *packaged* artifact.
+
+        Returns an **unstarted** :class:`repro.cluster.ClusterHarness`
+        fronting ``workers`` worker subprocesses (each a full serving
+        stack loading the artifact at ``artifact``) behind one
+        consistent-hash shard router; use it as a context manager (or
+        call ``start()``/``stop()``).  ``tenants`` maps extra tenant
+        names to their artifact directories for multi-tenant serving
+        (``artifact`` stays the default tenant).  ``spec.service.cluster``
+        supplies the fleet shape (worker count, ring granularity, crash
+        policy); ``workers`` overrides its count.  Clients connect to
+        ``harness.port`` with the unchanged single-server protocol --
+        scores and alarms are bit-identical to
+        :meth:`deploy_service` for any worker count
+        (``tests/test_cluster/test_cluster_parity.py``).
+        """
+        from ..cluster import ClusterHarness, WorkerConfig
+
+        service_spec = self.spec.service
+        cluster_spec = None if service_spec is None else service_spec.cluster
+        if workers is None:
+            workers = 2 if cluster_spec is None else cluster_spec.workers
+        if workers < 1:
+            raise ValueError("workers must be a positive integer")
+        router_config = None if cluster_spec is None \
+            else cluster_spec.router_config()
+        transport = "tcp" if cluster_spec is None \
+            else cluster_spec.worker_transport
+        artifacts: Dict[str, Path] = {"default": Path(artifact)}
+        for tenant, path in (tenants or {}).items():
+            artifacts[tenant] = Path(path)
+        incremental = None
+        if service_spec is not None and not service_spec.incremental:
+            incremental = False
+        configs = [
+            WorkerConfig(name=f"worker-{index}", artifacts=dict(artifacts),
+                         default_tenant="default", transport=transport,
+                         host=host, incremental=incremental)
+            for index in range(workers)
+        ]
+        return ClusterHarness(configs, router_config=router_config,
+                              host=host, run_dir=run_dir)
+
     def edge_estimates(self) -> Dict[str, Any]:
         """Analytical edge-board metrics for ``spec.runtime.devices``."""
         from ..edge.device import get_device

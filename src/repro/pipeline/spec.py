@@ -32,6 +32,7 @@ __all__ = [
     "CalibrationSpec",
     "QuantizationSpec",
     "AdaptationSpec",
+    "ClusterSpec",
     "ServiceSpec",
     "RuntimeSpec",
     "DeploymentSpec",
@@ -257,6 +258,57 @@ class AdaptationSpec:
 
 
 @dataclass(frozen=True)
+class ClusterSpec:
+    """Sharded-serving settings (``service.cluster`` sub-entry).
+
+    Presence turns ``repro serve`` / :meth:`Pipeline.deploy_cluster` into
+    a multi-worker deployment: ``workers`` subprocesses each running the
+    full serving stack, fronted by the :class:`repro.cluster.ShardRouter`
+    consistent-hash shard router.  ``virtual_nodes`` sets the hash-ring
+    granularity per worker; ``worker_transport`` picks how the router
+    reaches workers (``"uds"`` keeps intra-host traffic off TCP);
+    ``restart`` respawns crashed workers (their streams resume after a
+    window re-fill); ``health_interval_s`` paces crash probes and fleet
+    metrics refresh; ``recover_timeout_s`` bounds each crash-recovery
+    stall.  See the "Cluster topology" section of ``docs/ARCHITECTURE.md``.
+    """
+
+    workers: int = 2
+    virtual_nodes: int = 64
+    worker_transport: str = "tcp"
+    restart: bool = True
+    health_interval_s: float = 2.0
+    recover_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) \
+                or self.workers < 1:
+            raise SpecError("cluster.workers must be a positive integer")
+        if not isinstance(self.virtual_nodes, int) \
+                or isinstance(self.virtual_nodes, bool) \
+                or self.virtual_nodes < 1:
+            raise SpecError("cluster.virtual_nodes must be a positive integer")
+        if self.worker_transport not in ("tcp", "uds"):
+            raise SpecError(
+                f"cluster.worker_transport must be 'tcp' or 'uds', "
+                f"got {self.worker_transport!r}")
+        for name in ("health_interval_s", "recover_timeout_s"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value <= 0:
+                raise SpecError(f"cluster.{name} must be a positive number")
+
+    def router_config(self) -> "Any":
+        """Build the runtime :class:`repro.cluster.RouterConfig`."""
+        from ..cluster import RouterConfig
+
+        return RouterConfig(virtual_nodes=self.virtual_nodes,
+                            health_interval_s=self.health_interval_s,
+                            restart=self.restart,
+                            recover_timeout_s=self.recover_timeout_s)
+
+
+@dataclass(frozen=True)
 class ServiceSpec:
     """Serving-API settings (presence enables ``Pipeline.deploy_service``).
 
@@ -300,8 +352,18 @@ class ServiceSpec:
     trace_events: int = 4096
     metrics_port: Optional[int] = None
     alarm_log: Optional[str] = None
+    #: sharded multi-worker serving (``repro serve --workers`` /
+    #: ``Pipeline.deploy_cluster``); absent = single-process serving
+    cluster: Optional[ClusterSpec] = None
 
     def __post_init__(self) -> None:
+        # A spec file carries the cluster entry as a plain mapping;
+        # normalise it to a ClusterSpec (strict keys, like every sub-spec).
+        if self.cluster is not None and not isinstance(self.cluster,
+                                                       ClusterSpec):
+            object.__setattr__(
+                self, "cluster",
+                _from_mapping(ClusterSpec, self.cluster, "service.cluster"))
         # Run ServiceConfig's own validation (one source of truth for the
         # batcher knobs) so a bad spec fails at parse time, not when the
         # service starts; ValueErrors are re-raised as SpecErrors with the

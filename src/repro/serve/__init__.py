@@ -79,7 +79,8 @@ from .service import AnomalyService, ServiceConfig, ServiceStats
 from .session import (Alarm, ScoredSample, ScoringSession, SessionClosedError,
                       WindowRequest)
 from .tcp import (PROTOCOLS, AnomalyTCPServer, AnomalyWireServer,
-                  BinaryClient, ServerTimeoutError, TCPClient)
+                  BinaryClient, ServerTimeoutError, TCPClient,
+                  write_endpoint_file)
 from .transport import (HAS_UNIX_SOCKETS, TCPTransport, Transport,
                         UnixSocketTransport, make_transport)
 
@@ -106,5 +107,6 @@ __all__ = [
     "UnixSocketTransport",
     "make_transport",
     "HAS_UNIX_SOCKETS",
+    "write_endpoint_file",
     "wire",
 ]

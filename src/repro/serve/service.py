@@ -20,6 +20,7 @@ adaptation events are bit-identical to the sequential
 from __future__ import annotations
 
 import asyncio
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Dict, List, Optional, Sequence
@@ -109,6 +110,9 @@ class ServiceStats:
     scoring_time_s: float
     queue_delay_histogram: StreamingHistogram = field(repr=False)
     occupancy_histogram: StreamingHistogram = field(repr=False)
+    alarms_total: int = 0
+    sessions_exported: int = 0    #: sessions handed off to another worker
+    sessions_imported: int = 0    #: sessions received from another worker
 
     @property
     def queue_delay_p99_s(self) -> float:
@@ -117,6 +121,50 @@ class ServiceStats:
     @property
     def mean_batch_size(self) -> float:
         return self.samples_scored / self.flushes if self.flushes else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot (histograms via ``to_state``).
+
+        This is the per-service schema of the ``snapshot`` wire op;
+        :meth:`repro.cluster.ClusterStats.from_snapshots` merges a fleet
+        of them back into one :class:`ServiceStats` via
+        :meth:`~repro.edge.StreamingHistogram.merge`.
+        """
+        return {
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "live_sessions": self.live_sessions,
+            "samples_pushed": self.samples_pushed,
+            "samples_scored": self.samples_scored,
+            "samples_dropped": self.samples_dropped,
+            "flushes": self.flushes,
+            "scoring_time_s": self.scoring_time_s,
+            "alarms_total": self.alarms_total,
+            "sessions_exported": self.sessions_exported,
+            "sessions_imported": self.sessions_imported,
+            "queue_delay_histogram": self.queue_delay_histogram.to_state(),
+            "occupancy_histogram": self.occupancy_histogram.to_state(),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "ServiceStats":
+        return cls(
+            sessions_opened=state["sessions_opened"],
+            sessions_closed=state["sessions_closed"],
+            live_sessions=state["live_sessions"],
+            samples_pushed=state["samples_pushed"],
+            samples_scored=state["samples_scored"],
+            samples_dropped=state["samples_dropped"],
+            flushes=state["flushes"],
+            scoring_time_s=state["scoring_time_s"],
+            alarms_total=state["alarms_total"],
+            sessions_exported=state["sessions_exported"],
+            sessions_imported=state["sessions_imported"],
+            queue_delay_histogram=StreamingHistogram.from_state(
+                state["queue_delay_histogram"]),
+            occupancy_histogram=StreamingHistogram.from_state(
+                state["occupancy_histogram"]),
+        )
 
 
 class _Subscriber:
@@ -209,6 +257,8 @@ class AnomalyService:
         self._alarms_total = 0
         self._sink_errors = 0
         self._adaptation_folded = 0   # events of already-closed sessions
+        self._exported = 0            # sessions handed off (cluster rebalance)
+        self._imported = 0            # sessions received from another worker
         #: the service's :class:`repro.obs.Observability` (``None`` unless
         #: ``config.observability`` -- the no-op default).
         self.observability: Optional[Observability] = None
@@ -337,6 +387,58 @@ class AnomalyService:
                                  scored=session.samples_scored)
         return session
 
+    # -- handoff (cluster session re-homing) --------------------------------- #
+    async def export_session(self, stream_id: str) -> bytes:
+        """Drain and detach one live session, returning its state blob.
+
+        The session is *not* closed -- it continues, bit-identically, on
+        whichever service :meth:`import_session`\\ s the blob (the cluster
+        router re-homes streams this way when the worker ring changes).
+        Draining first preserves in-flight completion order: every window
+        this service accepted is scored and broadcast here before the
+        session travels.
+        """
+        self._require_running()
+        session = self.session(stream_id)
+        if self._batcher is not None:
+            self._broadcast(self._batcher.drain(session))
+            self._signal_space()
+        state = session.export_state()
+        del self._sessions[stream_id]
+        self._exported += 1
+        if self._tracer is not None:
+            self._tracer.instant("session_export", stream_id,
+                                 pushed=session.samples_pushed)
+        return pickle.dumps(state, protocol=4)
+
+    async def import_session(self, state_blob: bytes) -> ScoringSession:
+        """Attach a session exported by another service over this detector.
+
+        Only meaningful between services scoring the *same* artifact (the
+        cluster keys workers by artifact fingerprint); the blob is a pickle
+        produced by :meth:`export_session`, so wire servers only accept it
+        on explicitly handoff-enabled (cluster-internal) endpoints.
+        """
+        self._require_running()
+        state = pickle.loads(state_blob)
+        stream_id = state["stream_id"]
+        if stream_id in self._sessions:
+            raise ValueError(f"session {stream_id!r} is already open")
+        session = ScoringSession.from_state(self.detector, state,
+                                            tracer=self._tracer)
+        if session._ring is not None:
+            n_channels = int(session._ring.shape[1])
+            if self._n_channels is None:
+                self._n_channels = n_channels
+            elif n_channels != self._n_channels:
+                raise ValueError(
+                    f"imported session {stream_id!r} carries {n_channels} "
+                    f"channels; this service scores "
+                    f"{self._n_channels}-channel streams")
+        self._sessions[stream_id] = session
+        self._imported += 1
+        return session
+
     # -- ingestion ---------------------------------------------------------- #
     async def push(self, stream_id: str, values) -> None:
         """Ingest one sample for ``stream_id``, respecting backpressure.
@@ -440,6 +542,9 @@ class AnomalyService:
             scoring_time_s=batcher.scoring_time_s,
             queue_delay_histogram=batcher.queue_delay_histogram,
             occupancy_histogram=batcher.occupancy_histogram,
+            alarms_total=self._alarms_total,
+            sessions_exported=self._exported,
+            sessions_imported=self._imported,
         )
 
     # -- observability -------------------------------------------------------- #
@@ -498,6 +603,14 @@ class AnomalyService:
             "all sessions, live and closed.",
             fn=lambda: self._adaptation_folded + sum(
                 len(s.adaptation_events) for s in self._sessions.values()))
+        registry.counter(
+            "repro_service_sessions_exported_total",
+            "Sessions handed off to another worker (cluster rebalance).",
+            fn=lambda: self._exported)
+        registry.counter(
+            "repro_service_sessions_imported_total",
+            "Sessions received from another worker (cluster rebalance).",
+            fn=lambda: self._imported)
         registry.counter(
             "repro_service_alarm_sink_errors_total",
             "Alarm-sink emit() calls that raised (and were swallowed).",

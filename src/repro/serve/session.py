@@ -457,6 +457,122 @@ class ScoringSession:
         """Refuse further pushes.  Outstanding requests may still complete."""
         self._closed = True
 
+    # -- handoff (cluster session re-homing) -------------------------------- #
+    def export_state(self) -> dict:
+        """Snapshot everything but the detector, for re-homing the session.
+
+        The snapshot carries the ring buffer, the resolved threshold, the
+        live adaptation lane and all counters/recording state -- enough for
+        :meth:`from_state` on another process (sharing the same artifact)
+        to continue the stream with bit-identical scores, alarms and
+        adaptation events.  The scheduler must have drained the session
+        first: requests in flight hold a reference to this object and
+        cannot travel.
+        """
+        if self.outstanding:
+            raise RuntimeError(
+                f"session {self.stream_id!r} still has {self.outstanding} "
+                f"outstanding requests; drain before exporting"
+            )
+        return {
+            "version": 1,
+            "stream_id": self.stream_id,
+            "scaler": self.scaler,
+            "max_samples": self.max_samples,
+            "record": self.record,
+            "ring": None if self._ring is None else self._ring.copy(),
+            "cursor": self._cursor,
+            "filled": self._filled,
+            "resolved": self._resolved,
+            "incremental": self._scorer is not None,
+            "adapter": self._adapter,
+            "closed": self._closed,
+            "pushed": self._pushed,
+            "submitted": self._submitted,
+            "next_complete": self._next_complete,
+            "completed": self._completed,
+            "dropped": self._dropped,
+            "discarded": set(self._discarded),
+            "scores": list(self._scores),
+            "alarms": list(self._alarms),
+            "trace": list(self._trace),
+            "latencies": list(self._latencies),
+        }
+
+    @classmethod
+    def from_state(cls, detector: AnomalyDetector, state: dict,
+                   *, tracer=None) -> "ScoringSession":
+        """Rebuild a session from :meth:`export_state` on this ``detector``.
+
+        The detector must be the same artifact the session was scored by so
+        far (same weights -- the cluster keys workers by artifact
+        fingerprint to guarantee it).  The incremental lane is re-warmed by
+        replaying the ring contents: scores depend only on the last
+        ``window`` samples (the fastpath parity contract equates them with
+        batch scores over exactly that context), so the replayed scorer
+        continues bit-identically.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported session state version {state.get('version')!r}")
+        session = cls.__new__(cls)
+        session.detector = detector
+        session.stream_id = state["stream_id"]
+        session.scaler = state["scaler"]
+        session.max_samples = state["max_samples"]
+        session.record = state["record"]
+        ring = state["ring"]
+        session._ring = None if ring is None \
+            else np.array(ring, dtype=np.float64)
+        session._cursor = state["cursor"]
+        session._filled = state["filled"]
+        session._resolved = state["resolved"]
+        session._tracer = tracer
+        session._adapter = state["adapter"]
+        session._closed = state["closed"]
+        session._pushed = state["pushed"]
+        session._submitted = state["submitted"]
+        session._next_complete = state["next_complete"]
+        session._completed = state["completed"]
+        session._dropped = state["dropped"]
+        session._discarded = set(state["discarded"])
+        session._scores = list(state["scores"])
+        session._alarms = list(state["alarms"])
+        session._trace = list(state["trace"])
+        session._latencies = list(state["latencies"])
+        session._scorer = None
+        if state["incremental"] and detector.scores_current_sample:
+            session._scorer = session._rewarm_scorer()
+        if tracer is not None:
+            tracer.instant("session_import", session.stream_id,
+                           pushed=session._pushed,
+                           incremental=session._scorer is not None)
+        return session
+
+    def _rewarm_scorer(self):
+        """Recreate the incremental scorer by replaying the ring history."""
+        scorer = self.detector.incremental_scorer()
+        if scorer is None:
+            return None
+        try:
+            for row in self._ring_history():
+                scorer.push(row)
+        except ValueError:
+            # Mirrors the submit()-time fallback: a shape the incremental
+            # plan rejects keeps the session on the (bit-identical) batch
+            # path instead of failing the import.
+            return None
+        return scorer
+
+    def _ring_history(self) -> np.ndarray:
+        """The retained samples in push order (at most ``window`` of them)."""
+        if self._ring is None or self._filled == 0:
+            return np.empty((0, 0))
+        if self._filled < self._ring.shape[0]:
+            # Never wrapped: rows [0, filled) are already in push order.
+            return self._ring[:self._filled]
+        return self._window_array()
+
     def result(self, labels: Optional[np.ndarray] = None):
         """Build the :class:`~repro.edge.StreamingResult` of this session.
 

@@ -15,18 +15,28 @@ Every connection speaks one of two *protocols*, decided by its first byte
 
 JSON requests (client -> server)::
 
-    {"op": "open",  "stream": "cell-7"}            optional: "max_samples"
+    {"op": "open",  "stream": "cell-7"}            optional: "max_samples",
+                                                   "tenant" (cluster workers)
     {"op": "push",  "stream": "cell-7", "values": [0.1, 0.2, ...]}
     {"op": "close", "stream": "cell-7"}
     {"op": "stats"}
     {"op": "ping"}
     {"op": "metrics"}                              Prometheus text snapshot
     {"op": "trace"}                                Chrome trace JSON snapshot
+    {"op": "snapshot"}                             rich JSON state (always on)
     {"op": "shutdown"}                             stops the whole server
 
 (``metrics`` and ``trace`` answer only when the service was built with
 ``ServiceConfig(observability=True)``; otherwise they get a structured
-error reply, like any other rejected op.)
+error reply, like any other rejected op.  ``snapshot`` answers always --
+it reads counters the hot path maintains anyway -- and is what
+:mod:`repro.cluster` aggregates into fleet stats.)
+
+Two further control-plane ops exist for the cluster's session re-homing,
+``export_session`` and ``import_session``; they are refused unless the
+server was built with ``allow_handoff=True`` (cluster workers only --
+imported blobs are pickles and must never be accepted from untrusted
+clients).
 
 Every request gets exactly one reply, in request order::
 
@@ -67,7 +77,9 @@ connection drops, so a crashed producer cannot leak sessions.
 from __future__ import annotations
 
 import asyncio
+import base64
 import json
+import os
 import socket
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
@@ -81,7 +93,8 @@ from .transport import (TCPTransport, Transport, UnixSocketTransport,
                         bound_port)
 
 __all__ = ["AnomalyWireServer", "AnomalyTCPServer", "TCPClient",
-           "BinaryClient", "ServerTimeoutError", "PROTOCOLS"]
+           "BinaryClient", "ServerTimeoutError", "PROTOCOLS",
+           "write_endpoint_file"]
 
 #: The protocols a server may accept; ``AnomalyWireServer(protocols=...)``
 #: restricts them (e.g. binary-only for a production ingest socket).
@@ -90,8 +103,24 @@ PROTOCOLS = ("json", "binary")
 _OP_CODES = {"open": wire.OP_OPEN, "push": wire.OP_PUSH,
              "close": wire.OP_CLOSE, "stats": wire.OP_STATS,
              "ping": wire.OP_PING, "shutdown": wire.OP_SHUTDOWN,
-             "metrics": wire.OP_METRICS, "trace": wire.OP_TRACE}
+             "metrics": wire.OP_METRICS, "trace": wire.OP_TRACE,
+             "snapshot": wire.OP_SNAPSHOT,
+             "export_session": wire.OP_EXPORT_SESSION,
+             "import_session": wire.OP_IMPORT_SESSION}
 _OP_NAMES = {code: name for name, code in _OP_CODES.items()}
+
+
+def write_endpoint_file(path: Union[str, Path], text: str) -> None:
+    """Atomically publish an endpoint line: write a temp file, then rename.
+
+    Pollers race the writer by design (the port-file handshake), so the
+    visible file must never hold a partial line.  ``os.replace`` of a file
+    written in the same directory is atomic on POSIX and Windows alike.
+    """
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(text + "\n", encoding="utf-8")
+    os.replace(temp, path)
 
 
 class ServerTimeoutError(ConnectionError):
@@ -206,16 +235,24 @@ class _BinaryServerConnection:
             message: Dict[str, Any] = {"op": "open", "stream": frame.stream}
             if frame.max_samples is not None:
                 message["max_samples"] = frame.max_samples
+            if frame.tenant is not None:
+                message["tenant"] = frame.tenant
             return message
         if isinstance(frame, wire.Push):
             return {"op": "push", "stream": frame.stream,
                     "values": np.asarray(frame.samples, dtype=np.float64)}
         if isinstance(frame, wire.Close):
             return {"op": "close", "stream": frame.stream}
+        if isinstance(frame, wire.ExportSession):
+            return {"op": "export_session", "stream": frame.stream}
+        if isinstance(frame, wire.ImportSession):
+            return {"op": "import_session", "tenant": frame.tenant,
+                    "state": frame.state}
         for frame_type, op in ((wire.Stats, "stats"), (wire.Ping, "ping"),
                                (wire.Shutdown, "shutdown"),
                                (wire.Metrics, "metrics"),
-                               (wire.Trace, "trace")):
+                               (wire.Trace, "trace"),
+                               (wire.Snapshot, "snapshot")):
             if isinstance(frame, frame_type):
                 return {"op": op}
         # A structurally valid frame that is not a request (a client echoing
@@ -276,6 +313,15 @@ class _BinaryServerConnection:
         if op == "trace":
             return wire.TraceAck(json_text=json.dumps(
                 reply["trace"], allow_nan=False, separators=(",", ":")))
+        if op == "snapshot":
+            return wire.SnapshotAck(json_text=json.dumps(
+                reply["snapshot"], allow_nan=False, separators=(",", ":")))
+        if op == "export_session":
+            return wire.ExportSessionAck(stream=reply["stream"],
+                                         tenant=reply["tenant"],
+                                         state=reply["state"])
+        if op == "import_session":
+            return wire.ImportSessionAck(stream=reply["stream"])
         raise RuntimeError(f"no binary encoding for reply op {op!r}")
 
 
@@ -290,12 +336,17 @@ class AnomalyWireServer:
 
     def __init__(self, service: AnomalyService, transport: Transport, *,
                  allow_shutdown: bool = True,
+                 allow_handoff: bool = False,
                  protocols: Iterable[str] = PROTOCOLS) -> None:
         self.service = service
         self.transport = transport
         #: honour the ``shutdown`` op (the smoke flow's clean-exit path);
         #: disable for servers that must only stop from their own host.
         self.allow_shutdown = allow_shutdown
+        #: honour ``export_session``/``import_session``.  Off by default:
+        #: imports deserialise pickled session state, so only
+        #: cluster-internal worker endpoints may enable this.
+        self.allow_handoff = allow_handoff
         self.protocols = tuple(protocols)
         unknown = set(self.protocols) - set(PROTOCOLS)
         if unknown or not self.protocols:
@@ -359,13 +410,17 @@ class AnomalyWireServer:
         same moment (for in-process callers).
         """
         self._stopping = asyncio.Event()
-        await self.service.start()
+        started: List[AnomalyService] = []
         try:
+            for service in self._all_services():
+                await service.start()
+                started.append(service)
             self._server = await self.transport.listen(self._handle_connection)
             try:
                 if port_file is not None:
-                    Path(port_file).write_text(self.bound_address + "\n",
-                                               encoding="utf-8")
+                    # Atomic write-then-rename: a poller racing this
+                    # handshake must never read a partial endpoint line.
+                    write_endpoint_file(port_file, self.bound_address)
                 if ready is not None:
                     ready.set()
                 await self._stopping.wait()
@@ -374,12 +429,59 @@ class AnomalyWireServer:
                 await self._server.wait_closed()
                 self._server = None
         finally:
-            await self.service.stop()
+            for service in reversed(started):
+                await service.stop()
 
     def request_stop(self) -> None:
         """Ask :meth:`serve_forever` to wind down (idempotent)."""
         if self._stopping is not None:
             self._stopping.set()
+
+    # -- the served services (overridable: multi-tenant cluster workers) ---- #
+    def _all_services(self) -> Iterable[AnomalyService]:
+        """Every service this server fronts (one, unless multi-tenant)."""
+        return (self.service,)
+
+    def _named_services(self) -> Dict[str, AnomalyService]:
+        """Tenant-name view of :meth:`_all_services` (snapshot schema)."""
+        return {"default": self.service}
+
+    def _service_for(self, message: Dict[str, Any]) -> AnomalyService:
+        """Resolve the service a stream op addresses (tenant routing hook)."""
+        if message.get("tenant") not in (None, "default"):
+            raise ValueError(
+                "this server hosts a single artifact; tenant keys are only "
+                "meaningful on a multi-tenant cluster worker")
+        return self.service
+
+    def _tenant_for_stream(self, stream_id: str) -> str:
+        """The tenant key a session belongs to (export replies carry it)."""
+        return "default"
+
+    def _register_stream(self, stream_id: str,
+                         message: Dict[str, Any]) -> None:
+        """Hook: a stream was opened/imported (tenant bookkeeping)."""
+
+    def _forget_stream(self, stream_id: str) -> None:
+        """Hook: a stream was closed/exported."""
+
+    def _session_service(self, stream_id: str) -> Optional[AnomalyService]:
+        for service in self._all_services():
+            if stream_id in service.sessions:
+                return service
+        return None
+
+    def _merged_stats(self):
+        return self.service.stats()
+
+    def _metrics_text(self) -> str:
+        return self.service.metrics_text()
+
+    def _snapshot(self) -> Dict[str, Any]:
+        """Machine-readable state of every hosted service (cluster probes)."""
+        return {"services": {
+            name: {"fingerprint": None, "stats": service.stats().to_dict()}
+            for name, service in self._named_services().items()}}
 
     # -- per-connection handling ------------------------------------------- #
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -391,30 +493,36 @@ class AnomalyWireServer:
         # end-of-stream alarms must still reach the client.  (Consequence:
         # do not reuse a closed stream id from a different connection.)
         ever_owned: set = set()
-        alarm_task: Optional[asyncio.Task] = None
+        alarm_tasks: List[asyncio.Task] = []
         try:
             first = await reader.read(1)
             if first:
                 codec = self._negotiate(reader, writer, first)
-                alarm_task = asyncio.create_task(
-                    self._forward_alarms(codec, writer, ever_owned))
+                alarm_tasks = [
+                    asyncio.create_task(
+                        self._forward_alarms(service, codec, writer,
+                                             ever_owned))
+                    for service in self._all_services()]
                 await self._connection_loop(codec, writer, owned, ever_owned)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
-            if alarm_task is not None:
+            for alarm_task in alarm_tasks:
                 alarm_task.cancel()
+            for alarm_task in alarm_tasks:
                 try:
                     await alarm_task
                 except asyncio.CancelledError:
                     pass
             # A dropped producer must not leak its sessions.
             for stream_id in owned:
-                if stream_id in self.service.sessions:
+                service = self._session_service(stream_id)
+                if service is not None:
                     try:
-                        await self.service.close_session(stream_id)
+                        await service.close_session(stream_id)
                     except RuntimeError:
                         pass   # service already stopped
+                    self._forget_stream(stream_id)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -470,9 +578,10 @@ class AnomalyWireServer:
             if reply.get("op") == "shutdown" and reply.get("ok"):
                 return
 
-    async def _forward_alarms(self, codec, writer: asyncio.StreamWriter,
+    async def _forward_alarms(self, service: AnomalyService, codec,
+                              writer: asyncio.StreamWriter,
                               ever_owned: set) -> None:
-        async for alarm in self.service.alarms():
+        async for alarm in service.alarms():
             if alarm.stream_id not in ever_owned:
                 continue
             try:
@@ -491,42 +600,45 @@ class AnomalyWireServer:
             if op == "ping":
                 return {"ok": True, "op": "ping"}
             if op == "stats":
-                stats = self.service.stats()
-                return {
-                    "ok": True, "op": "stats",
-                    "live_sessions": stats.live_sessions,
-                    "samples_pushed": stats.samples_pushed,
-                    "samples_scored": stats.samples_scored,
-                    "samples_dropped": stats.samples_dropped,
-                    "flushes": stats.flushes,
-                    "mean_batch_size": stats.mean_batch_size,
-                    "queue_delay_p99_s": _json_float(stats.queue_delay_p99_s),
-                }
+                return dict(_stats_payload(self._merged_stats()),
+                            ok=True, op="stats")
+            if op == "snapshot":
+                return {"ok": True, "op": "snapshot",
+                        "snapshot": self._snapshot()}
             if op == "open":
                 stream_id = _required_stream(message)
-                session = await self.service.open_session(
+                service = self._service_for(message)
+                session = await service.open_session(
                     stream_id, max_samples=message.get("max_samples"))
+                self._register_stream(stream_id, message)
                 owned.append(stream_id)
                 ever_owned.add(stream_id)
                 threshold = session.threshold
                 return {"ok": True, "op": "open", "stream": stream_id,
-                        "window": self.service.detector.window,
+                        "window": service.detector.window,
                         "incremental": session.incremental_active,
                         "threshold": None if threshold is None
                         else threshold.threshold}
             if op == "push":
                 stream_id = _required_stream(message)
                 block = _push_block(message)
-                if stream_id not in self.service.sessions:
-                    owned.append(stream_id)   # auto-open path
+                service = self._session_service(stream_id)
+                if service is None:
+                    service = self._service_for(message)  # auto-open path
+                    self._register_stream(stream_id, message)
+                    owned.append(stream_id)
                     ever_owned.add(stream_id)
                 for row in block:
-                    await self.service.push(stream_id, row)
+                    await service.push(stream_id, row)
                 return {"ok": True, "op": "push",
                         "accepted": int(block.shape[0])}
             if op == "close":
                 stream_id = _required_stream(message)
-                session = await self.service.close_session(stream_id)
+                service = self._session_service(stream_id)
+                if service is None:
+                    raise ValueError(f"unknown stream {stream_id!r}")
+                session = await service.close_session(stream_id)
+                self._forget_stream(stream_id)
                 if stream_id in owned:
                     owned.remove(stream_id)
                 return {"ok": True, "op": "close", "stream": stream_id,
@@ -534,9 +646,40 @@ class AnomalyWireServer:
                         "samples_scored": session.samples_scored,
                         "samples_dropped": session.samples_dropped,
                         "adaptation_events": len(session.adaptation_events)}
+            if op == "export_session":
+                if not self.allow_handoff:
+                    raise ValueError(
+                        "session handoff is disabled on this server")
+                stream_id = _required_stream(message)
+                service = self._session_service(stream_id)
+                if service is None:
+                    raise ValueError(f"unknown stream {stream_id!r}")
+                tenant = self._tenant_for_stream(stream_id)
+                blob = await service.export_session(stream_id)
+                self._forget_stream(stream_id)
+                if stream_id in owned:
+                    owned.remove(stream_id)
+                return {"ok": True, "op": "export_session",
+                        "stream": stream_id, "tenant": tenant,
+                        "state": base64.b64encode(blob).decode("ascii")}
+            if op == "import_session":
+                if not self.allow_handoff:
+                    raise ValueError(
+                        "session handoff is disabled on this server")
+                service = self._service_for(message)
+                state = message.get("state")
+                if not isinstance(state, str) or not state:
+                    raise ValueError("import_session needs a 'state' string")
+                session = await service.import_session(
+                    base64.b64decode(state.encode("ascii")))
+                self._register_stream(session.stream_id, message)
+                owned.append(session.stream_id)
+                ever_owned.add(session.stream_id)
+                return {"ok": True, "op": "import_session",
+                        "stream": session.stream_id}
             if op == "metrics":
                 return {"ok": True, "op": "metrics",
-                        "text": self.service.metrics_text()}
+                        "text": self._metrics_text()}
             if op == "trace":
                 return {"ok": True, "op": "trace",
                         "trace": self.service.trace_export()}
@@ -591,6 +734,19 @@ def _push_block(message: Dict[str, Any]) -> np.ndarray:
 def _json_float(value: float) -> Optional[float]:
     """NaN is not valid JSON; report it as null."""
     return float(value) if np.isfinite(value) else None
+
+
+def _stats_payload(stats) -> Dict[str, Any]:
+    """The JSON body of a ``stats`` reply for a (possibly merged) stats."""
+    return {
+        "live_sessions": stats.live_sessions,
+        "samples_pushed": stats.samples_pushed,
+        "samples_scored": stats.samples_scored,
+        "samples_dropped": stats.samples_dropped,
+        "flushes": stats.flushes,
+        "mean_batch_size": stats.mean_batch_size,
+        "queue_delay_p99_s": _json_float(stats.queue_delay_p99_s),
+    }
 
 
 # --------------------------------------------------------------------------- #
@@ -664,11 +820,13 @@ class _ClientCore:
     def ping(self) -> Dict[str, Any]:
         return self._checked({"op": "ping"})
 
-    def open(self, stream_id: str,
-             max_samples: Optional[int] = None) -> Dict[str, Any]:
+    def open(self, stream_id: str, max_samples: Optional[int] = None,
+             tenant: Optional[str] = None) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"op": "open", "stream": stream_id}
         if max_samples is not None:
             payload["max_samples"] = max_samples
+        if tenant is not None:
+            payload["tenant"] = tenant
         return self._checked(payload)
 
     def push(self, stream_id: str, values) -> Dict[str, Any]:
@@ -689,6 +847,28 @@ class _ClientCore:
 
     def stats(self) -> Dict[str, Any]:
         return self._checked({"op": "stats"})
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Fetch the server's machine-readable state (per-service stats)."""
+        return self._checked({"op": "snapshot"})["snapshot"]
+
+    def export_session(self, stream_id: str) -> Dict[str, Any]:
+        """Drain and export a live session as an opaque handoff blob.
+
+        Only honoured by servers started with ``allow_handoff=True``
+        (cluster-internal worker endpoints).  The reply carries the
+        stream id, its tenant key, and a base64 ``state`` string to feed
+        to :meth:`import_session` on another worker.
+        """
+        return self._checked({"op": "export_session", "stream": stream_id})
+
+    def import_session(self, tenant: Optional[str],
+                       state: str) -> Dict[str, Any]:
+        """Re-home a previously exported session onto this server."""
+        payload: Dict[str, Any] = {"op": "import_session", "state": state}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._checked(payload)
 
     def metrics(self) -> str:
         """Scrape the server's Prometheus text exposition page.
@@ -790,13 +970,23 @@ class BinaryClient(_ClientCore):
     def _to_frame(payload: Dict[str, Any]) -> wire.Frame:
         op = payload["op"]
         if op == "open":
-            return wire.Open(payload["stream"], payload.get("max_samples"))
+            return wire.Open(payload["stream"], payload.get("max_samples"),
+                             payload.get("tenant"))
         if op == "push":
             return wire.Push(payload["stream"], payload["values"])
         if op == "close":
             return wire.Close(payload["stream"])
         if op == "stats":
             return wire.Stats()
+        if op == "snapshot":
+            return wire.Snapshot()
+        if op == "export_session":
+            return wire.ExportSession(payload["stream"])
+        if op == "import_session":
+            # The wire frame always carries a tenant key; a single-artifact
+            # server answers to the implicit "default" tenant.
+            return wire.ImportSession(payload.get("tenant") or "default",
+                                      payload["state"])
         if op == "ping":
             return wire.Ping()
         if op == "metrics":
@@ -847,6 +1037,16 @@ class BinaryClient(_ClientCore):
                     "flushes": frame.flushes,
                     "mean_batch_size": frame.mean_batch_size,
                     "queue_delay_p99_s": None if np.isnan(p99) else p99}
+        if isinstance(frame, wire.SnapshotAck):
+            return {"ok": True, "op": "snapshot",
+                    "snapshot": json.loads(frame.json_text)}
+        if isinstance(frame, wire.ExportSessionAck):
+            return {"ok": True, "op": "export_session",
+                    "stream": frame.stream, "tenant": frame.tenant,
+                    "state": frame.state}
+        if isinstance(frame, wire.ImportSessionAck):
+            return {"ok": True, "op": "import_session",
+                    "stream": frame.stream}
         if isinstance(frame, wire.PingAck):
             return {"ok": True, "op": "ping"}
         if isinstance(frame, wire.ShutdownAck):

@@ -21,27 +21,41 @@ Frame layout (all integers little-endian)::
 
 Request ops (client -> server) mirror the JSON protocol one to one::
 
-    0x01 OPEN      stream id + optional max_samples
-    0x02 PUSH      stream id + (n_samples, n_channels) float32 block
-    0x03 CLOSE     stream id
-    0x04 STATS     empty
-    0x05 PING      empty
-    0x06 SHUTDOWN  empty
-    0x07 METRICS   empty (Prometheus text exposition snapshot)
-    0x08 TRACE     empty (Chrome trace JSON snapshot)
+    0x01 OPEN            stream id + optional max_samples + optional tenant
+    0x02 PUSH            stream id + (n_samples, n_channels) float32 block
+    0x03 CLOSE           stream id
+    0x04 STATS           empty
+    0x05 PING            empty
+    0x06 SHUTDOWN        empty
+    0x07 METRICS         empty (Prometheus text exposition snapshot)
+    0x08 TRACE           empty (Chrome trace JSON snapshot)
+    0x09 SNAPSHOT        empty (rich JSON state: counters + histograms)
+    0x0A EXPORT_SESSION  stream id (drain + detach for cluster handoff)
+    0x0B IMPORT_SESSION  tenant + base64 state blob (attach a handoff)
 
 Reply ops (server -> client; one reply per request, in request order)::
 
-    0x81 OPEN_ACK      window, incremental flag, optional threshold
-    0x82 PUSH_ACK      samples accepted
-    0x83 CLOSE_ACK     session summary counters
-    0x84 STATS_ACK     service counters + queue-delay p99
-    0x85 PING_ACK      empty
-    0x86 SHUTDOWN_ACK  empty
-    0x87 METRICS_ACK   <I-length-prefixed UTF-8 Prometheus text
-    0x88 TRACE_ACK     <I-length-prefixed UTF-8 Chrome trace JSON
-    0xE1 ALARM_EVENT   unsolicited: stream id, index, score, threshold
-    0xEE ERROR         echoed request op + UTF-8 message
+    0x81 OPEN_ACK            window, incremental flag, optional threshold
+    0x82 PUSH_ACK            samples accepted
+    0x83 CLOSE_ACK           session summary counters
+    0x84 STATS_ACK           service counters + queue-delay p99
+    0x85 PING_ACK            empty
+    0x86 SHUTDOWN_ACK        empty
+    0x87 METRICS_ACK         <I-length-prefixed UTF-8 Prometheus text
+    0x88 TRACE_ACK           <I-length-prefixed UTF-8 Chrome trace JSON
+    0x89 SNAPSHOT_ACK        <I-length-prefixed UTF-8 JSON snapshot
+    0x8A EXPORT_SESSION_ACK  stream id, tenant, base64 state blob
+    0x8B IMPORT_SESSION_ACK  stream id
+    0xE1 ALARM_EVENT         unsolicited: stream id, index, score, threshold
+    0xEE ERROR               echoed request op + UTF-8 message
+
+The OPEN tenant key and the SNAPSHOT/EXPORT/IMPORT ops exist for
+``repro.cluster``: the shard router opens tenant-qualified sessions on its
+workers and re-homes live sessions between them when the worker ring
+changes.  Session state blobs travel as base64 text (they are control-plane
+payloads, not hot-path data) and handoff ops are refused by servers unless
+explicitly enabled.  An OPEN frame without a tenant is byte-identical to
+the pre-cluster encoding, so old clients and new servers interoperate.
 
 Strings (stream ids, error messages) are ``<H``-length-prefixed UTF-8.
 Sample blocks are C-ordered ``<f4``; the codec round-trips them
@@ -87,15 +101,19 @@ import numpy as np
 __all__ = [
     "MAGIC", "VERSION", "HEADER", "MAX_PAYLOAD",
     "OP_OPEN", "OP_PUSH", "OP_CLOSE", "OP_STATS", "OP_PING", "OP_SHUTDOWN",
-    "OP_METRICS", "OP_TRACE",
+    "OP_METRICS", "OP_TRACE", "OP_SNAPSHOT", "OP_EXPORT_SESSION",
+    "OP_IMPORT_SESSION",
     "OP_OPEN_ACK", "OP_PUSH_ACK", "OP_CLOSE_ACK", "OP_STATS_ACK",
     "OP_PING_ACK", "OP_SHUTDOWN_ACK", "OP_METRICS_ACK", "OP_TRACE_ACK",
+    "OP_SNAPSHOT_ACK", "OP_EXPORT_SESSION_ACK", "OP_IMPORT_SESSION_ACK",
     "OP_ALARM_EVENT", "OP_ERROR",
     "WireProtocolError", "BadMagicError", "BadVersionError", "BadOpError",
     "FrameTooLargeError", "CorruptPayloadError",
     "Open", "Push", "Close", "Stats", "Ping", "Shutdown", "Metrics", "Trace",
+    "Snapshot", "ExportSession", "ImportSession",
     "OpenAck", "PushAck", "CloseAck", "StatsAck", "PingAck", "ShutdownAck",
-    "MetricsAck", "TraceAck", "AlarmEvent", "ErrorReply",
+    "MetricsAck", "TraceAck", "SnapshotAck", "ExportSessionAck",
+    "ImportSessionAck", "AlarmEvent", "ErrorReply",
     "Frame", "encode", "decode_frame", "FrameDecoder",
 ]
 
@@ -116,6 +134,9 @@ OP_PING = 0x05
 OP_SHUTDOWN = 0x06
 OP_METRICS = 0x07
 OP_TRACE = 0x08
+OP_SNAPSHOT = 0x09
+OP_EXPORT_SESSION = 0x0A
+OP_IMPORT_SESSION = 0x0B
 OP_OPEN_ACK = 0x81
 OP_PUSH_ACK = 0x82
 OP_CLOSE_ACK = 0x83
@@ -124,6 +145,9 @@ OP_PING_ACK = 0x85
 OP_SHUTDOWN_ACK = 0x86
 OP_METRICS_ACK = 0x87
 OP_TRACE_ACK = 0x88
+OP_SNAPSHOT_ACK = 0x89
+OP_EXPORT_SESSION_ACK = 0x8A
+OP_IMPORT_SESSION_ACK = 0x8B
 OP_ALARM_EVENT = 0xE1
 OP_ERROR = 0xEE
 
@@ -234,24 +258,40 @@ def _as_float32_block(samples) -> np.ndarray:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class Open:
-    """Open a scoring session (``max_samples=None`` = unbounded)."""
+    """Open a scoring session (``max_samples=None`` = unbounded).
+
+    ``tenant`` selects the packaged artifact on a multi-tenant cluster
+    worker; it is encoded as an *optional trailing* string so a tenant-less
+    OPEN stays byte-identical to the pre-cluster wire format (and old
+    frames decode on new servers, and vice versa).
+    """
 
     stream: str
     max_samples: Optional[int] = None
+    tenant: Optional[str] = None
 
     op = OP_OPEN
 
     def encode_payload(self) -> bytes:
         max_samples = -1 if self.max_samples is None else int(self.max_samples)
-        return _pack_str(self.stream) + _OPEN_TAIL.pack(max_samples)
+        payload = _pack_str(self.stream) + _OPEN_TAIL.pack(max_samples)
+        if self.tenant is not None:
+            payload += _pack_str(self.tenant)
+        return payload
 
     @classmethod
     def decode_payload(cls, payload: bytes) -> "Open":
         stream, offset = _unpack_str(payload, 0)
-        if offset + _OPEN_TAIL.size != len(payload):
+        if offset + _OPEN_TAIL.size > len(payload):
             raise CorruptPayloadError("OPEN payload has the wrong size")
         (max_samples,) = _OPEN_TAIL.unpack_from(payload, offset)
-        return cls(stream, None if max_samples < 0 else max_samples)
+        offset += _OPEN_TAIL.size
+        tenant = None
+        if offset != len(payload):
+            tenant, offset = _unpack_str(payload, offset)
+            if offset != len(payload):
+                raise CorruptPayloadError("OPEN payload has trailing bytes")
+        return cls(stream, None if max_samples < 0 else max_samples, tenant)
 
 
 class Push:
@@ -348,8 +388,125 @@ Ping = _payloadless("Ping", OP_PING)
 Shutdown = _payloadless("Shutdown", OP_SHUTDOWN)
 Metrics = _payloadless("Metrics", OP_METRICS)
 Trace = _payloadless("Trace", OP_TRACE)
+Snapshot = _payloadless("Snapshot", OP_SNAPSHOT)
 PingAck = _payloadless("PingAck", OP_PING_ACK)
 ShutdownAck = _payloadless("ShutdownAck", OP_SHUTDOWN_ACK)
+
+
+@dataclass(frozen=True)
+class ExportSession:
+    """Drain and detach one live session for a cluster handoff."""
+
+    stream: str
+
+    op = OP_EXPORT_SESSION
+
+    def encode_payload(self) -> bytes:
+        return _pack_str(self.stream)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "ExportSession":
+        stream, offset = _unpack_str(payload, 0)
+        if offset != len(payload):
+            raise CorruptPayloadError(
+                "EXPORT_SESSION payload has trailing bytes")
+        return cls(stream)
+
+
+@dataclass(frozen=True)
+class ExportSessionAck:
+    """The detached session: tenant key + base64 state blob.
+
+    The blob stays base64 text end to end (message layer included) --
+    handoffs are rare control-plane events, so the 4/3 size tax buys
+    strict-JSON transparency on the line protocol and in logs.
+    """
+
+    stream: str
+    tenant: str
+    state: str
+
+    op = OP_EXPORT_SESSION_ACK
+
+    def encode_payload(self) -> bytes:
+        return _pack_str(self.stream) + _pack_str(self.tenant) \
+            + _pack_text(self.state)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "ExportSessionAck":
+        stream, offset = _unpack_str(payload, 0)
+        tenant, offset = _unpack_str(payload, offset)
+        state, offset = _unpack_text(payload, offset)
+        if offset != len(payload):
+            raise CorruptPayloadError(
+                "EXPORT_SESSION_ACK payload has trailing bytes")
+        return cls(stream, tenant, state)
+
+
+@dataclass(frozen=True)
+class ImportSession:
+    """Attach an exported session blob under the given tenant."""
+
+    tenant: str
+    state: str
+
+    op = OP_IMPORT_SESSION
+
+    def encode_payload(self) -> bytes:
+        return _pack_str(self.tenant) + _pack_text(self.state)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "ImportSession":
+        tenant, offset = _unpack_str(payload, 0)
+        state, offset = _unpack_text(payload, offset)
+        if offset != len(payload):
+            raise CorruptPayloadError(
+                "IMPORT_SESSION payload has trailing bytes")
+        return cls(tenant, state)
+
+
+@dataclass(frozen=True)
+class ImportSessionAck:
+    """Confirms the stream id now served by the importing worker."""
+
+    stream: str
+
+    op = OP_IMPORT_SESSION_ACK
+
+    def encode_payload(self) -> bytes:
+        return _pack_str(self.stream)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "ImportSessionAck":
+        stream, offset = _unpack_str(payload, 0)
+        if offset != len(payload):
+            raise CorruptPayloadError(
+                "IMPORT_SESSION_ACK payload has trailing bytes")
+        return cls(stream)
+
+
+@dataclass(frozen=True)
+class SnapshotAck:
+    """Rich service state as JSON text (counters, histogram states).
+
+    Unlike STATS_ACK's fixed struct, the snapshot schema can grow without
+    a wire version bump; :class:`repro.cluster.ClusterStats` merges these
+    across workers.
+    """
+
+    json_text: str
+
+    op = OP_SNAPSHOT_ACK
+
+    def encode_payload(self) -> bytes:
+        return _pack_text(self.json_text)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "SnapshotAck":
+        text, offset = _unpack_text(payload, 0)
+        if offset != len(payload):
+            raise CorruptPayloadError("SNAPSHOT_ACK payload has trailing bytes")
+        return cls(text)
 
 
 @dataclass(frozen=True)
@@ -562,13 +719,17 @@ class ErrorReply:
 
 
 Frame = Union[Open, Push, Close, Stats, Ping, Shutdown, Metrics, Trace,
+              Snapshot, ExportSession, ImportSession,
               OpenAck, PushAck, CloseAck, StatsAck, PingAck, ShutdownAck,
-              MetricsAck, TraceAck, AlarmEvent, ErrorReply]
+              MetricsAck, TraceAck, SnapshotAck, ExportSessionAck,
+              ImportSessionAck, AlarmEvent, ErrorReply]
 
 _FRAME_TYPES: Tuple[Type, ...] = (
     Open, Push, Close, Stats, Ping, Shutdown, Metrics, Trace,
+    Snapshot, ExportSession, ImportSession,
     OpenAck, PushAck, CloseAck, StatsAck, PingAck, ShutdownAck,
-    MetricsAck, TraceAck, AlarmEvent, ErrorReply,
+    MetricsAck, TraceAck, SnapshotAck, ExportSessionAck, ImportSessionAck,
+    AlarmEvent, ErrorReply,
 )
 _DECODERS = {frame_type.op: frame_type for frame_type in _FRAME_TYPES}
 

@@ -1,0 +1,28 @@
+"""Shared fixtures for the sharded-serving suite.
+
+One tiny VARADE artifact is trained and packaged once per session (seconds,
+through the real ``fit -> calibrate -> package`` path) and every cluster in
+the suite serves it.  A second, differently-seeded artifact backs the
+multi-tenant tests.  Spec and builders live in ``cluster_helpers.py`` so
+test modules can import them directly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from cluster_helpers import package_tiny, tiny_spec
+
+
+@pytest.fixture(scope="session")
+def artifact(tmp_path_factory) -> Path:
+    """A packaged VARADE artifact every cluster in the suite serves."""
+    return package_tiny(tiny_spec(seed=0),
+                        tmp_path_factory.mktemp("cluster") / "artifact")
+
+
+@pytest.fixture(scope="session")
+def second_artifact(tmp_path_factory) -> Path:
+    """A second, differently-seeded artifact for multi-tenant tests."""
+    return package_tiny(tiny_spec(seed=7),
+                        tmp_path_factory.mktemp("cluster") / "artifact-b")

@@ -1,0 +1,49 @@
+"""Worker-crash supervision: SIGKILL a shard mid-stream, keep serving.
+
+The router's contract is bounded-loss availability: a killed worker is
+respawned, its streams are re-opened from their recorded ``open`` frames,
+and every in-flight client push retries until the replacement answers --
+the client sees slower acks, never an error.  (Scores inside the crashed
+window are lost with the worker's memory; the parity suite covers the
+*graceful* leave path, which loses nothing.)
+"""
+
+import os
+import signal
+
+import numpy as np
+
+from repro.cluster import ClusterHarness, RouterConfig
+
+from cluster_helpers import N_CHANNELS, worker_config
+
+
+def test_sigkill_mid_stream_respawns_and_serving_continues(artifact):
+    rng = np.random.default_rng(5)
+    streams = {f"c{i}": rng.normal(size=(60, N_CHANNELS)) for i in range(6)}
+    configs = [worker_config(f"w{i}", artifact) for i in range(2)]
+    with ClusterHarness(
+            configs,
+            router_config=RouterConfig(health_interval_s=0.5)) as cluster:
+        from repro.serve import BinaryClient
+
+        with BinaryClient(port=cluster.port) as client:
+            for sid in streams:
+                client.open(sid)
+            for sid, data in streams.items():
+                client.push_stream(sid, data[:30])
+            victim = cluster.worker_pids()["w1"]
+            os.kill(victim, signal.SIGKILL)
+            # every push below either routes to the healthy worker or
+            # blocks inside the router until w1's replacement is up
+            for sid, data in streams.items():
+                client.push_stream(sid, data[30:])
+            summaries = {sid: client.close_stream(sid) for sid in streams}
+            snapshot = client.snapshot()
+            assert snapshot["cluster"]["worker_restarts"] >= 1
+            assert snapshot["cluster"]["workers_live"] == 2
+            # streams on the surviving worker scored all 60 samples;
+            # streams on the victim lost only the pre-crash half
+            assert all(s["samples_pushed"] in (60, 30)
+                       for s in summaries.values()), summaries
+            assert cluster.worker_pids()["w1"] != victim

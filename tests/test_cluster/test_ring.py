@@ -1,0 +1,87 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+KEYS = [f"stream-{i}" for i in range(1000)]
+
+
+class TestPlacement:
+    def test_placement_ignores_insertion_order(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])
+        assert a.assignments(KEYS) == b.assignments(KEYS)
+
+    def test_placement_is_reproducible_across_constructions(self):
+        """blake2b points, not salted builtin hash: two independent rings
+        (as in two router processes) must agree on every key."""
+        first = HashRing(["w0", "w1"]).assignments(KEYS)
+        second = HashRing(["w0", "w1"]).assignments(KEYS)
+        assert first == second
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        owners = ring.assignments(KEYS)
+        for node in ring.nodes:
+            share = sum(1 for owner in owners.values() if owner == node)
+            assert share > len(KEYS) * 0.15, \
+                f"{node} owns only {share}/{len(KEYS)} keys"
+
+    def test_adding_a_node_only_moves_keys_onto_it(self):
+        old = HashRing(["w0", "w1", "w2"])
+        new = HashRing(["w0", "w1", "w2", "w3"])
+        moved = old.moved_keys(KEYS, new)
+        assert moved, "a new node should take over some arcs"
+        assert all(new.owner(key) == "w3" for key in moved)
+        # and well under a naive rebalance: ~1/4 of keys, not all of them
+        assert len(moved) < len(KEYS) // 2
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        old = HashRing(["w0", "w1", "w2"])
+        new = HashRing(["w1", "w2"])
+        for key in old.moved_keys(KEYS, new):
+            assert old.owner(key) == "w0"
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert set(ring.assignments(KEYS).values()) == {"only"}
+
+    def test_virtual_node_count_changes_placement_granularity(self):
+        """Different vnode counts give different (but each internally
+        deterministic) cuts -- the parity suite leans on this to prove
+        scores are placement-independent."""
+        coarse = HashRing(["w0", "w1"], virtual_nodes=4)
+        fine = HashRing(["w0", "w1"], virtual_nodes=256)
+        assert coarse.assignments(KEYS) != fine.assignments(KEYS)
+
+
+class TestMembership:
+    def test_len_and_contains(self):
+        ring = HashRing(["w0"])
+        assert len(ring) == 1 and "w0" in ring and "w1" not in ring
+        ring.add("w1")
+        assert len(ring) == 2 and ring.nodes == frozenset({"w0", "w1"})
+        ring.remove("w0")
+        assert len(ring) == 1 and "w0" not in ring
+
+    def test_duplicate_add_is_rejected(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add("w0")
+
+    def test_unknown_remove_is_rejected(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            HashRing(["w0"]).remove("w9")
+
+    def test_empty_node_name_is_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            HashRing([""])
+
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(LookupError, match="no nodes"):
+            HashRing().owner("stream-1")
+
+    def test_bad_virtual_nodes_rejected(self):
+        with pytest.raises(ValueError, match="virtual_nodes"):
+            HashRing(virtual_nodes=0)

@@ -1,5 +1,6 @@
 """Tests for the streaming runtime and the board monitor."""
 
+import json
 import math
 
 import numpy as np
@@ -211,6 +212,57 @@ class TestStreamingHistogram:
         assert a.count == 4
         with pytest.raises(ValueError, match="different edges"):
             a.merge(self._hist().linear(0.0, 2.0, 4))
+
+    def test_merge_mismatch_message_names_both_layouts(self):
+        """The error must say what diverged -- bin counts or which edge --
+        so a fleet-aggregation failure is debuggable from the message."""
+        a = self._hist().linear(0.0, 1.0, 4)
+        with pytest.raises(ValueError, match=r"different bin counts.*"
+                                             r"4 bins.*8 bins"):
+            a.merge(self._hist().linear(0.0, 1.0, 8))
+        with pytest.raises(ValueError, match=r"different edges.*both have "
+                                             r"4 bins.*diverge at index"):
+            a.merge(self._hist().linear(0.0, 2.0, 4))
+
+    def test_failed_merge_leaves_counts_untouched(self):
+        """A rejected merge must not half-apply: the layout check runs
+        before any count mutation."""
+        a = self._hist().linear(0.0, 1.0, 4)
+        a.extend([0.1, 0.6, 0.9])
+        before = a.to_state()
+        with pytest.raises(ValueError):
+            a.merge(self._hist().linear(0.0, 1.0, 8))
+        with pytest.raises(ValueError):
+            a.merge(self._hist().linear(0.5, 1.5, 4))
+        assert a.to_state() == before
+
+    def test_state_round_trip_is_exact(self):
+        """to_state()/from_state() must be bit-exact: the cluster snapshot
+        op ships histogram state between processes over strict JSON."""
+        cls = self._hist()
+        hist = cls.linear(0.0, 1.0, 8)
+        hist.extend([0.05, 0.31, 0.32, 0.99, -2.0, 7.0])
+        state = json.loads(json.dumps(hist.to_state()))
+        back = cls.from_state(state)
+        assert back.to_state() == hist.to_state()
+        assert back.count == hist.count
+        assert back.summary() == hist.summary()
+        # an empty histogram's inf sentinels must survive strict JSON too
+        empty = cls.linear(0.0, 1.0, 4)
+        state = json.loads(json.dumps(empty.to_state()))
+        assert cls.from_state(state).summary() == empty.summary()
+
+    def test_from_state_rejects_corrupt_payloads(self):
+        cls = self._hist()
+        good = cls.linear(0.0, 1.0, 4)
+        good.add(0.5)
+        state = good.to_state()
+        short = dict(state, counts=state["counts"][:-1])
+        with pytest.raises(ValueError, match="counts"):
+            cls.from_state(short)
+        negative = dict(state, counts=[-1] + state["counts"][1:])
+        with pytest.raises(ValueError, match="negative"):
+            cls.from_state(negative)
 
     def test_rejects_bad_construction(self):
         cls = self._hist()

@@ -103,6 +103,8 @@ class TestMetricsPage:
             ["repro_service_samples_dropped_total", "counter"],
             ["repro_service_alarms_total", "counter"],
             ["repro_service_adaptation_events_total", "counter"],
+            ["repro_service_sessions_exported_total", "counter"],
+            ["repro_service_sessions_imported_total", "counter"],
             ["repro_service_alarm_sink_errors_total", "counter"],
             ["repro_service_blocked_pushers", "gauge"],
             ["repro_batcher_flushes_total", "counter"],

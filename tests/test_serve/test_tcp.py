@@ -225,10 +225,11 @@ class TestProtocol:
         detector = detectors["VARADE"]
         data, _ = make_stream(20, seed=43)
         with ServerThread(detector) as server:
-            client = TCPClient(port=server.port)
-            client.open("orphan")
-            client.push_stream("orphan", data[:10])
-            client.close()     # drop the connection without closing the stream
+            with TCPClient(port=server.port) as client:
+                client.open("orphan")
+                client.push_stream("orphan", data[:10])
+            # leaving the block dropped the connection without closing the
+            # stream; the server must reap the orphaned session itself
             with TCPClient(port=server.port) as probe:
                 for _ in range(100):
                     if probe.stats()["live_sessions"] == 0:
@@ -351,12 +352,9 @@ class TestClientTimeouts:
 
     def test_timeout_is_configurable_and_bounds_the_wait(self):
         with _SilentServer() as server:
-            client = TCPClient(port=server.port, timeout_s=0.2)
-            try:
+            with TCPClient(port=server.port, timeout_s=0.2) as client:
                 start = time.perf_counter()
                 with pytest.raises(ServerTimeoutError):
                     client.ping()
                 elapsed = time.perf_counter() - start
-            finally:
-                client.close()
             assert elapsed < 5.0, "timeout did not bound the wait"
