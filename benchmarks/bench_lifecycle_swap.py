@@ -1,0 +1,276 @@
+"""Experiment L1 -- zero-downtime promotion under load, and the canary tax.
+
+A fleet of 32 unaligned bursty streams is served while the model is
+hot-swapped mid-run (the ``promote`` primitive), and separately while a
+canary shadow-scores a candidate on a slice of the traffic.
+
+Acceptance (the PR gate):
+
+* the hot swap drops no sample: every scorable window of every stream is
+  scored, half under the old model and half under its replacement;
+* p99 enqueue-to-score latency stays within the 25 ms micro-batch budget
+  across the swap (the drain inside ``swap_detector`` must not stall the
+  fleet);
+* post-swap scores are bit-identical to a fresh service started on the
+  promoted detector -- the ``export_state``/``from_state`` migration is
+  exact, not approximate;
+* an attached canary costs the non-shadowed sessions at most 5 % of
+  throughput (best-of-N interleaved timing) and perturbs no score bit.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_lifecycle_swap.py -q -s
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import CanaryController, GoldenBaseline
+from repro.lifecycle.baseline import latency_histogram, score_histogram
+from repro.pipeline import DeploymentSpec, DetectorSpec, Pipeline
+from repro.serve import AnomalyService, ServiceConfig
+
+N_STREAMS = 32
+MIN_SAMPLES, MAX_SAMPLES = 200, 300
+MAX_BATCH = 32
+MAX_DELAY_MS = 25.0
+MAX_QUEUE = 8
+CANARY_TIMING_REPEATS = 3
+CANARY_OVERHEAD_BUDGET = 0.05
+CANARY_NOISE_FLOOR_S = 0.05
+CANDIDATE_SEED = 7
+
+FLEET_CHANNELS = 6      # matches conftest's fleet stream factory
+
+
+@pytest.fixture(scope="module")
+def fleet_varade_b(fleet_stream_factory):
+    """The candidate model: same architecture, independently trained."""
+    spec = DeploymentSpec(
+        detector=DetectorSpec(
+            kind="varade",
+            params={"n_channels": FLEET_CHANNELS, "window": 32,
+                    "base_feature_maps": 8},
+            training={"learning_rate": 3e-3, "epochs": 3,
+                      "mean_warmup_epochs": 1,
+                      "variance_finetune_epochs": 2,
+                      "max_train_windows": 300},
+        ),
+        seed=CANDIDATE_SEED,
+    )
+    pipeline = Pipeline.from_spec(spec)
+    return pipeline.fit(
+        fleet_stream_factory(500, seed=CANDIDATE_SEED)).detector
+
+
+def _stream_lengths(seed=0):
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(MIN_SAMPLES, MAX_SAMPLES + 1))
+            for _ in range(N_STREAMS)]
+
+
+def _make_streams(fleet_stream_factory, lengths, stream_ids):
+    return {stream_id: fleet_stream_factory(length, seed=300 + index)
+            for index, (stream_id, length)
+            in enumerate(zip(stream_ids, lengths))}
+
+
+def _unaligned_schedule(lengths, stream_ids, seed=1):
+    """Bursty interleave over (stream id, sample index), order preserved."""
+    rng = np.random.default_rng(seed)
+    cursors = {stream_id: 0 for stream_id in stream_ids}
+    remaining = dict(zip(stream_ids, lengths))
+    schedule = []
+    while any(remaining.values()):
+        live = [stream_id for stream_id, left in remaining.items() if left]
+        stream_id = live[int(rng.integers(len(live)))]
+        for _ in range(int(rng.integers(1, 5))):
+            if not remaining[stream_id]:
+                break
+            schedule.append((stream_id, cursors[stream_id]))
+            cursors[stream_id] += 1
+            remaining[stream_id] -= 1
+    return schedule
+
+
+def _run_scenario(service, scenario):
+    """Start ``service``, run ``scenario``, stop (draining everything)."""
+    async def main():
+        await service.start()
+        await scenario(service)
+        await service.stop()
+
+    asyncio.run(main())
+
+
+def test_hot_swap_under_load(fleet_varade, fleet_varade_b,
+                             fleet_stream_factory):
+    lengths = _stream_lengths()
+    stream_ids = [f"s{index}" for index in range(N_STREAMS)]
+    streams = _make_streams(fleet_stream_factory, lengths, stream_ids)
+    schedule = _unaligned_schedule(lengths, stream_ids)
+    halfway = len(schedule) // 2
+    config = ServiceConfig(max_batch=MAX_BATCH, max_delay_ms=MAX_DELAY_MS,
+                           max_queue=MAX_QUEUE, backpressure="block",
+                           record_sessions=True)
+    window = fleet_varade.window
+    # Samples each stream had delivered when the swap landed: windows
+    # ending at or past this point were scored by the new model.
+    splits = {stream_id: sum(1 for sid, _ in schedule[:halfway]
+                             if sid == stream_id)
+              for stream_id in stream_ids}
+
+    async def swap_mid_run(service):
+        for stream_id, index in schedule[:halfway]:
+            await service.push(stream_id, streams[stream_id][index])
+        migrated = await service.swap_detector(fleet_varade_b,
+                                               fingerprint="candidate")
+        assert migrated == N_STREAMS
+        for stream_id, index in schedule[halfway:]:
+            await service.push(stream_id, streams[stream_id][index])
+
+    async def fresh_on_candidate(service):
+        for stream_id, index in schedule:
+            await service.push(stream_id, streams[stream_id][index])
+
+    service = AnomalyService(fleet_varade, config=config,
+                             fingerprint="incumbent")
+    start = time.perf_counter()
+    _run_scenario(service, swap_mid_run)
+    elapsed = time.perf_counter() - start
+    stats = service.stats()
+    swapped_sessions = service.sessions
+
+    fresh_service = AnomalyService(fleet_varade_b, config=config)
+    _run_scenario(fresh_service, fresh_on_candidate)
+    fresh_sessions = fresh_service.sessions
+
+    scorable = sum(length - window + 1 for length in lengths)
+    delay = stats.queue_delay_histogram
+    print()
+    print(f"hot swap under load -- {N_STREAMS} unaligned streams, "
+          f"{len(schedule)} samples ({scorable} scorable), swap at "
+          f"sample {halfway}")
+    print(f"  scored {stats.samples_scored}, dropped "
+          f"{stats.samples_dropped}, wall {elapsed:.2f}s "
+          f"({stats.samples_scored / elapsed:.0f} samples/s)")
+    print(f"  enqueue-to-score: p50 {delay.p50 * 1e3:.2f}ms  "
+          f"p99 {delay.p99 * 1e3:.2f}ms  max {delay.max * 1e3:.2f}ms")
+
+    # -- acceptance ------------------------------------------------------- #
+    # zero drops across the swap: every scorable window was scored
+    assert stats.samples_dropped == 0
+    assert stats.samples_scored == scorable
+    assert sum(session.samples_scored
+               for session in swapped_sessions.values()) == scorable
+    # p99 enqueue-to-score latency inside the micro-batch budget
+    assert delay.p99 <= MAX_DELAY_MS / 1000.0, \
+        f"p99 {delay.p99 * 1e3:.2f}ms over the {MAX_DELAY_MS}ms budget"
+    # post-swap scores bit-identical to a fresh service on the candidate
+    compared = 0
+    for stream_id in stream_ids:
+        swapped_scores = swapped_sessions[stream_id].result().scores
+        fresh_scores = fresh_sessions[stream_id].result().scores
+        assert swapped_scores.shape == fresh_scores.shape
+        # result() covers every pushed sample (NaN through warmup), so
+        # scores[j] is the window ending at sample j: the post-swap tail
+        # starts exactly at the stream's swap-time cursor.
+        tail = splits[stream_id]
+        np.testing.assert_allclose(swapped_scores[tail:],
+                                   fresh_scores[tail:],
+                                   rtol=0.0, atol=0.0, equal_nan=True)
+        compared += swapped_scores[tail:].size
+    assert compared > scorable // 4, "swap landed too late to exercise"
+    print(f"  post-swap parity: {compared} scores bit-identical to a "
+          f"fresh service on the candidate")
+
+
+def test_canary_overhead_on_non_shadowed_sessions(fleet_varade,
+                                                  fleet_varade_b,
+                                                  fleet_stream_factory):
+    """The shadow lane must be invisible to streams outside the canary.
+
+    Stream ids are chosen (deterministic membership hash) so that *none*
+    fall inside a 25 % canary: the timed difference is the pure hot-path
+    tax of the attached controller -- the per-flush membership scan --
+    not candidate scoring.  Interleaved best-of-N timing with a small
+    absolute floor absorbs machine noise, mirroring the observability
+    benchmark's method.
+    """
+    probe = CanaryController(
+        fleet_varade_b, baseline=_empty_baseline(), fraction=0.25)
+    stream_ids = []
+    candidate_id = 0
+    while len(stream_ids) < N_STREAMS:
+        stream_id = f"fleet-{candidate_id}"
+        if not probe.is_shadowed(stream_id):
+            stream_ids.append(stream_id)
+        candidate_id += 1
+
+    lengths = _stream_lengths()
+    streams = _make_streams(fleet_stream_factory, lengths, stream_ids)
+    schedule = _unaligned_schedule(lengths, stream_ids)
+    config = ServiceConfig(max_batch=MAX_BATCH, max_delay_ms=MAX_DELAY_MS,
+                           max_queue=MAX_QUEUE, backpressure="block",
+                           record_sessions=True)
+
+    def run(with_canary):
+        service = AnomalyService(fleet_varade, config=config)
+        controller = CanaryController(
+            fleet_varade_b, baseline=_empty_baseline(), fraction=0.25)
+
+        async def scenario(svc):
+            if with_canary:
+                svc.attach_canary(controller)
+            for stream_id, index in schedule:
+                await svc.push(stream_id, streams[stream_id][index])
+
+        _run_scenario(service, scenario)
+        return service, controller
+
+    best = {False: float("inf"), True: float("inf")}
+    runs = {}
+    for _ in range(CANARY_TIMING_REPEATS):
+        for with_canary in (False, True):
+            start = time.perf_counter()
+            runs[with_canary] = run(with_canary)
+            best[with_canary] = min(best[with_canary],
+                                    time.perf_counter() - start)
+
+    overhead = best[True] / best[False] - 1.0
+    print()
+    print(f"canary tax -- {len(schedule)} samples, none shadowed, "
+          f"best of {CANARY_TIMING_REPEATS}: off {best[False]:.3f}s, "
+          f"on {best[True]:.3f}s ({overhead * 100.0:+.1f}%)")
+
+    # -- acceptance ------------------------------------------------------- #
+    # the canary really was attached, and really shadowed nothing
+    controller = runs[True][1]
+    assert controller.samples == 0
+    assert controller.errors == 0
+    # bit-identical scores with the canary attached
+    off_sessions = dict(runs[False][0].sessions)
+    on_sessions = dict(runs[True][0].sessions)
+    for stream_id in stream_ids:
+        np.testing.assert_allclose(
+            on_sessions[stream_id].result().scores,
+            off_sessions[stream_id].result().scores,
+            rtol=0.0, atol=0.0, equal_nan=True)
+    # within the overhead budget
+    assert best[True] <= best[False] * (1.0 + CANARY_OVERHEAD_BUDGET) \
+        + CANARY_NOISE_FLOOR_S, \
+        f"canary costs {overhead * 100.0:.1f}% " \
+        f"(budget {CANARY_OVERHEAD_BUDGET * 100.0:.0f}%)"
+
+
+def _empty_baseline():
+    return GoldenBaseline(
+        fingerprint="bench", detector="VARADE", streams=0,
+        samples_scored=0, alarms=0,
+        score_histogram=score_histogram(),
+        latency_histogram=latency_histogram(),
+        created_unix=0.0,
+    )

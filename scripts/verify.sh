@@ -55,6 +55,11 @@ if [[ "$mode" != "--benchmarks-only" ]]; then
     echo "cluster smoke: OK"
 
     echo
+    echo "== lifecycle smoke: canary -> gated promote -> hot-swap -> watcher rollback =="
+    python scripts/lifecycle_smoke.py >/dev/null
+    echo "lifecycle smoke: OK"
+
+    echo
     echo "== docs: runnable docstring examples + Markdown links =="
     python -m pytest --doctest-modules src/repro/obs src/repro/serve src/repro/cluster -q
     python scripts/check_links.py

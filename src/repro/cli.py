@@ -41,6 +41,7 @@ import numpy as np
 from .pipeline import (CalibrationSpec, DataSpec, DeploymentSpec, DetectorSpec,
                        Pipeline, PipelineStageError, QuantizationSpec,
                        RuntimeSpec, ServiceSpec, SpecError)
+from .lifecycle import LifecycleError
 from .serialize import MANIFEST_NAME, SerializationError, artifact_fingerprint
 
 __all__ = ["main", "fast_spec"]
@@ -384,10 +385,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if metrics_port is not None:
             from .obs import ObservabilityHTTPServer
 
+            def _health() -> dict:
+                return {
+                    "status": "ok",
+                    "fingerprint": service.artifact_fingerprint,
+                    "detector": getattr(service.detector, "name",
+                                        type(service.detector).__name__),
+                    "live_sessions": len(service.sessions),
+                }
+
             httpd = ObservabilityHTTPServer(
                 metrics=service.metrics_text,
                 trace=(service.trace_export_json
                        if config.trace_events > 0 else None),
+                health=_health,
                 host=host, port=metrics_port)
             bound = await httpd.start()
             if args.metrics_port_file is not None:
@@ -584,6 +595,114 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    workdir: Path = args.workdir
+    artifact = args.artifact if args.artifact is not None \
+        else _serving_artifact(workdir, prefer_package=True)
+    if not (Path(artifact) / MANIFEST_NAME).is_file():
+        raise CLIUsageError(
+            f"no packaged artifact at {artifact}; run `repro package` first")
+    from .lifecycle import BASELINE_NAME
+
+    pipeline = Pipeline.load(artifact)
+    dataset = _build_dataset(pipeline.spec)
+    baseline = pipeline.record_baseline(dataset.test)
+    print(f"baseline: {baseline.detector} scored "
+          f"{baseline.samples_scored} samples over {baseline.streams} "
+          f"stream(s); alarm rate {baseline.alarm_rate:.4g}")
+    print(f"baseline: wrote {Path(artifact) / BASELINE_NAME} "
+          f"(artifact {baseline.fingerprint[:12]}…)")
+    return 0
+
+
+def _parse_endpoint(value: str) -> Any:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise CLIUsageError(
+            f"--connect needs HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _print_report(report: dict, prefix: str = "canary") -> None:
+    if "gates" not in report:           # cluster reply: one report per worker
+        verdict = report.get("verdict")
+        if verdict is not None:
+            print(f"{prefix}: fleet verdict {verdict}")
+        for worker, worker_report in sorted(
+                (report.get("workers") or {}).items()):
+            _print_report(worker_report, prefix=f"{prefix}[{worker}]")
+        return
+    print(f"{prefix}: verdict {report['verdict']} after "
+          f"{report['samples']} shadow samples "
+          f"({report['alarms']} alarms, {report['errors']} errors)")
+    for gate in report["gates"]:
+        mark = "ok" if gate["ok"] else "BREACH"
+        print(f"{prefix}:   {gate['name']:<14} {gate['value']:.6g} "
+              f"(limit {gate['limit']:.6g}) {mark}")
+
+
+def _cmd_canary(args: argparse.Namespace) -> int:
+    from .serve import TCPClient
+
+    host, port = _parse_endpoint(args.connect)
+    with TCPClient(host, port) as client:
+        if args.status:
+            _print_report(client.canary_status(tenant=args.tenant))
+            return 0
+        if args.stop:
+            reply = client.canary_stop(tenant=args.tenant)
+            report = reply.get("report") or reply
+            print("canary: stopped")
+            if isinstance(report, dict):
+                _print_report(report)
+            return 0
+        if args.artifact is None:
+            raise CLIUsageError(
+                "canary needs --artifact DIR (a packaged candidate with a "
+                "recorded baseline), or --status / --stop")
+        reply = client.canary(
+            str(args.artifact), fraction=args.fraction,
+            watch=(True if args.watch else None), tenant=args.tenant)
+        fingerprint = reply.get("fingerprint") or "?"
+        print(f"canary: shadow-scoring candidate {fingerprint[:12]}… on "
+              f"{args.fraction:.0%} of streams"
+              f"{' (watcher armed on promote)' if args.watch else ''}")
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from .serve import TCPClient
+
+    host, port = _parse_endpoint(args.connect)
+    with TCPClient(host, port) as client:
+        if args.rollback:
+            result = client.rollback(reason=args.reason, tenant=args.tenant)
+            fingerprint = result.get("fingerprint") or "?"
+            print(f"promote: rolled back to {fingerprint[:12]}… "
+                  f"({result.get('migrated_sessions', '?')} sessions "
+                  f"migrated)")
+            return 0
+        result = client.promote(force=args.force, tenant=args.tenant)
+        report = result.get("report")
+        if isinstance(report, dict):
+            _print_report(report, prefix="promote")
+        elif result.get("workers"):
+            _print_report({"workers": {
+                worker: detail.get("report", {})
+                for worker, detail in result["workers"].items()
+                if isinstance(detail, dict)}}, prefix="promote")
+        if result.get("promoted"):
+            fingerprint = result.get("fingerprint") or "?"
+            print(f"promote: promoted {fingerprint[:12]}… "
+                  f"({result.get('migrated_sessions', '?')} sessions "
+                  f"migrated)")
+            return 0
+        print("promote: gates held the promotion back "
+              "(re-run with --force to override)")
+        return 1
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
@@ -709,6 +828,52 @@ def _build_parser() -> argparse.ArgumentParser:
                             "file (default: spec's service.alarm_log, "
                             "else off)")
     serve.set_defaults(func=_cmd_serve)
+
+    baseline = sub.add_parser(
+        "baseline", help="record the packaged artifact's golden baseline "
+                         "(score/latency/alarm statistics) from the spec's "
+                         "test traffic")
+    add_workdir(baseline)
+    baseline.add_argument("--artifact", type=Path, default=None,
+                          help="packaged artifact directory (default: the "
+                               "workdir's serving artifact)")
+    baseline.set_defaults(func=_cmd_baseline)
+
+    canary = sub.add_parser(
+        "canary", help="attach / inspect a canary on a running server "
+                       "(shadow-scores a candidate on live traffic)")
+    canary.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="serving endpoint to control")
+    canary.add_argument("--artifact", type=Path, default=None,
+                        help="candidate packaged artifact (server-side "
+                             "path; needs a recorded baseline)")
+    canary.add_argument("--fraction", type=float, default=0.25,
+                        help="fraction of streams to shadow (default 0.25)")
+    canary.add_argument("--watch", action="store_true",
+                        help="arm the health meta-watcher on promotion "
+                             "(auto-rollback on regression)")
+    canary.add_argument("--status", action="store_true",
+                        help="evaluate the attached canary's gates")
+    canary.add_argument("--stop", action="store_true",
+                        help="detach the canary without promoting")
+    canary.add_argument("--tenant", default=None,
+                        help="tenant name on a multi-tenant server")
+    canary.set_defaults(func=_cmd_canary)
+
+    promote = sub.add_parser(
+        "promote", help="promote the attached canary's candidate "
+                        "(zero-downtime hot-swap), or --rollback")
+    promote.add_argument("--connect", required=True, metavar="HOST:PORT",
+                         help="serving endpoint to control")
+    promote.add_argument("--force", action="store_true",
+                         help="swap even when the gates say reject")
+    promote.add_argument("--rollback", action="store_true",
+                         help="swap back to the pinned previous artifact")
+    promote.add_argument("--reason", default="manual",
+                         help="rollback reason for the audit trail")
+    promote.add_argument("--tenant", default=None,
+                         help="tenant name on a multi-tenant server")
+    promote.set_defaults(func=_cmd_promote)
     return parser
 
 
@@ -717,7 +882,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return int(args.func(args))
     except (SpecError, SerializationError, PipelineStageError,
-            CLIUsageError) as error:
+            CLIUsageError, LifecycleError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ConnectionError, RuntimeError) as error:
+        # Wire-control commands (canary/promote) talk to a live server;
+        # a refused op or a dead endpoint is a user-facing error, not a
+        # traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

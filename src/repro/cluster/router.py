@@ -72,14 +72,15 @@ class RouterConfig:
 class _AlarmSample:
     """Duck-typed stand-in for ScoredSample in codec ``write_event``."""
 
-    __slots__ = ("stream_id", "index", "score", "threshold")
+    __slots__ = ("stream_id", "index", "score", "threshold", "fingerprint")
 
     def __init__(self, stream_id: str, index: int, score: float,
-                 threshold: float) -> None:
+                 threshold: float, fingerprint=None) -> None:
         self.stream_id = stream_id
         self.index = index
         self.score = score
         self.threshold = threshold
+        self.fingerprint = fingerprint
 
 
 class _RWGate:
@@ -565,6 +566,16 @@ class ShardRouter:
             if op in ("export_session", "import_session"):
                 raise ValueError(
                     "session handoff is disabled on this server")
+            if op == "canary":
+                return await self._fleet_canary(message)
+            if op == "canary_status":
+                return await self._fleet_canary_status(message)
+            if op == "canary_stop":
+                return await self._fleet_canary_stop(message)
+            if op == "promote":
+                return await self._fleet_promote(message)
+            if op == "rollback":
+                return await self._fleet_rollback(message)
             if op == "shutdown":
                 if not self.allow_shutdown:
                     raise ValueError("shutdown is disabled on this server")
@@ -650,7 +661,8 @@ class ShardRouter:
         if route is None:
             return
         sample = _AlarmSample(message["stream"], message["index"],
-                              message["score"], message["threshold"])
+                              message["score"], message["threshold"],
+                              message.get("fingerprint"))
         for conn in list(route.conns):
             try:
                 conn.codec.write_event(sample)
@@ -721,6 +733,139 @@ class ShardRouter:
                     f"worker {new!r} refused to import stream "
                     f"{stream_id!r}: {imported.get('error')}")
             self._rehomed_total += 1
+
+    # -- model lifecycle fan-out --------------------------------------------- #
+    async def _fleet_canary(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Attach the canary on every ring worker, all-or-nothing.
+
+        Workers load the candidate artifact from their own filesystem (the
+        op carries a path); a mid-fleet failure detaches the canaries that
+        did attach, so the fleet never shadow-scores half a candidate.
+        """
+        async with self._gate.read_locked():
+            attached = []
+            workers: Dict[str, Any] = {}
+            for worker in sorted(self.ring.nodes):
+                reply = await self._worker_request(worker, dict(message))
+                if not reply.get("ok"):
+                    for done in attached:
+                        try:
+                            await self._worker_request(
+                                done, {"op": "canary_stop",
+                                       "tenant": message.get("tenant")})
+                        except (ConnectionError, asyncio.TimeoutError):
+                            pass
+                    raise RuntimeError(
+                        f"worker {worker!r} rejected the canary: "
+                        f"{reply.get('error')}")
+                attached.append(worker)
+                workers[worker] = {"fingerprint": reply.get("fingerprint")}
+            fingerprint = next(iter(workers.values()))["fingerprint"] \
+                if workers else None
+            return {"ok": True, "op": "canary", "fingerprint": fingerprint,
+                    "workers": workers}
+
+    async def _fleet_canary_status(self,
+                                   message: Dict[str, Any]) -> Dict[str, Any]:
+        """Per-worker canary reports plus the fleet verdict.
+
+        The fleet promotes only when *every* worker's gates pass: each
+        worker judges its own live traffic slice, and a promotion must be
+        unanimous or the fleet's models diverge.
+        """
+        async with self._gate.read_locked():
+            reports: Dict[str, Any] = {}
+            for worker in sorted(self.ring.nodes):
+                reply = await self._worker_request(worker, dict(message))
+                if not reply.get("ok"):
+                    raise RuntimeError(
+                        f"worker {worker!r}: {reply.get('error')}")
+                reports[worker] = reply["report"]
+            verdicts = {report["verdict"] for report in reports.values()}
+            if verdicts == {"promote"}:
+                verdict = "promote"
+            elif "reject" in verdicts:
+                verdict = "reject"
+            else:
+                verdict = "undecided"
+            return {"ok": True, "op": "canary_status", "verdict": verdict,
+                    "workers": reports}
+
+    async def _fleet_canary_stop(self,
+                                 message: Dict[str, Any]) -> Dict[str, Any]:
+        """Detach the canary fleet-wide (tolerates workers without one)."""
+        async with self._gate.read_locked():
+            reports: Dict[str, Any] = {}
+            for worker in sorted(self.ring.nodes):
+                reply = await self._worker_request(worker, dict(message))
+                reports[worker] = reply.get("report") if reply.get("ok")                     else {"error": reply.get("error")}
+            return {"ok": True, "op": "canary_stop", "workers": reports}
+
+    async def _fleet_promote(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Promote on every worker under the exclusive gate, all-or-nothing.
+
+        The write gate blocks every stream op, so the whole fleet swaps at
+        one consistent cut.  If any worker fails its gates (each judges
+        its own traffic slice) or errors, the workers that already swapped
+        are rolled back -- a fleet serving two models is worse than a
+        delayed promotion.
+        """
+        async with self._gate.write_locked():
+            workers: Dict[str, Any] = {}
+            promoted = []
+            failure: Optional[str] = None
+            for worker in sorted(self.ring.nodes):
+                try:
+                    reply = await self._worker_request(worker, dict(message))
+                except (ConnectionError, asyncio.TimeoutError) as error:
+                    failure = f"worker {worker!r}: {error}"
+                    break
+                workers[worker] = {key: value for key, value in reply.items()
+                                   if key not in ("ok", "op")}
+                if not reply.get("ok"):
+                    failure = f"worker {worker!r}: {reply.get('error')}"
+                    break
+                if reply.get("promoted"):
+                    promoted.append(worker)
+            unanimous = not failure and len(promoted) == len(self.ring.nodes)
+            if promoted and not unanimous:
+                for done in promoted:
+                    try:
+                        await self._worker_request(
+                            done, {"op": "rollback",
+                                   "reason": "cluster:partial-promotion",
+                                   "tenant": message.get("tenant")})
+                    except (ConnectionError, asyncio.TimeoutError):
+                        pass
+            if failure:
+                return {"ok": False, "op": "promote",
+                        "error": failure + ("; partial promotion rolled back"
+                                            if promoted else ""),
+                        "workers": workers}
+            return {"ok": True, "op": "promote", "promoted": unanimous,
+                    "workers": workers}
+
+    async def _fleet_rollback(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Roll every worker back to its pinned previous artifact."""
+        async with self._gate.write_locked():
+            workers: Dict[str, Any] = {}
+            failures = []
+            for worker in sorted(self.ring.nodes):
+                try:
+                    reply = await self._worker_request(worker, dict(message))
+                except (ConnectionError, asyncio.TimeoutError) as error:
+                    failures.append(f"worker {worker!r}: {error}")
+                    continue
+                workers[worker] = {key: value for key, value in reply.items()
+                                   if key not in ("ok", "op")}
+                if not reply.get("ok"):
+                    failures.append(
+                        f"worker {worker!r}: {reply.get('error')}")
+            if failures:
+                return {"ok": False, "op": "rollback",
+                        "error": "; ".join(failures), "workers": workers}
+            return {"ok": True, "op": "rollback", "rolled_back": True,
+                    "workers": workers}
 
     # -- fleet read-outs ----------------------------------------------------- #
     async def _worker_request(self, worker: str,

@@ -174,6 +174,16 @@ class TenantWireServer(AnomalyWireServer):
                      "stats": service.stats().to_dict()}
             for tenant, service in self._services.items()}}
 
+    def _note_swap(self, service) -> None:
+        # A promotion/rollback changed the service's artifact; re-key the
+        # tenant's fingerprint so fingerprint-addressed opens keep working.
+        for tenant, hosted in self._services.items():
+            if hosted is service:
+                if service.artifact_fingerprint is not None:
+                    self._fingerprints[tenant] = service.artifact_fingerprint
+                else:
+                    self._fingerprints.pop(tenant, None)
+
 
 def build_worker_server(config: WorkerConfig) -> TenantWireServer:
     """Load every tenant artifact and assemble the worker's wire server."""

@@ -37,6 +37,8 @@ p50/p95/p99 (no full-trace retention -- the same telemetry an unbounded
 
 from __future__ import annotations
 
+import warnings
+
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
@@ -152,6 +154,11 @@ class MultiStreamRuntime:
     def __init__(self, detector: AnomalyDetector,
                  threshold: Optional[CalibratedThreshold] = None,
                  adaptation: Optional[AdaptationPolicy] = None) -> None:
+        warnings.warn(
+            "MultiStreamRuntime is a synchronous replay shim; new serving "
+            "code should use repro.serve.AnomalyService (see the "
+            "repro.serve docstring for the migration table)",
+            DeprecationWarning, stacklevel=2)
         self.detector = detector
         #: explicit override; ``None`` defers to the detector's threshold.
         self.threshold = threshold

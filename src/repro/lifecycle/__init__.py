@@ -1,0 +1,63 @@
+"""Model lifecycle control plane: baselines, canaries, promotion, rollback.
+
+The serving data plane (:mod:`repro.serve`, :mod:`repro.cluster`) scores
+streams against one fitted artifact; this package is the control plane
+that changes *which* artifact, without restarting anything:
+
+* :func:`record_baseline` replays traffic through the serving core and
+  persists a **golden baseline** -- the artifact's expected score /
+  latency / alarm-rate distributions -- as a versioned JSON sidecar next
+  to the packaged artifact (:data:`BASELINE_NAME`).
+* :class:`CanaryController` shadow-scores a candidate detector on a
+  deterministic fraction of live sessions inside a running
+  :class:`~repro.serve.AnomalyService` (piggy-backing on micro-batcher
+  flushes; candidate alarms are recorded, never emitted) and judges the
+  live stats against the candidate's golden baseline with explicit
+  promote/reject gates (:class:`CanaryGates`).
+* :class:`MetaWatcher` keeps an EWMA watch over the service's *own*
+  health metrics (alarm rate, enqueue-to-score p99, sink errors) and
+  triggers an automatic rollback when a freshly promoted artifact
+  regresses in production.
+* :meth:`repro.serve.AnomalyService.swap_detector` is the hot-swap
+  primitive the above drive: drain in-flight windows, migrate every live
+  session via ``export_state``/``from_state`` onto the new detector
+  without dropping a sample, and keep the old artifact pinned for
+  instant rollback.  The cluster router coordinates the same swap across
+  workers under its rebalance write gate.
+
+``docs/OPERATIONS.md`` has the operator runbook (record baseline ->
+canary -> promote -> rollback); ``LifecycleSpec`` on
+:class:`repro.pipeline.ServiceSpec` carries the deployment-time gate
+tuning.
+"""
+
+from .baseline import (
+    BASELINE_NAME,
+    BASELINE_VERSION,
+    GoldenBaseline,
+    LifecycleError,
+    distribution_shift,
+    load_baseline,
+    record_baseline,
+    save_baseline,
+)
+from .canary import CanaryController, CanaryGates, CanaryReport, GateResult
+from .watcher import EwmaWatch, MetaWatcher, WatchPolicy
+
+__all__ = [
+    "BASELINE_NAME",
+    "BASELINE_VERSION",
+    "GoldenBaseline",
+    "LifecycleError",
+    "distribution_shift",
+    "load_baseline",
+    "record_baseline",
+    "save_baseline",
+    "CanaryController",
+    "CanaryGates",
+    "CanaryReport",
+    "GateResult",
+    "EwmaWatch",
+    "MetaWatcher",
+    "WatchPolicy",
+]

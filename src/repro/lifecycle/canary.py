@@ -1,0 +1,294 @@
+"""Canary evaluation: shadow-score a candidate on live traffic, then judge.
+
+A :class:`CanaryController` rides inside a running
+:class:`~repro.serve.AnomalyService`: the micro-batcher hands it every
+flushed batch (the ``shadow`` hook), the controller picks out the requests
+of *shadowed* sessions -- a deterministic, hash-based fraction of streams,
+so the same streams stay shadowed across flushes and processes -- and
+re-scores their already-materialised ``(window, target)`` pairs with the
+candidate detector in one extra ``score_windows_batch`` call.  The
+candidate's scores, per-window latency and would-be alarms are recorded
+into streaming histograms; nothing the candidate does is ever emitted to
+sinks or subscribers.
+
+:meth:`CanaryController.evaluate` turns the live statistics into an
+explicit verdict against the candidate's golden baseline
+(:mod:`repro.lifecycle.baseline`):
+
+``promote``
+    Enough samples, and every gate holds.
+``reject``
+    A gate is breached (score-distribution shift, alarm-rate ratio, p99
+    latency budget) or the shadow lane itself errored.
+``undecided``
+    Not enough shadow samples yet to judge.
+
+Gate limits live in :class:`CanaryGates`; the deployment spec
+(``service.lifecycle``) carries the tuned values into services built
+through the pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.detector import AnomalyDetector
+from .baseline import (
+    GoldenBaseline,
+    distribution_shift,
+    latency_histogram,
+)
+from ..edge.monitor import StreamingHistogram
+
+__all__ = ["CanaryGates", "GateResult", "CanaryReport", "CanaryController"]
+
+#: shadow-lane scoring errors tolerated before the lane disables itself
+_MAX_ERRORS = 3
+
+
+@dataclass(frozen=True)
+class CanaryGates:
+    """Promote/reject limits for one canary evaluation.
+
+    ``min_samples``
+        Shadow-scored samples required before any verdict other than
+        ``undecided``.
+    ``max_score_shift``
+        Ceiling on the total-variation distance between the candidate's
+        live score distribution and its golden baseline's (see
+        :func:`~repro.lifecycle.distribution_shift`).
+    ``max_alarm_ratio`` / ``alarm_rate_slack``
+        The candidate's live alarm rate must stay within
+        ``baseline_rate * max_alarm_ratio + alarm_rate_slack``; the
+        additive slack keeps near-zero baselines from turning a single
+        alarm into a rejection.
+    ``max_latency_p99_s``
+        Budget on the candidate's p99 per-window shadow-scoring latency
+        (defaults to the serving stack's 25 ms enqueue-to-score budget).
+
+    >>> CanaryGates(min_samples=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: min_samples must be at least 1
+    """
+
+    min_samples: int = 256
+    max_score_shift: float = 0.35
+    max_alarm_ratio: float = 3.0
+    alarm_rate_slack: float = 0.005
+    max_latency_p99_s: float = 0.025
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if not 0.0 < self.max_score_shift <= 1.0:
+            raise ValueError("max_score_shift must be in (0, 1]")
+        if self.max_alarm_ratio < 1.0:
+            raise ValueError("max_alarm_ratio must be at least 1")
+        if self.alarm_rate_slack < 0.0:
+            raise ValueError("alarm_rate_slack must be non-negative")
+        if self.max_latency_p99_s <= 0.0:
+            raise ValueError("max_latency_p99_s must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "min_samples": self.min_samples,
+            "max_score_shift": self.max_score_shift,
+            "max_alarm_ratio": self.max_alarm_ratio,
+            "alarm_rate_slack": self.alarm_rate_slack,
+            "max_latency_p99_s": self.max_latency_p99_s,
+        }
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """One gate's observed value against its limit."""
+
+    name: str
+    value: float
+    limit: float
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": self.value,
+                "limit": self.limit, "ok": self.ok}
+
+
+@dataclass(frozen=True)
+class CanaryReport:
+    """The full evaluation: per-gate results plus the overall verdict."""
+
+    verdict: str                   #: ``promote`` / ``reject`` / ``undecided``
+    samples: int
+    alarms: int
+    errors: int
+    alarm_rate: float
+    baseline_alarm_rate: float
+    score_shift: float
+    latency_p99_s: float
+    gates: Tuple[GateResult, ...]
+    fingerprint: Optional[str] = None   #: candidate artifact fingerprint
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "samples": self.samples,
+            "alarms": self.alarms,
+            "errors": self.errors,
+            "alarm_rate": self.alarm_rate,
+            "baseline_alarm_rate": self.baseline_alarm_rate,
+            "score_shift": self.score_shift,
+            "latency_p99_s": self.latency_p99_s,
+            "gates": [gate.to_dict() for gate in self.gates],
+            "fingerprint": self.fingerprint,
+        }
+
+
+class CanaryController:
+    """Shadow-score one candidate detector and judge it (module docstring).
+
+    Parameters
+    ----------
+    candidate:
+        The fitted candidate detector (same channel layout as the live
+        one -- it re-scores the live sessions' windows).
+    baseline:
+        The candidate's own :class:`GoldenBaseline`; live shadow stats
+        are compared against it.
+    gates:
+        :class:`CanaryGates` limits (defaults apply when ``None``).
+    fraction:
+        Fraction of streams to shadow, in ``(0, 1]``.  Membership is a
+        deterministic hash of the stream id, so a stream is either always
+        or never shadowed, regardless of process or flush order.
+    fingerprint:
+        The candidate artifact's fingerprint; stamped on the report and,
+        after promotion, on the service.
+    """
+
+    def __init__(self, candidate: AnomalyDetector, *,
+                 baseline: GoldenBaseline,
+                 gates: Optional[CanaryGates] = None,
+                 fraction: float = 0.25,
+                 fingerprint: Optional[str] = None,
+                 clock=time.perf_counter) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.candidate = candidate
+        self.baseline = baseline
+        self.gates = gates if gates is not None else CanaryGates()
+        self.fraction = fraction
+        self.fingerprint = fingerprint
+        self._clock = clock
+        threshold = getattr(candidate, "threshold", None)
+        self._threshold = threshold.threshold if threshold is not None \
+            else None
+        # Live histograms share the baseline's bin layout so
+        # distribution_shift can compare them directly.
+        self.score_histogram = StreamingHistogram(
+            baseline.score_histogram.edges)
+        self.latency_histogram = latency_histogram()
+        self.samples = 0
+        self.alarms = 0
+        self.errors = 0
+        self.stopped = False
+        self._membership: dict = {}
+
+    # -- shadow-lane hot path ------------------------------------------------ #
+    def is_shadowed(self, stream_id: str) -> bool:
+        """Deterministic shadow membership for one stream id."""
+        cached = self._membership.get(stream_id)
+        if cached is None:
+            digest = hashlib.blake2s(stream_id.encode("utf-8"),
+                                     digest_size=8).digest()
+            cached = int.from_bytes(digest, "big") / 2.0 ** 64 < self.fraction
+            self._membership[stream_id] = cached
+        return cached
+
+    def observe_flush(self, batch: Sequence) -> None:
+        """Shadow-score the shadowed slice of one flushed batch.
+
+        Called by the micro-batcher after its own scoring call (the
+        ``shadow`` hook), with the flushed
+        :class:`~repro.serve.session.WindowRequest` list.  Never raises:
+        a shadow lane that can crash the data plane would make canarying
+        riskier than the promotion it guards, so errors are counted and
+        the lane disables itself after ``3`` of them (the error count
+        also forces a ``reject`` verdict).
+        """
+        if self.stopped:
+            return
+        try:
+            rows = [request for request in batch
+                    if self.is_shadowed(request.session.stream_id)]
+            if not rows:
+                return
+            windows = np.stack([request.context for request in rows])
+            targets = np.stack([request.target for request in rows])
+            start = self._clock()
+            scores = self.candidate.score_windows_batch(windows, targets)
+            per_row = (self._clock() - start) / len(rows)
+            threshold = self._threshold
+            for score in scores:
+                score = float(score)
+                self.score_histogram.add(score)
+                self.latency_histogram.add(per_row)
+                self.samples += 1
+                if threshold is not None and score > threshold:
+                    self.alarms += 1
+        except Exception:
+            self.errors += 1
+            if self.errors >= _MAX_ERRORS:
+                self.stopped = True
+
+    # -- judgement ----------------------------------------------------------- #
+    @property
+    def alarm_rate(self) -> float:
+        return self.alarms / self.samples if self.samples else 0.0
+
+    def evaluate(self) -> CanaryReport:
+        """Judge the live shadow statistics against the golden baseline."""
+        gates = self.gates
+        shift = distribution_shift(self.baseline.score_histogram,
+                                   self.score_histogram)
+        p99 = self.latency_histogram.p99
+        rate = self.alarm_rate
+        rate_limit = (self.baseline.alarm_rate * gates.max_alarm_ratio
+                      + gates.alarm_rate_slack)
+        results: List[GateResult] = [
+            GateResult("samples", float(self.samples),
+                       float(gates.min_samples),
+                       self.samples >= gates.min_samples),
+            GateResult("score_shift", shift, gates.max_score_shift,
+                       shift <= gates.max_score_shift),
+            GateResult("alarm_rate", rate, rate_limit, rate <= rate_limit),
+            GateResult("latency_p99_s", p99, gates.max_latency_p99_s,
+                       p99 <= gates.max_latency_p99_s),
+            GateResult("shadow_errors", float(self.errors), 0.0,
+                       self.errors == 0),
+        ]
+        if self.errors:
+            verdict = "reject"
+        elif self.samples < gates.min_samples:
+            verdict = "undecided"
+        elif all(result.ok for result in results):
+            verdict = "promote"
+        else:
+            verdict = "reject"
+        return CanaryReport(
+            verdict=verdict,
+            samples=self.samples,
+            alarms=self.alarms,
+            errors=self.errors,
+            alarm_rate=rate,
+            baseline_alarm_rate=self.baseline.alarm_rate,
+            score_shift=shift,
+            latency_p99_s=p99,
+            gates=tuple(results),
+            fingerprint=self.fingerprint,
+        )

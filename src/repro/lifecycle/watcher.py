@@ -1,0 +1,245 @@
+"""Meta-watcher: an EWMA watch over the service's own health metrics.
+
+Promotion gates (:mod:`repro.lifecycle.canary`) judge a candidate *before*
+the swap; the :class:`MetaWatcher` guards it *after*.  It periodically
+snapshots a running service's cumulative health counters
+(:meth:`repro.serve.AnomalyService.health_snapshot`), converts them into
+per-tick rates -- alarm rate, enqueue-to-score p99 (via histogram-delta
+quantiles), alarm-sink errors -- and keeps an exponentially weighted
+mean/variance per metric.  A tick whose value exceeds
+``mean + k * std`` (after warm-up) or an absolute policy ceiling counts as
+a breach; ``patience`` consecutive breaching ticks trigger
+:meth:`repro.serve.AnomalyService.rollback`, which swaps the pinned
+previous artifact back into every live session.
+
+The EWMA state *freezes* on breaching ticks: a sustained regression must
+keep reading as anomalous instead of being absorbed into the mean --
+the same classify-then-learn discipline the drift lane applies to scores.
+
+The sync core (:meth:`MetaWatcher.observe`) is deterministic and directly
+testable; :meth:`MetaWatcher.arm` wraps it in an asyncio task on the
+service's loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .baseline import windowed_quantile
+
+__all__ = ["WatchPolicy", "EwmaWatch", "MetaWatcher"]
+
+
+@dataclass(frozen=True)
+class WatchPolicy:
+    """Tuning of one :class:`MetaWatcher`.
+
+    ``interval_s`` is the tick period of the armed watch task.
+    ``alpha``/``k``/``warmup_ticks`` parameterise the per-metric EWMA
+    watches (weight of the newest tick, sigma multiplier, ticks observed
+    before breaching is possible).  ``patience`` is the number of
+    *consecutive* breaching ticks that triggers rollback.  The absolute
+    ceilings (``max_alarm_rate``, ``max_p99_s``, ``max_sink_errors`` per
+    tick) catch regressions so large or so immediate that the relative
+    EWMA watch never got a healthy mean to compare against; their
+    defaults are permissive (alarm storms only).
+
+    >>> WatchPolicy(patience=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: patience must be at least 1
+    """
+
+    interval_s: float = 1.0
+    alpha: float = 0.2
+    k: float = 6.0
+    warmup_ticks: int = 5
+    patience: int = 3
+    max_alarm_rate: float = 0.5
+    max_p99_s: float = math.inf
+    max_sink_errors: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.warmup_ticks < 1:
+            raise ValueError("warmup_ticks must be at least 1")
+        if self.patience < 1:
+            raise ValueError("patience must be at least 1")
+        if not 0.0 < self.max_alarm_rate <= 1.0:
+            raise ValueError("max_alarm_rate must be in (0, 1]")
+        if self.max_p99_s <= 0:
+            raise ValueError("max_p99_s must be positive")
+        if self.max_sink_errors < 0:
+            raise ValueError("max_sink_errors must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "interval_s": self.interval_s,
+            "alpha": self.alpha,
+            "k": self.k,
+            "warmup_ticks": self.warmup_ticks,
+            "patience": self.patience,
+            "max_alarm_rate": self.max_alarm_rate,
+            "max_p99_s": None if math.isinf(self.max_p99_s)
+            else self.max_p99_s,
+            "max_sink_errors": self.max_sink_errors,
+        }
+
+
+class EwmaWatch:
+    """EWMA mean/variance watch on one scalar metric.
+
+    >>> watch = EwmaWatch(alpha=0.5, k=3.0, warmup_ticks=3)
+    >>> [watch.observe(1.0) for _ in range(5)]
+    [False, False, False, False, False]
+    >>> watch.observe(100.0)
+    True
+    """
+
+    def __init__(self, *, alpha: float, k: float, warmup_ticks: int) -> None:
+        self.alpha = alpha
+        self.k = k
+        self.warmup_ticks = warmup_ticks
+        self._mean: Optional[float] = None
+        self._variance = 0.0
+        self._ticks = 0
+
+    def observe(self, value: float) -> bool:
+        """Feed one tick; ``True`` when it breaches the learned band.
+
+        Breaching ticks do not update the learned mean/variance (see the
+        module docstring on freezing).
+        """
+        value = float(value)
+        if self._mean is not None and self._ticks >= self.warmup_ticks:
+            band = self._mean + self.k * math.sqrt(self._variance) + 1e-12
+            if value > band:
+                return True
+        if self._mean is None:
+            self._mean = value
+        else:
+            delta = value - self._mean
+            self._mean += self.alpha * delta
+            self._variance = (1.0 - self.alpha) * (
+                self._variance + self.alpha * delta * delta)
+        self._ticks += 1
+        return False
+
+
+class MetaWatcher:
+    """Watch a service's health and roll a promotion back on regression."""
+
+    def __init__(self, policy: Optional[WatchPolicy] = None) -> None:
+        self.policy = policy if policy is not None else WatchPolicy()
+        self.breaches = 0              #: breaching (metric, tick) pairs seen
+        self.rollbacks = 0             #: rollbacks this watcher triggered
+        self.last_breaches: List[str] = []
+        self._streak = 0
+        self._previous: Optional[dict] = None
+        self._watches = {
+            name: EwmaWatch(alpha=self.policy.alpha, k=self.policy.k,
+                            warmup_ticks=self.policy.warmup_ticks)
+            for name in ("alarm_rate", "p99_s")
+        }
+        self._task: Optional[asyncio.Task] = None
+
+    # -- sync core ----------------------------------------------------------- #
+    def observe(self, snapshot: dict) -> List[str]:
+        """Feed one cumulative health snapshot; return this tick's breaches.
+
+        ``snapshot`` is :meth:`repro.serve.AnomalyService.health_snapshot`
+        output (cumulative counters); the first call only primes the
+        deltas.  Returns the names of the breached watches, e.g.
+        ``["alarm_rate:ewma", "sink_errors:ceiling"]``.
+        """
+        previous, self._previous = self._previous, snapshot
+        if previous is None:
+            return []
+        scored = snapshot["samples_scored"] - previous["samples_scored"]
+        alarms = snapshot["alarms_total"] - previous["alarms_total"]
+        sink_errors = snapshot["sink_errors"] - previous["sink_errors"]
+        alarm_rate = alarms / scored if scored > 0 else 0.0
+        p99 = 0.0
+        if snapshot.get("queue_delay") and previous.get("queue_delay"):
+            p99 = windowed_quantile(previous["queue_delay"],
+                                    snapshot["queue_delay"])
+        breaches: List[str] = []
+        if self._watches["alarm_rate"].observe(alarm_rate):
+            breaches.append("alarm_rate:ewma")
+        if alarm_rate > self.policy.max_alarm_rate:
+            breaches.append("alarm_rate:ceiling")
+        if self._watches["p99_s"].observe(p99):
+            breaches.append("p99_s:ewma")
+        if p99 > self.policy.max_p99_s:
+            breaches.append("p99_s:ceiling")
+        if sink_errors > self.policy.max_sink_errors:
+            breaches.append("sink_errors:ceiling")
+        if breaches:
+            self.breaches += len(breaches)
+            self.last_breaches = breaches
+            self._streak += 1
+        else:
+            self._streak = 0
+        return breaches
+
+    @property
+    def should_rollback(self) -> bool:
+        return self._streak >= self.policy.patience
+
+    # -- async shell --------------------------------------------------------- #
+    @property
+    def armed(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def arm(self, service) -> None:
+        """Start ticking against ``service`` on the running event loop.
+
+        Typically called by :meth:`repro.serve.AnomalyService.promote`
+        right after the swap; the watch disarms itself after triggering a
+        rollback (one promotion, one guard).
+        """
+        if self.armed:
+            raise RuntimeError("watcher is already armed")
+        self._streak = 0
+        self._previous = None
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(service), name="repro-lifecycle-watch")
+
+    def disarm(self) -> None:
+        """Stop the watch task (safe to call from the task itself)."""
+        task, self._task = self._task, None
+        if task is None:
+            return
+        try:
+            current = asyncio.current_task()
+        except RuntimeError:       # no running loop (sync caller)
+            current = None
+        if task is not current:
+            task.cancel()
+
+    async def _run(self, service) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.policy.interval_s)
+                try:
+                    snapshot = service.health_snapshot()
+                except RuntimeError:
+                    return          # service stopped; nothing to watch
+                self.observe(snapshot)
+                if self.should_rollback:
+                    self.rollbacks += 1
+                    await service.rollback(
+                        reason="watch:" + ",".join(self.last_breaches))
+                    return
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._task = None

@@ -12,7 +12,9 @@ Routes:
     Chrome trace JSON of the bounded ring (``application/json``),
     loadable directly at https://ui.perfetto.dev.
 ``GET /healthz``
-    ``200 ok`` liveness probe.
+    Liveness probe.  Plain ``200 ok`` by default; when the server is
+    built with a ``health`` callable, a JSON body describing the
+    service's health (including the active artifact fingerprint).
 
 The server is handed *callables* rather than a service object, so it has
 no dependency on ``repro.serve`` and anything that can render text can
@@ -31,7 +33,8 @@ Port 0 binds an ephemeral port; read :attr:`bound_port` after
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Optional
+import json
+from typing import Any, Callable, Dict, Optional
 
 __all__ = ["ObservabilityHTTPServer"]
 
@@ -44,9 +47,11 @@ class ObservabilityHTTPServer:
 
     def __init__(self, *, metrics: Callable[[], str],
                  trace: Optional[Callable[[], str]] = None,
+                 health: Optional[Callable[[], Dict[str, Any]]] = None,
                  host: str = "127.0.0.1", port: int = 0) -> None:
         self._metrics = metrics
         self._trace = trace
+        self._health = health
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -126,6 +131,12 @@ class ObservabilityHTTPServer:
             except Exception as exc:  # pragma: no cover - defensive
                 return "500 Internal Server Error", "text/plain", f"{exc}\n"
         if path == "/healthz":
-            return "200 OK", "text/plain", "ok\n"
+            if self._health is None:
+                return "200 OK", "text/plain", "ok\n"
+            try:
+                return ("200 OK", "application/json",
+                        json.dumps(self._health()) + "\n")
+            except Exception as exc:  # pragma: no cover - defensive
+                return "500 Internal Server Error", "text/plain", f"{exc}\n"
         return ("404 Not Found", "text/plain",
                 "routes: /metrics /trace /healthz\n")

@@ -49,8 +49,8 @@ from .pipeline import (DetectorReport, Pipeline, PipelineReport,
                        PipelineStageError, run_pipeline)
 from .registry import DETECTORS, DetectorRegistry, RegisteredDetector
 from .spec import (AdaptationSpec, CalibrationSpec, ClusterSpec, DataSpec,
-                   DeploymentSpec, DetectorSpec, QuantizationSpec, RuntimeSpec,
-                   ServiceSpec, SpecError)
+                   DeploymentSpec, DetectorSpec, LifecycleSpec,
+                   QuantizationSpec, RuntimeSpec, ServiceSpec, SpecError)
 
 __all__ = [
     "DETECTOR_KINDS",
@@ -64,6 +64,7 @@ __all__ = [
     "QuantizationSpec",
     "AdaptationSpec",
     "ClusterSpec",
+    "LifecycleSpec",
     "ServiceSpec",
     "RuntimeSpec",
     "DeploymentSpec",

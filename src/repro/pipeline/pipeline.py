@@ -97,6 +97,10 @@ class Pipeline:
         self.spec = spec
         self._detector: Optional[AnomalyDetector] = None
         self._quantized: Optional[AnomalyDetector] = None
+        #: the packaged artifact directory this pipeline was load()ed from
+        #: (None for freshly fitted pipelines); lets deploy_service stamp
+        #: the artifact fingerprint on the service it builds.
+        self.artifact_dir: Optional[Path] = None
         self._train_data: Optional[np.ndarray] = None
         #: calibrate()'s scores over the training stream, reused by the
         #: no-test-split evaluation fallback to avoid a second full pass.
@@ -131,6 +135,7 @@ class Pipeline:
             spec = DeploymentSpec(
                 detector=DetectorSpec(kind=DETECTORS.kind_for(detector)))
         pipeline = cls(spec)
+        pipeline.artifact_dir = Path(path)
         # Inference-only registry kinds (the int8 VARADE) restore into the
         # quantized slot; everything else is the float detector.
         if DETECTORS.get(DETECTORS.kind_for(detector)).trainable:
@@ -345,9 +350,64 @@ class Pipeline:
                 config = ServiceConfig(record_sessions=record_sessions)
         adaptation = None if self.spec.adaptation is None \
             else self.spec.adaptation.policy()
+        fingerprint = None
+        if self.artifact_dir is not None:
+            from ..serialize import artifact_fingerprint
+
+            fingerprint = artifact_fingerprint(self.artifact_dir)
         return AnomalyService(self.serving_detector, config=config,
                               adaptation=adaptation,
-                              alarm_sinks=alarm_sinks)
+                              alarm_sinks=alarm_sinks,
+                              fingerprint=fingerprint)
+
+    def record_baseline(self, traffic: Any, *, write: bool = True):
+        """Capture this packaged artifact's golden baseline from ``traffic``.
+
+        Replays representative streams (``(T, channels)`` or a sequence of
+        them) through the real serving path and writes the per-artifact
+        score/latency/alarm statistics as a ``baseline.json`` sidecar next
+        to the packaged artifact (``write=False`` skips the write).  The
+        baseline is what canary evaluation later compares live shadow
+        statistics against; see :mod:`repro.lifecycle`.  Requires a
+        :meth:`load`-ed pipeline -- the baseline is a property of the
+        packaged artifact, fingerprint and all.
+        """
+        if self.artifact_dir is None:
+            raise PipelineStageError(
+                "record_baseline needs a packaged artifact: package() and "
+                "Pipeline.load() the artifact directory first")
+        from ..lifecycle import record_baseline
+
+        return record_baseline(self.artifact_dir, traffic, write=write)
+
+    def deploy_canary(self, artifact: Union[str, Path], *,
+                      fraction: Optional[float] = None,
+                      gates: Optional[Any] = None):
+        """Build a canary controller for the candidate packaged at ``artifact``.
+
+        The candidate detector and its golden baseline sidecar (see
+        :meth:`record_baseline`) load from ``artifact``;
+        ``spec.service.lifecycle`` supplies the shadow fraction and gate
+        limits unless overridden here.  Attach the returned
+        :class:`repro.lifecycle.CanaryController` to a *running* service
+        with :meth:`repro.serve.AnomalyService.attach_canary`, then
+        ``await service.promote()`` once the gates have enough samples.
+        """
+        from ..lifecycle import CanaryController, load_baseline
+        from ..serialize import artifact_fingerprint
+
+        lifecycle_spec = None if self.spec.service is None \
+            else self.spec.service.lifecycle
+        if fraction is None:
+            fraction = 0.25 if lifecycle_spec is None \
+                else lifecycle_spec.fraction
+        if gates is None and lifecycle_spec is not None:
+            gates = lifecycle_spec.gates()
+        candidate = load_detector(artifact)
+        baseline = load_baseline(artifact)
+        return CanaryController(candidate, baseline=baseline, gates=gates,
+                                fraction=fraction,
+                                fingerprint=artifact_fingerprint(artifact))
 
     def deploy_cluster(self, artifact: Union[str, Path], *,
                        tenants: Optional[Dict[str, Union[str, Path]]] = None,

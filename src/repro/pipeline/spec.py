@@ -33,6 +33,7 @@ __all__ = [
     "QuantizationSpec",
     "AdaptationSpec",
     "ClusterSpec",
+    "LifecycleSpec",
     "ServiceSpec",
     "RuntimeSpec",
     "DeploymentSpec",
@@ -309,6 +310,72 @@ class ClusterSpec:
 
 
 @dataclass(frozen=True)
+class LifecycleSpec:
+    """Model-lifecycle settings (``service.lifecycle`` sub-entry).
+
+    Tunes the canary/promotion control plane (:mod:`repro.lifecycle`):
+    ``fraction`` is the share of live streams a canary shadow-scores;
+    the gate knobs mirror :class:`repro.lifecycle.CanaryGates` (samples
+    required before judging, score-distribution shift ceiling,
+    alarm-rate ratio vs the golden baseline, shadow-latency p99 budget);
+    the ``watch_*`` knobs mirror :class:`repro.lifecycle.WatchPolicy`
+    for the post-promotion meta-watcher (``watch: false`` disables it).
+    Validation is delegated to the runtime classes -- one source of
+    truth, surfaced as :class:`SpecError` at parse time.
+    """
+
+    fraction: float = 0.25
+    min_samples: int = 256
+    max_score_shift: float = 0.35
+    max_alarm_ratio: float = 3.0
+    alarm_rate_slack: float = 0.005
+    max_latency_p99_s: float = 0.025
+    watch: bool = True
+    watch_interval_s: float = 1.0
+    watch_alpha: float = 0.2
+    watch_k: float = 6.0
+    watch_warmup_ticks: int = 5
+    watch_patience: int = 3
+    watch_max_alarm_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fraction, (int, float)) \
+                or isinstance(self.fraction, bool) \
+                or not 0.0 < self.fraction <= 1.0:
+            raise SpecError("lifecycle.fraction must be a number in (0, 1]")
+        if not isinstance(self.watch, bool):
+            raise SpecError("lifecycle.watch must be a boolean")
+        try:
+            self.gates()
+            self.watch_policy()
+        except (TypeError, ValueError) as error:
+            raise SpecError(f"invalid lifecycle entry: {error}") from error
+
+    def gates(self) -> "Any":
+        """Build the runtime :class:`repro.lifecycle.CanaryGates`."""
+        from ..lifecycle import CanaryGates
+
+        return CanaryGates(
+            min_samples=self.min_samples,
+            max_score_shift=self.max_score_shift,
+            max_alarm_ratio=self.max_alarm_ratio,
+            alarm_rate_slack=self.alarm_rate_slack,
+            max_latency_p99_s=self.max_latency_p99_s)
+
+    def watch_policy(self) -> "Any":
+        """Build the runtime :class:`repro.lifecycle.WatchPolicy`."""
+        from ..lifecycle import WatchPolicy
+
+        return WatchPolicy(
+            interval_s=self.watch_interval_s,
+            alpha=self.watch_alpha,
+            k=self.watch_k,
+            warmup_ticks=self.watch_warmup_ticks,
+            patience=self.watch_patience,
+            max_alarm_rate=self.watch_max_alarm_rate)
+
+
+@dataclass(frozen=True)
 class ServiceSpec:
     """Serving-API settings (presence enables ``Pipeline.deploy_service``).
 
@@ -355,6 +422,9 @@ class ServiceSpec:
     #: sharded multi-worker serving (``repro serve --workers`` /
     #: ``Pipeline.deploy_cluster``); absent = single-process serving
     cluster: Optional[ClusterSpec] = None
+    #: canary/promotion tuning (``repro canary`` / ``Pipeline.deploy_canary``);
+    #: absent = library defaults
+    lifecycle: Optional[LifecycleSpec] = None
 
     def __post_init__(self) -> None:
         # A spec file carries the cluster entry as a plain mapping;
@@ -364,6 +434,12 @@ class ServiceSpec:
             object.__setattr__(
                 self, "cluster",
                 _from_mapping(ClusterSpec, self.cluster, "service.cluster"))
+        if self.lifecycle is not None and not isinstance(self.lifecycle,
+                                                         LifecycleSpec):
+            object.__setattr__(
+                self, "lifecycle",
+                _from_mapping(LifecycleSpec, self.lifecycle,
+                              "service.lifecycle"))
         # Run ServiceConfig's own validation (one source of truth for the
         # batcher knobs) so a bad spec fails at parse time, not when the
         # service starts; ValueErrors are re-raised as SpecErrors with the

@@ -133,6 +133,12 @@ class MicroBatcher:
         self.clock = clock
         self.record_batches = record_batches
         self.tracer = tracer
+        #: optional observer of every flushed batch (the canary shadow
+        #: lane): called with the popped request list *after* scores are
+        #: assigned and completions delivered.  The callee must not raise
+        #: (:meth:`repro.lifecycle.CanaryController.observe_flush`
+        #: guards itself); ``None`` costs one ``is None`` check per flush.
+        self.shadow: Optional[Callable[[List[WindowRequest]], None]] = None
         self._pending: Deque[WindowRequest] = deque()
         self._per_session: Dict[int, int] = {}   # id(session) -> pending count
         # Telemetry: constant-memory tail-latency + occupancy histograms.
@@ -308,6 +314,8 @@ class MicroBatcher:
                 request, request.score,
                 latency_s=latency, queue_delay_s=delay,
             ))
+        if self.shadow is not None:
+            self.shadow(batch)
         return results
 
     def flush_due(self, now: Optional[float] = None) -> List[ScoredSample]:

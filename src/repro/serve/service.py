@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import AsyncIterator, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -229,12 +229,22 @@ class AnomalyService:
                  threshold: Optional[CalibratedThreshold] = None,
                  adaptation: Optional[AdaptationPolicy] = None,
                  auto_open: bool = True,
-                 alarm_sinks: Sequence = ()) -> None:
+                 alarm_sinks: Sequence = (),
+                 fingerprint: Optional[str] = None) -> None:
         self.detector = detector
         self.config = config if config is not None else ServiceConfig()
         self.threshold = threshold
         self.adaptation = adaptation
         self.auto_open = auto_open
+        #: fingerprint of the artifact ``detector`` was loaded from
+        #: (``None`` for ad-hoc detectors).  Stamped on emitted alarms,
+        #: exposed on ``/healthz`` + the ``repro_service_artifact_info``
+        #: gauge, and updated by :meth:`swap_detector`.
+        self.artifact_fingerprint = fingerprint
+        #: the artifact pinned for instant rollback (set by
+        #: :meth:`swap_detector`; consumed by :meth:`rollback`)
+        self.previous_detector: Optional[AnomalyDetector] = None
+        self.previous_fingerprint: Optional[str] = None
         #: structured alarm destinations (:mod:`repro.obs.alarms`), fed
         #: every alarming sample beside the wire subscribers.  The caller
         #: owns their lifecycle (``close()`` them after :meth:`stop`); a
@@ -259,6 +269,18 @@ class AnomalyService:
         self._adaptation_folded = 0   # events of already-closed sessions
         self._exported = 0            # sessions handed off (cluster rebalance)
         self._imported = 0            # sessions received from another worker
+        # Model-lifecycle state (canary / hot-swap / meta-watch).
+        self._canary = None           # attached lifecycle.CanaryController
+        self._watcher = None          # attached lifecycle.MetaWatcher
+        self._swaps_total = 0
+        self._rollbacks_total = 0
+        self._migrated_total = 0      # sessions migrated across swaps
+        self._canary_samples_folded = 0   # counters of stopped canaries
+        self._canary_alarms_folded = 0
+        self._canary_errors_folded = 0
+        self._watch_breaches_folded = 0   # breaches of detached watchers
+        self._artifact_info = None    # labelled info gauge (observability)
+        self._info_labels: Optional[dict] = None
         #: the service's :class:`repro.obs.Observability` (``None`` unless
         #: ``config.observability`` -- the no-op default).
         self.observability: Optional[Observability] = None
@@ -285,6 +307,9 @@ class AnomalyService:
             backpressure=self.config.backpressure,
             tracer=self._tracer,
         )
+        if self._canary is not None:
+            # A canary attached before a (re)start keeps shadow-scoring.
+            self._batcher.shadow = self._canary.observe_flush
         self._work = asyncio.Event()
         self._batch_full = asyncio.Event()
         self._space = asyncio.Event()
@@ -302,6 +327,8 @@ class AnomalyService:
         """
         if not self._running and self._scheduler is None:
             return
+        if self._watcher is not None:
+            self._watcher.disarm()
         self._running = False
         self._work.set()           # wake the scheduler so it can exit
         self._batch_full.set()
@@ -439,6 +466,179 @@ class AnomalyService:
         self._imported += 1
         return session
 
+    # -- model lifecycle (canary / hot-swap / rollback) ---------------------- #
+    @property
+    def canary(self):
+        """The attached :class:`repro.lifecycle.CanaryController` (or None)."""
+        return self._canary
+
+    @property
+    def watcher(self):
+        """The attached :class:`repro.lifecycle.MetaWatcher` (or None)."""
+        return self._watcher
+
+    def attach_canary(self, controller) -> None:
+        """Start shadow-scoring ``controller``'s candidate on live traffic.
+
+        The controller's :meth:`~repro.lifecycle.CanaryController.
+        observe_flush` becomes the micro-batcher's ``shadow`` hook: every
+        flushed batch is offered to it after the live scores are out, and
+        the controller re-scores the shadowed slice with the candidate.
+        One canary at a time -- two candidates sharing one shadow lane
+        would double the overhead and muddle both verdicts.
+        """
+        self._require_running()
+        if self._canary is not None:
+            raise RuntimeError(
+                "a canary is already active; stop_canary() it first")
+        self._canary = controller
+        self._batcher.shadow = controller.observe_flush
+        if self._tracer is not None:
+            self._tracer.instant(
+                "canary_start", "service",
+                fraction=controller.fraction,
+                fingerprint=controller.fingerprint)
+
+    def stop_canary(self):
+        """Detach and return the active canary (its stats fold into ours)."""
+        controller = self._canary
+        if controller is None:
+            raise RuntimeError("no canary is active")
+        self._canary = None
+        controller.stopped = True
+        if self._batcher is not None:
+            self._batcher.shadow = None
+        self._canary_samples_folded += controller.samples
+        self._canary_alarms_folded += controller.alarms
+        self._canary_errors_folded += controller.errors
+        if self._tracer is not None:
+            self._tracer.instant("canary_stop", "service",
+                                 samples=controller.samples,
+                                 alarms=controller.alarms)
+        return controller
+
+    def attach_watcher(self, watcher) -> None:
+        """Adopt a :class:`repro.lifecycle.MetaWatcher` for post-promotion
+        health watching.  It arms automatically when :meth:`promote` swaps
+        (and after a triggered rollback it stays attached, disarmed)."""
+        if self._watcher is not None:
+            self._watch_breaches_folded += self._watcher.breaches
+            self._watcher.disarm()
+        self._watcher = watcher
+
+    def health_snapshot(self) -> dict:
+        """Cumulative health counters for the meta-watcher (JSON-safe)."""
+        batcher = self._batcher
+        if batcher is None:
+            raise RuntimeError("service was never started")
+        return {
+            "samples_scored": batcher.scored,
+            "alarms_total": self._alarms_total,
+            "sink_errors": self._sink_errors,
+            "queue_delay": batcher.queue_delay_histogram.to_state(),
+            "fingerprint": self.artifact_fingerprint,
+        }
+
+    async def swap_detector(self, detector: AnomalyDetector, *,
+                            fingerprint: Optional[str] = None) -> int:
+        """Hot-swap the serving model without dropping a sample.
+
+        Drains every in-flight window (their scores broadcast under the
+        *old* model -- the model that accepted them), migrates every live
+        session onto ``detector`` via the bit-exact
+        ``export_state``/``from_state`` path (PR 9's cluster re-homing
+        primitive), re-resolves non-adaptive sessions' thresholds against
+        the new model's calibration, and pins the old detector on
+        :attr:`previous_detector` for instant :meth:`rollback`.  Runs
+        atomically with respect to the event loop (no awaits inside), so
+        no push can land between the drain and the swap.  Returns the
+        number of migrated sessions.
+        """
+        from ..edge.runtime import resolve_threshold
+
+        self._require_running()
+        if detector is self.detector:
+            raise ValueError("the replacement detector is already active")
+        self._broadcast(self._batcher.drain())
+        self._signal_space()
+        adopted = resolve_threshold(self.threshold, detector)
+        migrated: Dict[str, ScoringSession] = {}
+        for stream_id, session in self._sessions.items():
+            moved = ScoringSession.from_state(
+                detector, session.export_state(), tracer=self._tracer)
+            moved.adopt_threshold(adopted)
+            migrated[stream_id] = moved
+        self.previous_detector = self.detector
+        self.previous_fingerprint = self.artifact_fingerprint
+        self.detector = detector
+        self.artifact_fingerprint = fingerprint
+        self._batcher.detector = detector
+        self._sessions = migrated
+        self._swaps_total += 1
+        self._migrated_total += len(migrated)
+        self._set_artifact_info()
+        if self._tracer is not None:
+            self._tracer.instant("detector_swap", "service",
+                                 migrated=len(migrated),
+                                 fingerprint=fingerprint)
+        return len(migrated)
+
+    async def promote(self, *, force: bool = False) -> dict:
+        """Evaluate the active canary and, gates willing, swap it live.
+
+        Returns a JSON-safe result: ``promoted`` (bool), the evaluation
+        ``report`` (:meth:`repro.lifecycle.CanaryReport.to_dict`), and on
+        promotion the migrated-session count plus old/new fingerprints.
+        With ``force=True`` the swap happens regardless of the verdict
+        (the report still records it).  A promotion arms the attached
+        meta-watcher, which will roll back automatically on regression.
+        """
+        self._require_running()
+        if self._canary is None:
+            raise RuntimeError(
+                "no canary is active (attach_canary a candidate first)")
+        report = self._canary.evaluate()
+        result = {
+            "promoted": False,
+            "migrated_sessions": 0,
+            "fingerprint": self.artifact_fingerprint,
+            "report": report.to_dict(),
+        }
+        if not force and report.verdict != "promote":
+            return result
+        controller = self.stop_canary()
+        migrated = await self.swap_detector(
+            controller.candidate, fingerprint=controller.fingerprint)
+        result.update(
+            promoted=True,
+            migrated_sessions=migrated,
+            fingerprint=self.artifact_fingerprint,
+            previous_fingerprint=self.previous_fingerprint,
+        )
+        if self._watcher is not None and not self._watcher.armed:
+            self._watcher.arm(self)
+        return result
+
+    async def rollback(self, *, reason: str = "manual") -> dict:
+        """Swap the pinned previous artifact back into every session."""
+        self._require_running()
+        if self.previous_detector is None:
+            raise RuntimeError("no pinned previous detector to roll back to")
+        migrated = await self.swap_detector(
+            self.previous_detector, fingerprint=self.previous_fingerprint)
+        self._rollbacks_total += 1
+        if self._watcher is not None:
+            self._watcher.disarm()
+        if self._tracer is not None:
+            self._tracer.instant("rollback", "service", reason=reason,
+                                 fingerprint=self.artifact_fingerprint)
+        return {
+            "rolled_back": True,
+            "reason": reason,
+            "fingerprint": self.artifact_fingerprint,
+            "migrated_sessions": migrated,
+        }
+
     # -- ingestion ---------------------------------------------------------- #
     async def push(self, stream_id: str, values) -> None:
         """Ingest one sample for ``stream_id``, respecting backpressure.
@@ -485,6 +685,10 @@ class AnomalyService:
                 finally:
                     self._blocked_pushers -= 1
             self._require_running()
+            # The wait may have spanned a detector hot-swap, which migrates
+            # every live session onto fresh ScoringSession objects -- re-fetch
+            # so the sample lands in the live session, not the stale one.
+            session = self._sessions.get(stream_id, session)
         request = session.submit(values)
         self._pushed += 1
         if request is None:
@@ -643,6 +847,48 @@ class AnomalyService:
             histogram=lambda: self._batcher.occupancy_histogram
             if self._batcher is not None
             else StreamingHistogram.linear(0.5, 1.5, 1))
+        self._artifact_info = registry.gauge(
+            "repro_service_artifact_info",
+            "Identity of the active artifact (constant 1; a promotion "
+            "moves the 1 to the new label set and zeroes the old).",
+            labels=("fingerprint", "detector"))
+        self._set_artifact_info()
+        registry.gauge(
+            "repro_lifecycle_canary_active",
+            "Whether a canary is currently shadow-scoring (0/1).",
+            fn=lambda: 1 if self._canary is not None else 0)
+        registry.counter(
+            "repro_lifecycle_canary_samples_total",
+            "Windows shadow-scored by canary candidates (all canaries).",
+            fn=lambda: self._canary_samples_folded
+            + (self._canary.samples if self._canary is not None else 0))
+        registry.counter(
+            "repro_lifecycle_canary_alarms_total",
+            "Would-be alarms raised by canary candidates (never emitted).",
+            fn=lambda: self._canary_alarms_folded
+            + (self._canary.alarms if self._canary is not None else 0))
+        registry.counter(
+            "repro_lifecycle_canary_errors_total",
+            "Shadow-lane scoring errors (counted, swallowed).",
+            fn=lambda: self._canary_errors_folded
+            + (self._canary.errors if self._canary is not None else 0))
+        registry.counter(
+            "repro_lifecycle_swaps_total",
+            "Detector hot-swaps (promotions + rollbacks).",
+            fn=lambda: self._swaps_total)
+        registry.counter(
+            "repro_lifecycle_rollbacks_total",
+            "Hot-swaps back to the pinned previous artifact.",
+            fn=lambda: self._rollbacks_total)
+        registry.counter(
+            "repro_lifecycle_sessions_migrated_total",
+            "Live sessions migrated across detector hot-swaps.",
+            fn=lambda: self._migrated_total)
+        registry.counter(
+            "repro_lifecycle_watch_breaches_total",
+            "Meta-watcher health-band breaches (all watchers).",
+            fn=lambda: self._watch_breaches_folded
+            + (self._watcher.breaches if self._watcher is not None else 0))
         if obs.tracer is not None:
             registry.gauge(
                 "repro_trace_events_recorded",
@@ -652,6 +898,22 @@ class AnomalyService:
                 "repro_trace_events_dropped_total",
                 "Trace events evicted from the full ring (oldest first).",
                 fn=lambda: obs.tracer.dropped)
+
+    def _set_artifact_info(self) -> None:
+        """Point the info gauge's ``1`` at the active artifact identity."""
+        if self._artifact_info is None:
+            return
+        labels = {
+            "fingerprint": self.artifact_fingerprint or "unknown",
+            "detector": getattr(self.detector, "name",
+                                type(self.detector).__name__),
+        }
+        if labels == self._info_labels:
+            return
+        if self._info_labels is not None:
+            self._artifact_info.labels(**self._info_labels).set(0)
+        self._artifact_info.labels(**labels).set(1)
+        self._info_labels = labels
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of the service's metrics registry.
@@ -716,6 +978,13 @@ class AnomalyService:
             return
         for sample in samples:
             if sample.alarm:
+                if self.artifact_fingerprint is not None \
+                        and sample.fingerprint is None:
+                    # Stamp the active artifact on alarms (only): after a
+                    # hot-swap an operator must be able to tell which model
+                    # raised what.  Non-alarm samples skip the copy.
+                    sample = replace(
+                        sample, fingerprint=self.artifact_fingerprint)
                 self._alarms_total += 1
                 for sink in self.alarm_sinks:
                     try:

@@ -74,6 +74,10 @@ class ScoredSample:
     #: enqueue-to-score wall clock when a batcher scheduled the request
     #: (``None`` on the inline path)
     queue_delay_s: Optional[float] = None
+    #: fingerprint of the artifact that scored this sample (stamped on
+    #: alarms by services that know theirs, so post-swap alarms stay
+    #: attributable to the model that raised them)
+    fingerprint: Optional[str] = None
 
 
 #: A :class:`ScoredSample` whose ``alarm`` flag is set -- the type
@@ -456,6 +460,22 @@ class ScoringSession:
     def close(self) -> None:
         """Refuse further pushes.  Outstanding requests may still complete."""
         self._closed = True
+
+    def adopt_threshold(self,
+                        threshold: Optional[CalibratedThreshold]) -> None:
+        """Adopt the threshold of a newly promoted detector.
+
+        Called by :meth:`repro.serve.AnomalyService.swap_detector` after
+        migrating the session onto a new detector: a session alarming on
+        the *old* artifact's calibration would judge the new model by the
+        wrong yardstick.  Sessions with a live drift-adaptation lane keep
+        it untouched -- their threshold is learned per-stream state, not
+        artifact calibration, and the lane already tracks the scores the
+        new detector produces.
+        """
+        if self._adapter is not None:
+            return
+        self._resolved = threshold
 
     # -- handoff (cluster session re-homing) -------------------------------- #
     def export_state(self) -> dict:

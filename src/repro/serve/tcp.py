@@ -144,13 +144,17 @@ class _MalformedRequest(Exception):
 
 
 def _event_payload(sample: ScoredSample) -> Dict[str, Any]:
-    return {
+    payload = {
         "event": "alarm",
         "stream": sample.stream_id,
         "index": sample.index,
         "score": sample.score,
         "threshold": sample.threshold,
     }
+    # Optional so fingerprint-less events keep the pre-lifecycle shape.
+    if sample.fingerprint is not None:
+        payload["fingerprint"] = sample.fingerprint
+    return payload
 
 
 def _json_line(payload: Dict[str, Any]) -> bytes:
@@ -272,7 +276,8 @@ class _BinaryServerConnection:
     def write_event(self, sample: ScoredSample) -> None:
         self._writer.write(wire.encode(wire.AlarmEvent(
             stream=sample.stream_id, index=sample.index,
-            score=sample.score, threshold=sample.threshold)))
+            score=sample.score, threshold=sample.threshold,
+            fingerprint=sample.fingerprint)))
 
     @staticmethod
     def _to_frame(reply: Dict[str, Any]) -> wire.Frame:
@@ -480,8 +485,13 @@ class AnomalyWireServer:
     def _snapshot(self) -> Dict[str, Any]:
         """Machine-readable state of every hosted service (cluster probes)."""
         return {"services": {
-            name: {"fingerprint": None, "stats": service.stats().to_dict()}
+            name: {"fingerprint": service.artifact_fingerprint,
+                   "stats": service.stats().to_dict()}
             for name, service in self._named_services().items()}}
+
+    def _note_swap(self, service: AnomalyService) -> None:
+        """Hook: ``service`` just hot-swapped its detector (promote or
+        rollback); multi-tenant servers re-key their fingerprint maps."""
 
     # -- per-connection handling ------------------------------------------- #
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -683,6 +693,45 @@ class AnomalyWireServer:
             if op == "trace":
                 return {"ok": True, "op": "trace",
                         "trace": self.service.trace_export()}
+            if op == "canary":
+                service = self._service_for(message)
+                controller = _build_canary(message)
+                service.attach_canary(controller)
+                watch = message.get("watch")
+                if watch is not None and watch is not False:
+                    from ..lifecycle import MetaWatcher, WatchPolicy
+                    policy = WatchPolicy(**watch) \
+                        if isinstance(watch, dict) else WatchPolicy()
+                    service.attach_watcher(MetaWatcher(policy))
+                return {"ok": True, "op": "canary",
+                        "fingerprint": controller.fingerprint,
+                        "fraction": controller.fraction,
+                        "gates": controller.gates.to_dict()}
+            if op == "canary_status":
+                service = self._service_for(message)
+                controller = service.canary
+                if controller is None:
+                    raise ValueError("no canary is attached")
+                return {"ok": True, "op": "canary_status",
+                        "report": controller.evaluate().to_dict()}
+            if op == "canary_stop":
+                service = self._service_for(message)
+                controller = service.stop_canary()
+                return {"ok": True, "op": "canary_stop",
+                        "report": controller.evaluate().to_dict()}
+            if op == "promote":
+                service = self._service_for(message)
+                result = await service.promote(
+                    force=bool(message.get("force", False)))
+                if result["promoted"]:
+                    self._note_swap(service)
+                return dict(result, ok=True, op="promote")
+            if op == "rollback":
+                service = self._service_for(message)
+                result = await service.rollback(
+                    reason=str(message.get("reason", "manual")))
+                self._note_swap(service)
+                return dict(result, ok=True, op="rollback")
             if op == "shutdown":
                 if not self.allow_shutdown:
                     raise ValueError("shutdown is disabled on this server")
@@ -706,6 +755,31 @@ class AnomalyTCPServer(AnomalyWireServer):
                          allow_shutdown=allow_shutdown, protocols=protocols)
         self.host = host
         self.port = port
+
+
+def _build_canary(message: Dict[str, Any]):
+    """Build a CanaryController from a ``canary`` op's JSON payload.
+
+    The candidate artifact (and its golden baseline sidecar) is loaded
+    from the *server's* filesystem -- the op carries a path, not the
+    artifact bytes.
+    """
+    from ..lifecycle import CanaryController, CanaryGates, load_baseline
+    from ..serialize import artifact_fingerprint, load_detector
+
+    artifact = message.get("artifact")
+    if not isinstance(artifact, str) or not artifact:
+        raise ValueError("op 'canary' needs an 'artifact' path string")
+    candidate = load_detector(artifact)
+    baseline = load_baseline(artifact)
+    gates_spec = message.get("gates")
+    if gates_spec is not None and not isinstance(gates_spec, dict):
+        raise ValueError("'gates' must be a mapping of gate limits")
+    gates = CanaryGates(**gates_spec) if gates_spec else None
+    return CanaryController(
+        candidate, baseline=baseline, gates=gates,
+        fraction=float(message.get("fraction", 0.25)),
+        fingerprint=artifact_fingerprint(artifact))
 
 
 def _required_stream(message: Dict[str, Any]) -> str:
@@ -888,6 +962,57 @@ class _ClientCore:
         """
         return self._checked({"op": "trace"})["trace"]
 
+    def canary(self, artifact: str, *, fraction: float = 0.25,
+               gates: Optional[Dict[str, Any]] = None,
+               watch: Any = None,
+               tenant: Optional[str] = None) -> Dict[str, Any]:
+        """Attach a canary for the artifact at ``artifact`` (a server-side
+        path); optionally attach a meta-watcher (``watch=True`` or a
+        WatchPolicy mapping) to be armed by the eventual promotion."""
+        payload: Dict[str, Any] = {"op": "canary", "artifact": artifact,
+                                   "fraction": fraction}
+        if gates is not None:
+            payload["gates"] = gates
+        if watch is not None:
+            payload["watch"] = watch
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._checked(payload)
+
+    def canary_status(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        """Evaluate the attached canary; returns the report dict.
+
+        Against a cluster router the reply is the fleet shape instead:
+        ``{"verdict": ..., "workers": {name: report}}``."""
+        payload: Dict[str, Any] = {"op": "canary_status"}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        reply = self._checked(payload)
+        return reply.get("report", reply)
+
+    def canary_stop(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        """Detach the canary without promoting; returns its final report."""
+        payload: Dict[str, Any] = {"op": "canary_stop"}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._checked(payload)
+
+    def promote(self, *, force: bool = False,
+                tenant: Optional[str] = None) -> Dict[str, Any]:
+        """Promote the attached canary's candidate (gated unless forced)."""
+        payload: Dict[str, Any] = {"op": "promote", "force": force}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._checked(payload)
+
+    def rollback(self, *, reason: str = "manual",
+                 tenant: Optional[str] = None) -> Dict[str, Any]:
+        """Hot-swap back to the pinned previous artifact."""
+        payload: Dict[str, Any] = {"op": "rollback", "reason": reason}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._checked(payload)
+
     def shutdown(self) -> Dict[str, Any]:
         return self._checked({"op": "shutdown"})
 
@@ -995,6 +1120,10 @@ class BinaryClient(_ClientCore):
             return wire.Trace()
         if op == "shutdown":
             return wire.Shutdown()
+        if op in ("canary", "canary_status", "canary_stop",
+                  "promote", "rollback"):
+            raise ValueError(
+                f"lifecycle op {op!r} is JSON-only; use the JSON protocol")
         raise ValueError(f"unknown op {op!r}")
 
     def _read_message(self) -> Optional[Dict[str, Any]]:
@@ -1012,9 +1141,12 @@ class BinaryClient(_ClientCore):
     def _from_frame(frame: wire.Frame) -> Dict[str, Any]:
         """Normalise a reply/event frame to its JSON-protocol dict shape."""
         if isinstance(frame, wire.AlarmEvent):
-            return {"event": "alarm", "stream": frame.stream,
-                    "index": frame.index, "score": frame.score,
-                    "threshold": frame.threshold}
+            event = {"event": "alarm", "stream": frame.stream,
+                     "index": frame.index, "score": frame.score,
+                     "threshold": frame.threshold}
+            if frame.fingerprint is not None:
+                event["fingerprint"] = frame.fingerprint
+            return event
         if isinstance(frame, wire.OpenAck):
             return {"ok": True, "op": "open", "stream": frame.stream,
                     "window": frame.window, "incremental": frame.incremental,

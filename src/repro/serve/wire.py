@@ -665,27 +665,47 @@ class StatsAck:
 
 @dataclass(frozen=True)
 class AlarmEvent:
+    """A pushed alarm notification.
+
+    ``fingerprint`` identifies the artifact that scored the alarming
+    sample; like :attr:`Open.tenant` it is an *optional trailing* string,
+    so fingerprint-less events stay byte-identical to the pre-lifecycle
+    wire format (old frames decode on new clients, and vice versa).
+    """
+
     stream: str
     index: int
     score: float
     threshold: Optional[float]
+    fingerprint: Optional[str] = None
 
     op = OP_ALARM_EVENT
 
     def encode_payload(self) -> bytes:
         has_threshold = self.threshold is not None
-        return _pack_str(self.stream) + _ALARM.pack(
+        payload = _pack_str(self.stream) + _ALARM.pack(
             self.index, self.score, int(has_threshold),
             self.threshold if has_threshold else 0.0)
+        if self.fingerprint is not None:
+            payload += _pack_str(self.fingerprint)
+        return payload
 
     @classmethod
     def decode_payload(cls, payload: bytes) -> "AlarmEvent":
         stream, offset = _unpack_str(payload, 0)
-        if offset + _ALARM.size != len(payload):
+        if offset + _ALARM.size > len(payload):
             raise CorruptPayloadError("ALARM_EVENT payload has the wrong size")
         index, score, has_threshold, threshold = \
             _ALARM.unpack_from(payload, offset)
-        return cls(stream, index, score, threshold if has_threshold else None)
+        offset += _ALARM.size
+        fingerprint = None
+        if offset != len(payload):
+            fingerprint, offset = _unpack_str(payload, offset)
+            if offset != len(payload):
+                raise CorruptPayloadError(
+                    "ALARM_EVENT payload has trailing bytes")
+        return cls(stream, index, score,
+                   threshold if has_threshold else None, fingerprint)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,31 @@
+"""MultiStreamRuntime is deprecated in favour of repro.serve.AnomalyService."""
+
+import warnings
+
+from repro.edge import MultiStreamRuntime
+
+
+class _StubDetector:
+    """Construction only needs an object; scoring never happens here."""
+
+
+def test_construction_emits_a_deprecation_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        MultiStreamRuntime(_StubDetector())
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "AnomalyService" in message
+    assert "repro.serve" in message
+
+
+def test_warning_points_at_the_caller():
+    """stacklevel=2: the warning's location is this file, not fleet.py."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        MultiStreamRuntime(_StubDetector())
+    (warning,) = [w for w in caught
+                  if issubclass(w.category, DeprecationWarning)]
+    assert warning.filename == __file__

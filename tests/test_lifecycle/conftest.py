@@ -1,0 +1,45 @@
+"""Shared fixtures for the model-lifecycle suite.
+
+Two tiny VARADE artifacts (different seeds) are trained and packaged once
+per session through the real ``fit -> calibrate -> package`` path; the
+second one -- the promotion candidate -- also gets its golden baseline
+recorded.  Builders live in ``lifecycle_helpers.py`` so test modules can
+import them directly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lifecycle import record_baseline
+from repro.serialize import load_detector
+
+from lifecycle_helpers import make_stream, package_tiny, tiny_spec
+
+
+@pytest.fixture(scope="session")
+def artifact_a(tmp_path_factory) -> Path:
+    """The live artifact every lifecycle test starts from."""
+    return package_tiny(tiny_spec(seed=0),
+                        tmp_path_factory.mktemp("lifecycle") / "artifact-a")
+
+
+@pytest.fixture(scope="session")
+def artifact_b(tmp_path_factory) -> Path:
+    """The promotion candidate, with its golden baseline recorded."""
+    artifact = package_tiny(
+        tiny_spec(seed=7),
+        tmp_path_factory.mktemp("lifecycle") / "artifact-b")
+    record_baseline(artifact, [make_stream(80, seed=50),
+                               make_stream(60, seed=51)])
+    return artifact
+
+
+@pytest.fixture(scope="session")
+def detector_a(artifact_a):
+    return load_detector(artifact_a)
+
+
+@pytest.fixture(scope="session")
+def detector_b(artifact_b):
+    return load_detector(artifact_b)

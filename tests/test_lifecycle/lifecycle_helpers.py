@@ -1,0 +1,50 @@
+"""Shared constants and builders for the model-lifecycle suite."""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.pipeline import (CalibrationSpec, DataSpec, DeploymentSpec,
+                            DetectorSpec, Pipeline, ServiceSpec)
+
+N_CHANNELS = 3
+WINDOW = 8
+
+
+def tiny_spec(seed: int = 0) -> DeploymentSpec:
+    """A seconds-not-minutes VARADE deployment through the real pipeline."""
+    return DeploymentSpec(
+        detector=DetectorSpec(
+            kind="varade",
+            params={"n_channels": N_CHANNELS, "window": WINDOW,
+                    "base_feature_maps": 4},
+            training={"epochs": 2, "mean_warmup_epochs": 1,
+                      "variance_finetune_epochs": 1, "learning_rate": 3e-3,
+                      "max_train_windows": 100},
+        ),
+        data=DataSpec(source="synthetic",
+                      params={"n_channels": N_CHANNELS, "train_samples": 300,
+                              "test_samples": 120}),
+        calibration=CalibrationSpec(method="quantile", quantile=0.95),
+        service=ServiceSpec(max_batch=8, max_delay_ms=2.0),
+        seed=seed,
+    )
+
+
+def package_tiny(spec: DeploymentSpec, out: Path) -> Path:
+    pipeline = Pipeline.from_spec(spec)
+    data = spec.data.build(spec.seed)
+    pipeline.fit(data.train).calibrate()
+    pipeline.package(out)
+    return out
+
+
+def make_stream(n_samples: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_samples) / 20.0
+    return np.stack(
+        [np.sin(2 * np.pi * (0.4 + 0.2 * c) * t + c)
+         + 0.05 * rng.normal(size=n_samples)
+         for c in range(N_CHANNELS)],
+        axis=1,
+    )

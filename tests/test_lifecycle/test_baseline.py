@@ -1,0 +1,150 @@
+"""Golden baselines: recording, the JSON sidecar, and histogram math."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.edge.monitor import StreamingHistogram
+from repro.lifecycle import (BASELINE_NAME, GoldenBaseline, LifecycleError,
+                             distribution_shift, load_baseline,
+                             record_baseline, save_baseline)
+from repro.lifecycle.baseline import (latency_histogram, score_histogram,
+                                      windowed_quantile)
+from repro.serialize import artifact_fingerprint
+
+from lifecycle_helpers import WINDOW, make_stream
+
+
+class TestRecordBaseline:
+    def test_records_and_writes_sidecar(self, artifact_a, tmp_path):
+        traffic = [make_stream(70, seed=1), make_stream(55, seed=2)]
+        baseline = record_baseline(artifact_a, traffic)
+        assert baseline.fingerprint == artifact_fingerprint(artifact_a)
+        assert baseline.streams == 2
+        # Every complete window of each stream scores.
+        expected = sum(len(stream) - WINDOW + 1 for stream in traffic)
+        assert baseline.samples_scored == expected
+        assert baseline.score_histogram.count == expected
+        assert baseline.latency_histogram.count == expected
+        assert 0.0 <= baseline.alarm_rate <= 1.0
+        assert (artifact_a / BASELINE_NAME).is_file()
+
+    def test_deterministic_scores(self, artifact_a):
+        traffic = make_stream(60, seed=3)
+        first = record_baseline(artifact_a, traffic, write=False)
+        second = record_baseline(artifact_a, traffic, write=False)
+        assert first.score_histogram.to_state() == \
+            second.score_histogram.to_state()
+        assert first.alarms == second.alarms
+
+    def test_single_2d_stream_normalises(self, artifact_a):
+        baseline = record_baseline(artifact_a, make_stream(50, seed=4),
+                                   write=False)
+        assert baseline.streams == 1
+        assert baseline.samples_scored == 50 - WINDOW + 1
+
+
+class TestSidecarRoundTrip:
+    def test_load_round_trips(self, artifact_a):
+        recorded = record_baseline(artifact_a, make_stream(60, seed=5))
+        loaded = load_baseline(artifact_a)
+        assert loaded.fingerprint == recorded.fingerprint
+        assert loaded.samples_scored == recorded.samples_scored
+        assert loaded.alarms == recorded.alarms
+        assert loaded.score_histogram.to_state() == \
+            recorded.score_histogram.to_state()
+
+    def test_missing_sidecar_raises(self, tmp_path):
+        with pytest.raises(LifecycleError, match="no golden baseline"):
+            load_baseline(tmp_path)
+
+    def test_stale_fingerprint_raises(self, artifact_a, tmp_path):
+        baseline = record_baseline(artifact_a, make_stream(50, seed=6),
+                                   write=False)
+        stale = GoldenBaseline(
+            fingerprint="not-the-artifact", detector=baseline.detector,
+            streams=baseline.streams,
+            samples_scored=baseline.samples_scored, alarms=baseline.alarms,
+            score_histogram=baseline.score_histogram,
+            latency_histogram=baseline.latency_histogram)
+        save_baseline(stale, artifact_a)
+        try:
+            with pytest.raises(LifecycleError, match="fingerprint"):
+                load_baseline(artifact_a)
+            assert load_baseline(artifact_a, verify=False).fingerprint \
+                == "not-the-artifact"
+        finally:
+            save_baseline(baseline, artifact_a)   # restore for later tests
+
+    def test_corrupt_sidecar_raises(self, artifact_a):
+        path = artifact_a / BASELINE_NAME
+        original = path.read_text()
+        try:
+            path.write_text("{not json")
+            with pytest.raises(LifecycleError):
+                load_baseline(artifact_a)
+            payload = json.loads(original)
+            payload["version"] = 99
+            path.write_text(json.dumps(payload))
+            with pytest.raises(LifecycleError, match="version"):
+                load_baseline(artifact_a)
+        finally:
+            path.write_text(original)
+
+
+class TestDistributionShift:
+    def test_identical_histograms_have_zero_shift(self):
+        histogram = score_histogram()
+        for value in (0.01, 0.5, 2.0, 80.0):
+            histogram.add(value)
+        assert distribution_shift(histogram, histogram) == 0.0
+
+    def test_disjoint_histograms_have_full_shift(self):
+        low, high = score_histogram(), score_histogram()
+        for _ in range(32):
+            low.add(1e-3)
+            high.add(1e3)
+        assert distribution_shift(low, high) == pytest.approx(1.0)
+
+    def test_empty_vs_populated_is_full_shift(self):
+        populated = score_histogram()
+        populated.add(1.0)
+        assert distribution_shift(score_histogram(), populated) == 1.0
+        assert distribution_shift(score_histogram(), score_histogram()) == 0.0
+
+    def test_mismatched_edges_raise(self):
+        scores, latencies = score_histogram(), latency_histogram()
+        scores.add(1.0)
+        latencies.add(1.0)
+        with pytest.raises(ValueError, match="bin layouts"):
+            distribution_shift(scores, latencies)
+
+    def test_small_perturbation_is_small(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0.0, 1.0, size=500)
+        expected, observed = score_histogram(), score_histogram()
+        for value in values:
+            expected.add(value)
+            observed.add(value * 1.01)
+        assert distribution_shift(expected, observed) < 0.2
+
+
+class TestWindowedQuantile:
+    def test_quantile_of_the_delta_window_only(self):
+        histogram = StreamingHistogram.linear(0.0, 10.0, 10)
+        for _ in range(100):
+            histogram.add(1.5)              # old traffic: fast
+        before = histogram.to_state()
+        for _ in range(100):
+            histogram.add(8.5)              # this window: slow
+        after = histogram.to_state()
+        p99 = windowed_quantile(before, after)
+        assert p99 >= 8.5                   # upper-edge conservative
+        assert p99 <= 10.0
+
+    def test_empty_window_is_zero(self):
+        histogram = StreamingHistogram.linear(0.0, 1.0, 4)
+        histogram.add(0.5)
+        state = histogram.to_state()
+        assert windowed_quantile(state, state) == 0.0

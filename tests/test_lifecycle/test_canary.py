@@ -1,0 +1,218 @@
+"""Canary controller: shadow membership, the shadow lane, and the gates."""
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import (CanaryController, CanaryGates, GoldenBaseline,
+                             load_baseline)
+from repro.lifecycle.baseline import latency_histogram, score_histogram
+from repro.serve.session import ScoringSession
+
+from lifecycle_helpers import make_stream
+
+
+def empty_baseline(alarms: int = 0, samples: int = 0) -> GoldenBaseline:
+    return GoldenBaseline(
+        fingerprint="fp-test", detector="VARADE", streams=1,
+        samples_scored=samples, alarms=alarms,
+        score_histogram=score_histogram(),
+        latency_histogram=latency_histogram())
+
+
+def submit_all(session: ScoringSession, stream: np.ndarray):
+    requests = []
+    for row in stream:
+        request = session.submit(row)
+        if request is not None:
+            requests.append(request)
+    return requests
+
+
+class TestGatesValidation:
+    def test_defaults_are_valid(self):
+        gates = CanaryGates()
+        assert gates.min_samples == 256
+        assert gates.to_dict()["max_latency_p99_s"] == 0.025
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_samples": 0},
+        {"max_score_shift": 0.0},
+        {"max_score_shift": 1.5},
+        {"max_alarm_ratio": 0.5},
+        {"alarm_rate_slack": -0.1},
+        {"max_latency_p99_s": 0.0},
+    ])
+    def test_bad_limits_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            CanaryGates(**kwargs)
+
+    def test_bad_fraction_raises(self, detector_b):
+        for fraction in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                CanaryController(detector_b, baseline=empty_baseline(),
+                                 fraction=fraction)
+
+
+class TestShadowMembership:
+    def test_deterministic_across_controllers(self, detector_b):
+        first = CanaryController(detector_b, baseline=empty_baseline(),
+                                 fraction=0.5)
+        second = CanaryController(detector_b, baseline=empty_baseline(),
+                                  fraction=0.5)
+        ids = [f"stream-{n}" for n in range(64)]
+        assert [first.is_shadowed(i) for i in ids] == \
+            [second.is_shadowed(i) for i in ids]
+
+    def test_fraction_one_shadows_everything(self, detector_b):
+        controller = CanaryController(detector_b, baseline=empty_baseline(),
+                                      fraction=1.0)
+        assert all(controller.is_shadowed(f"s{n}") for n in range(32))
+
+    def test_fraction_splits_roughly(self, detector_b):
+        controller = CanaryController(detector_b, baseline=empty_baseline(),
+                                      fraction=0.5)
+        shadowed = sum(controller.is_shadowed(f"stream-{n}")
+                       for n in range(400))
+        assert 120 <= shadowed <= 280
+
+
+class TestShadowLane:
+    def test_observe_flush_scores_shadowed_rows(self, detector_a,
+                                                detector_b, artifact_b):
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(detector_b, baseline=baseline,
+                                      fraction=1.0)
+        session = ScoringSession(detector_a, "shadow-me", record=False)
+        requests = submit_all(session, make_stream(40, seed=9))
+        controller.observe_flush(requests)
+        assert controller.samples == len(requests)
+        assert controller.score_histogram.count == len(requests)
+        assert controller.errors == 0
+
+    def test_unshadowed_rows_are_skipped(self, detector_a, detector_b,
+                                         artifact_b):
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(detector_b, baseline=baseline,
+                                      fraction=1.0)
+        controller._membership["skip-me"] = False
+        session = ScoringSession(detector_a, "skip-me", record=False)
+        controller.observe_flush(submit_all(session, make_stream(30, seed=9)))
+        assert controller.samples == 0
+
+    def test_shadow_scores_match_direct_batch_scoring(self, detector_a,
+                                                      detector_b, artifact_b):
+        """The lane re-scores the live windows exactly as a direct call."""
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(detector_b, baseline=baseline,
+                                      fraction=1.0)
+        session = ScoringSession(detector_a, "parity", record=False)
+        requests = submit_all(session, make_stream(30, seed=10))
+        controller.observe_flush(requests)
+        windows = np.stack([request.context for request in requests])
+        targets = np.stack([request.target for request in requests])
+        direct = detector_b.score_windows_batch(windows, targets)
+        expected = score_histogram()
+        for score in direct:
+            expected.add(float(score))
+        assert controller.score_histogram.to_state()["counts"] == \
+            expected.to_state()["counts"]
+
+    def test_errors_are_swallowed_and_lane_self_disables(self, artifact_b):
+        class Exploding:
+            threshold = None
+
+            def score_windows_batch(self, windows, targets):
+                raise RuntimeError("boom")
+
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(Exploding(), baseline=baseline,
+                                      fraction=1.0)
+
+        class Request:
+            def __init__(self):
+                self.session = type("S", (), {"stream_id": "s"})()
+                self.context = np.zeros((8, 3))
+                self.target = np.zeros(3)
+
+        for _ in range(3):
+            controller.observe_flush([Request()])   # never raises
+        assert controller.errors == 3
+        assert controller.stopped
+        controller.observe_flush([Request()])       # lane is off
+        assert controller.errors == 3
+        assert controller.evaluate().verdict == "reject"
+
+
+class TestEvaluate:
+    def test_undecided_until_min_samples(self, detector_b, artifact_b):
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(
+            detector_b, baseline=baseline,
+            gates=CanaryGates(min_samples=10_000), fraction=1.0)
+        assert controller.evaluate().verdict == "undecided"
+
+    def test_promotes_when_live_matches_baseline(self, detector_a,
+                                                 detector_b, artifact_b):
+        """Shadow stats from the baseline's own traffic pass the gates."""
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(
+            detector_b, baseline=baseline,
+            gates=CanaryGates(min_samples=32, max_alarm_ratio=3.0,
+                              alarm_rate_slack=0.02),
+            fraction=1.0, fingerprint=baseline.fingerprint)
+        for seed, length in ((50, 80), (51, 60)):
+            session = ScoringSession(detector_a, f"live-{seed}", record=False)
+            controller.observe_flush(
+                submit_all(session, make_stream(length, seed=seed)))
+        report = controller.evaluate()
+        assert report.verdict == "promote", report.to_dict()
+        assert report.fingerprint == baseline.fingerprint
+        assert all(gate.ok for gate in report.gates)
+
+    def test_rejects_on_score_shift(self, detector_a, detector_b,
+                                    artifact_b):
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(
+            detector_b, baseline=baseline,
+            gates=CanaryGates(min_samples=16), fraction=1.0)
+        session = ScoringSession(detector_a, "weird", record=False)
+        # Traffic nothing like the baseline's: large off-manifold values.
+        controller.observe_flush(
+            submit_all(session, 25.0 + 10 * make_stream(60, seed=52)))
+        report = controller.evaluate()
+        assert report.verdict == "reject"
+        gates = {gate.name: gate for gate in report.gates}
+        assert not gates["score_shift"].ok or not gates["alarm_rate"].ok
+
+    def test_rejects_on_latency_budget(self, detector_a, detector_b,
+                                       artifact_b):
+        baseline = load_baseline(artifact_b)
+        clock_value = [0.0]
+
+        def slow_clock():
+            clock_value[0] += 0.5    # every call advances half a second
+            return clock_value[0]
+
+        controller = CanaryController(
+            detector_b, baseline=baseline,
+            gates=CanaryGates(min_samples=16, max_latency_p99_s=0.001),
+            fraction=1.0, clock=slow_clock)
+        session = ScoringSession(detector_a, "slow", record=False)
+        for seed, length in ((50, 80), (51, 60)):
+            controller.observe_flush(
+                submit_all(session, make_stream(length, seed=seed)))
+        report = controller.evaluate()
+        gates = {gate.name: gate for gate in report.gates}
+        assert not gates["latency_p99_s"].ok
+        assert report.verdict == "reject"
+
+    def test_report_round_trips_to_dict(self, detector_b, artifact_b):
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(detector_b, baseline=baseline,
+                                      fraction=0.5, fingerprint="fp-b")
+        report = controller.evaluate().to_dict()
+        assert report["verdict"] == "undecided"
+        assert report["fingerprint"] == "fp-b"
+        assert {gate["name"] for gate in report["gates"]} == {
+            "samples", "score_shift", "alarm_rate", "latency_p99_s",
+            "shadow_errors"}

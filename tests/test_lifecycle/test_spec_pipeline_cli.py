@@ -1,0 +1,174 @@
+"""LifecycleSpec parsing, Pipeline lifecycle methods, and the CLI surface."""
+
+import socket
+
+import pytest
+
+from repro.lifecycle import CanaryController, load_baseline
+from repro.pipeline import (DeploymentSpec, LifecycleSpec, Pipeline,
+                            PipelineStageError, ServiceSpec, SpecError)
+from repro.serialize import artifact_fingerprint
+
+from lifecycle_helpers import make_stream, tiny_spec
+
+
+class TestLifecycleSpec:
+    def test_defaults_build_runtime_objects(self):
+        spec = LifecycleSpec()
+        gates = spec.gates()
+        assert gates.min_samples == 256
+        policy = spec.watch_policy()
+        assert policy.patience == 3
+
+    def test_round_trips_through_mapping(self):
+        spec = tiny_spec(seed=0)
+        payload = spec.to_dict()
+        payload["service"]["lifecycle"] = {"fraction": 0.5,
+                                           "min_samples": 64,
+                                           "watch_patience": 2}
+        parsed = DeploymentSpec.from_dict(payload)
+        lifecycle = parsed.service.lifecycle
+        assert lifecycle.fraction == 0.5
+        assert lifecycle.gates().min_samples == 64
+        assert lifecycle.watch_policy().patience == 2
+
+    def test_absent_lifecycle_entry_stays_none(self):
+        parsed = DeploymentSpec.from_dict(tiny_spec(seed=0).to_dict())
+        assert parsed.service.lifecycle is None
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"fraction": 0.0}, "fraction"),
+        ({"fraction": 2.0}, "fraction"),
+        ({"fraction": True}, "fraction"),
+        ({"watch": "yes"}, "watch"),
+        ({"min_samples": 0}, "invalid lifecycle entry"),
+        ({"max_score_shift": 5.0}, "invalid lifecycle entry"),
+        ({"watch_patience": 0}, "invalid lifecycle entry"),
+    ])
+    def test_bad_values_surface_as_spec_errors(self, kwargs, match):
+        with pytest.raises(SpecError, match=match):
+            LifecycleSpec(**kwargs)
+
+    def test_unknown_mapping_key_is_rejected(self):
+        payload = tiny_spec(seed=0).to_dict()
+        payload["service"]["lifecycle"] = {"fractoin": 0.5}
+        with pytest.raises(SpecError):
+            DeploymentSpec.from_dict(payload)
+
+
+class TestPipelineLifecycle:
+    def test_record_baseline_requires_a_packaged_artifact(self):
+        pipeline = Pipeline.from_spec(tiny_spec(seed=0))
+        with pytest.raises(PipelineStageError, match="packaged artifact"):
+            pipeline.record_baseline(make_stream(40, seed=1))
+
+    def test_record_baseline_on_a_loaded_artifact(self, artifact_a):
+        pipeline = Pipeline.load(artifact_a)
+        baseline = pipeline.record_baseline(make_stream(40, seed=2),
+                                            write=False)
+        assert baseline.fingerprint == artifact_fingerprint(artifact_a)
+        assert baseline.samples_scored > 0
+
+    def test_deploy_service_carries_the_fingerprint(self, artifact_a):
+        service = Pipeline.load(artifact_a).deploy_service()
+        assert service.artifact_fingerprint == \
+            artifact_fingerprint(artifact_a)
+
+    def test_deploy_canary_uses_spec_lifecycle_defaults(self, artifact_a,
+                                                        artifact_b):
+        pipeline = Pipeline.load(artifact_a)
+        spec_payload = pipeline.spec.to_dict()
+        spec_payload["service"]["lifecycle"] = {"fraction": 0.75,
+                                                "min_samples": 48}
+        pipeline.spec = DeploymentSpec.from_dict(spec_payload)
+        controller = pipeline.deploy_canary(artifact_b)
+        assert isinstance(controller, CanaryController)
+        assert controller.fraction == 0.75
+        assert controller.gates.min_samples == 48
+        assert controller.fingerprint == artifact_fingerprint(artifact_b)
+        assert controller.baseline.fingerprint == \
+            load_baseline(artifact_b).fingerprint
+
+    def test_deploy_canary_overrides_beat_the_spec(self, artifact_a,
+                                                   artifact_b):
+        controller = Pipeline.load(artifact_a).deploy_canary(
+            artifact_b, fraction=1.0)
+        assert controller.fraction == 1.0
+        assert controller.gates.min_samples == 256    # runtime default
+
+
+class TestCLI:
+    @pytest.fixture(scope="class")
+    def packaged_workdir(self, tmp_path_factory):
+        from repro.cli import main
+
+        workdir = tmp_path_factory.mktemp("lifecycle-cli")
+        assert main(["train", "--fast", "--workdir", str(workdir)]) == 0
+        assert main(["quantize", "--workdir", str(workdir)]) == 0
+        assert main(["package", "--workdir", str(workdir)]) == 0
+        return workdir
+
+    def test_baseline_records_a_sidecar(self, packaged_workdir, capsys):
+        from repro.cli import main
+        from repro.lifecycle import BASELINE_NAME
+
+        assert main(["baseline", "--workdir", str(packaged_workdir)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out
+        assert "alarm rate" in out
+        sidecars = list(packaged_workdir.rglob(BASELINE_NAME))
+        assert sidecars, "baseline sidecar not written"
+
+    def test_baseline_without_a_package_fails_cleanly(self, tmp_path,
+                                                      capsys):
+        from repro.cli import main
+
+        assert main(["baseline", "--workdir", str(tmp_path / "none")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_wire_commands_report_connection_errors(self, capsys):
+        from repro.cli import main
+
+        # Grab a port that is certainly closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["canary", "--connect", f"127.0.0.1:{port}",
+                     "--status"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["promote", "--connect", f"127.0.0.1:{port}"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_endpoint_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["canary", "--connect", "nonsense", "--status"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_full_canary_flow_against_a_live_server(self, artifact_a,
+                                                    artifact_b, capsys):
+        from repro.cli import main
+        from repro.serve import TCPClient
+        from test_wire_lifecycle import LifecycleServer, push_baseline_traffic
+
+        with LifecycleServer(artifact_a) as server:
+            endpoint = f"127.0.0.1:{server.port}"
+            assert main(["canary", "--connect", endpoint,
+                         "--artifact", str(artifact_b),
+                         "--fraction", "1.0"]) == 0
+            assert "shadow-scoring candidate" in capsys.readouterr().out
+            with TCPClient(port=server.port) as client:
+                push_baseline_traffic(client)
+            assert main(["canary", "--connect", endpoint, "--status"]) == 0
+            out = capsys.readouterr().out
+            assert "verdict undecided" in out     # default gates: 256 min
+            assert "samples" in out
+            # Gates hold the promotion back -> exit 1 with a hint.
+            assert main(["promote", "--connect", endpoint]) == 1
+            assert "--force" in capsys.readouterr().out
+            assert main(["promote", "--connect", endpoint, "--force"]) == 0
+            assert "promoted" in capsys.readouterr().out
+            assert main(["promote", "--connect", endpoint,
+                         "--rollback"]) == 0
+            assert "rolled back" in capsys.readouterr().out

@@ -1,0 +1,318 @@
+"""Hot-swap promotion on a live AnomalyService: drain, migrate, roll back."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import (CanaryController, CanaryGates, MetaWatcher,
+                             WatchPolicy, load_baseline)
+from repro.serve import AnomalyService, ServiceConfig
+
+from lifecycle_helpers import WINDOW, make_stream
+
+CONFIG = ServiceConfig(max_batch=8, max_delay_ms=1.0)
+
+
+async def collect_events(service, events):
+    async for event in service.events():
+        events.append(event)
+
+
+async def run_with_events(service, scenario):
+    """Start ``service``, run ``scenario`` with an event collector attached."""
+    events = []
+    await service.start()
+    task = asyncio.create_task(collect_events(service, events))
+    await asyncio.sleep(0)
+    await scenario(service)
+    await service.stop()
+    await task
+    return events
+
+
+class TestSwapDetector:
+    def test_swap_migrates_every_session_without_drops(self, detector_a,
+                                                       detector_b):
+        data = make_stream(60, seed=30)
+
+        async def scenario(service):
+            for row in data[:30]:
+                await service.push("s0", row)
+                await service.push("s1", row + 0.1)
+            migrated = await service.swap_detector(detector_b,
+                                                   fingerprint="fp-b")
+            assert migrated == 2
+            for row in data[30:]:
+                await service.push("s0", row)
+                await service.push("s1", row + 0.1)
+            await service.close_session("s0")
+            await service.close_session("s1")
+
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG,
+                                     fingerprint="fp-a")
+            events = await run_with_events(service, scenario)
+            return service, events, service.stats()
+
+        service, events, stats = asyncio.run(main())
+        per_session = len(data) - WINDOW + 1
+        assert stats.samples_scored == 2 * per_session
+        assert stats.samples_dropped == 0
+        assert len(events) == 2 * per_session
+        assert service.artifact_fingerprint == "fp-b"
+        assert service.previous_detector is detector_a
+        assert service.previous_fingerprint == "fp-a"
+
+    def test_alarms_carry_the_serving_fingerprint(self, detector_a,
+                                                  detector_b):
+        """Satellite (a): every alarm is stamped with the fingerprint of the
+        artifact that raised it, across a mid-stream swap."""
+        from repro.core.calibration import CalibratedThreshold
+
+        data = make_stream(40, seed=31)
+        # A threshold below every score turns each event into an alarm.
+        alarm_always = CalibratedThreshold(threshold=-1e9, method="quantile",
+                                           parameter=0.0)
+
+        async def scenario(service):
+            for row in data[:20]:
+                await service.push("s0", row)
+            # swap_detector drains pending windows under the old model
+            await service.swap_detector(detector_b, fingerprint="fp-b")
+            for row in data[20:]:
+                await service.push("s0", row)
+            await service.close_session("s0")
+
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG,
+                                     threshold=alarm_always,
+                                     fingerprint="fp-a")
+            return await run_with_events(service, scenario)
+
+        events = asyncio.run(main())
+        assert all(event.alarm for event in events)
+        stamps = [event.fingerprint for event in events]
+        assert set(stamps) == {"fp-a", "fp-b"}
+        # Stamps partition cleanly: once fp-b appears, fp-a never returns.
+        assert stamps.index("fp-b") == len(stamps) - stamps[::-1].count("fp-b")
+
+    def test_post_swap_scores_bit_identical_to_fresh_service(self, detector_a,
+                                                             detector_b):
+        """After the swap the migrated session scores exactly what a fresh
+        service on the candidate would have scored for the same history."""
+        data = make_stream(50, seed=32)
+        split = 25
+
+        async def swapped():
+            service = AnomalyService(detector_a, config=CONFIG)
+
+            async def scenario(svc):
+                for row in data[:split]:
+                    await svc.push("s0", row)
+                await svc.swap_detector(detector_b)
+                for row in data[split:]:
+                    await svc.push("s0", row)
+                await svc.close_session("s0")
+
+            return await run_with_events(service, scenario)
+
+        async def fresh():
+            service = AnomalyService(detector_b, config=CONFIG)
+
+            async def scenario(svc):
+                for row in data:
+                    await svc.push("s0", row)
+                await svc.close_session("s0")
+
+            return await run_with_events(service, scenario)
+
+        swapped_events = asyncio.run(swapped())
+        fresh_events = asyncio.run(fresh())
+        swapped_scores = {event.index: event.score
+                         for event in swapped_events}
+        fresh_scores = {event.index: event.score for event in fresh_events}
+        assert set(swapped_scores) == set(fresh_scores)
+        for index in range(split, len(data)):
+            assert swapped_scores[index] == fresh_scores[index], index
+
+    def test_swap_to_the_active_detector_raises(self, detector_a):
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG)
+            await service.start()
+            with pytest.raises(ValueError, match="already active"):
+                await service.swap_detector(detector_a)
+            await service.stop()
+
+        asyncio.run(main())
+
+    def test_rollback_restores_the_pinned_artifact(self, detector_a,
+                                                   detector_b):
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG,
+                                     fingerprint="fp-a")
+            await service.start()
+            for row in make_stream(20, seed=33):
+                await service.push("s0", row)
+            await service.swap_detector(detector_b, fingerprint="fp-b")
+            result = await service.rollback(reason="operator")
+            assert result["rolled_back"]
+            assert result["reason"] == "operator"
+            assert service.artifact_fingerprint == "fp-a"
+            assert service.detector is detector_a
+            await service.stop()
+
+        asyncio.run(main())
+
+    def test_rollback_without_a_pin_raises(self, detector_a):
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG)
+            await service.start()
+            with pytest.raises(RuntimeError, match="no pinned"):
+                await service.rollback()
+            await service.stop()
+
+        asyncio.run(main())
+
+
+class TestCanaryOnService:
+    def _controller(self, detector_b, artifact_b, **gate_kwargs):
+        baseline = load_baseline(artifact_b)
+        gates = CanaryGates(**gate_kwargs) if gate_kwargs else None
+        return CanaryController(detector_b, baseline=baseline, gates=gates,
+                                fraction=1.0, fingerprint="fp-b")
+
+    def test_attach_requires_running_and_is_exclusive(self, detector_a,
+                                                      detector_b, artifact_b):
+        controller = self._controller(detector_b, artifact_b)
+
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG)
+            with pytest.raises(RuntimeError):
+                service.attach_canary(controller)
+            await service.start()
+            service.attach_canary(controller)
+            with pytest.raises(RuntimeError, match="already active"):
+                service.attach_canary(controller)
+            with pytest.raises(RuntimeError, match="no canary"):
+                service.stop_canary()
+                service.stop_canary()
+            await service.stop()
+
+        asyncio.run(main())
+
+    def test_canary_shadow_scores_live_traffic(self, detector_a, detector_b,
+                                               artifact_b):
+        controller = self._controller(detector_b, artifact_b)
+
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG)
+            await service.start()
+            service.attach_canary(controller)
+            for row in make_stream(40, seed=34):
+                await service.push("s0", row)
+            await service.close_session("s0")
+            await service.stop()
+            return service.stats()
+
+        stats = asyncio.run(main())
+        assert controller.samples == stats.samples_scored
+        assert controller.samples == 40 - WINDOW + 1
+        assert controller.errors == 0
+
+    def test_promote_respects_a_failing_gate(self, detector_a, detector_b,
+                                             artifact_b):
+        controller = self._controller(detector_b, artifact_b,
+                                      min_samples=100_000)
+
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG,
+                                     fingerprint="fp-a")
+            await service.start()
+            service.attach_canary(controller)
+            for row in make_stream(30, seed=35):
+                await service.push("s0", row)
+            result = await service.promote()
+            assert not result["promoted"]
+            assert result["report"]["verdict"] == "undecided"
+            assert service.artifact_fingerprint == "fp-a"
+            assert service.canary is controller      # still shadow-scoring
+            await service.stop()
+
+        asyncio.run(main())
+
+    def test_force_promote_swaps_and_detaches_the_canary(self, detector_a,
+                                                         detector_b,
+                                                         artifact_b):
+        controller = self._controller(detector_b, artifact_b,
+                                      min_samples=100_000)
+
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG,
+                                     fingerprint="fp-a")
+            await service.start()
+            service.attach_canary(controller)
+            for row in make_stream(30, seed=36):
+                await service.push("s0", row)
+            result = await service.promote(force=True)
+            assert result["promoted"]
+            assert result["fingerprint"] == "fp-b"
+            assert result["previous_fingerprint"] == "fp-a"
+            assert result["migrated_sessions"] == 1
+            assert service.canary is None
+            assert service.detector is detector_b
+            await service.stop()
+
+        asyncio.run(main())
+
+    def test_promote_without_a_canary_raises(self, detector_a):
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG)
+            await service.start()
+            with pytest.raises(RuntimeError, match="no canary"):
+                await service.promote()
+            await service.stop()
+
+        asyncio.run(main())
+
+
+class TestWatcherAutoRollback:
+    def test_regression_after_promotion_rolls_back(self, detector_a,
+                                                   detector_b, artifact_b):
+        """Promote by force, then storm the new model with alarming traffic;
+        the armed watcher must restore the pinned previous artifact."""
+        baseline = load_baseline(artifact_b)
+        controller = CanaryController(
+            detector_b, baseline=baseline, fraction=1.0, fingerprint="fp-b",
+            gates=CanaryGates(min_samples=100_000))
+        watcher = MetaWatcher(WatchPolicy(
+            interval_s=0.02, patience=1, max_alarm_rate=0.25))
+
+        async def main():
+            service = AnomalyService(detector_a, config=CONFIG,
+                                     threshold=detector_a.threshold,
+                                     fingerprint="fp-a")
+            await service.start()
+            service.attach_watcher(watcher)
+            service.attach_canary(controller)
+            quiet = make_stream(30, seed=37)
+            for row in quiet:
+                await service.push("s0", row)
+            result = await service.promote(force=True)
+            assert result["promoted"]
+            assert watcher.armed
+            # Alarm storm: every window scores far beyond the threshold.
+            storm = quiet + 40.0
+            for _ in range(100):
+                for row in storm:
+                    await service.push("s0", row)
+                await asyncio.sleep(0.03)   # let the scheduler flush + tick
+                if service.artifact_fingerprint == "fp-a":
+                    break
+            assert service.artifact_fingerprint == "fp-a"
+            assert service.detector is detector_a
+            assert watcher.rollbacks == 1
+            assert not watcher.armed
+            await service.stop()
+
+        asyncio.run(main())

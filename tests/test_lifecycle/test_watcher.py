@@ -1,0 +1,193 @@
+"""Meta-watcher: EWMA watches, breach accounting, and the armed task."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.edge.monitor import StreamingHistogram
+from repro.lifecycle import EwmaWatch, MetaWatcher, WatchPolicy
+
+
+def snapshot(samples=0, alarms=0, sink_errors=0, queue_delay=None):
+    return {"samples_scored": samples, "alarms_total": alarms,
+            "sink_errors": sink_errors, "queue_delay": queue_delay,
+            "fingerprint": "fp"}
+
+
+class TestWatchPolicy:
+    def test_defaults_are_valid(self):
+        policy = WatchPolicy()
+        assert policy.patience == 3
+        assert math.isinf(policy.max_p99_s)
+        assert policy.to_dict()["max_p99_s"] is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"interval_s": 0.0},
+        {"alpha": 0.0},
+        {"alpha": 1.5},
+        {"k": 0.0},
+        {"warmup_ticks": 0},
+        {"patience": 0},
+        {"max_alarm_rate": 0.0},
+        {"max_p99_s": 0.0},
+        {"max_sink_errors": -1},
+    ])
+    def test_bad_policy_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchPolicy(**kwargs)
+
+
+class TestEwmaWatch:
+    def test_steady_signal_never_breaches(self):
+        watch = EwmaWatch(alpha=0.2, k=6.0, warmup_ticks=3)
+        assert not any(watch.observe(0.1) for _ in range(50))
+
+    def test_no_breach_during_warmup(self):
+        watch = EwmaWatch(alpha=0.2, k=3.0, warmup_ticks=10)
+        assert not any(watch.observe(value)
+                       for value in (0.0, 0.0, 100.0, 0.0, 1000.0))
+
+    def test_spike_after_warmup_breaches(self):
+        watch = EwmaWatch(alpha=0.2, k=3.0, warmup_ticks=3)
+        for _ in range(10):
+            watch.observe(1.0)
+        assert watch.observe(100.0)
+
+    def test_breaching_ticks_freeze_the_mean(self):
+        """A sustained regression keeps breaching instead of being learned."""
+        watch = EwmaWatch(alpha=0.5, k=3.0, warmup_ticks=3)
+        for _ in range(10):
+            watch.observe(1.0)
+        assert all(watch.observe(100.0) for _ in range(20))
+
+
+class TestMetaWatcherObserve:
+    def test_first_snapshot_only_primes(self):
+        watcher = MetaWatcher(WatchPolicy(max_alarm_rate=0.01))
+        assert watcher.observe(snapshot(samples=100, alarms=100)) == []
+        assert watcher.breaches == 0
+
+    def test_alarm_rate_ceiling_breach(self):
+        watcher = MetaWatcher(WatchPolicy(max_alarm_rate=0.2, patience=2))
+        watcher.observe(snapshot())
+        breaches = watcher.observe(snapshot(samples=100, alarms=90))
+        assert "alarm_rate:ceiling" in breaches
+        assert watcher.breaches >= 1
+        assert not watcher.should_rollback          # patience=2, streak=1
+        watcher.observe(snapshot(samples=200, alarms=180))
+        assert watcher.should_rollback
+
+    def test_streak_resets_on_healthy_tick(self):
+        watcher = MetaWatcher(WatchPolicy(max_alarm_rate=0.2, patience=2))
+        watcher.observe(snapshot())
+        watcher.observe(snapshot(samples=100, alarms=90))
+        watcher.observe(snapshot(samples=200, alarms=91))   # healthy delta
+        watcher.observe(snapshot(samples=300, alarms=181))
+        assert not watcher.should_rollback
+
+    def test_sink_error_ceiling_breach(self):
+        watcher = MetaWatcher(WatchPolicy(max_sink_errors=0))
+        watcher.observe(snapshot())
+        breaches = watcher.observe(snapshot(samples=10, sink_errors=1))
+        assert breaches == ["sink_errors:ceiling"]
+
+    def test_p99_ceiling_breach_from_histogram_delta(self):
+        histogram = StreamingHistogram.linear(0.0, 1.0, 10)
+        for _ in range(50):
+            histogram.add(0.05)
+        before = histogram.to_state()
+        for _ in range(50):
+            histogram.add(0.95)
+        after = histogram.to_state()
+        watcher = MetaWatcher(WatchPolicy(max_p99_s=0.5))
+        watcher.observe(snapshot(samples=50, queue_delay=before))
+        breaches = watcher.observe(
+            snapshot(samples=100, queue_delay=after))
+        assert "p99_s:ceiling" in breaches
+
+    def test_ewma_breach_on_alarm_rate_spike(self):
+        watcher = MetaWatcher(WatchPolicy(alpha=0.2, k=3.0, warmup_ticks=3,
+                                          max_alarm_rate=1.0))
+        samples = alarms = 0
+        watcher.observe(snapshot())
+        for _ in range(10):                   # learn a steady 1% alarm rate
+            samples += 1000
+            alarms += 10
+            assert watcher.observe(snapshot(samples=samples,
+                                            alarms=alarms)) == []
+        samples += 1000
+        alarms += 400                          # 40% tick, under the ceiling
+        assert "alarm_rate:ewma" in watcher.observe(
+            snapshot(samples=samples, alarms=alarms))
+
+    def test_zero_scored_tick_is_quiet(self):
+        watcher = MetaWatcher(WatchPolicy(max_alarm_rate=0.01))
+        watcher.observe(snapshot(samples=100, alarms=90))
+        assert watcher.observe(snapshot(samples=100, alarms=90)) == []
+
+
+class TestArmDisarm:
+    def test_arm_twice_raises(self):
+        async def scenario():
+            watcher = MetaWatcher(WatchPolicy(interval_s=10.0))
+
+            class Service:
+                def health_snapshot(self):
+                    return snapshot()
+
+            service = Service()
+            watcher.arm(service)
+            assert watcher.armed
+            with pytest.raises(RuntimeError, match="already armed"):
+                watcher.arm(service)
+            watcher.disarm()
+            await asyncio.sleep(0)
+            assert not watcher.armed
+
+        asyncio.run(scenario())
+
+    def test_armed_watch_rolls_back_and_disarms(self):
+        async def scenario():
+            rollbacks = []
+
+            class Service:
+                def __init__(self):
+                    self.samples = 0
+                    self.alarms = 0
+
+                def health_snapshot(self):
+                    self.samples += 100
+                    self.alarms += 95          # every tick is an alarm storm
+                    return snapshot(samples=self.samples, alarms=self.alarms)
+
+                async def rollback(self, *, reason):
+                    rollbacks.append(reason)
+
+            watcher = MetaWatcher(WatchPolicy(
+                interval_s=0.01, patience=2, max_alarm_rate=0.5))
+            watcher.arm(Service())
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if rollbacks:
+                    break
+            assert rollbacks and rollbacks[0].startswith("watch:")
+            assert "alarm_rate" in rollbacks[0]
+            assert watcher.rollbacks == 1
+            await asyncio.sleep(0.02)
+            assert not watcher.armed           # one promotion, one guard
+
+        asyncio.run(scenario())
+
+    def test_watch_exits_when_service_stops(self):
+        async def scenario():
+            class Service:
+                def health_snapshot(self):
+                    raise RuntimeError("service is not running")
+
+            watcher = MetaWatcher(WatchPolicy(interval_s=0.01))
+            watcher.arm(Service())
+            await asyncio.sleep(0.05)
+            assert not watcher.armed
+
+        asyncio.run(scenario())

@@ -112,6 +112,15 @@ class TestMetricsPage:
             ["repro_batcher_pending_windows", "gauge"],
             ["repro_batcher_queue_delay_seconds", "summary"],
             ["repro_batcher_batch_occupancy", "summary"],
+            ["repro_service_artifact_info", "gauge"],
+            ["repro_lifecycle_canary_active", "gauge"],
+            ["repro_lifecycle_canary_samples_total", "counter"],
+            ["repro_lifecycle_canary_alarms_total", "counter"],
+            ["repro_lifecycle_canary_errors_total", "counter"],
+            ["repro_lifecycle_swaps_total", "counter"],
+            ["repro_lifecycle_rollbacks_total", "counter"],
+            ["repro_lifecycle_sessions_migrated_total", "counter"],
+            ["repro_lifecycle_watch_breaches_total", "counter"],
             ["repro_trace_events_recorded", "gauge"],
             ["repro_trace_events_dropped_total", "counter"],
         ]

@@ -1,0 +1,153 @@
+"""Property suite: session export/restore is a bit-exact pause button.
+
+The model-lifecycle hot swap (and the cluster rebalance before it) leans
+entirely on ``ScoringSession.export_state`` / ``from_state``: a migrated
+session must continue as if the handoff never happened.  This suite pins
+that contract property-style -- for every detector kind, with and without
+the incremental lane, and with a live drift-adaptation lane mid-stream --
+by comparing a session that scored a whole stream against one that was
+exported at an arbitrary split point and restored before the remainder.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ThresholdCalibrator
+from repro.drift import AdaptationPolicy
+from repro.serve.session import ScoringSession
+
+from serve_helpers import make_stream
+
+ALL_KINDS = ["AR-LSTM", "GBRF", "AE", "kNN", "Isolation Forest", "VARADE"]
+N_SAMPLES = 60
+
+
+def _run_whole(detector, data, **kwargs):
+    session = ScoringSession(detector, "whole", **kwargs)
+    for row in data:
+        session.push(row)
+    return session
+
+
+def _run_split(detector, data, split, **kwargs):
+    """Push ``data[:split]``, export, restore, push the rest."""
+    first = ScoringSession(detector, "split", **kwargs)
+    for row in data[:split]:
+        first.push(row)
+    state = first.export_state()
+    kwargs.pop("threshold", None)       # carried inside the state
+    kwargs.pop("adaptation", None)
+    restored = ScoringSession.from_state(detector, state)
+    assert restored.incremental_active == first.incremental_active
+    for row in data[split:]:
+        restored.push(row)
+    return restored
+
+
+def _assert_identical(whole, restored):
+    whole_result = whole.result()
+    restored_result = restored.result()
+    np.testing.assert_array_equal(whole_result.scores,
+                                  restored_result.scores)
+    np.testing.assert_array_equal(whole_result.alarms,
+                                  restored_result.alarms)
+    if whole_result.threshold_trace is None:      # session had no threshold
+        assert restored_result.threshold_trace is None
+    else:
+        np.testing.assert_allclose(whole_result.threshold_trace,
+                                   restored_result.threshold_trace,
+                                   rtol=0.0, atol=0.0, equal_nan=True)
+
+
+class TestRoundTripAcrossDetectors:
+    @pytest.mark.parametrize("name", ALL_KINDS)
+    @given(split=st.integers(min_value=0, max_value=N_SAMPLES),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_split_continuation_is_bit_exact(self, detectors, name, split,
+                                             seed):
+        detector = detectors[name]
+        data, _ = make_stream(N_SAMPLES, seed=seed)
+        whole = _run_whole(detector, data)
+        restored = _run_split(detector, data, split)
+        _assert_identical(whole, restored)
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    @given(split=st.integers(min_value=0, max_value=N_SAMPLES),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_incremental_lane_survives_the_round_trip(self, detectors,
+                                                      incremental, split,
+                                                      seed):
+        detector = detectors["VARADE"]
+        data, _ = make_stream(N_SAMPLES, seed=seed)
+        whole = _run_whole(detector, data, incremental=incremental)
+        restored = _run_split(detector, data, split,
+                              incremental=incremental)
+        assert restored.incremental_active == whole.incremental_active
+        _assert_identical(whole, restored)
+
+    def test_export_refuses_outstanding_requests(self, detectors):
+        detector = detectors["VARADE"]
+        data, _ = make_stream(detector.window + 3, seed=5)
+        session = ScoringSession(detector, "pending", incremental=False)
+        for row in data:
+            request = session.submit(row)
+        assert request is not None            # windows in flight
+        with pytest.raises(RuntimeError, match="outstanding"):
+            session.export_state()
+
+
+class TestRoundTripMidAdaptation:
+    """Bit-exactness while the drift lane is actively adapting."""
+
+    def _setup(self, detectors, name, train_stream, seed):
+        detector = detectors[name]
+        scores = detector.score_stream(train_stream).valid_scores()
+        threshold = ThresholdCalibrator(quantile=0.95).calibrate(scores)
+        policy = AdaptationPolicy(reservoir_size=64, min_reservoir=16,
+                                  confirm_samples=16, cooldown=32)
+        rng = np.random.default_rng(seed)
+        data, _ = make_stream(160, seed=seed)
+        data[80:] = data[80:] * 3.0 + rng.normal(0.0, 0.5, data[80:].shape)
+        return detector, data, threshold, policy
+
+    @pytest.mark.parametrize("name", ["GBRF", "AE", "kNN"])
+    @given(split=st.integers(min_value=70, max_value=150),
+           seed=st.integers(min_value=0, max_value=2**8))
+    @settings(max_examples=6, deadline=None)
+    def test_adaptation_lane_continues_bit_exact(self, detectors,
+                                                 train_stream, name, split,
+                                                 seed):
+        detector, data, threshold, policy = self._setup(
+            detectors, name, train_stream, seed)
+        whole = _run_whole(detector, data, threshold=threshold,
+                           adaptation=policy)
+        restored = _run_split(detector, data, split, threshold=threshold,
+                              adaptation=policy)
+        _assert_identical(whole, restored)
+        assert len(restored.adaptation_events) == \
+            len(whole.adaptation_events)
+        for ours, theirs in zip(restored.adaptation_events,
+                                whole.adaptation_events):
+            assert ours.adapted_at == theirs.adapted_at
+            assert ours.new_threshold == theirs.new_threshold
+
+    def test_export_mid_adaptation_preserves_the_moved_threshold(
+            self, detectors, train_stream):
+        """A split *after* a confirmed adaptation must carry the adapted
+        threshold, not the artifact calibration."""
+        detector, data, threshold, policy = self._setup(
+            detectors, "GBRF", train_stream, seed=3)
+        whole = _run_whole(detector, data, threshold=threshold,
+                           adaptation=policy)
+        if not whole.adaptation_events:
+            pytest.skip("this seed produced no adaptation to split across")
+        split = whole.adaptation_events[0].adapted_at + 5
+        restored = _run_split(detector, data, split, threshold=threshold,
+                              adaptation=policy)
+        assert restored.threshold.threshold != threshold.threshold
+        assert restored.threshold.threshold == \
+            whole.threshold.threshold
